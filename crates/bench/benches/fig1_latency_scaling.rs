@@ -1,0 +1,36 @@
+//! Figure 1 / Table 1: latency and frequency scaling of the pipeline structures.
+//! The analytic model is cheap; the bench measures it and prints the figure data.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flywheel_timing::{
+    CacheGeometry, IssueWindowGeometry, ModuleFrequencies, RegFileGeometry, StructureLatency,
+    TechNode,
+};
+
+fn fig1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_latency_scaling");
+    group.bench_function("table1_model", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for node in TechNode::all() {
+                let f = ModuleFrequencies::for_node(*node);
+                total += f.issue_window_mhz + f.icache_mhz + f.dcache_mhz;
+                total += IssueWindowGeometry::new(64, 4).latency_ps(*node);
+                total += CacheGeometry::new(32 * 1024, 4, 2, 64).latency_ps(*node);
+                total += RegFileGeometry::new(256, 18).latency_ps(*node);
+            }
+            criterion::black_box(total)
+        })
+    });
+    group.finish();
+
+    // Print the series the figure plots (who scales how).
+    for node in TechNode::all() {
+        let iw = IssueWindowGeometry::paper_baseline().latency_ps(*node);
+        let cache = CacheGeometry::paper_icache().latency_ps(*node);
+        println!("fig1 {node}: IW128 {iw:.0} ps, 64K cache {cache:.0} ps, ratio {:.2}", cache / iw);
+    }
+}
+
+criterion_group!(benches, fig1);
+criterion_main!(benches);

@@ -1,0 +1,217 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p flywheel-bench --bin experiments -- [experiment] [measured-insts]
+//! ```
+//!
+//! where `experiment` is one of `table1`, `fig1`, `fig2`, `fig11`, `fig12`, `fig13`,
+//! `fig14`, `fig15`, `ec_residency` or `all` (default). The optional second argument
+//! overrides the measured instruction count per benchmark.
+
+use flywheel_bench::{
+    experiment_budget, print_table, run_baseline, run_baseline_with, run_flywheel, Row,
+    CLOCK_SWEEP,
+};
+use flywheel_core::FlywheelConfig;
+use flywheel_timing::{paper, ModuleFrequencies, StructureLatency, TechNode};
+use flywheel_timing::{CacheGeometry, IssueWindowGeometry, RegFileGeometry};
+use flywheel_uarch::{BaselineConfig, SimBudget};
+use flywheel_workloads::Benchmark;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("all").to_owned();
+    let mut budget = experiment_budget();
+    if let Some(n) = args.get(2).and_then(|s| s.parse::<u64>().ok()) {
+        budget = SimBudget::new(n / 10, n);
+    }
+
+    match which.as_str() {
+        "table1" => table1(),
+        "fig1" => fig1(),
+        "fig2" => fig2(budget),
+        "fig11" => fig11(budget),
+        "fig12" => clock_sweep("Figure 12: relative performance", budget, Metric::Performance),
+        "fig13" => clock_sweep("Figure 13: relative energy", budget, Metric::Energy),
+        "fig14" => clock_sweep("Figure 14: relative power", budget, Metric::Power),
+        "fig15" => fig15(budget),
+        "ec_residency" => ec_residency(budget),
+        "all" => {
+            table1();
+            fig1();
+            fig2(budget);
+            fig11(budget);
+            clock_sweep("Figure 12: relative performance", budget, Metric::Performance);
+            clock_sweep("Figure 13: relative energy", budget, Metric::Energy);
+            clock_sweep("Figure 14: relative power", budget, Metric::Power);
+            fig15(budget);
+            ec_residency(budget);
+        }
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn node() -> TechNode {
+    TechNode::N130
+}
+
+/// Table 1: module clock frequencies per technology node, model vs paper.
+fn table1() {
+    println!("\n== Table 1: module clock frequencies (MHz), modelled vs published ==");
+    let published = paper::published_table1();
+    let modelled = paper::modeled_table1();
+    print!("{:<34}", "module");
+    for n in paper::TABLE1_NODES {
+        print!(" {:>16}", n.to_string());
+    }
+    println!();
+    for (p, m) in published.iter().zip(&modelled) {
+        print!("{:<34}", p.module);
+        for i in 0..4 {
+            print!(" {:>7.0}/{:<8.0}", m.mhz[i], p.mhz[i]);
+        }
+        println!();
+    }
+    println!("(each cell: modelled / published)");
+    for n in [TechNode::N180, TechNode::N60] {
+        let f = ModuleFrequencies::for_node(n);
+        println!(
+            "{n}: max front-end speed-up {:.2}x, max back-end speed-up {:.2}x over the Issue Window clock",
+            f.max_frontend_speedup(),
+            f.max_backend_speedup()
+        );
+    }
+}
+
+/// Figure 1: latency scaling of issue windows, caches and register files.
+fn fig1() {
+    println!("\n== Figure 1: access latency (ps) across technology nodes ==");
+    let structures: Vec<(&str, Box<dyn StructureLatency>)> = vec![
+        ("IW 128-entry/6-way", Box::new(IssueWindowGeometry::new(128, 6))),
+        ("IW 64-entry/4-way", Box::new(IssueWindowGeometry::new(64, 4))),
+        ("Cache 64K/2w/1port", Box::new(CacheGeometry::new(64 * 1024, 2, 1, 64))),
+        ("Cache 32K/4w/2port", Box::new(CacheGeometry::new(32 * 1024, 4, 2, 64))),
+        ("RF 128 entries", Box::new(RegFileGeometry::new(128, 18))),
+        ("RF 256 entries", Box::new(RegFileGeometry::new(256, 18))),
+    ];
+    print!("{:<22}", "structure");
+    for n in TechNode::all() {
+        print!(" {:>8}", n.to_string());
+    }
+    println!();
+    for (name, s) in &structures {
+        print!("{name:<22}");
+        for n in TechNode::all() {
+            print!(" {:>8.0}", s.latency_ps(*n));
+        }
+        println!();
+    }
+}
+
+/// Figure 2: IPC degradation from an extra front-end stage vs pipelined
+/// Wake-up/Select.
+fn fig2(budget: SimBudget) {
+    let columns = vec!["fetch+1 %".to_owned(), "wakeup/sel %".to_owned()];
+    let mut rows = Vec::new();
+    for bench in Benchmark::paper_suite() {
+        let base = run_baseline(*bench, node(), budget);
+        let deeper = run_baseline_with(*bench, BaselineConfig::paper(node()).with_extra_frontend_stage(), budget);
+        let piped = run_baseline_with(*bench, BaselineConfig::paper(node()).with_pipelined_wakeup(), budget);
+        let degradation = |v: &flywheel_uarch::SimResult| (v.elapsed_ps as f64 / base.elapsed_ps as f64 - 1.0) * 100.0;
+        rows.push(Row { bench: bench.name(), values: vec![degradation(&deeper), degradation(&piped)] });
+    }
+    print_table(
+        "Figure 2: performance degradation (%) from pipeline-loop stretching",
+        &columns,
+        &rows,
+    );
+}
+
+/// Figure 11: register-allocation machine and Flywheel at the baseline clock.
+fn fig11(budget: SimBudget) {
+    let columns = vec!["reg-alloc".to_owned(), "flywheel".to_owned()];
+    let mut rows = Vec::new();
+    for bench in Benchmark::paper_suite() {
+        let base = run_baseline(*bench, node(), budget);
+        let regalloc = run_flywheel(*bench, FlywheelConfig::register_allocation_only(node()), budget);
+        let flywheel = run_flywheel(*bench, FlywheelConfig::paper_iso_clock(node()), budget);
+        rows.push(Row {
+            bench: bench.name(),
+            values: vec![regalloc.speedup_over(&base), flywheel.speedup_over(&base)],
+        });
+    }
+    print_table(
+        "Figure 11: performance at the baseline clock, normalized to the baseline",
+        &columns,
+        &rows,
+    );
+}
+
+enum Metric {
+    Performance,
+    Energy,
+    Power,
+}
+
+/// Figures 12-14: sweep the front-end clock with the back-end at +50%.
+fn clock_sweep(title: &str, budget: SimBudget, metric: Metric) {
+    let columns: Vec<String> = CLOCK_SWEEP.iter().map(|(fe, be)| format!("FE{fe}/BE{be}")).collect();
+    let mut rows = Vec::new();
+    for bench in Benchmark::paper_suite() {
+        let base = run_baseline(*bench, node(), budget);
+        let mut values = Vec::new();
+        for (fe, be) in CLOCK_SWEEP {
+            let fly = run_flywheel(*bench, FlywheelConfig::paper(node(), fe, be), budget);
+            values.push(match metric {
+                Metric::Performance => fly.speedup_over(&base),
+                Metric::Energy => fly.energy_ratio_over(&base),
+                Metric::Power => fly.power_ratio_over(&base),
+            });
+        }
+        rows.push(Row { bench: bench.name(), values });
+    }
+    print_table(title, &columns, &rows);
+}
+
+/// Figure 15: relative energy of FE100/BE50 at 130, 90 and 60 nm.
+fn fig15(budget: SimBudget) {
+    let columns: Vec<String> = TechNode::power_study_nodes().iter().map(|n| n.to_string()).collect();
+    let mut rows = Vec::new();
+    for bench in Benchmark::paper_suite() {
+        let mut values = Vec::new();
+        for n in TechNode::power_study_nodes() {
+            let base = run_baseline(*bench, *n, budget);
+            let fly = run_flywheel(*bench, FlywheelConfig::paper(*n, 100, 50), budget);
+            values.push(fly.energy_ratio_over(&base));
+        }
+        rows.push(Row { bench: bench.name(), values });
+    }
+    print_table(
+        "Figure 15: relative energy of Flywheel (FE100%, BE50%) per technology node",
+        &columns,
+        &rows,
+    );
+}
+
+/// Section 5: fraction of execution time spent on the Execution Cache path.
+fn ec_residency(budget: SimBudget) {
+    let columns = vec!["residency".to_owned(), "ec hit rate".to_owned()];
+    let mut rows = Vec::new();
+    for bench in Benchmark::paper_suite() {
+        let fly = run_flywheel(*bench, FlywheelConfig::paper_iso_clock(node()), budget);
+        rows.push(Row {
+            bench: bench.name(),
+            values: vec![fly.flywheel.ec_residency, fly.flywheel.ec_hit_rate()],
+        });
+    }
+    print_table(
+        "Execution-path residency (paper reports an 88% average; vortex the lowest)",
+        &columns,
+        &rows,
+    );
+}

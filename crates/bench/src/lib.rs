@@ -1,0 +1,118 @@
+//! # flywheel-bench
+//!
+//! Shared experiment harness used by the `experiments` binary and the Criterion
+//! benches to regenerate every table and figure of the paper's evaluation.
+//!
+//! Each experiment runs the baseline machine and one or more Flywheel configurations
+//! over the paper's benchmark suite and reports the same normalized quantities the
+//! paper plots (relative performance, energy and power). Budgets are configurable so
+//! the same code serves quick benches and the full experiment runs recorded in
+//! EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use flywheel_core::{FlywheelConfig, FlywheelResult, FlywheelSim};
+use flywheel_timing::TechNode;
+use flywheel_uarch::{BaselineConfig, BaselineSim, SimBudget, SimResult};
+use flywheel_workloads::{Benchmark, TraceGenerator};
+
+/// Seed used for every experiment (results are deterministic).
+pub const EXPERIMENT_SEED: u64 = 2005;
+
+/// The clock configurations swept in Figures 12-14: (front-end %, back-end %).
+pub const CLOCK_SWEEP: [(u32, u32); 5] = [(0, 50), (25, 50), (50, 50), (75, 50), (100, 50)];
+
+/// Runs the baseline machine on `bench` at `node`.
+pub fn run_baseline(bench: Benchmark, node: TechNode, budget: SimBudget) -> SimResult {
+    let program = bench.synthesize(EXPERIMENT_SEED);
+    BaselineSim::new(BaselineConfig::paper(node), TraceGenerator::new(&program, EXPERIMENT_SEED))
+        .run(budget)
+}
+
+/// Runs a baseline variant (used by the Figure 2 pipeline-loop study).
+pub fn run_baseline_with(
+    bench: Benchmark,
+    cfg: BaselineConfig,
+    budget: SimBudget,
+) -> SimResult {
+    let program = bench.synthesize(EXPERIMENT_SEED);
+    BaselineSim::new(cfg, TraceGenerator::new(&program, EXPERIMENT_SEED)).run(budget)
+}
+
+/// Runs a Flywheel configuration on `bench`.
+pub fn run_flywheel(bench: Benchmark, cfg: FlywheelConfig, budget: SimBudget) -> FlywheelResult {
+    let program = bench.synthesize(EXPERIMENT_SEED);
+    FlywheelSim::new(cfg, TraceGenerator::new(&program, EXPERIMENT_SEED)).run(budget)
+}
+
+/// One row of a per-benchmark, per-configuration result table.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Benchmark name (paper label).
+    pub bench: &'static str,
+    /// One value per swept configuration.
+    pub values: Vec<f64>,
+}
+
+/// Prints a table of rows plus their geometric-mean/average row, Figure-style.
+pub fn print_table(title: &str, columns: &[String], rows: &[Row]) {
+    println!("\n== {title} ==");
+    print!("{:<10}", "bench");
+    for c in columns {
+        print!(" {c:>10}");
+    }
+    println!();
+    let mut sums = vec![0.0; columns.len()];
+    for row in rows {
+        print!("{:<10}", row.bench);
+        for (i, v) in row.values.iter().enumerate() {
+            sums[i] += v;
+            print!(" {v:>10.3}");
+        }
+        println!();
+    }
+    print!("{:<10}", "average");
+    for s in &sums {
+        print!(" {:>10.3}", s / rows.len() as f64);
+    }
+    println!();
+}
+
+/// The default budget used by the quick benches (kept small so `cargo bench`
+/// finishes in minutes; EXPERIMENTS.md records runs with the larger budget).
+pub fn bench_budget() -> SimBudget {
+    SimBudget::new(10_000, 40_000)
+}
+
+/// The budget used by the `experiments` binary unless overridden on the command
+/// line.
+pub fn experiment_budget() -> SimBudget {
+    SimBudget::new(50_000, 250_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_a_tiny_experiment_end_to_end() {
+        let budget = SimBudget::new(1_000, 5_000);
+        let base = run_baseline(Benchmark::Micro, TechNode::N130, budget);
+        let fly = run_flywheel(
+            Benchmark::Micro,
+            FlywheelConfig::paper_iso_clock(TechNode::N130),
+            budget,
+        );
+        assert_eq!(base.instructions, fly.sim.instructions);
+        assert!(fly.speedup_over(&base) > 0.2);
+    }
+
+    #[test]
+    fn clock_sweep_matches_the_paper_axes() {
+        assert_eq!(CLOCK_SWEEP.len(), 5);
+        assert!(CLOCK_SWEEP.iter().all(|(_, be)| *be == 50));
+        assert_eq!(CLOCK_SWEEP[0].0, 0);
+        assert_eq!(CLOCK_SWEEP[4].0, 100);
+    }
+}

@@ -1,0 +1,227 @@
+//! Configuration of the Flywheel machine.
+
+use flywheel_timing::{ClockPlan, TechNode};
+use flywheel_uarch::BaselineConfig;
+use serde::{Deserialize, Serialize};
+
+/// Execution Cache geometry and timing (paper §3.3, Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EcConfig {
+    /// Capacity in bytes (128 KB in the paper).
+    pub size_bytes: u64,
+    /// Associativity of the tag array (2-way in the paper).
+    pub assoc: u32,
+    /// Instructions per data-array block (8 in the paper's evaluation).
+    pub block_insts: u32,
+    /// Bytes each stored instruction occupies (decoded + renamed form).
+    pub bytes_per_inst: u32,
+    /// Access latency of the data array in execution-core cycles (3 in Table 2).
+    pub hit_cycles: u32,
+    /// Maximum trace length in instructions before a trace-completion condition is
+    /// raised (the paper allows "arbitrary length"; this bound exists only to keep
+    /// single traces from monopolising the cache).
+    pub max_trace_insts: u32,
+}
+
+impl EcConfig {
+    /// The paper's Execution Cache: 128 KB, 2-way, 8-instruction blocks, 3-cycle hit.
+    pub fn paper() -> Self {
+        EcConfig {
+            size_bytes: 128 * 1024,
+            assoc: 2,
+            block_insts: 8,
+            bytes_per_inst: 8,
+            hit_cycles: 3,
+            max_trace_insts: 512,
+        }
+    }
+
+    /// Total instruction slots in the data array.
+    pub fn capacity_insts(&self) -> u64 {
+        self.size_bytes / self.bytes_per_inst as u64
+    }
+}
+
+/// Pool-based register file configuration (paper §3.4–3.5).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoolConfig {
+    /// Total physical registers (512 in the paper's Flywheel configuration).
+    pub total_phys_regs: u32,
+    /// Interval, in execution-core cycles, at which the register-redistribution
+    /// counters are examined (500 000 in the paper).
+    pub redistribution_interval: u64,
+    /// Pipeline stall charged when a redistribution is performed (100 cycles in the
+    /// paper). A redistribution also invalidates the Execution Cache.
+    pub redistribution_cost: u64,
+    /// Fraction of rename stalls (relative to renames) above which a register is
+    /// considered a bottleneck and receives extra entries.
+    pub bottleneck_threshold: f64,
+}
+
+impl PoolConfig {
+    /// The paper's configuration: 512 physical registers, counters checked every
+    /// 500 k cycles, 100-cycle redistribution.
+    pub fn paper() -> Self {
+        PoolConfig {
+            total_phys_regs: 512,
+            redistribution_interval: 500_000,
+            redistribution_cost: 100,
+            bottleneck_threshold: 0.02,
+        }
+    }
+}
+
+/// Complete configuration of the Flywheel machine.
+///
+/// The Flywheel machine is the baseline machine (whose structural parameters live in
+/// [`BaselineConfig`]) extended with the Dual-Clock Issue Window, the two-phase
+/// pool-based register renaming (with its extra Register Update stage) and the
+/// Execution Cache. Disabling [`FlywheelConfig::execution_cache`] yields the
+/// "Register Allocation" machine of Figure 11 — the Dual-Clock Issue Window and the
+/// new renaming without pre-scheduled execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlywheelConfig {
+    /// The underlying pipeline structure (widths, caches, Issue Window, FUs).
+    pub base: BaselineConfig,
+    /// Execution Cache parameters.
+    pub ec: EcConfig,
+    /// Register pool parameters.
+    pub pools: PoolConfig,
+    /// Whether the Execution Cache / pre-scheduled execution path is enabled.
+    pub execution_cache: bool,
+    /// Whether the Speculative Remapping Table is present (reduces the natural
+    /// trace-change penalty to a single cycle, §3.5).
+    pub srt: bool,
+    /// Front-end clock speed-up over the baseline clock, in percent (the paper sweeps
+    /// 0–100 %).
+    pub frontend_speedup_pct: u32,
+    /// Execution-core clock speed-up while in trace-execution mode, in percent (50 %
+    /// in the paper's experiments).
+    pub backend_speedup_pct: u32,
+}
+
+impl FlywheelConfig {
+    /// The paper's Flywheel machine at `node` with the given clock speed-ups.
+    pub fn paper(node: TechNode, frontend_speedup_pct: u32, backend_speedup_pct: u32) -> Self {
+        let mut base = BaselineConfig::paper(node);
+        base.clocks = ClockPlan::with_speedups(node, frontend_speedup_pct, backend_speedup_pct);
+        // Dual-Clock Issue Window synchronization (paper §3.2) and the extra Register
+        // Update stage (§3.5) which "adds a cycle to the mispredict penalty".
+        base.sync_latency_be_cycles = 1;
+        base.redirect_sync_fe_cycles = 1;
+        base.front_end_stages += 1;
+        base.phys_regs = PoolConfig::paper().total_phys_regs;
+        // The larger register file needs a two-cycle access (Table 2).
+        base.reg_read_cycles = 2;
+        FlywheelConfig {
+            base,
+            ec: EcConfig::paper(),
+            pools: PoolConfig::paper(),
+            execution_cache: true,
+            srt: true,
+            frontend_speedup_pct,
+            backend_speedup_pct,
+        }
+    }
+
+    /// The Flywheel machine at the baseline clock (FE 0 %, BE 0 %): Figure 11's
+    /// "Flywheel" bars.
+    pub fn paper_iso_clock(node: TechNode) -> Self {
+        FlywheelConfig::paper(node, 0, 0)
+    }
+
+    /// The "Register Allocation" machine of Figure 11: Dual-Clock Issue Window and
+    /// pool-based renaming, but no Execution Cache, at the baseline clock.
+    pub fn register_allocation_only(node: TechNode) -> Self {
+        let mut cfg = FlywheelConfig::paper(node, 0, 0);
+        cfg.execution_cache = false;
+        cfg
+    }
+
+    /// The technology node of this configuration.
+    pub fn node(&self) -> TechNode {
+        self.base.node
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        self.base.validate()?;
+        if self.ec.block_insts == 0 || self.ec.size_bytes == 0 {
+            return Err("execution cache must have non-zero capacity".into());
+        }
+        if self.ec.max_trace_insts < self.ec.block_insts {
+            return Err("maximum trace length must cover at least one block".into());
+        }
+        if (self.pools.total_phys_regs as usize) < flywheel_isa::NUM_ARCH_REGS * 2 {
+            return Err("each architected register needs at least two pool entries".into());
+        }
+        if self.base.phys_regs != self.pools.total_phys_regs {
+            return Err("base.phys_regs must equal pools.total_phys_regs".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for FlywheelConfig {
+    fn default() -> Self {
+        FlywheelConfig::paper(TechNode::N130, 50, 50)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_table2() {
+        let c = FlywheelConfig::paper(TechNode::N130, 50, 50);
+        c.validate().unwrap();
+        assert_eq!(c.ec.size_bytes, 128 * 1024);
+        assert_eq!(c.ec.assoc, 2);
+        assert_eq!(c.ec.hit_cycles, 3);
+        assert_eq!(c.ec.block_insts, 8);
+        assert_eq!(c.pools.total_phys_regs, 512);
+        assert_eq!(c.pools.redistribution_interval, 500_000);
+        assert_eq!(c.pools.redistribution_cost, 100);
+        assert_eq!(c.base.reg_read_cycles, 2);
+    }
+
+    #[test]
+    fn flywheel_pipeline_is_longer_than_baseline() {
+        let baseline = BaselineConfig::paper_default();
+        let fly = FlywheelConfig::paper_iso_clock(TechNode::N130);
+        assert_eq!(fly.base.front_end_stages, baseline.front_end_stages + 1);
+        assert_eq!(fly.base.sync_latency_be_cycles, 1);
+    }
+
+    #[test]
+    fn register_allocation_only_disables_the_ec() {
+        let c = FlywheelConfig::register_allocation_only(TechNode::N130);
+        assert!(!c.execution_cache);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn clock_speedups_are_applied() {
+        let c = FlywheelConfig::paper(TechNode::N60, 100, 50);
+        assert!((c.base.clocks.frontend_speedup() - 2.0).abs() < 0.02);
+        assert!((c.base.clocks.backend_speedup() - 1.5).abs() < 0.02);
+        let iso = FlywheelConfig::paper_iso_clock(TechNode::N60);
+        assert!(iso.base.clocks.is_synchronous());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = FlywheelConfig::default();
+        c.ec.max_trace_insts = 2;
+        assert!(c.validate().is_err());
+        let mut c2 = FlywheelConfig::default();
+        c2.pools.total_phys_regs = 64;
+        assert!(c2.validate().is_err());
+    }
+
+    #[test]
+    fn ec_capacity_in_instructions() {
+        assert_eq!(EcConfig::paper().capacity_insts(), 16 * 1024);
+    }
+}

@@ -1,0 +1,63 @@
+//! # flywheel-core
+//!
+//! The Flywheel microarchitecture — the primary contribution of *"Increased
+//! Scalability and Power Efficiency by Using Multiple Speed Pipelines"* (Talpes &
+//! Marculescu, ISCA 2005) — implemented on top of the baseline machine from
+//! `flywheel-uarch`.
+//!
+//! The Flywheel machine combines three mechanisms so that the large, slow Issue
+//! Window no longer dictates the clock speed of the whole pipeline:
+//!
+//! 1. **Dual-Clock Issue Window** — the front end runs on its own, faster clock and
+//!    inserts instructions into the Issue Window asynchronously (a synchronization
+//!    latency before they become visible to Wake-up/Select).
+//! 2. **Execution Cache / pre-scheduled execution** — issued instruction groups are
+//!    recorded, in issue order, into the [`ExecutionCache`]; after a mispredict (or a
+//!    trace-completion condition) the cache is searched and, on a hit, the whole
+//!    front end is clock gated while the execution core replays the trace at a
+//!    faster clock ([`FlywheelSim`]'s trace-execution mode).
+//! 3. **Two-phase pool-based register renaming** — every architected register owns a
+//!    circular pool of physical registers ([`PoolRenamer`]), so replayed traces need
+//!    no conventional renaming; a Register Update stage remaps pool entries to the
+//!    512-entry register file, with periodic pool redistribution.
+//!
+//! The crate exposes the machine as [`FlywheelSim`] (driven by the same dynamic
+//! traces as the baseline) plus the individual mechanisms for reuse and ablation.
+//!
+//! ```
+//! use flywheel_core::{FlywheelConfig, FlywheelSim};
+//! use flywheel_timing::TechNode;
+//! use flywheel_uarch::{BaselineConfig, BaselineSim, SimBudget};
+//! use flywheel_workloads::{Benchmark, TraceGenerator};
+//!
+//! let program = Benchmark::Micro.synthesize(7);
+//! let budget = SimBudget::new(2_000, 10_000);
+//!
+//! let mut baseline = BaselineSim::new(
+//!     BaselineConfig::paper(TechNode::N130),
+//!     TraceGenerator::new(&program, 7),
+//! );
+//! let base = baseline.run(budget);
+//!
+//! let mut flywheel = FlywheelSim::new(
+//!     FlywheelConfig::paper(TechNode::N130, 50, 50),
+//!     TraceGenerator::new(&program, 7),
+//! );
+//! let fly = flywheel.run(budget);
+//! assert!(fly.speedup_over(&base) > 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod ec;
+mod pools;
+mod sim;
+mod stats;
+
+pub use config::{EcConfig, FlywheelConfig, PoolConfig};
+pub use ec::{EcStats, ExecutionCache, RecordedInst, Trace, TraceBuilder};
+pub use pools::{PoolRenamer, PoolStats};
+pub use sim::FlywheelSim;
+pub use stats::{FlywheelResult, FlywheelStats};

@@ -1,0 +1,89 @@
+//! Results reported by the Flywheel machine.
+
+use flywheel_uarch::SimResult;
+use serde::{Deserialize, Serialize};
+
+/// Flywheel-specific statistics for one run (measured portion).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FlywheelStats {
+    /// Wall-clock time spent in trace-execution mode, ps.
+    pub exec_mode_ps: u64,
+    /// Wall-clock time spent in trace-creation mode, ps.
+    pub creation_mode_ps: u64,
+    /// Fraction of execution time spent on the Execution Cache path (the paper
+    /// reports an 88 % average).
+    pub ec_residency: f64,
+    /// Execution Cache trace look-ups.
+    pub ec_lookups: u64,
+    /// Execution Cache look-up hits.
+    pub ec_hits: u64,
+    /// Traces stored into the Execution Cache.
+    pub traces_stored: u64,
+    /// Final data-array utilization (fraction of instruction slots in use).
+    pub ec_utilization: f64,
+    /// Times the machine switched onto the Execution Cache path.
+    pub trace_switches: u64,
+    /// Replays abandoned because the actual path diverged from the recorded trace.
+    pub trace_divergences: u64,
+    /// Rename stalls caused by exhausted register pools.
+    pub pool_stalls: u64,
+    /// Register redistributions performed.
+    pub redistributions: u64,
+}
+
+impl FlywheelStats {
+    /// Execution Cache look-up hit rate.
+    pub fn ec_hit_rate(&self) -> f64 {
+        if self.ec_lookups == 0 {
+            0.0
+        } else {
+            self.ec_hits as f64 / self.ec_lookups as f64
+        }
+    }
+}
+
+/// The complete result of one Flywheel simulation: the common performance/energy
+/// result plus the Flywheel-specific statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlywheelResult {
+    /// Performance, energy and pipeline statistics (same shape as the baseline's
+    /// result, so the two machines can be compared directly).
+    pub sim: SimResult,
+    /// Flywheel-specific statistics.
+    pub flywheel: FlywheelStats,
+}
+
+impl FlywheelResult {
+    /// Speed-up of this run over a baseline result (>1 means Flywheel is faster).
+    pub fn speedup_over(&self, baseline: &SimResult) -> f64 {
+        self.sim.speedup_over(baseline)
+    }
+
+    /// Energy of this run relative to a baseline result (<1 means Flywheel uses less
+    /// energy).
+    pub fn energy_ratio_over(&self, baseline: &SimResult) -> f64 {
+        self.sim.energy_ratio_over(baseline)
+    }
+
+    /// Power of this run relative to a baseline result.
+    pub fn power_ratio_over(&self, baseline: &SimResult) -> f64 {
+        self.sim.power_ratio_over(baseline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_zero_lookups() {
+        let s = FlywheelStats::default();
+        assert_eq!(s.ec_hit_rate(), 0.0);
+        let s2 = FlywheelStats {
+            ec_lookups: 10,
+            ec_hits: 9,
+            ..FlywheelStats::default()
+        };
+        assert!((s2.ec_hit_rate() - 0.9).abs() < 1e-12);
+    }
+}

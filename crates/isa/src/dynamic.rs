@@ -1,0 +1,131 @@
+//! Dynamic (executed) instructions — the unit consumed by the simulators.
+
+use crate::{Pc, StaticInst};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dynamic memory access performed by a load or store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemAccess {
+    /// Effective byte address.
+    pub addr: u64,
+    /// Access size in bytes.
+    pub size: u8,
+}
+
+impl MemAccess {
+    /// Creates an access of `size` bytes at `addr`.
+    pub fn new(addr: u64, size: u8) -> Self {
+        MemAccess { addr, size }
+    }
+
+    /// The cache-line address for a line of `line_bytes` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is not a power of two.
+    pub fn line_addr(&self, line_bytes: u64) -> u64 {
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        self.addr & !(line_bytes - 1)
+    }
+}
+
+/// One executed instruction of a dynamic trace.
+///
+/// The workload generators in `flywheel-workloads` "execute" a synthetic program and
+/// emit a stream of `DynInst`. The simulators are trace-driven: they fetch, rename,
+/// schedule and retire these records, using
+///
+/// * [`DynInst::stat`] for operands and operation class,
+/// * [`DynInst::taken`] / [`DynInst::next_pc`] as the oracle branch outcome that the
+///   modelled branch predictor is compared against, and
+/// * [`DynInst::mem`] as the effective address presented to the cache hierarchy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DynInst {
+    /// Sequence number in the dynamic trace (0-based).
+    pub seq: u64,
+    /// PC of this instruction.
+    pub pc: Pc,
+    /// The static instruction executed.
+    pub stat: StaticInst,
+    /// For control transfers, whether the transfer was taken.
+    pub taken: bool,
+    /// PC of the next dynamically executed instruction.
+    pub next_pc: Pc,
+    /// Memory access, for loads and stores.
+    pub mem: Option<MemAccess>,
+}
+
+impl DynInst {
+    /// Whether this instruction redirects the fetch stream (a taken control
+    /// transfer).
+    pub fn redirects_fetch(&self) -> bool {
+        self.stat.op().is_ctrl() && self.taken
+    }
+
+    /// Whether the dynamic next PC differs from the fall-through PC.
+    pub fn is_taken_branch(&self) -> bool {
+        self.next_pc != self.pc.next()
+    }
+}
+
+impl fmt::Display for DynInst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{} {} {}", self.seq, self.pc, self.stat)?;
+        if let Some(m) = self.mem {
+            write!(f, " @0x{:x}", m.addr)?;
+        }
+        if self.stat.op().is_ctrl() {
+            write!(f, " -> {}", self.next_pc)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ArchReg;
+
+    fn branch_inst(taken: bool) -> DynInst {
+        let pc = Pc::new(0x1000);
+        DynInst {
+            seq: 0,
+            pc,
+            stat: StaticInst::cond_branch(ArchReg::int(1), None),
+            taken,
+            next_pc: if taken { Pc::new(0x2000) } else { pc.next() },
+            mem: None,
+        }
+    }
+
+    #[test]
+    fn taken_branch_redirects_fetch() {
+        assert!(branch_inst(true).redirects_fetch());
+        assert!(!branch_inst(false).redirects_fetch());
+        assert!(branch_inst(true).is_taken_branch());
+        assert!(!branch_inst(false).is_taken_branch());
+    }
+
+    #[test]
+    fn line_addr_masks_offset() {
+        let a = MemAccess::new(0x1234, 4);
+        assert_eq!(a.line_addr(64), 0x1200);
+        assert_eq!(a.line_addr(32), 0x1220);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_line_panics() {
+        let _ = MemAccess::new(0, 4).line_addr(48);
+    }
+
+    #[test]
+    fn display_includes_address_and_target() {
+        let mut d = branch_inst(true);
+        d.mem = Some(MemAccess::new(0xdead, 8));
+        let s = d.to_string();
+        assert!(s.contains("0xdead"));
+        assert!(s.contains("0x00002000"));
+    }
+}

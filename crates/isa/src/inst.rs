@@ -1,0 +1,236 @@
+//! Static instructions.
+
+use crate::{ArchReg, OpClass};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of a control-transfer instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CtrlKind {
+    /// Conditional branch: taken or not-taken, direction predicted by the branch
+    /// predictor.
+    CondBranch,
+    /// Unconditional direct jump.
+    Jump,
+    /// Direct call (pushes a return address onto the return-address stack).
+    Call,
+    /// Return (pops the return-address stack).
+    Return,
+    /// Indirect jump through a register (target predicted by the BTB).
+    IndirectJump,
+}
+
+impl CtrlKind {
+    /// Whether the transfer is conditional (its direction must be predicted).
+    pub fn is_conditional(&self) -> bool {
+        matches!(self, CtrlKind::CondBranch)
+    }
+
+    /// Whether the target comes from a register and therefore needs the BTB even when
+    /// the direction is known.
+    pub fn is_indirect(&self) -> bool {
+        matches!(self, CtrlKind::IndirectJump | CtrlKind::Return)
+    }
+}
+
+/// One instruction of a static program.
+///
+/// A static instruction carries everything the front-end needs: operation class,
+/// destination and up to two source architected registers, and (for control
+/// transfers) the control kind. Memory addresses and branch outcomes are dynamic
+/// properties and live on [`crate::DynInst`].
+///
+/// ```
+/// use flywheel_isa::{ArchReg, OpClass, StaticInst};
+/// let add = StaticInst::alu(ArchReg::int(3), ArchReg::int(1), Some(ArchReg::int(2)));
+/// assert_eq!(add.op(), OpClass::IntAlu);
+/// assert_eq!(add.dst(), Some(ArchReg::int(3)));
+/// assert_eq!(add.srcs().count(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StaticInst {
+    op: OpClass,
+    dst: Option<ArchReg>,
+    src1: Option<ArchReg>,
+    src2: Option<ArchReg>,
+    ctrl: Option<CtrlKind>,
+}
+
+impl StaticInst {
+    /// Creates an instruction from raw parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is [`OpClass::Ctrl`] but `ctrl` is `None`, or vice versa.
+    pub fn new(
+        op: OpClass,
+        dst: Option<ArchReg>,
+        src1: Option<ArchReg>,
+        src2: Option<ArchReg>,
+        ctrl: Option<CtrlKind>,
+    ) -> Self {
+        assert_eq!(
+            op.is_ctrl(),
+            ctrl.is_some(),
+            "control kind must be present exactly for control instructions"
+        );
+        StaticInst {
+            op,
+            dst: dst.filter(|r| !r.is_zero()),
+            src1: src1.filter(|r| !r.is_zero()),
+            src2: src2.filter(|r| !r.is_zero()),
+            ctrl,
+        }
+    }
+
+    /// An integer ALU instruction `dst <- src1 op src2`.
+    pub fn alu(dst: ArchReg, src1: ArchReg, src2: Option<ArchReg>) -> Self {
+        StaticInst::new(OpClass::IntAlu, Some(dst), Some(src1), src2, None)
+    }
+
+    /// An instruction of an arbitrary computational class `dst <- src1 op src2`.
+    pub fn compute(op: OpClass, dst: ArchReg, src1: ArchReg, src2: Option<ArchReg>) -> Self {
+        assert!(!op.is_ctrl() && !op.is_mem(), "use dedicated constructors");
+        StaticInst::new(op, Some(dst), Some(src1), src2, None)
+    }
+
+    /// A load `dst <- mem[base]`.
+    pub fn load(dst: ArchReg, base: ArchReg) -> Self {
+        StaticInst::new(OpClass::Load, Some(dst), Some(base), None, None)
+    }
+
+    /// A store `mem[base] <- value`.
+    pub fn store(value: ArchReg, base: ArchReg) -> Self {
+        StaticInst::new(OpClass::Store, None, Some(base), Some(value), None)
+    }
+
+    /// A conditional branch testing `src1` (and optionally `src2`).
+    pub fn cond_branch(src1: ArchReg, src2: Option<ArchReg>) -> Self {
+        StaticInst::new(OpClass::Ctrl, None, Some(src1), src2, Some(CtrlKind::CondBranch))
+    }
+
+    /// An unconditional direct jump.
+    pub fn jump() -> Self {
+        StaticInst::new(OpClass::Ctrl, None, None, None, Some(CtrlKind::Jump))
+    }
+
+    /// A direct call.
+    pub fn call() -> Self {
+        StaticInst::new(OpClass::Ctrl, None, None, None, Some(CtrlKind::Call))
+    }
+
+    /// A return.
+    pub fn ret() -> Self {
+        StaticInst::new(OpClass::Ctrl, None, None, None, Some(CtrlKind::Return))
+    }
+
+    /// An indirect jump through `src1`.
+    pub fn indirect_jump(src1: ArchReg) -> Self {
+        StaticInst::new(OpClass::Ctrl, None, Some(src1), None, Some(CtrlKind::IndirectJump))
+    }
+
+    /// A no-operation.
+    pub fn nop() -> Self {
+        StaticInst::new(OpClass::Nop, None, None, None, None)
+    }
+
+    /// The operation class.
+    pub fn op(&self) -> OpClass {
+        self.op
+    }
+
+    /// The destination architected register, if any.
+    ///
+    /// Writes to the hard-wired zero register are dropped at construction, so a
+    /// returned register is always a real rename target.
+    pub fn dst(&self) -> Option<ArchReg> {
+        self.dst
+    }
+
+    /// The first source register, if any.
+    pub fn src1(&self) -> Option<ArchReg> {
+        self.src1
+    }
+
+    /// The second source register, if any.
+    pub fn src2(&self) -> Option<ArchReg> {
+        self.src2
+    }
+
+    /// Iterates over the present source registers.
+    pub fn srcs(&self) -> impl Iterator<Item = ArchReg> + '_ {
+        self.src1.into_iter().chain(self.src2)
+    }
+
+    /// The control kind, if this is a control transfer.
+    pub fn ctrl(&self) -> Option<CtrlKind> {
+        self.ctrl
+    }
+
+    /// Whether the instruction is a conditional branch.
+    pub fn is_cond_branch(&self) -> bool {
+        self.ctrl.map(|c| c.is_conditional()).unwrap_or(false)
+    }
+}
+
+impl fmt::Display for StaticInst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.op)?;
+        if let Some(c) = self.ctrl {
+            write!(f, "[{c:?}]")?;
+        }
+        if let Some(d) = self.dst {
+            write!(f, " {d} <-")?;
+        }
+        for s in self.srcs() {
+            write!(f, " {s}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_register_operands_are_elided() {
+        let i = StaticInst::alu(ArchReg::int(0), ArchReg::int(0), Some(ArchReg::int(2)));
+        assert_eq!(i.dst(), None);
+        assert_eq!(i.src1(), None);
+        assert_eq!(i.src2(), Some(ArchReg::int(2)));
+        assert_eq!(i.srcs().count(), 1);
+    }
+
+    #[test]
+    fn store_has_no_destination() {
+        let s = StaticInst::store(ArchReg::int(5), ArchReg::int(6));
+        assert_eq!(s.dst(), None);
+        assert_eq!(s.srcs().count(), 2);
+        assert!(s.op().is_mem());
+    }
+
+    #[test]
+    fn branch_carries_ctrl_kind() {
+        let b = StaticInst::cond_branch(ArchReg::int(1), None);
+        assert!(b.is_cond_branch());
+        assert_eq!(b.ctrl(), Some(CtrlKind::CondBranch));
+        assert!(!StaticInst::jump().is_cond_branch());
+        assert!(StaticInst::ret().ctrl().unwrap().is_indirect());
+    }
+
+    #[test]
+    #[should_panic]
+    fn ctrl_class_requires_ctrl_kind() {
+        let _ = StaticInst::new(OpClass::Ctrl, None, None, None, None);
+    }
+
+    #[test]
+    fn display_mentions_operands() {
+        let i = StaticInst::alu(ArchReg::int(3), ArchReg::int(1), Some(ArchReg::int(2)));
+        let s = i.to_string();
+        assert!(s.contains("r3"));
+        assert!(s.contains("r1"));
+        assert!(s.contains("r2"));
+    }
+}

@@ -1,0 +1,54 @@
+//! # flywheel-isa
+//!
+//! Instruction set, register and program representation shared by every other crate
+//! in the Flywheel reproduction.
+//!
+//! The ISA is deliberately small and RISC-like (load/store, two source operands, one
+//! destination). The paper's evaluation is ISA-agnostic — it depends only on the
+//! dynamic properties of the instruction stream (dependences, branches, memory
+//! behaviour) — so a compact ISA keeps the simulator focused on the
+//! microarchitecture.
+//!
+//! The main items are:
+//!
+//! * [`ArchReg`] — an architected register (32 integer + 32 floating-point).
+//! * [`OpClass`] / [`FuKind`] — operation classes and the functional-unit kinds that
+//!   execute them.
+//! * [`StaticInst`] — one instruction of a static program.
+//! * [`Program`], [`BasicBlock`], [`Terminator`] — a static program as a control-flow
+//!   graph with a linear address layout.
+//! * [`DynInst`] — one element of a dynamic (executed) instruction trace, the unit
+//!   consumed by the simulators in `flywheel-uarch` and `flywheel-core`.
+//!
+//! ```
+//! use flywheel_isa::{ArchReg, OpClass, ProgramBuilder, StaticInst, Terminator};
+//!
+//! let mut b = ProgramBuilder::new();
+//! let entry = b.block(
+//!     vec![
+//!         StaticInst::alu(ArchReg::int(1), ArchReg::int(1), Some(ArchReg::int(2))),
+//!         StaticInst::load(ArchReg::int(3), ArchReg::int(1)),
+//!     ],
+//!     Terminator::Return,
+//! );
+//! let program = b.build(entry);
+//! // The `Return` terminator appends an explicit `ret` instruction to the block.
+//! assert_eq!(program.len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dynamic;
+mod inst;
+mod op;
+mod pc;
+mod program;
+mod reg;
+
+pub use dynamic::{DynInst, MemAccess};
+pub use inst::{CtrlKind, StaticInst};
+pub use op::{FuKind, OpClass};
+pub use pc::Pc;
+pub use program::{BasicBlock, BlockId, Program, ProgramBuilder, Terminator};
+pub use reg::{ArchReg, RegClass, NUM_ARCH_REGS, NUM_FP_REGS, NUM_INT_REGS};

@@ -1,0 +1,216 @@
+//! Operation classes and functional-unit kinds.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The operation class of an instruction.
+///
+/// The simulator schedules instructions purely by class: a class determines which
+/// [`FuKind`] executes the instruction and its nominal execution latency. Control
+/// transfer details (conditional vs. unconditional, call/return) are captured by
+/// [`crate::CtrlKind`] on the static instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Single-cycle integer ALU operation (add, logic, shifts, compares).
+    IntAlu,
+    /// Integer multiply.
+    IntMul,
+    /// Integer divide.
+    IntDiv,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Floating-point add/subtract/convert.
+    FpAdd,
+    /// Floating-point multiply.
+    FpMul,
+    /// Floating-point divide / square root.
+    FpDiv,
+    /// Control transfer (conditional branch, jump, call, return).
+    Ctrl,
+    /// No-operation (used as padding by the workload generator).
+    Nop,
+}
+
+impl OpClass {
+    /// The functional-unit kind that executes this class.
+    pub fn fu_kind(&self) -> FuKind {
+        match self {
+            OpClass::IntAlu | OpClass::Ctrl | OpClass::Nop => FuKind::IntAlu,
+            OpClass::IntMul | OpClass::IntDiv => FuKind::IntMulDiv,
+            OpClass::Load | OpClass::Store => FuKind::MemPort,
+            OpClass::FpAdd => FuKind::FpAdd,
+            OpClass::FpMul | OpClass::FpDiv => FuKind::FpMulDiv,
+        }
+    }
+
+    /// The nominal execution latency of this class, in execution-core cycles.
+    ///
+    /// Loads report their cache-hit latency exclusive of the data-cache access, which
+    /// the memory hierarchy adds on top; the value here is the address-generation
+    /// cost.
+    pub fn base_latency(&self) -> u32 {
+        match self {
+            OpClass::IntAlu | OpClass::Ctrl | OpClass::Nop => 1,
+            OpClass::IntMul => 3,
+            OpClass::IntDiv => 12,
+            OpClass::Load | OpClass::Store => 1,
+            OpClass::FpAdd => 2,
+            OpClass::FpMul => 4,
+            OpClass::FpDiv => 12,
+        }
+    }
+
+    /// Whether the class accesses data memory.
+    pub fn is_mem(&self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+
+    /// Whether the class is a control transfer.
+    pub fn is_ctrl(&self) -> bool {
+        matches!(self, OpClass::Ctrl)
+    }
+
+    /// Whether the class uses the floating-point register file.
+    pub fn is_fp(&self) -> bool {
+        matches!(self, OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv)
+    }
+
+    /// All operation classes, in a stable order.
+    pub fn all() -> &'static [OpClass] {
+        &[
+            OpClass::IntAlu,
+            OpClass::IntMul,
+            OpClass::IntDiv,
+            OpClass::Load,
+            OpClass::Store,
+            OpClass::FpAdd,
+            OpClass::FpMul,
+            OpClass::FpDiv,
+            OpClass::Ctrl,
+            OpClass::Nop,
+        ]
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpClass::IntAlu => "alu",
+            OpClass::IntMul => "mul",
+            OpClass::IntDiv => "div",
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::FpAdd => "fadd",
+            OpClass::FpMul => "fmul",
+            OpClass::FpDiv => "fdiv",
+            OpClass::Ctrl => "ctrl",
+            OpClass::Nop => "nop",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A kind of functional unit in the execution core.
+///
+/// The paper's configuration (Table 2) provides 4 integer ALUs, 2 integer
+/// multiply/divide units, 2 memory ports, 2 FP adders and 1 FP multiply/divide unit;
+/// those counts live in the simulator configuration, keyed by this enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FuKind {
+    /// Integer ALU (also executes branches and nops).
+    IntAlu,
+    /// Integer multiplier / divider.
+    IntMulDiv,
+    /// Load/store port.
+    MemPort,
+    /// Floating-point adder.
+    FpAdd,
+    /// Floating-point multiplier / divider.
+    FpMulDiv,
+}
+
+impl FuKind {
+    /// All functional-unit kinds, in a stable order.
+    pub fn all() -> &'static [FuKind] {
+        &[
+            FuKind::IntAlu,
+            FuKind::IntMulDiv,
+            FuKind::MemPort,
+            FuKind::FpAdd,
+            FuKind::FpMulDiv,
+        ]
+    }
+
+    /// Index of this kind in [`FuKind::all`], usable as an array index.
+    pub fn index(&self) -> usize {
+        match self {
+            FuKind::IntAlu => 0,
+            FuKind::IntMulDiv => 1,
+            FuKind::MemPort => 2,
+            FuKind::FpAdd => 3,
+            FuKind::FpMulDiv => 4,
+        }
+    }
+}
+
+impl fmt::Display for FuKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FuKind::IntAlu => "int-alu",
+            FuKind::IntMulDiv => "int-muldiv",
+            FuKind::MemPort => "mem-port",
+            FuKind::FpAdd => "fp-add",
+            FuKind::FpMulDiv => "fp-muldiv",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_class_maps_to_a_unit() {
+        for op in OpClass::all() {
+            // index() must be a valid position into FuKind::all()
+            let fu = op.fu_kind();
+            assert_eq!(FuKind::all()[fu.index()], fu);
+        }
+    }
+
+    #[test]
+    fn latencies_are_positive() {
+        for op in OpClass::all() {
+            assert!(op.base_latency() >= 1, "{op} has zero latency");
+        }
+    }
+
+    #[test]
+    fn memory_classification() {
+        assert!(OpClass::Load.is_mem());
+        assert!(OpClass::Store.is_mem());
+        assert!(!OpClass::IntAlu.is_mem());
+        assert!(OpClass::Ctrl.is_ctrl());
+        assert!(OpClass::FpMul.is_fp());
+        assert!(!OpClass::Load.is_fp());
+    }
+
+    #[test]
+    fn fu_index_is_dense_and_unique() {
+        let mut seen = vec![false; FuKind::all().len()];
+        for fu in FuKind::all() {
+            assert!(!seen[fu.index()]);
+            seen[fu.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn long_latency_ops_are_longer_than_alu() {
+        assert!(OpClass::IntDiv.base_latency() > OpClass::IntAlu.base_latency());
+        assert!(OpClass::FpDiv.base_latency() > OpClass::FpAdd.base_latency());
+    }
+}

@@ -1,0 +1,102 @@
+//! Program-counter newtype.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Add;
+
+/// Size of an encoded instruction in bytes; PCs advance by this amount.
+pub(crate) const INST_BYTES: u64 = 4;
+
+/// A program counter (instruction address).
+///
+/// PCs are byte addresses; instructions are 4 bytes, so consecutive instructions
+/// differ by 4. The fetch unit uses PC alignment to decide how many instructions fit
+/// in one fetch group, and the Execution Cache tags traces by their starting PC.
+///
+/// ```
+/// use flywheel_isa::Pc;
+/// let pc = Pc::new(0x1000);
+/// assert_eq!(pc.next(), Pc::new(0x1004));
+/// assert_eq!(pc.word_index(), 0x400);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Pc(u64);
+
+impl Pc {
+    /// Creates a PC from a byte address.
+    pub fn new(addr: u64) -> Self {
+        Pc(addr)
+    }
+
+    /// The byte address.
+    pub fn addr(&self) -> u64 {
+        self.0
+    }
+
+    /// The address of the next sequential instruction.
+    pub fn next(&self) -> Pc {
+        Pc(self.0 + INST_BYTES)
+    }
+
+    /// The instruction index (address divided by the instruction size).
+    pub fn word_index(&self) -> u64 {
+        self.0 / INST_BYTES
+    }
+
+    /// Offset, in instructions, within an aligned fetch group of `group_size`
+    /// instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group_size` is zero.
+    pub fn fetch_group_offset(&self, group_size: usize) -> usize {
+        assert!(group_size > 0, "fetch group size must be non-zero");
+        (self.word_index() as usize) % group_size
+    }
+}
+
+impl Add<u64> for Pc {
+    type Output = Pc;
+
+    /// Adds a number of *instructions* (not bytes) to the PC.
+    fn add(self, rhs: u64) -> Pc {
+        Pc(self.0 + rhs * INST_BYTES)
+    }
+}
+
+impl fmt::Display for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:08x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_advances_by_instruction_size() {
+        assert_eq!(Pc::new(0).next(), Pc::new(4));
+        assert_eq!(Pc::new(100).next().next(), Pc::new(108));
+    }
+
+    #[test]
+    fn add_counts_instructions() {
+        assert_eq!(Pc::new(0x40) + 3, Pc::new(0x4c));
+    }
+
+    #[test]
+    fn fetch_group_offset_wraps() {
+        assert_eq!(Pc::new(0).fetch_group_offset(4), 0);
+        assert_eq!(Pc::new(4).fetch_group_offset(4), 1);
+        assert_eq!(Pc::new(12).fetch_group_offset(4), 3);
+        assert_eq!(Pc::new(16).fetch_group_offset(4), 0);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(Pc::new(0x1234).to_string(), "0x00001234");
+    }
+}

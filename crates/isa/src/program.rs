@@ -1,0 +1,399 @@
+//! Static programs as control-flow graphs with a linear address layout.
+
+use crate::pc::INST_BYTES;
+use crate::{Pc, StaticInst};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a basic block inside a [`Program`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct BlockId(pub u32);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+/// How control leaves a basic block.
+///
+/// The terminator is a *static* description; which successor is actually taken on a
+/// given dynamic execution is decided by the workload generator's behavioural model
+/// (loop trip counts, branch biases) and is recorded on the dynamic trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Terminator {
+    /// Fall through to the next block in layout order.
+    FallThrough(BlockId),
+    /// Conditional branch: either to `taken` or fall through to `not_taken`.
+    CondBranch {
+        /// Successor when the branch is taken.
+        taken: BlockId,
+        /// Successor when the branch falls through.
+        not_taken: BlockId,
+    },
+    /// Unconditional direct jump.
+    Jump(BlockId),
+    /// Direct call to `callee`; on return, execution continues at `return_to`.
+    Call {
+        /// Entry block of the called function.
+        callee: BlockId,
+        /// Block to resume at after the callee returns.
+        return_to: BlockId,
+    },
+    /// Return to the caller (target resolved dynamically through the call stack).
+    Return,
+    /// Indirect jump to one of several possible targets.
+    Indirect(Vec<BlockId>),
+}
+
+impl Terminator {
+    /// All statically known successor blocks.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::FallThrough(t) | Terminator::Jump(t) => vec![*t],
+            Terminator::CondBranch { taken, not_taken } => vec![*taken, *not_taken],
+            Terminator::Call { callee, return_to } => vec![*callee, *return_to],
+            Terminator::Return => vec![],
+            Terminator::Indirect(targets) => targets.clone(),
+        }
+    }
+}
+
+/// A basic block: a straight-line sequence of instructions plus a terminator.
+///
+/// The last instruction of the block is the control transfer implementing the
+/// terminator (added automatically by [`ProgramBuilder`]) unless the terminator is a
+/// fall-through, in which case the block has no explicit control instruction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BasicBlock {
+    id: BlockId,
+    start_pc: Pc,
+    insts: Vec<StaticInst>,
+    terminator: Terminator,
+}
+
+impl BasicBlock {
+    /// The block identifier.
+    pub fn id(&self) -> BlockId {
+        self.id
+    }
+
+    /// The PC of the first instruction.
+    pub fn start_pc(&self) -> Pc {
+        self.start_pc
+    }
+
+    /// The PC one past the last instruction.
+    pub fn end_pc(&self) -> Pc {
+        Pc::new(self.start_pc.addr() + self.insts.len() as u64 * INST_BYTES)
+    }
+
+    /// The instructions of the block (including the terminating control transfer, if
+    /// any).
+    pub fn insts(&self) -> &[StaticInst] {
+        &self.insts
+    }
+
+    /// Number of instructions in the block.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the block contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The terminator describing the block's successors.
+    pub fn terminator(&self) -> &Terminator {
+        &self.terminator
+    }
+}
+
+/// A static program: a list of basic blocks laid out at consecutive addresses.
+///
+/// Programs are produced by [`ProgramBuilder`] (directly in tests, or by the
+/// synthetic benchmark generators in `flywheel-workloads`) and consumed by the fetch
+/// stage of the simulators, which indexes instructions by PC.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    blocks: Vec<BasicBlock>,
+    entry: BlockId,
+    total_insts: usize,
+}
+
+impl Program {
+    /// The entry block.
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// All basic blocks, in layout order.
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// Looks up a block by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this program.
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.0 as usize]
+    }
+
+    /// Total number of static instructions.
+    pub fn len(&self) -> usize {
+        self.total_insts
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.total_insts == 0
+    }
+
+    /// The static instruction at `pc`, if `pc` maps to one.
+    pub fn inst_at(&self, pc: Pc) -> Option<&StaticInst> {
+        let idx = pc.word_index() as usize;
+        // Blocks are laid out contiguously starting at address 0, so the word index
+        // locates the instruction directly.
+        let mut base = 0usize;
+        // Binary search over blocks by start pc.
+        let block_idx = self
+            .blocks
+            .partition_point(|b| b.start_pc().word_index() as usize <= idx)
+            .checked_sub(1)?;
+        let block = &self.blocks[block_idx];
+        base += block.start_pc().word_index() as usize;
+        let offset = idx.checked_sub(base)?;
+        block.insts.get(offset)
+    }
+
+    /// The PC of the first instruction of block `id`.
+    pub fn block_start_pc(&self, id: BlockId) -> Pc {
+        self.block(id).start_pc()
+    }
+
+    /// The block containing `pc`, if any.
+    pub fn block_at(&self, pc: Pc) -> Option<&BasicBlock> {
+        let idx = self
+            .blocks
+            .partition_point(|b| b.start_pc() <= pc)
+            .checked_sub(1)?;
+        let block = &self.blocks[idx];
+        (pc < block.end_pc()).then_some(block)
+    }
+
+    /// Static distribution of instruction classes, as (class, count) pairs in the
+    /// order of [`crate::OpClass::all`].
+    pub fn op_histogram(&self) -> Vec<(crate::OpClass, usize)> {
+        crate::OpClass::all()
+            .iter()
+            .map(|&op| {
+                let count = self
+                    .blocks
+                    .iter()
+                    .flat_map(|b| b.insts())
+                    .filter(|i| i.op() == op)
+                    .count();
+                (op, count)
+            })
+            .collect()
+    }
+}
+
+/// Incremental builder for [`Program`].
+///
+/// Blocks are appended with [`ProgramBuilder::block`]; addresses are assigned in
+/// insertion order, 4 bytes per instruction, starting at address `0x1000`. The
+/// builder automatically appends the control instruction implied by the terminator
+/// (a conditional branch, jump, call, return or indirect jump) if the supplied
+/// instruction list does not already end with a control transfer.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    blocks: Vec<(Vec<StaticInst>, Terminator)>,
+}
+
+/// Base address of the first instruction of every generated program.
+const TEXT_BASE: u64 = 0x1000;
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a basic block and returns its id.
+    ///
+    /// If `insts` does not end in a control instruction and the terminator requires
+    /// one, the matching control instruction is appended automatically (reading
+    /// integer register `r1` as its condition input for conditional branches).
+    pub fn block(&mut self, insts: Vec<StaticInst>, terminator: Terminator) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push((insts, terminator));
+        id
+    }
+
+    /// Number of blocks added so far.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether no block has been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Finalizes the program with `entry` as the entry block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry` or any terminator target is out of range.
+    pub fn build(self, entry: BlockId) -> Program {
+        let n = self.blocks.len();
+        assert!((entry.0 as usize) < n, "entry block out of range");
+        let mut blocks = Vec::with_capacity(n);
+        let mut pc = TEXT_BASE;
+        let mut total = 0usize;
+        for (idx, (mut insts, terminator)) in self.blocks.into_iter().enumerate() {
+            for succ in terminator.successors() {
+                assert!(
+                    (succ.0 as usize) < n,
+                    "terminator of block {idx} references unknown block {succ}"
+                );
+            }
+            let needs_ctrl = !matches!(terminator, Terminator::FallThrough(_));
+            let already_ctrl = insts.last().map(|i| i.op().is_ctrl()).unwrap_or(false);
+            if needs_ctrl && !already_ctrl {
+                let ctrl = match &terminator {
+                    Terminator::CondBranch { .. } => {
+                        StaticInst::cond_branch(crate::ArchReg::int(1), None)
+                    }
+                    Terminator::Jump(_) => StaticInst::jump(),
+                    Terminator::Call { .. } => StaticInst::call(),
+                    Terminator::Return => StaticInst::ret(),
+                    Terminator::Indirect(_) => StaticInst::indirect_jump(crate::ArchReg::int(2)),
+                    Terminator::FallThrough(_) => unreachable!(),
+                };
+                insts.push(ctrl);
+            }
+            total += insts.len();
+            let block = BasicBlock {
+                id: BlockId(idx as u32),
+                start_pc: Pc::new(pc),
+                insts,
+                terminator,
+            };
+            pc = block.end_pc().addr();
+            blocks.push(block);
+        }
+        Program {
+            blocks,
+            entry,
+            total_insts: total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArchReg, OpClass};
+
+    fn two_block_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let loop_body = vec![
+            StaticInst::alu(ArchReg::int(1), ArchReg::int(1), Some(ArchReg::int(2))),
+            StaticInst::load(ArchReg::int(3), ArchReg::int(1)),
+        ];
+        let b0 = b.block(
+            loop_body,
+            Terminator::CondBranch {
+                taken: BlockId(0),
+                not_taken: BlockId(1),
+            },
+        );
+        let _b1 = b.block(vec![StaticInst::nop()], Terminator::Return);
+        b.build(b0)
+    }
+
+    #[test]
+    fn builder_appends_terminator_instruction() {
+        let p = two_block_program();
+        let b0 = p.block(BlockId(0));
+        assert_eq!(b0.len(), 3, "branch instruction should have been appended");
+        assert!(b0.insts().last().unwrap().is_cond_branch());
+        let b1 = p.block(BlockId(1));
+        assert_eq!(b1.insts().last().unwrap().ctrl(), Some(crate::CtrlKind::Return));
+    }
+
+    #[test]
+    fn addresses_are_contiguous() {
+        let p = two_block_program();
+        let b0 = p.block(BlockId(0));
+        let b1 = p.block(BlockId(1));
+        assert_eq!(b0.start_pc(), Pc::new(0x1000));
+        assert_eq!(b0.end_pc(), b1.start_pc());
+    }
+
+    #[test]
+    fn inst_at_finds_every_instruction() {
+        let p = two_block_program();
+        let mut count = 0;
+        for block in p.blocks() {
+            let mut pc = block.start_pc();
+            for inst in block.insts() {
+                assert_eq!(p.inst_at(pc), Some(inst));
+                pc = pc.next();
+                count += 1;
+            }
+        }
+        assert_eq!(count, p.len());
+    }
+
+    #[test]
+    fn inst_at_out_of_range_is_none() {
+        let p = two_block_program();
+        assert_eq!(p.inst_at(Pc::new(0)), None);
+        assert_eq!(p.inst_at(Pc::new(0x1000 + 100 * 4)), None);
+    }
+
+    #[test]
+    fn block_at_maps_pcs_to_blocks() {
+        let p = two_block_program();
+        let b0 = p.block(BlockId(0));
+        assert_eq!(p.block_at(b0.start_pc()).unwrap().id(), BlockId(0));
+        assert_eq!(p.block_at(b0.end_pc()).unwrap().id(), BlockId(1));
+    }
+
+    #[test]
+    fn histogram_counts_classes() {
+        let p = two_block_program();
+        let hist = p.op_histogram();
+        let get = |op: OpClass| hist.iter().find(|(o, _)| *o == op).unwrap().1;
+        assert_eq!(get(OpClass::IntAlu), 1);
+        assert_eq!(get(OpClass::Load), 1);
+        assert_eq!(get(OpClass::Ctrl), 2);
+        assert_eq!(get(OpClass::Nop), 1);
+    }
+
+    #[test]
+    fn successors_enumeration() {
+        let t = Terminator::CondBranch {
+            taken: BlockId(4),
+            not_taken: BlockId(5),
+        };
+        assert_eq!(t.successors(), vec![BlockId(4), BlockId(5)]);
+        assert!(Terminator::Return.successors().is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn dangling_successor_panics() {
+        let mut b = ProgramBuilder::new();
+        b.block(vec![], Terminator::Jump(BlockId(7)));
+        let _ = b.build(BlockId(0));
+    }
+}

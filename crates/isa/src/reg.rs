@@ -1,0 +1,190 @@
+//! Architected registers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of architected integer registers.
+pub const NUM_INT_REGS: usize = 32;
+/// Number of architected floating-point registers.
+pub const NUM_FP_REGS: usize = 32;
+/// Total number of architected registers (integer + floating point).
+pub const NUM_ARCH_REGS: usize = NUM_INT_REGS + NUM_FP_REGS;
+
+/// The class of an architected register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RegClass {
+    /// Integer register (`r0`–`r31`); `r0` is hard-wired to zero.
+    Int,
+    /// Floating-point register (`f0`–`f31`).
+    Fp,
+}
+
+impl fmt::Display for RegClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegClass::Int => write!(f, "int"),
+            RegClass::Fp => write!(f, "fp"),
+        }
+    }
+}
+
+/// An architected register: a register class plus an index in `0..32`.
+///
+/// `ArchReg` is a small `Copy` value used pervasively by the renaming logic. Integer
+/// register 0 is the hard-wired zero register: it never creates a data dependence and
+/// writes to it are discarded (see [`ArchReg::is_zero`]).
+///
+/// ```
+/// use flywheel_isa::ArchReg;
+/// let r = ArchReg::int(4);
+/// assert_eq!(r.flat_index(), 4);
+/// assert!(!r.is_zero());
+/// assert!(ArchReg::int(0).is_zero());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ArchReg {
+    class: RegClass,
+    index: u8,
+}
+
+impl ArchReg {
+    /// Creates an integer register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub fn int(index: u8) -> Self {
+        assert!(
+            (index as usize) < NUM_INT_REGS,
+            "integer register index {index} out of range"
+        );
+        ArchReg {
+            class: RegClass::Int,
+            index,
+        }
+    }
+
+    /// Creates a floating-point register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub fn fp(index: u8) -> Self {
+        assert!(
+            (index as usize) < NUM_FP_REGS,
+            "floating-point register index {index} out of range"
+        );
+        ArchReg {
+            class: RegClass::Fp,
+            index,
+        }
+    }
+
+    /// Reconstructs a register from its flat index (inverse of [`ArchReg::flat_index`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat >= NUM_ARCH_REGS`.
+    pub fn from_flat_index(flat: usize) -> Self {
+        assert!(flat < NUM_ARCH_REGS, "flat register index {flat} out of range");
+        if flat < NUM_INT_REGS {
+            ArchReg::int(flat as u8)
+        } else {
+            ArchReg::fp((flat - NUM_INT_REGS) as u8)
+        }
+    }
+
+    /// The register class.
+    pub fn class(&self) -> RegClass {
+        self.class
+    }
+
+    /// The index within the class, in `0..32`.
+    pub fn index(&self) -> u8 {
+        self.index
+    }
+
+    /// A flat index in `0..NUM_ARCH_REGS`, with integer registers first.
+    ///
+    /// This is the index used by rename tables and by the per-architected-register
+    /// physical pools of the Flywheel register file.
+    pub fn flat_index(&self) -> usize {
+        match self.class {
+            RegClass::Int => self.index as usize,
+            RegClass::Fp => NUM_INT_REGS + self.index as usize,
+        }
+    }
+
+    /// Whether this is the hard-wired integer zero register.
+    pub fn is_zero(&self) -> bool {
+        self.class == RegClass::Int && self.index == 0
+    }
+
+    /// Iterates over every architected register (integers first, then floats).
+    pub fn all() -> impl Iterator<Item = ArchReg> {
+        (0..NUM_ARCH_REGS).map(ArchReg::from_flat_index)
+    }
+}
+
+impl fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class {
+            RegClass::Int => write!(f, "r{}", self.index),
+            RegClass::Fp => write!(f, "f{}", self.index),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_index_round_trips() {
+        for flat in 0..NUM_ARCH_REGS {
+            let reg = ArchReg::from_flat_index(flat);
+            assert_eq!(reg.flat_index(), flat);
+        }
+    }
+
+    #[test]
+    fn int_and_fp_do_not_alias() {
+        assert_ne!(ArchReg::int(3), ArchReg::fp(3));
+        assert_ne!(ArchReg::int(3).flat_index(), ArchReg::fp(3).flat_index());
+    }
+
+    #[test]
+    fn zero_register_detection() {
+        assert!(ArchReg::int(0).is_zero());
+        assert!(!ArchReg::int(1).is_zero());
+        assert!(!ArchReg::fp(0).is_zero());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ArchReg::int(7).to_string(), "r7");
+        assert_eq!(ArchReg::fp(12).to_string(), "f12");
+    }
+
+    #[test]
+    fn all_enumerates_every_register_once() {
+        let regs: Vec<ArchReg> = ArchReg::all().collect();
+        assert_eq!(regs.len(), NUM_ARCH_REGS);
+        let mut seen = std::collections::HashSet::new();
+        for r in regs {
+            assert!(seen.insert(r));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_int_register_panics() {
+        let _ = ArchReg::int(32);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_flat_index_panics() {
+        let _ = ArchReg::from_flat_index(NUM_ARCH_REGS);
+    }
+}

@@ -1,0 +1,274 @@
+//! Activity accounting and energy/power reports.
+
+use crate::{PowerModel, Unit, UnitCategory};
+use serde::{Deserialize, Serialize};
+
+/// Records the activity of one simulation run: per-unit access counts and per-domain
+/// clock edges.
+///
+/// The simulators in `flywheel-uarch` and `flywheel-core` call
+/// [`EnergyAccumulator::record`] as events happen and the clock-tick methods once per
+/// domain edge; at the end, [`EnergyAccumulator::finish`] turns the counts into an
+/// [`EnergyBreakdown`] using a [`PowerModel`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EnergyAccumulator {
+    counts: Vec<u64>,
+    frontend_cycles: u64,
+    frontend_gated_cycles: u64,
+    backend_cycles: u64,
+    /// Whether register-file accesses should be charged at the larger Flywheel
+    /// register file's cost.
+    flywheel_regfile: bool,
+}
+
+impl Default for EnergyAccumulator {
+    fn default() -> Self {
+        EnergyAccumulator::new(false)
+    }
+}
+
+impl EnergyAccumulator {
+    /// Creates an empty accumulator. `flywheel_regfile` selects whether register-file
+    /// events are charged at the 512-entry Flywheel register file cost instead of the
+    /// baseline cost.
+    pub fn new(flywheel_regfile: bool) -> Self {
+        EnergyAccumulator {
+            counts: vec![0; Unit::all().len()],
+            frontend_cycles: 0,
+            frontend_gated_cycles: 0,
+            backend_cycles: 0,
+            flywheel_regfile,
+        }
+    }
+
+    /// Records `n` accesses to `unit`.
+    pub fn record(&mut self, unit: Unit, n: u64) {
+        self.counts[unit.index()] += n;
+    }
+
+    /// Number of accesses recorded for `unit`.
+    pub fn count(&self, unit: Unit) -> u64 {
+        self.counts[unit.index()]
+    }
+
+    /// Records one front-end clock edge; `gated` selects whether the front-end was
+    /// clock gated (trace-execution mode) on that edge.
+    pub fn tick_frontend(&mut self, gated: bool) {
+        if gated {
+            self.frontend_gated_cycles += 1;
+        } else {
+            self.frontend_cycles += 1;
+        }
+    }
+
+    /// Records one back-end clock edge.
+    pub fn tick_backend(&mut self) {
+        self.backend_cycles += 1;
+    }
+
+    /// Front-end clock edges recorded (active, gated).
+    pub fn frontend_cycles(&self) -> (u64, u64) {
+        (self.frontend_cycles, self.frontend_gated_cycles)
+    }
+
+    /// Back-end clock edges recorded.
+    pub fn backend_cycles(&self) -> u64 {
+        self.backend_cycles
+    }
+
+    /// Merges the counts of another accumulator into this one.
+    pub fn merge(&mut self, other: &EnergyAccumulator) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.frontend_cycles += other.frontend_cycles;
+        self.frontend_gated_cycles += other.frontend_gated_cycles;
+        self.backend_cycles += other.backend_cycles;
+    }
+
+    /// Computes the energy breakdown of the run given the power model and the total
+    /// elapsed wall-clock time of the simulated execution, in picoseconds.
+    pub fn finish(&self, model: &PowerModel, elapsed_ps: u64) -> EnergyBreakdown {
+        let rf_factor = if self.flywheel_regfile {
+            model.flywheel_regfile_factor()
+        } else {
+            1.0
+        };
+
+        let mut frontend_pj = 0.0;
+        let mut backend_pj = 0.0;
+        let mut flywheel_pj = 0.0;
+        for unit in Unit::all() {
+            let mut e = self.counts[unit.index()] as f64 * model.access_energy_pj(*unit);
+            if matches!(unit, Unit::RegFileRead | Unit::RegFileWrite) {
+                e *= rf_factor;
+            }
+            match unit.category() {
+                UnitCategory::FrontEnd => frontend_pj += e,
+                UnitCategory::BackEnd => backend_pj += e,
+                UnitCategory::FlywheelExtra => flywheel_pj += e,
+            }
+        }
+
+        let clock_pj = self.frontend_cycles as f64 * model.clock_frontend_pj(false)
+            + self.frontend_gated_cycles as f64 * model.clock_frontend_pj(true)
+            + self.backend_cycles as f64 * model.clock_backend_pj();
+
+        let elapsed_s = elapsed_ps as f64 * 1.0e-12;
+        let leakage_pj = model.total_leakage_w(None) * elapsed_s * 1.0e12;
+
+        EnergyBreakdown {
+            frontend_pj,
+            backend_pj,
+            flywheel_pj,
+            clock_pj,
+            leakage_pj,
+            elapsed_ps,
+        }
+    }
+}
+
+/// The energy consumed by one simulation run, split by source.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Dynamic energy of front-end units (fetch, decode, rename, Issue Window), pJ.
+    pub frontend_pj: f64,
+    /// Dynamic energy of back-end units (register file, FUs, memory hierarchy), pJ.
+    pub backend_pj: f64,
+    /// Dynamic energy of Flywheel-only structures (Execution Cache, Register
+    /// Update), pJ.
+    pub flywheel_pj: f64,
+    /// Clock-grid energy, pJ.
+    pub clock_pj: f64,
+    /// Leakage energy over the whole run, pJ.
+    pub leakage_pj: f64,
+    /// Simulated execution time, ps.
+    pub elapsed_ps: u64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.frontend_pj + self.backend_pj + self.flywheel_pj + self.clock_pj + self.leakage_pj
+    }
+
+    /// Total energy in millijoules.
+    pub fn total_mj(&self) -> f64 {
+        self.total_pj() * 1.0e-9
+    }
+
+    /// Average power over the run, in watts.
+    ///
+    /// Returns zero for a zero-length run.
+    pub fn average_power_w(&self) -> f64 {
+        if self.elapsed_ps == 0 {
+            return 0.0;
+        }
+        self.total_pj() * 1.0e-12 / (self.elapsed_ps as f64 * 1.0e-12)
+    }
+
+    /// Fraction of the total energy that is leakage.
+    pub fn leakage_fraction(&self) -> f64 {
+        let total = self.total_pj();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.leakage_pj / total
+        }
+    }
+
+    /// Fraction of the total energy consumed by front-end dynamic activity.
+    pub fn frontend_fraction(&self) -> f64 {
+        let total = self.total_pj();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.frontend_pj / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PowerConfig;
+    use flywheel_timing::TechNode;
+
+    fn model() -> PowerModel {
+        PowerModel::new(PowerConfig::paper(TechNode::N130))
+    }
+
+    #[test]
+    fn empty_accumulator_has_only_leakage() {
+        let acc = EnergyAccumulator::default();
+        let b = acc.finish(&model(), 1_000_000);
+        assert_eq!(b.frontend_pj, 0.0);
+        assert_eq!(b.backend_pj, 0.0);
+        assert_eq!(b.clock_pj, 0.0);
+        assert!(b.leakage_pj > 0.0);
+        assert!((b.leakage_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recording_accumulates_energy_in_the_right_bucket() {
+        let m = model();
+        let mut acc = EnergyAccumulator::default();
+        acc.record(Unit::ICache, 10);
+        acc.record(Unit::DCache, 5);
+        acc.record(Unit::EcDataRead, 3);
+        let b = acc.finish(&m, 0);
+        assert!((b.frontend_pj - 10.0 * m.access_energy_pj(Unit::ICache)).abs() < 1e-9);
+        assert!((b.backend_pj - 5.0 * m.access_energy_pj(Unit::DCache)).abs() < 1e-9);
+        assert!((b.flywheel_pj - 3.0 * m.access_energy_pj(Unit::EcDataRead)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gated_clock_cycles_are_cheaper() {
+        let m = model();
+        let mut active = EnergyAccumulator::default();
+        let mut gated = EnergyAccumulator::default();
+        for _ in 0..1000 {
+            active.tick_frontend(false);
+            gated.tick_frontend(true);
+        }
+        let a = active.finish(&m, 0).clock_pj;
+        let g = gated.finish(&m, 0).clock_pj;
+        assert!(g < a * 0.2, "gated {g} should be far below active {a}");
+    }
+
+    #[test]
+    fn flywheel_register_file_costs_more_per_access() {
+        let m = model();
+        let mut base = EnergyAccumulator::new(false);
+        let mut fly = EnergyAccumulator::new(true);
+        base.record(Unit::RegFileRead, 100);
+        fly.record(Unit::RegFileRead, 100);
+        assert!(fly.finish(&m, 0).backend_pj > base.finish(&m, 0).backend_pj * 1.2);
+    }
+
+    #[test]
+    fn average_power_uses_elapsed_time() {
+        let m = model();
+        let mut acc = EnergyAccumulator::default();
+        acc.record(Unit::FuIntAlu, 1000);
+        let fast = acc.finish(&m, 1_000_000);
+        let slow = acc.finish(&m, 2_000_000);
+        assert!(fast.average_power_w() > slow.average_power_w());
+        assert_eq!(EnergyBreakdown::default().average_power_w(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_counts_and_cycles() {
+        let mut a = EnergyAccumulator::default();
+        let mut b = EnergyAccumulator::default();
+        a.record(Unit::Decode, 3);
+        b.record(Unit::Decode, 4);
+        a.tick_backend();
+        b.tick_backend();
+        b.tick_frontend(true);
+        a.merge(&b);
+        assert_eq!(a.count(Unit::Decode), 7);
+        assert_eq!(a.backend_cycles(), 2);
+        assert_eq!(a.frontend_cycles(), (0, 1));
+    }
+}

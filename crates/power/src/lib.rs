@@ -1,0 +1,46 @@
+//! # flywheel-power
+//!
+//! Wattch-style dynamic-energy, clock-grid and leakage models for the Flywheel
+//! reproduction.
+//!
+//! The paper measures power with a modified Wattch [Brooks et al.] augmented with a
+//! Butts-Sohi static (leakage) model and an Alpha-21264-style clock-grid capacitance
+//! model. This crate provides the same three ingredients:
+//!
+//! * [`PowerModel`] — per-access dynamic energy for each pipeline [`Unit`], per-edge
+//!   clock-grid energy for the front-end and back-end clock domains (with clock
+//!   gating), and per-unit leakage power, all parameterized by the structural
+//!   configuration ([`PowerConfig`], defaults from the paper's Table 2) and the
+//!   process technology ([`flywheel_timing::TechNode`], parameters from Table 2).
+//! * [`EnergyAccumulator`] — activity counters filled in by the simulators.
+//! * [`EnergyBreakdown`] — the resulting energy/power report used by the Figure
+//!   13/14/15 experiments.
+//!
+//! Absolute joule values are calibrated to be plausible for a c. 2005 aggressive
+//! out-of-order core, but the paper's results are all *normalized* to the baseline
+//! machine, so only the relative weights of the units matter; see DESIGN.md for the
+//! substitution rationale.
+//!
+//! ```
+//! use flywheel_power::{EnergyAccumulator, PowerConfig, PowerModel, Unit};
+//! use flywheel_timing::TechNode;
+//!
+//! let model = PowerModel::new(PowerConfig::paper(TechNode::N130));
+//! let mut acc = EnergyAccumulator::default();
+//! acc.record(Unit::ICache, 1_000);
+//! acc.record(Unit::IssueWindowWakeup, 1_000);
+//! acc.tick_backend();
+//! let report = acc.finish(&model, 1_000_000);
+//! assert!(report.total_pj() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod account;
+mod model;
+mod units;
+
+pub use account::{EnergyAccumulator, EnergyBreakdown};
+pub use model::{PowerConfig, PowerModel};
+pub use units::{Unit, UnitCategory};

@@ -1,0 +1,173 @@
+//! The energy-consuming units of the modelled processor.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A pipeline unit whose activity is tracked for energy accounting.
+///
+/// The split between [`UnitCategory::FrontEnd`] and [`UnitCategory::BackEnd`] is what
+/// the Flywheel evaluation hinges on: while the processor replays instructions from
+/// the Execution Cache, every front-end unit (and the front-end clock grid) is clock
+/// gated and stops consuming dynamic energy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Unit {
+    /// Instruction-cache access (per fetch group).
+    ICache,
+    /// Branch predictor / BTB lookup or update.
+    BranchPredictor,
+    /// Instruction decode (per instruction).
+    Decode,
+    /// Register rename-table read/update (per instruction).
+    Rename,
+    /// Issue Window entry allocation at dispatch (per instruction).
+    IssueWindowInsert,
+    /// Issue Window wake-up tag broadcast and match (per active back-end cycle).
+    IssueWindowWakeup,
+    /// Issue Window selection logic (per active back-end cycle).
+    IssueWindowSelect,
+    /// Reorder-buffer write/read (per instruction).
+    Rob,
+    /// Load/store queue search or insert (per memory instruction).
+    Lsq,
+    /// Physical register file read (per source operand).
+    RegFileRead,
+    /// Physical register file write (per produced result).
+    RegFileWrite,
+    /// Integer ALU operation.
+    FuIntAlu,
+    /// Integer multiply/divide operation.
+    FuIntMulDiv,
+    /// Floating-point add operation.
+    FuFpAdd,
+    /// Floating-point multiply/divide operation.
+    FuFpMulDiv,
+    /// Data-cache access (per load/store issued to memory).
+    DCache,
+    /// Unified L2 access (per L1 miss).
+    L2,
+    /// Result/bypass bus drive (per completing instruction).
+    ResultBus,
+    /// Retirement bookkeeping (per retired instruction).
+    Retire,
+    /// Execution Cache tag-array lookup (per trace search).
+    EcTagLookup,
+    /// Execution Cache data-array block read (per block fetched in trace-execution
+    /// mode).
+    EcDataRead,
+    /// Execution Cache data-array block write (per block recorded during trace
+    /// creation).
+    EcDataWrite,
+    /// Register Update stage: remapping-table read and physical-offset generation
+    /// (per instruction, Flywheel only).
+    RegisterUpdate,
+}
+
+/// Whether a unit belongs to the front-end clock domain (gated during
+/// trace-execution mode), the back-end domain, or the Execution Cache path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnitCategory {
+    /// Fetch/decode/rename/dispatch and the Issue Window scheduling logic.
+    FrontEnd,
+    /// Execution core: register file, functional units, memory hierarchy, retire.
+    BackEnd,
+    /// Structures that only exist in the Flywheel machine (Execution Cache and the
+    /// Register Update remapping stage).
+    FlywheelExtra,
+}
+
+impl Unit {
+    /// All units, in a stable order.
+    pub fn all() -> &'static [Unit] {
+        use Unit::*;
+        &[
+            ICache,
+            BranchPredictor,
+            Decode,
+            Rename,
+            IssueWindowInsert,
+            IssueWindowWakeup,
+            IssueWindowSelect,
+            Rob,
+            Lsq,
+            RegFileRead,
+            RegFileWrite,
+            FuIntAlu,
+            FuIntMulDiv,
+            FuFpAdd,
+            FuFpMulDiv,
+            DCache,
+            L2,
+            ResultBus,
+            Retire,
+            EcTagLookup,
+            EcDataRead,
+            EcDataWrite,
+            RegisterUpdate,
+        ]
+    }
+
+    /// Dense index of this unit, usable to address an array of `Unit::all().len()`
+    /// entries.
+    pub fn index(&self) -> usize {
+        Unit::all()
+            .iter()
+            .position(|u| u == self)
+            .expect("unit must be listed in Unit::all()")
+    }
+
+    /// The clock-domain category of this unit.
+    pub fn category(&self) -> UnitCategory {
+        use Unit::*;
+        match self {
+            ICache | BranchPredictor | Decode | Rename | IssueWindowInsert
+            | IssueWindowWakeup | IssueWindowSelect => UnitCategory::FrontEnd,
+            Rob | Lsq | RegFileRead | RegFileWrite | FuIntAlu | FuIntMulDiv | FuFpAdd
+            | FuFpMulDiv | DCache | L2 | ResultBus | Retire => UnitCategory::BackEnd,
+            EcTagLookup | EcDataRead | EcDataWrite | RegisterUpdate => UnitCategory::FlywheelExtra,
+        }
+    }
+
+    /// Whether the unit stops consuming dynamic energy while the processor runs in
+    /// trace-execution mode (front-end clock gated).
+    pub fn gated_in_trace_execution(&self) -> bool {
+        self.category() == UnitCategory::FrontEnd
+    }
+}
+
+impl fmt::Display for Unit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let mut seen = vec![false; Unit::all().len()];
+        for u in Unit::all() {
+            assert!(!seen[u.index()], "{u} has a duplicate index");
+            seen[u.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn issue_window_is_front_end() {
+        // The whole point of the Flywheel design: scheduling logic is gated off the
+        // fast path.
+        assert_eq!(Unit::IssueWindowWakeup.category(), UnitCategory::FrontEnd);
+        assert!(Unit::IssueWindowWakeup.gated_in_trace_execution());
+        assert!(!Unit::DCache.gated_in_trace_execution());
+        assert!(!Unit::EcDataRead.gated_in_trace_execution());
+    }
+
+    #[test]
+    fn every_category_is_populated() {
+        for cat in [UnitCategory::FrontEnd, UnitCategory::BackEnd, UnitCategory::FlywheelExtra] {
+            assert!(Unit::all().iter().any(|u| u.category() == cat));
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Module clock frequencies and clock-domain planning.
+//!
+//! Table 1 of the paper lists, per process technology, the clock frequency each
+//! module could sustain given its access latency and degree of pipelining. The
+//! baseline machine is forced to run every domain at the Issue Window frequency
+//! (single-cycle wake-up/select); the Flywheel machine lets the front-end and (in
+//! trace-execution mode) the back-end run faster. This module derives those
+//! frequencies from the latency models and packages the clock-domain configuration
+//! consumed by the simulators.
+
+use crate::{CacheGeometry, IssueWindowGeometry, RegFileGeometry, StructureLatency, TechNode};
+use serde::{Deserialize, Serialize};
+
+/// Converts an access latency (ps) pipelined over `cycles` cycles into the maximum
+/// sustainable clock frequency in MHz.
+fn freq_mhz(latency_ps: f64, cycles: u32) -> f64 {
+    assert!(latency_ps > 0.0);
+    cycles as f64 * 1.0e6 / latency_ps
+}
+
+/// The clock frequency each pipeline module can sustain at a given technology node
+/// (the reproduction's version of the paper's Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModuleFrequencies {
+    /// Technology node these frequencies are for.
+    pub node: TechNode,
+    /// 128-entry, 6-wide Issue Window with single-cycle wake-up/select.
+    pub issue_window_mhz: f64,
+    /// 64 KB two-way I-cache, two-cycle pipelined access.
+    pub icache_mhz: f64,
+    /// 64 KB four-way dual-ported D-cache, two-cycle pipelined access.
+    pub dcache_mhz: f64,
+    /// 192-entry baseline register file, single-cycle access.
+    pub regfile_mhz: f64,
+    /// 128 KB Execution Cache, three-cycle pipelined access.
+    pub execution_cache_mhz: f64,
+    /// 512-entry Flywheel register file, two-cycle access.
+    pub flywheel_regfile_mhz: f64,
+}
+
+impl ModuleFrequencies {
+    /// Computes the module frequencies for `node` from the latency models.
+    pub fn for_node(node: TechNode) -> Self {
+        ModuleFrequencies {
+            node,
+            issue_window_mhz: freq_mhz(
+                IssueWindowGeometry::paper_baseline().latency_ps(node),
+                1,
+            ),
+            icache_mhz: freq_mhz(CacheGeometry::paper_icache().latency_ps(node), 2),
+            dcache_mhz: freq_mhz(CacheGeometry::paper_dcache().latency_ps(node), 2),
+            regfile_mhz: freq_mhz(RegFileGeometry::paper_baseline().latency_ps(node), 1),
+            execution_cache_mhz: freq_mhz(
+                CacheGeometry::paper_execution_cache().latency_ps(node),
+                3,
+            ),
+            flywheel_regfile_mhz: freq_mhz(RegFileGeometry::paper_flywheel().latency_ps(node), 2),
+        }
+    }
+
+    /// The frequency the fully synchronous baseline runs at: everything is held back
+    /// to the slowest single-cycle structure, the Issue Window.
+    pub fn baseline_clock_mhz(&self) -> f64 {
+        self.issue_window_mhz
+    }
+
+    /// Maximum front-end speed-up over the baseline clock (limited by the I-cache).
+    pub fn max_frontend_speedup(&self) -> f64 {
+        self.icache_mhz / self.issue_window_mhz
+    }
+
+    /// Maximum trace-execution-mode back-end speed-up over the baseline clock
+    /// (limited by the Execution Cache, the Flywheel register file and the D-cache).
+    pub fn max_backend_speedup(&self) -> f64 {
+        let limit = self
+            .execution_cache_mhz
+            .min(self.flywheel_regfile_mhz)
+            .min(self.dcache_mhz);
+        limit / self.issue_window_mhz
+    }
+}
+
+/// The clock-domain configuration of one simulation run.
+///
+/// Periods are in integer picoseconds; the simulators advance a global picosecond
+/// timeline and tick each domain on its own edges, so any rational frequency ratio is
+/// supported. Speed-ups follow the paper's notation: `FE25` means the front-end clock
+/// is 25 % faster than the baseline clock, `BE50` means the execution core is 50 %
+/// faster while in trace-execution mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ClockPlan {
+    /// Period of the baseline (Issue Window) clock, in ps.
+    pub baseline_period_ps: u64,
+    /// Period of the front-end clock, in ps.
+    pub frontend_period_ps: u64,
+    /// Period of the execution core clock while replaying from the Execution Cache,
+    /// in ps.
+    pub backend_period_ps: u64,
+}
+
+impl ClockPlan {
+    /// A fully synchronous plan: every domain runs at the baseline clock of `node`.
+    pub fn synchronous(node: TechNode) -> Self {
+        let period = ModuleFrequencies::for_node(node).baseline_clock_mhz();
+        let period_ps = (1.0e6 / period).round() as u64;
+        ClockPlan {
+            baseline_period_ps: period_ps,
+            frontend_period_ps: period_ps,
+            backend_period_ps: period_ps,
+        }
+    }
+
+    /// A Flywheel plan for `node` with the given percentage speed-ups over the
+    /// baseline clock (e.g. `with_speedups(node, 50, 50)` is the paper's
+    /// `FE50%, BE50%` configuration).
+    pub fn with_speedups(node: TechNode, frontend_pct: u32, backend_pct: u32) -> Self {
+        let base = ClockPlan::synchronous(node).baseline_period_ps;
+        ClockPlan {
+            baseline_period_ps: base,
+            frontend_period_ps: Self::speed_up(base, frontend_pct),
+            backend_period_ps: Self::speed_up(base, backend_pct),
+        }
+    }
+
+    /// A plan expressed directly in periods (useful for tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any period is zero.
+    pub fn from_periods(baseline_ps: u64, frontend_ps: u64, backend_ps: u64) -> Self {
+        assert!(baseline_ps > 0 && frontend_ps > 0 && backend_ps > 0);
+        ClockPlan {
+            baseline_period_ps: baseline_ps,
+            frontend_period_ps: frontend_ps,
+            backend_period_ps: backend_ps,
+        }
+    }
+
+    fn speed_up(period_ps: u64, pct: u32) -> u64 {
+        ((period_ps as f64) / (1.0 + pct as f64 / 100.0)).round().max(1.0) as u64
+    }
+
+    /// Front-end speed-up factor over the baseline clock.
+    pub fn frontend_speedup(&self) -> f64 {
+        self.baseline_period_ps as f64 / self.frontend_period_ps as f64
+    }
+
+    /// Back-end (trace-execution) speed-up factor over the baseline clock.
+    pub fn backend_speedup(&self) -> f64 {
+        self.baseline_period_ps as f64 / self.backend_period_ps as f64
+    }
+
+    /// Whether the plan is fully synchronous (all periods identical).
+    pub fn is_synchronous(&self) -> bool {
+        self.baseline_period_ps == self.frontend_period_ps
+            && self.baseline_period_ps == self.backend_period_ps
+    }
+
+    /// Checks the plan against the achievable module frequencies at `node` and
+    /// returns the violated domain names, if any.
+    pub fn validate_against(&self, node: TechNode) -> Vec<&'static str> {
+        let freqs = ModuleFrequencies::for_node(node);
+        let mut violations = Vec::new();
+        // Allow a 10% modelling margin over the analytic estimates.
+        if self.frontend_speedup() > freqs.max_frontend_speedup() * 1.10 {
+            violations.push("front-end");
+        }
+        if self.backend_speedup() > freqs.max_backend_speedup() * 1.10 {
+            violations.push("back-end");
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_frequencies_track_paper_values() {
+        // Paper Table 1 at 0.18um: IW 950, I$ 1300, D$ 1000, RF 1150, EC 1000,
+        // Flywheel RF 1050 (MHz). Allow ~12% model error.
+        let f = ModuleFrequencies::for_node(TechNode::N180);
+        let close = |got: f64, want: f64| (got - want).abs() / want < 0.12;
+        assert!(close(f.issue_window_mhz, 950.0), "IW {}", f.issue_window_mhz);
+        assert!(close(f.icache_mhz, 1300.0), "I$ {}", f.icache_mhz);
+        assert!(close(f.dcache_mhz, 1000.0), "D$ {}", f.dcache_mhz);
+        assert!(close(f.regfile_mhz, 1150.0), "RF {}", f.regfile_mhz);
+        assert!(close(f.execution_cache_mhz, 1000.0), "EC {}", f.execution_cache_mhz);
+        assert!(close(f.flywheel_regfile_mhz, 1050.0), "FRF {}", f.flywheel_regfile_mhz);
+    }
+
+    #[test]
+    fn frequencies_grow_with_newer_nodes() {
+        let mut prev = 0.0;
+        for node in TechNode::all() {
+            let f = ModuleFrequencies::for_node(*node);
+            assert!(f.issue_window_mhz > prev);
+            prev = f.issue_window_mhz;
+        }
+    }
+
+    #[test]
+    fn frontend_headroom_approaches_two_at_60nm() {
+        // Section 4: "in future process technologies ... the front-end of the
+        // pipeline will support twice the frequency of the Issue Window, while the
+        // execution core will also support a higher clock speed, but by only 50%".
+        let f = ModuleFrequencies::for_node(TechNode::N60);
+        assert!(f.max_frontend_speedup() > 1.8, "{}", f.max_frontend_speedup());
+        let be = f.max_backend_speedup();
+        assert!((1.25..1.8).contains(&be), "backend speedup {be}");
+        // At the older 0.18um node the headroom is smaller.
+        let old = ModuleFrequencies::for_node(TechNode::N180);
+        assert!(old.max_frontend_speedup() < f.max_frontend_speedup());
+    }
+
+    #[test]
+    fn clock_plan_speedups_round_trip() {
+        let plan = ClockPlan::with_speedups(TechNode::N130, 50, 50);
+        assert!((plan.frontend_speedup() - 1.5).abs() < 0.02);
+        assert!((plan.backend_speedup() - 1.5).abs() < 0.02);
+        assert!(!plan.is_synchronous());
+        let sync = ClockPlan::with_speedups(TechNode::N130, 0, 0);
+        assert!(sync.is_synchronous());
+    }
+
+    #[test]
+    fn synchronous_plan_matches_baseline_frequency() {
+        let plan = ClockPlan::synchronous(TechNode::N90);
+        let f = ModuleFrequencies::for_node(TechNode::N90);
+        let period_mhz = 1.0e6 / plan.baseline_period_ps as f64;
+        assert!((period_mhz - f.baseline_clock_mhz()).abs() / f.baseline_clock_mhz() < 0.01);
+    }
+
+    #[test]
+    fn validation_flags_unachievable_speedups() {
+        // A 3x front-end speedup is beyond what any node supports.
+        let plan = ClockPlan::with_speedups(TechNode::N60, 200, 50);
+        assert!(plan.validate_against(TechNode::N60).contains(&"front-end"));
+        // The paper's FE100/BE50 point is achievable at 60nm.
+        let paper = ClockPlan::with_speedups(TechNode::N60, 100, 50);
+        assert!(paper.validate_against(TechNode::N60).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_period_panics() {
+        let _ = ClockPlan::from_periods(0, 1, 1);
+    }
+}

@@ -1,0 +1,49 @@
+//! # flywheel-timing
+//!
+//! Technology-scaling and structure-latency models used by the Flywheel
+//! reproduction.
+//!
+//! The paper derives its clock-frequency assumptions (Table 1) and its
+//! latency-scaling argument (Figure 1) from Cacti [Wilton & Jouppi] and from the
+//! Palacharla/Jouppi/Smith complexity models: access latency is decomposed into a
+//! *logic* component (which scales with the transistor feature size) and a *wire*
+//! component (which scales much more slowly). The Issue Window wake-up path is
+//! wire-dominated and therefore scales worst; caches and register files are
+//! logic-dominated and keep improving.
+//!
+//! This crate reimplements that decomposition analytically:
+//!
+//! * [`TechNode`] — the five process technologies used by the paper with their
+//!   logic/wire scale factors, supply voltages and leakage currents (Table 2).
+//! * [`IssueWindowGeometry`], [`CacheGeometry`], [`RegFileGeometry`] — structure
+//!   descriptions whose [`latency_ps`](StructureLatency::latency_ps) follows the
+//!   logic + wire model, calibrated against the paper's Table 1.
+//! * [`frequency`] — derivation of achievable module clock frequencies and of the
+//!   paper's baseline/Flywheel clock-domain speeds.
+//! * [`paper`] — the values published in Table 1, for side-by-side comparison in the
+//!   experiment harness.
+//!
+//! ```
+//! use flywheel_timing::{CacheGeometry, IssueWindowGeometry, StructureLatency, TechNode};
+//!
+//! let iw = IssueWindowGeometry::new(128, 6);
+//! let icache = CacheGeometry::new(64 * 1024, 2, 1, 64);
+//! // The cache is roughly 2x slower than the issue window at 0.18um ...
+//! let ratio_180 = icache.latency_ps(TechNode::N180) / iw.latency_ps(TechNode::N180);
+//! assert!(ratio_180 > 1.3);
+//! // ... but catches up at 0.06um because the issue window is wire-dominated.
+//! let ratio_60 = icache.latency_ps(TechNode::N60) / iw.latency_ps(TechNode::N60);
+//! assert!(ratio_60 < ratio_180);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod frequency;
+mod node;
+pub mod paper;
+mod structures;
+
+pub use frequency::{ClockPlan, ModuleFrequencies};
+pub use node::TechNode;
+pub use structures::{CacheGeometry, IssueWindowGeometry, RegFileGeometry, StructureLatency};

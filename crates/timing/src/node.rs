@@ -1,0 +1,188 @@
+//! Process technology nodes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A CMOS process technology node.
+///
+/// The five nodes are the ones used by the paper (Figure 1 uses all five; Table 1 and
+/// the power study use 0.18 µm and below). Per-node electrical parameters follow the
+/// paper's Table 2; the logic/wire delay scale factors are normalized to 0.18 µm and
+/// calibrated so that the structure models in this crate reproduce the published
+/// Table 1 clock frequencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TechNode {
+    /// 0.25 µm.
+    N250,
+    /// 0.18 µm.
+    N180,
+    /// 0.13 µm.
+    N130,
+    /// 0.09 µm (90 nm).
+    N90,
+    /// 0.06 µm (60 nm) — the paper follows Cacti's node sequence rather than the
+    /// industry's 65 nm.
+    N60,
+}
+
+impl TechNode {
+    /// All nodes from oldest to newest.
+    pub fn all() -> &'static [TechNode] {
+        &[
+            TechNode::N250,
+            TechNode::N180,
+            TechNode::N130,
+            TechNode::N90,
+            TechNode::N60,
+        ]
+    }
+
+    /// The nodes used in the paper's energy-scaling study (Figure 15).
+    pub fn power_study_nodes() -> &'static [TechNode] {
+        &[TechNode::N130, TechNode::N90, TechNode::N60]
+    }
+
+    /// Feature size in nanometres.
+    pub fn feature_nm(&self) -> u32 {
+        match self {
+            TechNode::N250 => 250,
+            TechNode::N180 => 180,
+            TechNode::N130 => 130,
+            TechNode::N90 => 90,
+            TechNode::N60 => 60,
+        }
+    }
+
+    /// Scale factor of gate (logic) delay relative to 0.18 µm.
+    ///
+    /// Logic delay tracks the feature size almost linearly.
+    pub fn logic_scale(&self) -> f64 {
+        match self {
+            TechNode::N250 => 1.40,
+            TechNode::N180 => 1.00,
+            TechNode::N130 => 0.715,
+            TechNode::N90 => 0.50,
+            TechNode::N60 => 0.345,
+        }
+    }
+
+    /// Scale factor of wire (interconnect) delay relative to 0.18 µm.
+    ///
+    /// Wires improve far more slowly than transistors; this is the root cause of the
+    /// Issue Window scaling problem the paper addresses.
+    pub fn wire_scale(&self) -> f64 {
+        match self {
+            TechNode::N250 => 1.10,
+            TechNode::N180 => 1.00,
+            TechNode::N130 => 0.93,
+            TechNode::N90 => 0.87,
+            TechNode::N60 => 0.82,
+        }
+    }
+
+    /// Supply voltage in volts (Table 2; the 0.18/0.25 µm values follow the same
+    /// trend the paper's sources use).
+    pub fn vdd(&self) -> f64 {
+        match self {
+            TechNode::N250 => 1.8,
+            TechNode::N180 => 1.6,
+            TechNode::N130 => 1.4,
+            TechNode::N90 => 1.2,
+            TechNode::N60 => 1.1,
+        }
+    }
+
+    /// Threshold voltage in volts (Table 2).
+    pub fn vt(&self) -> f64 {
+        match self {
+            TechNode::N250 => 0.29,
+            TechNode::N180 => 0.26,
+            TechNode::N130 => 0.22,
+            TechNode::N90 => 0.20,
+            TechNode::N60 => 0.18,
+        }
+    }
+
+    /// Normalized leakage current per device in nano-amperes (Table 2).
+    pub fn leakage_na_per_device(&self) -> f64 {
+        match self {
+            TechNode::N250 => 20.0,
+            TechNode::N180 => 40.0,
+            TechNode::N130 => 80.0,
+            TechNode::N90 => 280.0,
+            TechNode::N60 => 280.0,
+        }
+    }
+
+    /// Scale factor of switched capacitance per device relative to 0.18 µm.
+    ///
+    /// Capacitance shrinks roughly with the feature size; it feeds the dynamic-energy
+    /// model in `flywheel-power`.
+    pub fn capacitance_scale(&self) -> f64 {
+        self.feature_nm() as f64 / 180.0
+    }
+}
+
+impl fmt::Display for TechNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}nm", self.feature_nm())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nodes_are_ordered_old_to_new() {
+        let nodes = TechNode::all();
+        for w in nodes.windows(2) {
+            assert!(w[0].feature_nm() > w[1].feature_nm());
+        }
+    }
+
+    #[test]
+    fn logic_scales_faster_than_wire() {
+        for node in TechNode::all() {
+            if *node == TechNode::N180 {
+                assert_eq!(node.logic_scale(), 1.0);
+                assert_eq!(node.wire_scale(), 1.0);
+            }
+        }
+        // Towards newer nodes, logic improves more than wires.
+        assert!(TechNode::N60.logic_scale() < TechNode::N60.wire_scale());
+        assert!(TechNode::N250.logic_scale() > TechNode::N250.wire_scale());
+    }
+
+    #[test]
+    fn vdd_and_vt_decrease_monotonically() {
+        for w in TechNode::all().windows(2) {
+            assert!(w[0].vdd() >= w[1].vdd());
+            assert!(w[0].vt() >= w[1].vt());
+        }
+    }
+
+    #[test]
+    fn leakage_grows_towards_newer_nodes() {
+        assert!(TechNode::N90.leakage_na_per_device() > TechNode::N130.leakage_na_per_device());
+        assert_eq!(
+            TechNode::N60.leakage_na_per_device(),
+            TechNode::N90.leakage_na_per_device()
+        );
+    }
+
+    #[test]
+    fn paper_table2_values_are_encoded() {
+        assert_eq!(TechNode::N130.vdd(), 1.4);
+        assert_eq!(TechNode::N90.vdd(), 1.2);
+        assert_eq!(TechNode::N60.vdd(), 1.1);
+        assert_eq!(TechNode::N130.leakage_na_per_device(), 80.0);
+        assert_eq!(TechNode::N90.leakage_na_per_device(), 280.0);
+    }
+
+    #[test]
+    fn display_shows_nanometres() {
+        assert_eq!(TechNode::N60.to_string(), "60nm");
+        assert_eq!(TechNode::N250.to_string(), "250nm");
+    }
+}

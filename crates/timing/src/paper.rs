@@ -1,0 +1,81 @@
+//! The values published in the paper, for side-by-side comparison.
+//!
+//! The experiment harness prints the model-derived numbers next to these published
+//! ones so that EXPERIMENTS.md can record paper-vs-measured for Table 1 and Figure 1.
+
+use crate::{ModuleFrequencies, TechNode};
+
+/// One row of the paper's Table 1: a module and its sustainable clock frequency (MHz)
+/// at 0.18, 0.13, 0.09 and 0.06 µm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table1Row {
+    /// Module name as printed in the paper.
+    pub module: &'static str,
+    /// Frequencies in MHz for [0.18, 0.13, 0.09, 0.06] µm.
+    pub mhz: [f64; 4],
+}
+
+/// The technology nodes covered by Table 1, in column order.
+pub const TABLE1_NODES: [TechNode; 4] = [TechNode::N180, TechNode::N130, TechNode::N90, TechNode::N60];
+
+/// The paper's published Table 1.
+pub fn published_table1() -> Vec<Table1Row> {
+    vec![
+        Table1Row { module: "Issue Window (single cycle)", mhz: [950.0, 1150.0, 1500.0, 1950.0] },
+        Table1Row { module: "I-Cache (two cycles)", mhz: [1300.0, 1800.0, 2600.0, 3800.0] },
+        Table1Row { module: "D-Cache (two cycles)", mhz: [1000.0, 1400.0, 2000.0, 3000.0] },
+        Table1Row { module: "Register File (single cycle)", mhz: [1150.0, 1650.0, 2250.0, 3250.0] },
+        Table1Row { module: "Execution Cache (three cycles)", mhz: [1000.0, 1400.0, 2050.0, 3000.0] },
+        Table1Row { module: "Register File (two cycles)", mhz: [1050.0, 1500.0, 2000.0, 2950.0] },
+    ]
+}
+
+/// The model-derived equivalent of Table 1.
+pub fn modeled_table1() -> Vec<Table1Row> {
+    let freqs: Vec<ModuleFrequencies> = TABLE1_NODES.iter().map(|n| ModuleFrequencies::for_node(*n)).collect();
+    let col = |f: &dyn Fn(&ModuleFrequencies) -> f64| -> [f64; 4] {
+        [f(&freqs[0]), f(&freqs[1]), f(&freqs[2]), f(&freqs[3])]
+    };
+    vec![
+        Table1Row { module: "Issue Window (single cycle)", mhz: col(&|f| f.issue_window_mhz) },
+        Table1Row { module: "I-Cache (two cycles)", mhz: col(&|f| f.icache_mhz) },
+        Table1Row { module: "D-Cache (two cycles)", mhz: col(&|f| f.dcache_mhz) },
+        Table1Row { module: "Register File (single cycle)", mhz: col(&|f| f.regfile_mhz) },
+        Table1Row { module: "Execution Cache (three cycles)", mhz: col(&|f| f.execution_cache_mhz) },
+        Table1Row { module: "Register File (two cycles)", mhz: col(&|f| f.flywheel_regfile_mhz) },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_and_modeled_tables_have_matching_shape() {
+        let p = published_table1();
+        let m = modeled_table1();
+        assert_eq!(p.len(), m.len());
+        for (pr, mr) in p.iter().zip(&m) {
+            assert_eq!(pr.module, mr.module);
+        }
+    }
+
+    #[test]
+    fn modeled_values_are_within_fifteen_percent_of_published() {
+        for (pr, mr) in published_table1().iter().zip(modeled_table1()) {
+            for (p, m) in pr.mhz.iter().zip(mr.mhz) {
+                let err = (m - p).abs() / p;
+                assert!(err < 0.15, "{}: published {p} MHz, modeled {m:.0} MHz", pr.module);
+            }
+        }
+    }
+
+    #[test]
+    fn published_frequencies_increase_towards_newer_nodes() {
+        for row in published_table1() {
+            for w in row.mhz.windows(2) {
+                assert!(w[1] > w[0]);
+            }
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Latency models for the pipeline structures.
+
+use crate::TechNode;
+use serde::{Deserialize, Serialize};
+
+/// Common interface of every structure latency model: a logic component and a wire
+/// component at the 0.18 µm reference node, scaled per technology node.
+pub trait StructureLatency {
+    /// The logic-delay component at the 0.18 µm reference node, in picoseconds.
+    fn logic_ps_ref(&self) -> f64;
+
+    /// The wire-delay component at the 0.18 µm reference node, in picoseconds.
+    fn wire_ps_ref(&self) -> f64;
+
+    /// Total access latency at `node`, in picoseconds.
+    fn latency_ps(&self, node: TechNode) -> f64 {
+        self.logic_ps_ref() * node.logic_scale() + self.wire_ps_ref() * node.wire_scale()
+    }
+
+    /// The fraction of the 0.18 µm latency contributed by wires.
+    fn wire_fraction(&self) -> f64 {
+        let total = self.logic_ps_ref() + self.wire_ps_ref();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.wire_ps_ref() / total
+        }
+    }
+}
+
+/// Geometry of an Issue Window (wake-up CAM + select logic).
+///
+/// Following Palacharla et al., the tag broadcast of the wake-up phase must drive a
+/// wire spanning every window entry, so the wire component grows with the number of
+/// entries and the issue width; this is the structure that scales worst and the one
+/// the Flywheel design removes from the critical path.
+///
+/// ```
+/// use flywheel_timing::{IssueWindowGeometry, StructureLatency, TechNode};
+/// let big = IssueWindowGeometry::new(128, 6);
+/// let small = IssueWindowGeometry::new(64, 4);
+/// assert!(big.latency_ps(TechNode::N90) > small.latency_ps(TechNode::N90));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IssueWindowGeometry {
+    /// Number of window entries.
+    pub entries: u32,
+    /// Issue width (instructions selected per cycle).
+    pub issue_width: u32,
+}
+
+impl IssueWindowGeometry {
+    /// Creates an issue-window geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` or `issue_width` is zero.
+    pub fn new(entries: u32, issue_width: u32) -> Self {
+        assert!(entries > 0 && issue_width > 0);
+        IssueWindowGeometry { entries, issue_width }
+    }
+
+    /// The paper's baseline configuration: 128 entries, issue width 6.
+    pub fn paper_baseline() -> Self {
+        IssueWindowGeometry::new(128, 6)
+    }
+}
+
+impl StructureLatency for IssueWindowGeometry {
+    fn logic_ps_ref(&self) -> f64 {
+        // Tag match + select tree: grows slowly (logarithmically) with the window.
+        560.0 + 100.0 * ((self.entries as f64 / 64.0).log2()).max(-2.0)
+            + 40.0 * ((self.issue_width as f64 / 6.0).log2()).max(-2.0)
+    }
+
+    fn wire_ps_ref(&self) -> f64 {
+        // Tag broadcast across all entries; grows with entries and issue width
+        // (quadratic overall in the Palacharla formulation: entries x width drive
+        // both the broadcast length and the number of comparators per entry).
+        3.0 * self.entries as f64 * (0.5 + 0.5 * self.issue_width as f64 / 6.0)
+    }
+}
+
+/// Geometry of a cache (I-cache, D-cache, L2 or the Execution Cache data array).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheGeometry {
+    /// Capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways).
+    pub assoc: u32,
+    /// Number of read/write ports.
+    pub ports: u32,
+    /// Line size in bytes.
+    pub line_bytes: u32,
+}
+
+impl CacheGeometry {
+    /// Creates a cache geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero.
+    pub fn new(size_bytes: u64, assoc: u32, ports: u32, line_bytes: u32) -> Self {
+        assert!(size_bytes > 0 && assoc > 0 && ports > 0 && line_bytes > 0);
+        CacheGeometry {
+            size_bytes,
+            assoc,
+            ports,
+            line_bytes,
+        }
+    }
+
+    /// The paper's 64 KB, 2-way, single-ported I-cache.
+    pub fn paper_icache() -> Self {
+        CacheGeometry::new(64 * 1024, 2, 1, 64)
+    }
+
+    /// The paper's 64 KB, 4-way, dual-ported D-cache.
+    pub fn paper_dcache() -> Self {
+        CacheGeometry::new(64 * 1024, 4, 2, 64)
+    }
+
+    /// The paper's 512 KB, 4-way unified L2.
+    pub fn paper_l2() -> Self {
+        CacheGeometry::new(512 * 1024, 4, 1, 128)
+    }
+
+    /// The paper's 128 KB, 2-way Execution Cache (wide blocks of pre-scheduled
+    /// instructions).
+    pub fn paper_execution_cache() -> Self {
+        CacheGeometry::new(128 * 1024, 2, 1, 256)
+    }
+
+    fn size_kb(&self) -> f64 {
+        self.size_bytes as f64 / 1024.0
+    }
+}
+
+impl StructureLatency for CacheGeometry {
+    fn logic_ps_ref(&self) -> f64 {
+        // Decoder + way comparison + output drive. Dominated by the decoder depth
+        // (log of the number of sets) and widened by extra ports and very wide
+        // lines.
+        let assoc_factor = 1.0 + 0.05 * (self.assoc as f64 - 2.0);
+        let port_factor = 1.0 + 0.10 * (self.ports as f64 - 1.0);
+        let line_factor = 1.0 + 0.25 * ((self.line_bytes as f64 / 64.0).log2()).max(0.0);
+        260.0 * self.size_kb().log2() * assoc_factor * port_factor * line_factor
+    }
+
+    fn wire_ps_ref(&self) -> f64 {
+        // Word-line / bit-line RC; grows with the square root of the array area.
+        6.0 * self.size_kb().sqrt() * (1.0 + 0.15 * (self.ports as f64 - 1.0))
+    }
+}
+
+/// Geometry of a multi-ported register file.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RegFileGeometry {
+    /// Number of physical registers.
+    pub entries: u32,
+    /// Total number of read + write ports.
+    pub ports: u32,
+}
+
+impl RegFileGeometry {
+    /// Creates a register-file geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` or `ports` is zero.
+    pub fn new(entries: u32, ports: u32) -> Self {
+        assert!(entries > 0 && ports > 0);
+        RegFileGeometry { entries, ports }
+    }
+
+    /// The paper's 192-entry baseline register file (single-cycle access).
+    pub fn paper_baseline() -> Self {
+        RegFileGeometry::new(192, 18)
+    }
+
+    /// The paper's 512-entry Flywheel register file (two-cycle access).
+    pub fn paper_flywheel() -> Self {
+        RegFileGeometry::new(512, 18)
+    }
+}
+
+impl StructureLatency for RegFileGeometry {
+    fn logic_ps_ref(&self) -> f64 {
+        // Calibrated to the paper's 192-entry (870 ps) and 512-entry (1905 ps)
+        // figures; sub-linear in the entry count, linear-ish in the port count.
+        12.3 * (self.entries as f64).powf(0.8) * (1.0 + 0.02 * (self.ports as f64 - 18.0))
+    }
+
+    fn wire_ps_ref(&self) -> f64 {
+        0.23 * self.entries as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn issue_window_is_wire_dominated_relative_to_caches() {
+        let iw = IssueWindowGeometry::paper_baseline();
+        let icache = CacheGeometry::paper_icache();
+        assert!(iw.wire_fraction() > 0.3);
+        assert!(icache.wire_fraction() < 0.1);
+    }
+
+    #[test]
+    fn latency_decreases_with_newer_nodes() {
+        let structures: Vec<Box<dyn StructureLatency>> = vec![
+            Box::new(IssueWindowGeometry::paper_baseline()),
+            Box::new(CacheGeometry::paper_dcache()),
+            Box::new(RegFileGeometry::paper_flywheel()),
+        ];
+        for s in &structures {
+            let mut prev = f64::MAX;
+            for node in TechNode::all() {
+                let l = s.latency_ps(*node);
+                assert!(l < prev, "latency must shrink monotonically");
+                prev = l;
+            }
+        }
+    }
+
+    #[test]
+    fn issue_window_matches_paper_within_tolerance() {
+        // Table 1: 128-entry, 6-wide IW supports 950 MHz at 0.18um and 1950 MHz at
+        // 0.06um (single-cycle access), i.e. 1052 ps and 513 ps.
+        let iw = IssueWindowGeometry::paper_baseline();
+        let at_180 = iw.latency_ps(TechNode::N180);
+        let at_60 = iw.latency_ps(TechNode::N60);
+        assert!((at_180 - 1052.0).abs() / 1052.0 < 0.10, "got {at_180}");
+        assert!((at_60 - 513.0).abs() / 513.0 < 0.12, "got {at_60}");
+    }
+
+    #[test]
+    fn caches_scale_better_than_issue_window() {
+        let iw = IssueWindowGeometry::paper_baseline();
+        let icache = CacheGeometry::paper_icache();
+        let iw_gain = iw.latency_ps(TechNode::N180) / iw.latency_ps(TechNode::N60);
+        let cache_gain = icache.latency_ps(TechNode::N180) / icache.latency_ps(TechNode::N60);
+        assert!(
+            cache_gain > iw_gain + 0.4,
+            "cache gain {cache_gain:.2} should exceed IW gain {iw_gain:.2}"
+        );
+    }
+
+    #[test]
+    fn figure1_crossover_shape() {
+        // Figure 1: the 64K cache is about 2x slower than the IW at 0.25/0.18um but
+        // reaches roughly the same access time at 0.06um.
+        let iw = IssueWindowGeometry::paper_baseline();
+        let icache = CacheGeometry::paper_icache();
+        let ratio_old = icache.latency_ps(TechNode::N250) / iw.latency_ps(TechNode::N250);
+        let ratio_new = icache.latency_ps(TechNode::N60) / iw.latency_ps(TechNode::N60);
+        assert!(ratio_old > 1.4, "old-node ratio {ratio_old:.2}");
+        assert!(ratio_new < 1.25, "new-node ratio {ratio_new:.2}");
+    }
+
+    #[test]
+    fn bigger_register_files_are_slower() {
+        let small = RegFileGeometry::new(128, 18);
+        let medium = RegFileGeometry::paper_baseline();
+        let large = RegFileGeometry::paper_flywheel();
+        for node in TechNode::all() {
+            assert!(small.latency_ps(*node) < medium.latency_ps(*node));
+            assert!(medium.latency_ps(*node) < large.latency_ps(*node));
+        }
+    }
+
+    #[test]
+    fn register_file_matches_paper_within_tolerance() {
+        let baseline = RegFileGeometry::paper_baseline();
+        let flywheel = RegFileGeometry::paper_flywheel();
+        let b_180 = baseline.latency_ps(TechNode::N180);
+        let f_180 = flywheel.latency_ps(TechNode::N180);
+        assert!((b_180 - 870.0).abs() / 870.0 < 0.10, "got {b_180}");
+        assert!((f_180 - 1905.0).abs() / 1905.0 < 0.10, "got {f_180}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_entries_panics() {
+        let _ = IssueWindowGeometry::new(0, 4);
+    }
+}

@@ -1,0 +1,353 @@
+//! Branch prediction: gshare direction predictor, BTB and return-address stack.
+
+use crate::config::BpredConfig;
+use flywheel_isa::{CtrlKind, DynInst, Pc};
+use serde::{Deserialize, Serialize};
+
+/// Statistics of the branch predictor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BpredStats {
+    /// Conditional-branch predictions made.
+    pub cond_predictions: u64,
+    /// Conditional-branch direction mispredictions.
+    pub cond_mispredicts: u64,
+    /// Target mispredictions (returns and indirect jumps).
+    pub target_mispredicts: u64,
+    /// Total control-flow instructions seen.
+    pub total_ctrl: u64,
+}
+
+impl BpredStats {
+    /// Overall misprediction rate per control instruction.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.total_ctrl == 0 {
+            0.0
+        } else {
+            (self.cond_mispredicts + self.target_mispredicts) as f64 / self.total_ctrl as f64
+        }
+    }
+
+    /// Direction misprediction rate per conditional branch.
+    pub fn cond_mispredict_rate(&self) -> f64 {
+        if self.cond_predictions == 0 {
+            0.0
+        } else {
+            self.cond_mispredicts as f64 / self.cond_predictions as f64
+        }
+    }
+}
+
+/// Gshare direction predictor with a direct-mapped BTB and a return-address stack,
+/// as configured in the paper's Table 2 (12 bits of history, 2048 entries).
+///
+/// The simulators are trace driven, so prediction and training happen together:
+/// [`GsharePredictor::predict`] makes an honest prediction from the current tables,
+/// then immediately trains on the actual outcome carried by the [`DynInst`], and
+/// reports whether the prediction was correct. Mispredicted branches stall fetch in
+/// the pipeline until they resolve.
+#[derive(Debug, Clone)]
+pub struct GsharePredictor {
+    cfg: BpredConfig,
+    /// Two-bit saturating counters.
+    pht: Vec<u8>,
+    /// Global history register (low `history_bits` bits are valid).
+    ghr: u64,
+    /// Direct-mapped BTB of (tag, target).
+    btb: Vec<Option<(u64, Pc)>>,
+    /// Return-address stack.
+    ras: Vec<Pc>,
+    stats: BpredStats,
+}
+
+impl GsharePredictor {
+    /// Creates a predictor with all counters weakly not-taken and an empty BTB/RAS.
+    pub fn new(cfg: BpredConfig) -> Self {
+        GsharePredictor {
+            cfg,
+            pht: vec![1; cfg.pht_entries as usize],
+            ghr: 0,
+            btb: vec![None; cfg.btb_entries as usize],
+            ras: Vec::with_capacity(cfg.ras_entries as usize),
+            stats: BpredStats::default(),
+        }
+    }
+
+    fn pht_index(&self, pc: Pc) -> usize {
+        let history_mask = (1u64 << self.cfg.history_bits) - 1;
+        let idx = (pc.word_index() ^ (self.ghr & history_mask)) % self.pht_entries() as u64;
+        idx as usize
+    }
+
+    fn pht_entries(&self) -> u32 {
+        self.cfg.pht_entries
+    }
+
+    fn btb_slot(&self, pc: Pc) -> usize {
+        (pc.word_index() % self.cfg.btb_entries as u64) as usize
+    }
+
+    /// Predicts the control instruction `d`, trains the tables on its actual outcome
+    /// and returns `true` when the prediction (direction *and* target) was correct.
+    ///
+    /// Non-control instructions are always "predicted" correctly and do not touch the
+    /// tables.
+    pub fn predict(&mut self, d: &DynInst) -> bool {
+        let Some(kind) = d.stat.ctrl() else {
+            return true;
+        };
+        self.stats.total_ctrl += 1;
+        match kind {
+            CtrlKind::CondBranch => {
+                self.stats.cond_predictions += 1;
+                let idx = self.pht_index(d.pc);
+                let counter = self.pht[idx];
+                let predicted_taken = counter >= 2;
+                // Train the counter and the global history with the actual outcome.
+                self.pht[idx] = if d.taken {
+                    (counter + 1).min(3)
+                } else {
+                    counter.saturating_sub(1)
+                };
+                self.ghr = (self.ghr << 1) | u64::from(d.taken);
+                // Taken branches also need the BTB to provide the target; a missing
+                // or stale BTB entry on a predicted-taken branch is a misfetch that
+                // we fold into the direction-misprediction count.
+                let mut correct = predicted_taken == d.taken;
+                if predicted_taken && d.taken {
+                    correct &= self.predict_target(d) == Some(d.next_pc);
+                }
+                self.train_target(d);
+                if !correct {
+                    self.stats.cond_mispredicts += 1;
+                }
+                correct
+            }
+            CtrlKind::Jump => {
+                // Direct, unconditional: decoded target, always correct.
+                self.train_target(d);
+                true
+            }
+            CtrlKind::Call => {
+                // Push the return address; the call target itself is direct.
+                if self.ras.len() == self.cfg.ras_entries as usize {
+                    self.ras.remove(0);
+                }
+                self.ras.push(d.pc.next());
+                self.train_target(d);
+                true
+            }
+            CtrlKind::Return => {
+                let predicted = self.ras.pop();
+                let correct = predicted == Some(d.next_pc);
+                if !correct {
+                    self.stats.target_mispredicts += 1;
+                }
+                correct
+            }
+            CtrlKind::IndirectJump => {
+                let predicted = self.predict_target(d);
+                let correct = predicted == Some(d.next_pc);
+                self.train_target(d);
+                if !correct {
+                    self.stats.target_mispredicts += 1;
+                }
+                correct
+            }
+        }
+    }
+
+    /// Trains the tables on the actual outcome of `d` without making (or scoring) a
+    /// prediction.
+    ///
+    /// The Flywheel machine uses this for control instructions replayed from the
+    /// Execution Cache: the front end (and therefore the predictor lookup) is clock
+    /// gated, but retirement still sends predictor updates so that the tables stay
+    /// coherent with the full instruction stream for the next trace-creation phase.
+    pub fn train(&mut self, d: &DynInst) {
+        let Some(kind) = d.stat.ctrl() else { return };
+        match kind {
+            CtrlKind::CondBranch => {
+                let idx = self.pht_index(d.pc);
+                let counter = self.pht[idx];
+                self.pht[idx] = if d.taken {
+                    (counter + 1).min(3)
+                } else {
+                    counter.saturating_sub(1)
+                };
+                self.ghr = (self.ghr << 1) | u64::from(d.taken);
+                self.train_target(d);
+            }
+            CtrlKind::Call => {
+                if self.ras.len() == self.cfg.ras_entries as usize {
+                    self.ras.remove(0);
+                }
+                self.ras.push(d.pc.next());
+                self.train_target(d);
+            }
+            CtrlKind::Return => {
+                self.ras.pop();
+            }
+            CtrlKind::Jump | CtrlKind::IndirectJump => self.train_target(d),
+        }
+    }
+
+    fn predict_target(&self, d: &DynInst) -> Option<Pc> {
+        let slot = self.btb_slot(d.pc);
+        match self.btb[slot] {
+            Some((tag, target)) if tag == d.pc.addr() => Some(target),
+            _ => None,
+        }
+    }
+
+    fn train_target(&mut self, d: &DynInst) {
+        if d.taken {
+            let slot = self.btb_slot(d.pc);
+            self.btb[slot] = Some((d.pc.addr(), d.next_pc));
+        }
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> BpredStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flywheel_isa::{ArchReg, StaticInst};
+
+    fn branch(pc: u64, taken: bool, target: u64, seq: u64) -> DynInst {
+        let pc = Pc::new(pc);
+        DynInst {
+            seq,
+            pc,
+            stat: StaticInst::cond_branch(ArchReg::int(1), None),
+            taken,
+            next_pc: if taken { Pc::new(target) } else { pc.next() },
+            mem: None,
+        }
+    }
+
+    fn predictor() -> GsharePredictor {
+        GsharePredictor::new(BpredConfig::paper())
+    }
+
+    #[test]
+    fn learns_a_strongly_biased_branch() {
+        let mut p = predictor();
+        let mut correct = 0;
+        let n = 200;
+        for i in 0..n {
+            if p.predict(&branch(0x1000, true, 0x2000, i)) {
+                correct += 1;
+            }
+        }
+        // The first handful of predictions walk through cold PHT entries while the
+        // global history register fills up; after that the branch is always right.
+        assert!(correct > n - 20, "only {correct}/{n} correct");
+    }
+
+    #[test]
+    fn alternating_pattern_is_learned_by_history() {
+        let mut p = predictor();
+        let mut correct_late = 0;
+        for i in 0..400u64 {
+            let taken = i % 2 == 0;
+            let ok = p.predict(&branch(0x1000, taken, 0x2000, i));
+            if i >= 200 && ok {
+                correct_late += 1;
+            }
+        }
+        assert!(correct_late > 180, "gshare should learn TNTN..., got {correct_late}/200");
+    }
+
+    #[test]
+    fn random_branches_mispredict_often() {
+        let mut p = predictor();
+        // A pseudo-random but deterministic direction sequence.
+        let mut x = 0x12345678u64;
+        let mut mispredicts = 0;
+        let n = 2000;
+        for i in 0..n {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let taken = (x >> 33) & 1 == 1;
+            if !p.predict(&branch(0x1000, taken, 0x2000, i)) {
+                mispredicts += 1;
+            }
+        }
+        let rate = mispredicts as f64 / n as f64;
+        assert!(rate > 0.3, "random branch mispredict rate {rate}");
+    }
+
+    #[test]
+    fn calls_and_returns_use_the_ras() {
+        let mut p = predictor();
+        let call = DynInst {
+            seq: 0,
+            pc: Pc::new(0x1000),
+            stat: StaticInst::call(),
+            taken: true,
+            next_pc: Pc::new(0x5000),
+            mem: None,
+        };
+        assert!(p.predict(&call));
+        let ret = DynInst {
+            seq: 1,
+            pc: Pc::new(0x5004),
+            stat: StaticInst::ret(),
+            taken: true,
+            next_pc: Pc::new(0x1004), // return address = call pc + 4
+            mem: None,
+        };
+        assert!(p.predict(&ret), "return should be predicted by the RAS");
+        // A second return with an empty RAS cannot be predicted.
+        let ret2 = DynInst { seq: 2, ..ret.clone() };
+        assert!(!p.predict(&ret2));
+        assert_eq!(p.stats().target_mispredicts, 1);
+    }
+
+    #[test]
+    fn jumps_are_always_correct() {
+        let mut p = predictor();
+        let jump = DynInst {
+            seq: 0,
+            pc: Pc::new(0x1000),
+            stat: StaticInst::jump(),
+            taken: true,
+            next_pc: Pc::new(0x9000),
+            mem: None,
+        };
+        for _ in 0..10 {
+            assert!(p.predict(&jump));
+        }
+        assert_eq!(p.stats().mispredict_rate(), 0.0);
+    }
+
+    #[test]
+    fn non_control_instructions_do_not_touch_stats() {
+        let mut p = predictor();
+        let alu = DynInst {
+            seq: 0,
+            pc: Pc::new(0x1000),
+            stat: StaticInst::alu(ArchReg::int(1), ArchReg::int(2), None),
+            taken: false,
+            next_pc: Pc::new(0x1004),
+            mem: None,
+        };
+        assert!(p.predict(&alu));
+        assert_eq!(p.stats().total_ctrl, 0);
+    }
+
+    #[test]
+    fn stats_rates_are_consistent() {
+        let mut p = predictor();
+        for i in 0..50 {
+            p.predict(&branch(0x1000 + 8 * (i % 7), i % 3 != 0, 0x4000, i));
+        }
+        let s = p.stats();
+        assert!(s.cond_predictions >= s.cond_mispredicts);
+        assert!(s.mispredict_rate() <= 1.0);
+        assert!(s.cond_mispredict_rate() <= 1.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Functional-unit issue-bandwidth tracking.
+
+use crate::config::FuConfig;
+use flywheel_isa::{FuKind, OpClass};
+use serde::{Deserialize, Serialize};
+
+/// Tracks how many instructions of each functional-unit kind have been issued in the
+/// current execution-core cycle.
+///
+/// Units are treated as fully pipelined: the constraint modelled is issue bandwidth
+/// per kind per cycle (4 integer ALUs can start 4 ALU operations per cycle, the
+/// single FP multiply/divide unit can start one FP multiply per cycle, and so on).
+/// Long-latency operations still occupy their result latency; only the structural
+/// issue-port contention is captured here, matching the level of detail of the
+/// paper's SimpleScalar-derived simulator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FunctionalUnits {
+    cfg: FuConfig,
+    used: [u32; 5],
+    issued_total: [u64; 5],
+}
+
+impl FunctionalUnits {
+    /// Creates the pool described by `cfg`.
+    pub fn new(cfg: FuConfig) -> Self {
+        FunctionalUnits {
+            cfg,
+            used: [0; 5],
+            issued_total: [0; 5],
+        }
+    }
+
+    /// Starts a new execution-core cycle (clears the per-cycle issue counters).
+    pub fn begin_cycle(&mut self) {
+        self.used = [0; 5];
+    }
+
+    /// Whether an instruction of class `op` could issue this cycle.
+    pub fn can_issue(&self, op: OpClass) -> bool {
+        let kind = op.fu_kind();
+        self.used[kind.index()] < self.cfg.count(kind)
+    }
+
+    /// Attempts to claim an issue slot for `op` this cycle.
+    pub fn try_issue(&mut self, op: OpClass) -> bool {
+        let kind = op.fu_kind();
+        if self.used[kind.index()] < self.cfg.count(kind) {
+            self.used[kind.index()] += 1;
+            self.issued_total[kind.index()] += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Total operations issued to `kind` over the whole run.
+    pub fn issued(&self, kind: FuKind) -> u64 {
+        self.issued_total[kind.index()]
+    }
+
+    /// The configured unit counts.
+    pub fn config(&self) -> FuConfig {
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn issue_bandwidth_is_limited_per_kind() {
+        let mut fus = FunctionalUnits::new(FuConfig::paper());
+        fus.begin_cycle();
+        for _ in 0..4 {
+            assert!(fus.try_issue(OpClass::IntAlu));
+        }
+        assert!(!fus.try_issue(OpClass::IntAlu), "only 4 integer ALUs");
+        // Other kinds are unaffected.
+        assert!(fus.try_issue(OpClass::Load));
+        assert!(fus.try_issue(OpClass::Store));
+        assert!(!fus.try_issue(OpClass::Load), "only 2 memory ports");
+        assert!(fus.try_issue(OpClass::FpMul));
+        assert!(!fus.try_issue(OpClass::FpDiv), "single FP mul/div unit");
+    }
+
+    #[test]
+    fn begin_cycle_resets_bandwidth() {
+        let mut fus = FunctionalUnits::new(FuConfig::paper());
+        fus.begin_cycle();
+        assert!(fus.try_issue(OpClass::FpMul));
+        assert!(!fus.can_issue(OpClass::FpDiv));
+        fus.begin_cycle();
+        assert!(fus.can_issue(OpClass::FpDiv));
+        assert_eq!(fus.issued(FuKind::FpMulDiv), 1);
+    }
+
+    #[test]
+    fn branches_share_the_integer_alus() {
+        let mut fus = FunctionalUnits::new(FuConfig::paper());
+        fus.begin_cycle();
+        for _ in 0..4 {
+            assert!(fus.try_issue(OpClass::Ctrl));
+        }
+        assert!(!fus.try_issue(OpClass::IntAlu));
+    }
+}

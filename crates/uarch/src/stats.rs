@@ -1,0 +1,172 @@
+//! Simulation results and statistics.
+
+use crate::bpred::BpredStats;
+use crate::cache::HierarchyStats;
+use flywheel_power::EnergyBreakdown;
+use serde::{Deserialize, Serialize};
+
+/// How many instructions to warm up and to measure in one simulation run.
+///
+/// The paper fast-forwards 500 M instructions and measures 100 M; the reproduction
+/// defaults to a scaled-down 200 k / 2 M (see EXPERIMENTS.md) but any budget can be
+/// chosen per run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimBudget {
+    /// Instructions executed before measurement starts (caches and predictors warm
+    /// up, statistics are discarded).
+    pub warmup_instructions: u64,
+    /// Instructions measured after warm-up.
+    pub measured_instructions: u64,
+}
+
+impl SimBudget {
+    /// Creates a budget.
+    pub fn new(warmup_instructions: u64, measured_instructions: u64) -> Self {
+        SimBudget {
+            warmup_instructions,
+            measured_instructions,
+        }
+    }
+
+    /// A small budget suitable for unit tests (5 k warm-up, 30 k measured).
+    pub fn test() -> Self {
+        SimBudget::new(5_000, 30_000)
+    }
+
+    /// The default experiment budget used by the bench harness (200 k warm-up, 2 M
+    /// measured).
+    pub fn experiment() -> Self {
+        SimBudget::new(200_000, 2_000_000)
+    }
+
+    /// Total instructions simulated.
+    pub fn total(&self) -> u64 {
+        self.warmup_instructions + self.measured_instructions
+    }
+}
+
+impl Default for SimBudget {
+    fn default() -> Self {
+        SimBudget::experiment()
+    }
+}
+
+/// The result of one simulation run (measured portion only).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Instructions retired during measurement.
+    pub instructions: u64,
+    /// Back-end (execution core) cycles elapsed during measurement.
+    pub be_cycles: u64,
+    /// Front-end cycles elapsed during measurement.
+    pub fe_cycles: u64,
+    /// Simulated wall-clock time of the measured portion, in picoseconds.
+    pub elapsed_ps: u64,
+    /// Instructions squashed by mispredict recovery.
+    pub squashed: u64,
+    /// Branch predictor statistics (measured portion).
+    pub bpred: BpredStats,
+    /// Cache hierarchy statistics (measured portion).
+    pub caches: HierarchyStats,
+    /// Energy breakdown of the measured portion.
+    pub energy: EnergyBreakdown,
+    /// Fraction of back-end cycles spent with the front-end clock gated (always zero
+    /// for the baseline machine; the Flywheel machine reports its trace-execution
+    /// residency here).
+    pub gated_frontend_fraction: f64,
+}
+
+impl SimResult {
+    /// Instructions per back-end cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.be_cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.be_cycles as f64
+        }
+    }
+
+    /// Execution time in microseconds.
+    pub fn execution_time_us(&self) -> f64 {
+        self.elapsed_ps as f64 * 1e-6
+    }
+
+    /// Average power in watts over the measured portion.
+    pub fn average_power_w(&self) -> f64 {
+        self.energy.average_power_w()
+    }
+
+    /// Total energy in millijoules over the measured portion.
+    pub fn total_energy_mj(&self) -> f64 {
+        self.energy.total_mj()
+    }
+
+    /// Performance relative to `baseline` (ratio of execution times; >1 means this
+    /// run is faster).
+    pub fn speedup_over(&self, baseline: &SimResult) -> f64 {
+        baseline.elapsed_ps as f64 / self.elapsed_ps as f64
+    }
+
+    /// Energy relative to `baseline` (<1 means this run consumes less energy).
+    pub fn energy_ratio_over(&self, baseline: &SimResult) -> f64 {
+        self.energy.total_pj() / baseline.energy.total_pj()
+    }
+
+    /// Power relative to `baseline`.
+    pub fn power_ratio_over(&self, baseline: &SimResult) -> f64 {
+        self.average_power_w() / baseline.average_power_w()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(instructions: u64, be_cycles: u64, elapsed_ps: u64, energy_pj: f64) -> SimResult {
+        SimResult {
+            instructions,
+            be_cycles,
+            fe_cycles: be_cycles,
+            elapsed_ps,
+            squashed: 0,
+            bpred: BpredStats::default(),
+            caches: HierarchyStats::default(),
+            energy: EnergyBreakdown {
+                backend_pj: energy_pj,
+                elapsed_ps,
+                ..EnergyBreakdown::default()
+            },
+            gated_frontend_fraction: 0.0,
+        }
+    }
+
+    #[test]
+    fn ipc_and_time_metrics() {
+        let r = result(1000, 500, 1_000_000, 5000.0);
+        assert!((r.ipc() - 2.0).abs() < 1e-12);
+        assert!((r.execution_time_us() - 1e-6 * 1_000_000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_metrics_compare_against_baseline() {
+        let baseline = result(1000, 1000, 2_000_000, 8000.0);
+        let faster = result(1000, 600, 1_000_000, 6000.0);
+        assert!((faster.speedup_over(&baseline) - 2.0).abs() < 1e-9);
+        assert!((faster.energy_ratio_over(&baseline) - 0.75).abs() < 1e-9);
+        assert!(faster.power_ratio_over(&baseline) > 1.0, "same-ish energy in half the time is more power");
+    }
+
+    #[test]
+    fn budgets_add_up() {
+        let b = SimBudget::new(10, 20);
+        assert_eq!(b.total(), 30);
+        assert!(SimBudget::experiment().total() > SimBudget::test().total());
+    }
+
+    #[test]
+    fn zero_cycle_result_has_zero_ipc() {
+        let r = result(0, 0, 0, 0.0);
+        assert_eq!(r.ipc(), 0.0);
+        assert_eq!(r.average_power_w(), 0.0);
+    }
+}

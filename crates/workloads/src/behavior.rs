@@ -1,0 +1,120 @@
+//! Dynamic behaviour attached to static branches and memory instructions.
+
+use serde::{Deserialize, Serialize};
+
+/// The dynamic behaviour of one static conditional branch.
+///
+/// The behaviour is assigned at synthesis time (driven by
+/// [`crate::BranchMixProfile`]) and interpreted by the [`crate::TraceGenerator`],
+/// which keeps the per-branch state (loop counters, pattern positions).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BranchBehavior {
+    /// A loop back-edge: taken for `trips - 1` consecutive executions, then not
+    /// taken once, with `trips` resampled around `mean_trips` at every loop entry.
+    LoopBack {
+        /// Mean number of loop iterations per entry.
+        mean_trips: f64,
+    },
+    /// A strongly biased branch taken with probability `taken_prob`.
+    Biased {
+        /// Probability that the branch is taken.
+        taken_prob: f64,
+    },
+    /// A branch following a fixed repeating pattern of `period` outcomes encoded in
+    /// the low bits of `pattern` (bit i = outcome of the i-th execution in the
+    /// period). Well captured by global-history predictors.
+    Pattern {
+        /// Outcome bits, least-significant bit first.
+        pattern: u32,
+        /// Pattern period in `1..=32`.
+        period: u8,
+    },
+    /// A data-dependent branch with no exploitable structure.
+    Random {
+        /// Probability that the branch is taken.
+        taken_prob: f64,
+    },
+}
+
+impl BranchBehavior {
+    /// Whether a history-based predictor can in principle predict this branch well.
+    pub fn is_predictable(&self) -> bool {
+        !matches!(self, BranchBehavior::Random { .. })
+    }
+}
+
+/// The dynamic address behaviour of one static load or store.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MemBehavior {
+    /// Sequential streaming through a region of `region_bytes` bytes with a fixed
+    /// stride; wraps around at the end of the region.
+    Stream {
+        /// First byte of the streamed region.
+        base: u64,
+        /// Stride in bytes between consecutive accesses.
+        stride: u64,
+        /// Size of the streamed region in bytes.
+        region_bytes: u64,
+    },
+    /// Uniform random accesses inside a hot working set of `bytes` bytes.
+    HotSet {
+        /// First byte of the region.
+        base: u64,
+        /// Region size in bytes.
+        bytes: u64,
+    },
+    /// Uniform random accesses inside a large region (mostly cache misses when the
+    /// region exceeds the cache capacity).
+    Scattered {
+        /// First byte of the region.
+        base: u64,
+        /// Region size in bytes.
+        bytes: u64,
+    },
+}
+
+impl MemBehavior {
+    /// The size in bytes of the region this behaviour touches.
+    pub fn footprint(&self) -> u64 {
+        match self {
+            MemBehavior::Stream { region_bytes, .. } => *region_bytes,
+            MemBehavior::HotSet { bytes, .. } | MemBehavior::Scattered { bytes, .. } => *bytes,
+        }
+    }
+
+    /// The base address of the region.
+    pub fn base(&self) -> u64 {
+        match self {
+            MemBehavior::Stream { base, .. }
+            | MemBehavior::HotSet { base, .. }
+            | MemBehavior::Scattered { base, .. } => *base,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predictability_classification() {
+        assert!(BranchBehavior::LoopBack { mean_trips: 10.0 }.is_predictable());
+        assert!(BranchBehavior::Biased { taken_prob: 0.9 }.is_predictable());
+        assert!(BranchBehavior::Pattern { pattern: 0b0101, period: 4 }.is_predictable());
+        assert!(!BranchBehavior::Random { taken_prob: 0.5 }.is_predictable());
+    }
+
+    #[test]
+    fn footprint_and_base_are_exposed() {
+        let m = MemBehavior::Stream {
+            base: 0x1000,
+            stride: 8,
+            region_bytes: 4096,
+        };
+        assert_eq!(m.footprint(), 4096);
+        assert_eq!(m.base(), 0x1000);
+        let h = MemBehavior::HotSet { base: 0x2000, bytes: 64 };
+        assert_eq!(h.footprint(), 64);
+        assert_eq!(h.base(), 0x2000);
+    }
+}

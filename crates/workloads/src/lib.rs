@@ -1,0 +1,53 @@
+//! # flywheel-workloads
+//!
+//! Synthetic, statistically calibrated stand-ins for the SPEC95 / SPEC2000 benchmarks
+//! used in the ISCA 2005 Flywheel paper.
+//!
+//! The paper evaluates on `ijpeg`, `gcc`, `gzip`, `vpr`, `mesa`, `equake`, `parser`,
+//! `vortex`, `bzip2` and `turb3d`. Running the real binaries requires the SPEC suites
+//! and an Alpha/PISA toolchain, neither of which is available here, so each benchmark
+//! is replaced by a *synthetic program generator* plus a *dynamic trace generator*
+//! whose observable microarchitectural behaviour (instruction mix, branch
+//! predictability under gshare, cache miss rates, attainable ILP, loop/trace
+//! locality, architected-register reuse) is calibrated to the published
+//! characteristics of the original benchmark. The simulators only interact with a
+//! workload through those statistics, so the *shape* of the paper's results is
+//! preserved.
+//!
+//! The crate exposes:
+//!
+//! * [`Benchmark`] — the ten paper benchmarks (plus [`Benchmark::Micro`] for tests).
+//! * [`BenchmarkProfile`] — the tunable statistical description of a workload.
+//! * [`SyntheticProgram`] — a generated static program together with the dynamic
+//!   behaviour attached to its branches and memory instructions.
+//! * [`TraceGenerator`] — an iterator of [`flywheel_isa::DynInst`] driving the
+//!   simulators.
+//! * [`TraceStats`] — aggregate statistics of a trace, used for calibration tests.
+//!
+//! ```
+//! use flywheel_workloads::{Benchmark, TraceGenerator};
+//!
+//! let program = Benchmark::Gzip.synthesize(42);
+//! let trace: Vec<_> = TraceGenerator::new(&program, 42).take(1000).collect();
+//! assert_eq!(trace.len(), 1000);
+//! // The trace is deterministic for a given seed.
+//! let again: Vec<_> = TraceGenerator::new(&program, 42).take(1000).collect();
+//! assert_eq!(trace, again);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod behavior;
+mod profile;
+mod spec;
+mod stats;
+mod synth;
+mod trace;
+
+pub use behavior::{BranchBehavior, MemBehavior};
+pub use profile::{BenchmarkProfile, BranchMixProfile, InstMixProfile, LoopProfile, MemoryProfile};
+pub use spec::Benchmark;
+pub use stats::TraceStats;
+pub use synth::{ProgramSynthesizer, SyntheticProgram};
+pub use trace::TraceGenerator;

@@ -1,0 +1,321 @@
+//! Statistical benchmark profiles.
+
+use serde::{Deserialize, Serialize};
+
+/// Fractions of non-control instruction classes in the generated code.
+///
+/// The fractions describe the *computational* part of a basic block; conditional
+/// branches, jumps, calls and returns are added by the control-flow synthesizer and
+/// their density is governed by [`BenchmarkProfile::avg_block_len`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InstMixProfile {
+    /// Fraction of loads.
+    pub load: f64,
+    /// Fraction of stores.
+    pub store: f64,
+    /// Fraction of integer multiplies/divides.
+    pub int_muldiv: f64,
+    /// Fraction of floating-point adds.
+    pub fp_add: f64,
+    /// Fraction of floating-point multiplies/divides.
+    pub fp_muldiv: f64,
+    // Remainder is integer ALU.
+}
+
+impl InstMixProfile {
+    /// A typical integer-code mix.
+    pub fn integer() -> Self {
+        InstMixProfile {
+            load: 0.24,
+            store: 0.12,
+            int_muldiv: 0.02,
+            fp_add: 0.0,
+            fp_muldiv: 0.0,
+        }
+    }
+
+    /// A typical floating-point-code mix.
+    pub fn floating_point() -> Self {
+        InstMixProfile {
+            load: 0.28,
+            store: 0.10,
+            int_muldiv: 0.01,
+            fp_add: 0.18,
+            fp_muldiv: 0.14,
+        }
+    }
+
+    /// The integer-ALU remainder fraction.
+    pub fn int_alu(&self) -> f64 {
+        1.0 - self.load - self.store - self.int_muldiv - self.fp_add - self.fp_muldiv
+    }
+
+    /// Whether the fractions are all non-negative and sum to at most one.
+    pub fn is_valid(&self) -> bool {
+        let parts = [
+            self.load,
+            self.store,
+            self.int_muldiv,
+            self.fp_add,
+            self.fp_muldiv,
+        ];
+        parts.iter().all(|&p| (0.0..=1.0).contains(&p)) && self.int_alu() >= 0.0
+    }
+}
+
+/// How predictable the conditional branches of the workload are.
+///
+/// Each static conditional branch is assigned one of four behaviours at synthesis
+/// time; the fractions here control that assignment. Loop back-edges are always
+/// loop-behaved and are not governed by these fractions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BranchMixProfile {
+    /// Fraction of strongly biased branches (taken or not-taken with probability
+    /// [`BranchMixProfile::bias`]).
+    pub biased: f64,
+    /// Fraction of branches following a short repeating pattern (well predicted by
+    /// gshare history).
+    pub patterned: f64,
+    /// Fraction of data-dependent, essentially random branches (poorly predicted).
+    pub random: f64,
+    /// Taken probability of a biased branch.
+    pub bias: f64,
+    /// Taken probability of a random branch.
+    pub random_taken: f64,
+}
+
+impl BranchMixProfile {
+    /// A well-predicted branch population (loops and biased guards).
+    pub fn predictable() -> Self {
+        BranchMixProfile {
+            biased: 0.75,
+            patterned: 0.18,
+            random: 0.07,
+            bias: 0.92,
+            random_taken: 0.5,
+        }
+    }
+
+    /// A control-heavy, hard-to-predict population (e.g. `gcc`).
+    pub fn irregular() -> Self {
+        BranchMixProfile {
+            biased: 0.45,
+            patterned: 0.25,
+            random: 0.30,
+            bias: 0.85,
+            random_taken: 0.45,
+        }
+    }
+
+    /// Whether the fractions sum to one (within rounding).
+    pub fn is_valid(&self) -> bool {
+        (self.biased + self.patterned + self.random - 1.0).abs() < 1e-9
+            && (0.0..=1.0).contains(&self.bias)
+            && (0.0..=1.0).contains(&self.random_taken)
+    }
+}
+
+/// Memory-locality description.
+///
+/// Each static memory instruction is bound to one of three address-stream behaviours;
+/// the fractions and working-set sizes below determine the resulting L1/L2 miss
+/// rates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryProfile {
+    /// Fraction of memory instructions streaming through arrays with a small stride.
+    pub streaming: f64,
+    /// Fraction of memory instructions touching a small, hot working set.
+    pub hot_set: f64,
+    /// Fraction of memory instructions touching a large working set (mostly cache
+    /// misses).
+    pub scattered: f64,
+    /// Size of the hot working set in bytes (should fit in L1 for cache-friendly
+    /// codes).
+    pub hot_set_bytes: u64,
+    /// Size of the large working set in bytes (larger than L2 for memory-bound
+    /// codes).
+    pub scattered_bytes: u64,
+    /// Stride, in bytes, of streaming accesses.
+    pub stream_stride: u64,
+}
+
+impl MemoryProfile {
+    /// Cache-friendly memory behaviour.
+    pub fn cache_friendly() -> Self {
+        MemoryProfile {
+            streaming: 0.35,
+            hot_set: 0.60,
+            scattered: 0.05,
+            hot_set_bytes: 32 * 1024,
+            scattered_bytes: 8 * 1024 * 1024,
+            stream_stride: 8,
+        }
+    }
+
+    /// Memory-intensive behaviour with a working set exceeding L2.
+    pub fn memory_bound() -> Self {
+        MemoryProfile {
+            streaming: 0.40,
+            hot_set: 0.30,
+            scattered: 0.30,
+            hot_set_bytes: 48 * 1024,
+            scattered_bytes: 16 * 1024 * 1024,
+            stream_stride: 16,
+        }
+    }
+
+    /// Whether the fractions sum to one (within rounding).
+    pub fn is_valid(&self) -> bool {
+        (self.streaming + self.hot_set + self.scattered - 1.0).abs() < 1e-9
+            && self.hot_set_bytes > 0
+            && self.scattered_bytes > 0
+            && self.stream_stride > 0
+    }
+}
+
+/// Loop-structure description.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoopProfile {
+    /// Mean trip count of innermost loops.
+    pub mean_trip_count: f64,
+    /// Maximum loop nesting depth generated.
+    pub max_nesting: u32,
+    /// Probability that a loop body contains a nested loop (per nesting level).
+    pub nest_probability: f64,
+}
+
+impl LoopProfile {
+    /// Loop-dominated numeric code.
+    pub fn loopy() -> Self {
+        LoopProfile {
+            mean_trip_count: 48.0,
+            max_nesting: 3,
+            nest_probability: 0.4,
+        }
+    }
+
+    /// Branchy, call-dominated code with short loops.
+    pub fn branchy() -> Self {
+        LoopProfile {
+            mean_trip_count: 9.0,
+            max_nesting: 2,
+            nest_probability: 0.25,
+        }
+    }
+}
+
+/// The complete statistical description of a synthetic benchmark.
+///
+/// A profile is consumed by [`crate::ProgramSynthesizer`] (static structure) and by
+/// [`crate::TraceGenerator`] (dynamic behaviour). The per-benchmark calibrated
+/// profiles live on [`crate::Benchmark::profile`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkProfile {
+    /// Human-readable benchmark name.
+    pub name: String,
+    /// Instruction-class mix.
+    pub mix: InstMixProfile,
+    /// Conditional-branch behaviour mix.
+    pub branches: BranchMixProfile,
+    /// Memory-locality behaviour.
+    pub memory: MemoryProfile,
+    /// Loop structure.
+    pub loops: LoopProfile,
+    /// Number of synthesized functions (drives static code footprint, I-cache and
+    /// Execution Cache pressure).
+    pub functions: u32,
+    /// Average basic-block length in instructions (excluding the terminator).
+    pub avg_block_len: u32,
+    /// Mean register dependency distance, in instructions. Small values produce long
+    /// dependence chains (low ILP); large values produce independent instructions
+    /// (high ILP).
+    pub dependency_distance: f64,
+    /// Number of distinct architected destination registers the generated code cycles
+    /// through. Small values stress the per-architected-register rename pools of the
+    /// Flywheel register file (as `gzip`, `vpr` and `parser` do in the paper).
+    pub dest_register_span: u32,
+    /// Probability that a non-loop region is a call site.
+    pub call_probability: f64,
+}
+
+impl BenchmarkProfile {
+    /// Validates internal consistency of the profile.
+    ///
+    /// Returns a human-readable description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.mix.is_valid() {
+            return Err(format!("{}: instruction mix fractions are invalid", self.name));
+        }
+        if !self.branches.is_valid() {
+            return Err(format!("{}: branch mix fractions are invalid", self.name));
+        }
+        if !self.memory.is_valid() {
+            return Err(format!("{}: memory profile is invalid", self.name));
+        }
+        if self.functions == 0 {
+            return Err(format!("{}: must have at least one function", self.name));
+        }
+        if self.avg_block_len == 0 {
+            return Err(format!("{}: blocks must not be empty", self.name));
+        }
+        if self.dependency_distance < 1.0 {
+            return Err(format!("{}: dependency distance must be >= 1", self.name));
+        }
+        if self.dest_register_span < 2 || self.dest_register_span > 22 {
+            return Err(format!(
+                "{}: destination register span must be in 2..=22 (r23..r31 are reserved \
+                 for loop counters and base pointers)",
+                self.name
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.call_probability) {
+            return Err(format!("{}: call probability must be a probability", self.name));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canned_mixes_are_valid() {
+        assert!(InstMixProfile::integer().is_valid());
+        assert!(InstMixProfile::floating_point().is_valid());
+        assert!(BranchMixProfile::predictable().is_valid());
+        assert!(BranchMixProfile::irregular().is_valid());
+        assert!(MemoryProfile::cache_friendly().is_valid());
+        assert!(MemoryProfile::memory_bound().is_valid());
+    }
+
+    #[test]
+    fn int_alu_is_remainder() {
+        let mix = InstMixProfile::integer();
+        let total = mix.load + mix.store + mix.int_muldiv + mix.fp_add + mix.fp_muldiv + mix.int_alu();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_mix_detected() {
+        let mut mix = InstMixProfile::integer();
+        mix.load = 0.9;
+        mix.store = 0.9;
+        assert!(!mix.is_valid());
+    }
+
+    #[test]
+    fn profile_validation_catches_bad_register_span() {
+        let mut p = crate::Benchmark::Gzip.profile();
+        assert!(p.validate().is_ok());
+        p.dest_register_span = 1;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn profile_validation_catches_bad_dependency_distance() {
+        let mut p = crate::Benchmark::Mesa.profile();
+        p.dependency_distance = 0.0;
+        assert!(p.validate().is_err());
+    }
+}

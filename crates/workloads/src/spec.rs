@@ -1,0 +1,526 @@
+//! The paper's benchmark set as calibrated profiles.
+
+use crate::{
+    BenchmarkProfile, BranchMixProfile, InstMixProfile, LoopProfile, MemoryProfile,
+    ProgramSynthesizer, SyntheticProgram,
+};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The SPEC95/SPEC2000 benchmarks evaluated in the paper, plus a tiny `Micro`
+/// workload used by unit tests.
+///
+/// Calling [`Benchmark::profile`] returns the calibrated statistical description;
+/// [`Benchmark::synthesize`] generates the corresponding synthetic program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Benchmark {
+    /// SPEC95 `ijpeg` — integer image compression, loop-dominated, very predictable.
+    Ijpeg,
+    /// SPEC2000 `gcc` — compiler; huge static footprint, irregular control flow.
+    Gcc,
+    /// SPEC2000 `gzip` — LZ77 compression; tight loops, strong register reuse.
+    Gzip,
+    /// SPEC2000 `vpr` — FPGA place & route; pointer-heavy, register-pressure bound.
+    Vpr,
+    /// SPEC2000 `mesa` — software 3-D rendering (FP), loop-dominated.
+    Mesa,
+    /// SPEC2000 `equake` — FP earthquake simulation; sparse memory, long FP chains.
+    Equake,
+    /// SPEC2000 `parser` — natural-language parser; branchy, register-pressure bound.
+    Parser,
+    /// SPEC2000 `vortex` — object database; call-heavy with a large instruction
+    /// footprint (lowest Execution-Cache residency in the paper).
+    Vortex,
+    /// SPEC2000 `bzip2` — block-sorting compression; predictable loops, hot data.
+    Bzip2,
+    /// SPEC95 `turb3d` — FP turbulence simulation; deep loop nests, high ILP.
+    Turb3d,
+    /// A tiny deterministic workload for unit tests (not part of the paper).
+    Micro,
+}
+
+impl Benchmark {
+    /// The ten benchmarks evaluated in the paper, in the order the figures use.
+    pub fn paper_suite() -> &'static [Benchmark] {
+        &[
+            Benchmark::Ijpeg,
+            Benchmark::Gcc,
+            Benchmark::Gzip,
+            Benchmark::Vpr,
+            Benchmark::Mesa,
+            Benchmark::Equake,
+            Benchmark::Parser,
+            Benchmark::Vortex,
+            Benchmark::Bzip2,
+            Benchmark::Turb3d,
+        ]
+    }
+
+    /// The benchmark's name as used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Benchmark::Ijpeg => "ijpeg",
+            Benchmark::Gcc => "gcc",
+            Benchmark::Gzip => "gzip",
+            Benchmark::Vpr => "vpr",
+            Benchmark::Mesa => "mesa",
+            Benchmark::Equake => "equake",
+            Benchmark::Parser => "parser",
+            Benchmark::Vortex => "vortex",
+            Benchmark::Bzip2 => "bzip2",
+            Benchmark::Turb3d => "turb3d",
+            Benchmark::Micro => "micro",
+        }
+    }
+
+    /// Whether the benchmark is floating-point dominated.
+    pub fn is_fp(&self) -> bool {
+        matches!(self, Benchmark::Mesa | Benchmark::Equake | Benchmark::Turb3d)
+    }
+
+    /// The calibrated statistical profile for this benchmark.
+    ///
+    /// Calibration targets (mispredict rates, miss rates, ILP, code footprint) follow
+    /// the commonly published characterization of each benchmark; see DESIGN.md for
+    /// the substitution rationale.
+    pub fn profile(&self) -> BenchmarkProfile {
+        match self {
+            Benchmark::Ijpeg => BenchmarkProfile {
+                name: "ijpeg".to_owned(),
+                mix: InstMixProfile {
+                    load: 0.22,
+                    store: 0.10,
+                    int_muldiv: 0.06,
+                    fp_add: 0.0,
+                    fp_muldiv: 0.0,
+                },
+                branches: BranchMixProfile {
+                    biased: 0.82,
+                    patterned: 0.12,
+                    random: 0.06,
+                    bias: 0.94,
+                    random_taken: 0.5,
+                },
+                memory: MemoryProfile {
+                    streaming: 0.55,
+                    hot_set: 0.42,
+                    scattered: 0.03,
+                    hot_set_bytes: 24 * 1024,
+                    scattered_bytes: 4 * 1024 * 1024,
+                    stream_stride: 4,
+                },
+                loops: LoopProfile {
+                    mean_trip_count: 64.0,
+                    max_nesting: 3,
+                    nest_probability: 0.45,
+                },
+                functions: 20,
+                avg_block_len: 9,
+                dependency_distance: 4.5,
+                dest_register_span: 20,
+                call_probability: 0.08,
+            },
+            Benchmark::Gcc => BenchmarkProfile {
+                name: "gcc".to_owned(),
+                mix: InstMixProfile {
+                    load: 0.26,
+                    store: 0.14,
+                    int_muldiv: 0.01,
+                    fp_add: 0.0,
+                    fp_muldiv: 0.0,
+                },
+                branches: BranchMixProfile::irregular(),
+                memory: MemoryProfile {
+                    streaming: 0.20,
+                    hot_set: 0.55,
+                    scattered: 0.25,
+                    hot_set_bytes: 48 * 1024,
+                    scattered_bytes: 12 * 1024 * 1024,
+                    stream_stride: 8,
+                },
+                loops: LoopProfile {
+                    mean_trip_count: 7.0,
+                    max_nesting: 2,
+                    nest_probability: 0.2,
+                },
+                functions: 120,
+                avg_block_len: 5,
+                dependency_distance: 3.2,
+                dest_register_span: 22,
+                call_probability: 0.22,
+            },
+            Benchmark::Gzip => BenchmarkProfile {
+                name: "gzip".to_owned(),
+                mix: InstMixProfile {
+                    load: 0.25,
+                    store: 0.09,
+                    int_muldiv: 0.01,
+                    fp_add: 0.0,
+                    fp_muldiv: 0.0,
+                },
+                branches: BranchMixProfile {
+                    biased: 0.62,
+                    patterned: 0.22,
+                    random: 0.16,
+                    bias: 0.90,
+                    random_taken: 0.5,
+                },
+                memory: MemoryProfile {
+                    streaming: 0.45,
+                    hot_set: 0.45,
+                    scattered: 0.10,
+                    hot_set_bytes: 56 * 1024,
+                    scattered_bytes: 6 * 1024 * 1024,
+                    stream_stride: 4,
+                },
+                loops: LoopProfile {
+                    mean_trip_count: 28.0,
+                    max_nesting: 2,
+                    nest_probability: 0.35,
+                },
+                functions: 16,
+                avg_block_len: 6,
+                // Tight dependence chains and very few destination registers: this is
+                // what makes gzip lose >10% with the pool-based register allocation
+                // in Figure 11.
+                dependency_distance: 2.2,
+                dest_register_span: 12,
+                call_probability: 0.06,
+            },
+            Benchmark::Vpr => BenchmarkProfile {
+                name: "vpr".to_owned(),
+                mix: InstMixProfile {
+                    load: 0.28,
+                    store: 0.11,
+                    int_muldiv: 0.02,
+                    fp_add: 0.04,
+                    fp_muldiv: 0.02,
+                },
+                branches: BranchMixProfile {
+                    biased: 0.58,
+                    patterned: 0.20,
+                    random: 0.22,
+                    bias: 0.88,
+                    random_taken: 0.48,
+                },
+                memory: MemoryProfile {
+                    streaming: 0.25,
+                    hot_set: 0.50,
+                    scattered: 0.25,
+                    hot_set_bytes: 40 * 1024,
+                    scattered_bytes: 10 * 1024 * 1024,
+                    stream_stride: 8,
+                },
+                loops: LoopProfile {
+                    mean_trip_count: 14.0,
+                    max_nesting: 2,
+                    nest_probability: 0.3,
+                },
+                functions: 36,
+                avg_block_len: 6,
+                dependency_distance: 2.5,
+                dest_register_span: 12,
+                call_probability: 0.12,
+            },
+            Benchmark::Mesa => BenchmarkProfile {
+                name: "mesa".to_owned(),
+                mix: InstMixProfile {
+                    load: 0.26,
+                    store: 0.12,
+                    int_muldiv: 0.01,
+                    fp_add: 0.14,
+                    fp_muldiv: 0.11,
+                },
+                branches: BranchMixProfile {
+                    biased: 0.80,
+                    patterned: 0.14,
+                    random: 0.06,
+                    bias: 0.95,
+                    random_taken: 0.5,
+                },
+                memory: MemoryProfile {
+                    streaming: 0.50,
+                    hot_set: 0.42,
+                    scattered: 0.08,
+                    hot_set_bytes: 32 * 1024,
+                    scattered_bytes: 8 * 1024 * 1024,
+                    stream_stride: 16,
+                },
+                loops: LoopProfile {
+                    mean_trip_count: 40.0,
+                    max_nesting: 3,
+                    nest_probability: 0.4,
+                },
+                functions: 48,
+                avg_block_len: 10,
+                dependency_distance: 4.0,
+                dest_register_span: 20,
+                call_probability: 0.10,
+            },
+            Benchmark::Equake => BenchmarkProfile {
+                name: "equake".to_owned(),
+                mix: InstMixProfile {
+                    load: 0.32,
+                    store: 0.09,
+                    int_muldiv: 0.01,
+                    fp_add: 0.19,
+                    fp_muldiv: 0.15,
+                },
+                branches: BranchMixProfile {
+                    biased: 0.86,
+                    patterned: 0.10,
+                    random: 0.04,
+                    bias: 0.96,
+                    random_taken: 0.5,
+                },
+                memory: MemoryProfile {
+                    streaming: 0.35,
+                    hot_set: 0.30,
+                    scattered: 0.35,
+                    hot_set_bytes: 48 * 1024,
+                    scattered_bytes: 24 * 1024 * 1024,
+                    stream_stride: 8,
+                },
+                loops: LoopProfile {
+                    mean_trip_count: 80.0,
+                    max_nesting: 3,
+                    nest_probability: 0.5,
+                },
+                functions: 14,
+                avg_block_len: 11,
+                dependency_distance: 3.0,
+                dest_register_span: 20,
+                call_probability: 0.05,
+            },
+            Benchmark::Parser => BenchmarkProfile {
+                name: "parser".to_owned(),
+                mix: InstMixProfile {
+                    load: 0.27,
+                    store: 0.12,
+                    int_muldiv: 0.01,
+                    fp_add: 0.0,
+                    fp_muldiv: 0.0,
+                },
+                branches: BranchMixProfile {
+                    biased: 0.55,
+                    patterned: 0.22,
+                    random: 0.23,
+                    bias: 0.87,
+                    random_taken: 0.47,
+                },
+                memory: MemoryProfile {
+                    streaming: 0.18,
+                    hot_set: 0.57,
+                    scattered: 0.25,
+                    hot_set_bytes: 40 * 1024,
+                    scattered_bytes: 10 * 1024 * 1024,
+                    stream_stride: 8,
+                },
+                loops: LoopProfile::branchy(),
+                functions: 64,
+                avg_block_len: 5,
+                dependency_distance: 2.4,
+                dest_register_span: 12,
+                call_probability: 0.20,
+            },
+            Benchmark::Vortex => BenchmarkProfile {
+                name: "vortex".to_owned(),
+                mix: InstMixProfile {
+                    load: 0.28,
+                    store: 0.16,
+                    int_muldiv: 0.01,
+                    fp_add: 0.0,
+                    fp_muldiv: 0.0,
+                },
+                branches: BranchMixProfile {
+                    biased: 0.68,
+                    patterned: 0.16,
+                    random: 0.16,
+                    bias: 0.93,
+                    random_taken: 0.5,
+                },
+                memory: MemoryProfile {
+                    streaming: 0.18,
+                    hot_set: 0.52,
+                    scattered: 0.30,
+                    hot_set_bytes: 56 * 1024,
+                    scattered_bytes: 16 * 1024 * 1024,
+                    stream_stride: 8,
+                },
+                loops: LoopProfile {
+                    mean_trip_count: 6.0,
+                    max_nesting: 2,
+                    nest_probability: 0.15,
+                },
+                // Very large static footprint and call-dominated control flow: the
+                // Execution Cache holds the working set poorly, which is why vortex
+                // spends ~40% of its time on the front-end path in the paper.
+                functions: 160,
+                avg_block_len: 6,
+                dependency_distance: 3.5,
+                dest_register_span: 22,
+                call_probability: 0.30,
+            },
+            Benchmark::Bzip2 => BenchmarkProfile {
+                name: "bzip2".to_owned(),
+                mix: InstMixProfile {
+                    load: 0.26,
+                    store: 0.11,
+                    int_muldiv: 0.02,
+                    fp_add: 0.0,
+                    fp_muldiv: 0.0,
+                },
+                branches: BranchMixProfile {
+                    biased: 0.72,
+                    patterned: 0.18,
+                    random: 0.10,
+                    bias: 0.92,
+                    random_taken: 0.5,
+                },
+                memory: MemoryProfile {
+                    streaming: 0.40,
+                    hot_set: 0.35,
+                    scattered: 0.25,
+                    hot_set_bytes: 48 * 1024,
+                    scattered_bytes: 12 * 1024 * 1024,
+                    stream_stride: 4,
+                },
+                loops: LoopProfile {
+                    mean_trip_count: 36.0,
+                    max_nesting: 3,
+                    nest_probability: 0.4,
+                },
+                functions: 18,
+                avg_block_len: 7,
+                dependency_distance: 3.0,
+                dest_register_span: 18,
+                call_probability: 0.07,
+            },
+            Benchmark::Turb3d => BenchmarkProfile {
+                name: "turb3d".to_owned(),
+                mix: InstMixProfile {
+                    load: 0.27,
+                    store: 0.11,
+                    int_muldiv: 0.01,
+                    fp_add: 0.20,
+                    fp_muldiv: 0.16,
+                },
+                branches: BranchMixProfile {
+                    biased: 0.90,
+                    patterned: 0.07,
+                    random: 0.03,
+                    bias: 0.97,
+                    random_taken: 0.5,
+                },
+                memory: MemoryProfile {
+                    streaming: 0.60,
+                    hot_set: 0.30,
+                    scattered: 0.10,
+                    hot_set_bytes: 32 * 1024,
+                    scattered_bytes: 16 * 1024 * 1024,
+                    stream_stride: 8,
+                },
+                loops: LoopProfile {
+                    mean_trip_count: 96.0,
+                    max_nesting: 3,
+                    nest_probability: 0.55,
+                },
+                functions: 12,
+                avg_block_len: 12,
+                dependency_distance: 5.0,
+                dest_register_span: 22,
+                call_probability: 0.04,
+            },
+            Benchmark::Micro => BenchmarkProfile {
+                name: "micro".to_owned(),
+                mix: InstMixProfile::integer(),
+                branches: BranchMixProfile::predictable(),
+                memory: MemoryProfile::cache_friendly(),
+                loops: LoopProfile {
+                    mean_trip_count: 16.0,
+                    max_nesting: 2,
+                    nest_probability: 0.3,
+                },
+                functions: 3,
+                avg_block_len: 6,
+                dependency_distance: 3.0,
+                dest_register_span: 16,
+                call_probability: 0.1,
+            },
+        }
+    }
+
+    /// Synthesizes the static program for this benchmark with the given seed.
+    ///
+    /// The same `(benchmark, seed)` pair always produces the same program.
+    pub fn synthesize(&self, seed: u64) -> SyntheticProgram {
+        ProgramSynthesizer::new(self.profile()).synthesize(seed)
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_suite_has_ten_benchmarks() {
+        assert_eq!(Benchmark::paper_suite().len(), 10);
+    }
+
+    #[test]
+    fn all_profiles_validate() {
+        for b in Benchmark::paper_suite().iter().chain([&Benchmark::Micro]) {
+            b.profile().validate().unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn fp_benchmarks_have_fp_instructions() {
+        for b in Benchmark::paper_suite() {
+            let p = b.profile();
+            if b.is_fp() {
+                assert!(p.mix.fp_add + p.mix.fp_muldiv > 0.1, "{b} should be FP heavy");
+            } else {
+                assert!(p.mix.fp_add + p.mix.fp_muldiv < 0.1, "{b} should be integer");
+            }
+        }
+    }
+
+    #[test]
+    fn names_match_paper_labels() {
+        let names: Vec<&str> = Benchmark::paper_suite().iter().map(|b| b.name()).collect();
+        assert_eq!(
+            names,
+            vec!["ijpeg", "gcc", "gzip", "vpr", "mesa", "equake", "parser", "vortex", "bzip2", "turb3d"]
+        );
+    }
+
+    #[test]
+    fn register_pressure_benchmarks_have_small_register_span() {
+        // gzip, vpr and parser are singled out by the paper as losing >10% with the
+        // limited-capacity register pools; our profiles encode that through a small
+        // destination-register span.
+        for b in [Benchmark::Gzip, Benchmark::Vpr, Benchmark::Parser] {
+            assert!(b.profile().dest_register_span <= 12, "{b}");
+        }
+        for b in [Benchmark::Mesa, Benchmark::Turb3d, Benchmark::Gcc] {
+            assert!(b.profile().dest_register_span >= 18, "{b}");
+        }
+    }
+
+    #[test]
+    fn vortex_has_largest_footprint() {
+        let vortex = Benchmark::Vortex.profile().functions;
+        for b in Benchmark::paper_suite() {
+            if *b != Benchmark::Vortex {
+                assert!(b.profile().functions <= vortex);
+            }
+        }
+    }
+}

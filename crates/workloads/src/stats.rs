@@ -1,0 +1,167 @@
+//! Aggregate statistics of a dynamic trace.
+
+use flywheel_isa::{DynInst, OpClass};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Aggregate statistics over a dynamic instruction trace.
+///
+/// Used by the calibration tests (to check that a synthetic benchmark behaves the way
+/// its profile promises) and by the characterization example.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Total number of instructions observed.
+    pub total: u64,
+    /// Number of loads.
+    pub loads: u64,
+    /// Number of stores.
+    pub stores: u64,
+    /// Number of conditional branches.
+    pub cond_branches: u64,
+    /// Number of taken conditional branches.
+    pub taken_cond_branches: u64,
+    /// Number of control transfers of any kind.
+    pub ctrl: u64,
+    /// Number of floating-point operations.
+    pub fp_ops: u64,
+    /// Number of distinct static PCs touched.
+    pub distinct_pcs: u64,
+    /// Number of distinct 64-byte data lines touched.
+    pub distinct_data_lines: u64,
+}
+
+impl TraceStats {
+    /// Collects statistics from an iterator of dynamic instructions.
+    pub fn collect<I: IntoIterator<Item = DynInst>>(trace: I) -> Self {
+        let mut stats = TraceStats::default();
+        let mut pcs = HashSet::new();
+        let mut lines = HashSet::new();
+        for d in trace {
+            stats.total += 1;
+            pcs.insert(d.pc);
+            match d.stat.op() {
+                OpClass::Load => stats.loads += 1,
+                OpClass::Store => stats.stores += 1,
+                OpClass::Ctrl => {
+                    stats.ctrl += 1;
+                    if d.stat.is_cond_branch() {
+                        stats.cond_branches += 1;
+                        if d.taken {
+                            stats.taken_cond_branches += 1;
+                        }
+                    }
+                }
+                op if op.is_fp() => stats.fp_ops += 1,
+                _ => {}
+            }
+            if let Some(m) = d.mem {
+                lines.insert(m.line_addr(64));
+            }
+        }
+        stats.distinct_pcs = pcs.len() as u64;
+        stats.distinct_data_lines = lines.len() as u64;
+        stats
+    }
+
+    /// Fraction of instructions that are loads or stores.
+    pub fn mem_fraction(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        (self.loads + self.stores) as f64 / self.total as f64
+    }
+
+    /// Fraction of instructions that are control transfers.
+    pub fn ctrl_fraction(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.ctrl as f64 / self.total as f64
+    }
+
+    /// Taken rate of conditional branches.
+    pub fn taken_rate(&self) -> f64 {
+        if self.cond_branches == 0 {
+            return 0.0;
+        }
+        self.taken_cond_branches as f64 / self.cond_branches as f64
+    }
+
+    /// Approximate data working-set size in bytes (distinct 64-byte lines).
+    pub fn data_working_set_bytes(&self) -> u64 {
+        self.distinct_data_lines * 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Benchmark, TraceGenerator};
+
+    fn stats_for(b: Benchmark, n: usize) -> TraceStats {
+        let sp = b.synthesize(13);
+        TraceStats::collect(TraceGenerator::new(&sp, 13).take(n))
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let s = stats_for(Benchmark::Micro, 10_000);
+        assert_eq!(s.total, 10_000);
+        assert!(s.loads > 0 && s.stores > 0 && s.ctrl > 0);
+        assert!(s.taken_cond_branches <= s.cond_branches);
+        assert!(s.cond_branches <= s.ctrl);
+    }
+
+    #[test]
+    fn memory_fraction_tracks_profile() {
+        // The generated mix includes explicit control instructions on top of the
+        // computational mix, so the measured fraction is slightly diluted; allow a
+        // generous band around the profile value.
+        for b in [Benchmark::Gzip, Benchmark::Equake, Benchmark::Gcc] {
+            let profile = b.profile();
+            let expected = profile.mix.load + profile.mix.store;
+            let s = stats_for(b, 60_000);
+            let measured = s.mem_fraction();
+            assert!(
+                (measured - expected).abs() < 0.12,
+                "{b}: expected ~{expected:.2}, measured {measured:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn fp_benchmarks_execute_fp_ops() {
+        let fp = stats_for(Benchmark::Turb3d, 40_000);
+        let int = stats_for(Benchmark::Gzip, 40_000);
+        assert!((fp.fp_ops as f64) / (fp.total as f64) > 0.15);
+        assert!((int.fp_ops as f64) / (int.total as f64) < 0.02);
+    }
+
+    #[test]
+    fn vortex_touches_more_code_than_gzip() {
+        let vortex = stats_for(Benchmark::Vortex, 60_000);
+        let gzip = stats_for(Benchmark::Gzip, 60_000);
+        assert!(
+            vortex.distinct_pcs > gzip.distinct_pcs,
+            "vortex {} vs gzip {}",
+            vortex.distinct_pcs,
+            gzip.distinct_pcs
+        );
+    }
+
+    #[test]
+    fn memory_bound_benchmarks_have_larger_working_sets() {
+        let equake = stats_for(Benchmark::Equake, 60_000);
+        let ijpeg = stats_for(Benchmark::Ijpeg, 60_000);
+        assert!(equake.data_working_set_bytes() > ijpeg.data_working_set_bytes());
+    }
+
+    #[test]
+    fn empty_trace_yields_zero_fractions() {
+        let s = TraceStats::collect(std::iter::empty());
+        assert_eq!(s.total, 0);
+        assert_eq!(s.mem_fraction(), 0.0);
+        assert_eq!(s.taken_rate(), 0.0);
+        assert_eq!(s.ctrl_fraction(), 0.0);
+    }
+}

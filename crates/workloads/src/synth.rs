@@ -1,0 +1,797 @@
+//! Synthetic program generation from a benchmark profile.
+
+use crate::{BenchmarkProfile, BranchBehavior, MemBehavior};
+use flywheel_isa::{
+    ArchReg, BlockId, OpClass, Pc, Program, ProgramBuilder, StaticInst, Terminator,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Base address of the synthetic data segment; memory regions are carved out of it.
+const DATA_BASE: u64 = 0x1000_0000;
+
+/// Registers reserved as loop counters (round-robin across nested loops).
+const LOOP_COUNTER_REGS: [u8; 4] = [24, 25, 26, 27];
+/// Registers reserved as base pointers for memory instructions.
+const POINTER_REGS: [u8; 4] = [28, 29, 30, 31];
+
+/// A synthesized static program plus the dynamic behaviour of its branches and
+/// memory instructions.
+///
+/// Produced by [`ProgramSynthesizer::synthesize`] (or [`crate::Benchmark::synthesize`])
+/// and consumed by [`crate::TraceGenerator`].
+#[derive(Debug, Clone)]
+pub struct SyntheticProgram {
+    profile: BenchmarkProfile,
+    program: Program,
+    branch_behaviors: HashMap<Pc, BranchBehavior>,
+    mem_behaviors: HashMap<Pc, MemBehavior>,
+    entry: BlockId,
+}
+
+impl SyntheticProgram {
+    /// The profile this program was generated from.
+    pub fn profile(&self) -> &BenchmarkProfile {
+        &self.profile
+    }
+
+    /// The static program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The entry block of the top-level (looping) main function.
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// The dynamic behaviour of the conditional branch at `pc`, if one exists there.
+    pub fn branch_behavior(&self, pc: Pc) -> Option<&BranchBehavior> {
+        self.branch_behaviors.get(&pc)
+    }
+
+    /// The dynamic behaviour of the memory instruction at `pc`, if one exists there.
+    pub fn mem_behavior(&self, pc: Pc) -> Option<&MemBehavior> {
+        self.mem_behaviors.get(&pc)
+    }
+
+    /// All conditional-branch behaviours, keyed by PC.
+    pub fn branch_behaviors(&self) -> &HashMap<Pc, BranchBehavior> {
+        &self.branch_behaviors
+    }
+
+    /// All memory behaviours, keyed by PC.
+    pub fn mem_behaviors(&self) -> &HashMap<Pc, MemBehavior> {
+        &self.mem_behaviors
+    }
+
+    /// Total static code footprint in instructions.
+    pub fn static_footprint(&self) -> usize {
+        self.program.len()
+    }
+}
+
+/// Intermediate representation of a block before ids are final.
+#[derive(Debug, Default)]
+struct ProtoBlock {
+    insts: Vec<StaticInst>,
+    term: Option<ProtoTerm>,
+}
+
+/// Terminator over proto-block indices, with function calls still symbolic.
+#[derive(Debug, Clone)]
+enum ProtoTerm {
+    FallThrough(usize),
+    Jump(usize),
+    CondBranch { taken: usize, not_taken: usize },
+    Call { callee_fn: usize, return_to: usize },
+    Return,
+    JumpToEntry,
+}
+
+/// A structural region of a function body, decided before lowering.
+#[derive(Debug, Clone)]
+enum RegionKind {
+    Straight,
+    Diamond,
+    Loop { depth: u32 },
+    Call { callee_fn: usize },
+}
+
+/// Generates synthetic programs from a [`BenchmarkProfile`].
+///
+/// The synthesizer builds a whole-program control-flow graph: `profile.functions`
+/// functions arranged in a call DAG, each made of straight-line regions, `if`
+/// diamonds, (possibly nested) loops and call sites, populated with instructions
+/// whose classes, register dependences and memory behaviours follow the profile.
+///
+/// Generation is fully deterministic for a given `(profile, seed)` pair.
+#[derive(Debug)]
+pub struct ProgramSynthesizer {
+    profile: BenchmarkProfile,
+}
+
+impl ProgramSynthesizer {
+    /// Creates a synthesizer for `profile`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile fails [`BenchmarkProfile::validate`].
+    pub fn new(profile: BenchmarkProfile) -> Self {
+        profile
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid benchmark profile: {e}"));
+        ProgramSynthesizer { profile }
+    }
+
+    /// Generates the synthetic program for `seed`.
+    pub fn synthesize(&self, seed: u64) -> SyntheticProgram {
+        let mut state = SynthState {
+            profile: self.profile.clone(),
+            rng: StdRng::seed_from_u64(seed ^ 0x5f37_59df_4c2a_11e5),
+            blocks: Vec::new(),
+            branch_behaviors: Vec::new(),
+            mem_behaviors: Vec::new(),
+            function_entries: Vec::new(),
+            next_region_base: DATA_BASE,
+            dest_cursor_int: 1,
+            dest_cursor_fp: 1,
+            recent_int: Vec::new(),
+            recent_fp: Vec::new(),
+            loop_depth_counter: 0,
+        };
+        state.generate();
+        state.finish()
+    }
+}
+
+/// Mutable state used while generating one program.
+struct SynthState {
+    profile: BenchmarkProfile,
+    rng: StdRng,
+    blocks: Vec<ProtoBlock>,
+    /// Behaviour of the branch that terminates block `usize`.
+    branch_behaviors: Vec<(usize, BranchBehavior)>,
+    /// Behaviour of the memory instruction at (block, inst index).
+    mem_behaviors: Vec<((usize, usize), MemBehavior)>,
+    function_entries: Vec<usize>,
+    next_region_base: u64,
+    dest_cursor_int: u8,
+    dest_cursor_fp: u8,
+    recent_int: Vec<ArchReg>,
+    recent_fp: Vec<ArchReg>,
+    loop_depth_counter: u32,
+}
+
+impl SynthState {
+    // ---------------------------------------------------------------- block plumbing
+
+    fn new_block(&mut self) -> usize {
+        self.blocks.push(ProtoBlock::default());
+        self.blocks.len() - 1
+    }
+
+    fn fill(&mut self, idx: usize, insts: Vec<StaticInst>, term: ProtoTerm) {
+        let b = &mut self.blocks[idx];
+        debug_assert!(b.term.is_none(), "block {idx} filled twice");
+        b.insts = insts;
+        b.term = Some(term);
+    }
+
+    // ---------------------------------------------------------------- top level
+
+    fn generate(&mut self) {
+        let functions = self.profile.functions as usize;
+        // Reserve entry slots so call sites can reference functions generated later.
+        // Function bodies are generated in order; each function's entry block is the
+        // first block it allocates.
+        for f in 0..functions {
+            let entry = self.generate_function(f, functions);
+            self.function_entries.push(entry);
+        }
+    }
+
+    fn generate_function(&mut self, func_idx: usize, functions: usize) -> usize {
+        // Reset the recent-register history at function boundaries: values do not
+        // flow across calls in the synthetic code.
+        self.recent_int.clear();
+        self.recent_fp.clear();
+
+        let n_regions = self.rng.gen_range(3..=8);
+        let mut kinds = Vec::with_capacity(n_regions);
+        for _ in 0..n_regions {
+            kinds.push(self.pick_region_kind(func_idx, functions, 0));
+        }
+
+        // Lower all regions in layout order, chaining each region's exits to the
+        // entry of the next one, and finally to the function epilogue.
+        let mut entries = Vec::with_capacity(kinds.len());
+        let mut pending: Vec<Vec<Patch>> = Vec::with_capacity(kinds.len());
+        for kind in &kinds {
+            let (entry, patches) = self.lower_region(kind.clone());
+            entries.push(entry);
+            pending.push(patches);
+        }
+        // Epilogue block.
+        let epilogue = self.new_block();
+        let epilogue_insts = vec![StaticInst::nop()];
+        if func_idx == 0 {
+            // The main function loops forever so that traces of any length can be
+            // generated.
+            self.fill(epilogue, epilogue_insts, ProtoTerm::JumpToEntry);
+        } else {
+            self.fill(epilogue, epilogue_insts, ProtoTerm::Return);
+        }
+
+        // Patch each region to continue at the entry of the following region.
+        for i in 0..entries.len() {
+            let cont = if i + 1 < entries.len() { entries[i + 1] } else { epilogue };
+            let patches = std::mem::take(&mut pending[i]);
+            for p in patches {
+                self.apply_patch(p, cont);
+            }
+        }
+        entries[0]
+    }
+
+    fn pick_region_kind(&mut self, func_idx: usize, functions: usize, depth: u32) -> RegionKind {
+        let can_call = func_idx + 1 < functions;
+        let r: f64 = self.rng.gen();
+        if can_call && r < self.profile.call_probability {
+            let callee_fn = self.rng.gen_range(func_idx + 1..functions);
+            RegionKind::Call { callee_fn }
+        } else if r < self.profile.call_probability + 0.35 && depth < self.profile.loops.max_nesting
+        {
+            RegionKind::Loop { depth }
+        } else if r < self.profile.call_probability + 0.35 + 0.30 {
+            RegionKind::Diamond
+        } else {
+            RegionKind::Straight
+        }
+    }
+
+    // ---------------------------------------------------------------- region lowering
+
+    fn lower_region(&mut self, kind: RegionKind) -> (usize, Vec<Patch>) {
+        match kind {
+            RegionKind::Straight => {
+                let b = self.new_block();
+                let insts = self.gen_block_insts(b, None);
+                self.fill(b, insts, ProtoTerm::FallThrough(usize::MAX));
+                (b, vec![Patch::FallThrough(b)])
+            }
+            RegionKind::Diamond => {
+                // Layout: header (cond branch), else side (fall-through / not taken),
+                // then side (branch target). The else side jumps to the
+                // continuation; the then side falls through to it.
+                let header = self.new_block();
+                let else_b = self.new_block();
+                let then_b = self.new_block();
+
+                let mut header_insts = self.gen_block_insts(header, None);
+                let behavior = self.pick_branch_behavior();
+                let cond_src = self.pick_source(false);
+                header_insts.push(StaticInst::cond_branch(cond_src, None));
+                self.branch_behaviors.push((header, behavior));
+                self.fill(
+                    header,
+                    header_insts,
+                    ProtoTerm::CondBranch {
+                        taken: then_b,
+                        not_taken: else_b,
+                    },
+                );
+
+                let else_insts = self.gen_block_insts(else_b, None);
+                self.fill(else_b, else_insts, ProtoTerm::Jump(usize::MAX));
+                let then_insts = self.gen_block_insts(then_b, None);
+                self.fill(then_b, then_insts, ProtoTerm::FallThrough(usize::MAX));
+
+                (header, vec![Patch::Jump(else_b), Patch::FallThrough(then_b)])
+            }
+            RegionKind::Loop { depth } => {
+                // Rotated loop: body blocks first, then the latch block holding the
+                // back-edge conditional branch (taken -> body entry, not taken ->
+                // continuation).
+                let counter = self.next_loop_counter();
+                let n_body_regions = self.rng.gen_range(1..=2);
+                let mut body_kinds = Vec::new();
+                for _ in 0..n_body_regions {
+                    // Nested structure inside the loop body.
+                    let kind = if self.rng.gen::<f64>() < self.profile.loops.nest_probability
+                        && depth + 1 < self.profile.loops.max_nesting
+                    {
+                        RegionKind::Loop { depth: depth + 1 }
+                    } else if self.rng.gen::<f64>() < 0.4 {
+                        RegionKind::Diamond
+                    } else {
+                        RegionKind::Straight
+                    };
+                    body_kinds.push(kind);
+                }
+
+                let mut body_entries = Vec::new();
+                let mut body_patches: Vec<Vec<Patch>> = Vec::new();
+                for kind in body_kinds {
+                    let (e, p) = self.lower_region(kind);
+                    body_entries.push(e);
+                    body_patches.push(p);
+                }
+
+                // Latch block: counter update + back-edge branch.
+                let latch = self.new_block();
+                let mut latch_insts = self.gen_block_insts(latch, Some(counter));
+                latch_insts.push(StaticInst::alu(counter, counter, None));
+                latch_insts.push(StaticInst::cond_branch(counter, None));
+                self.branch_behaviors.push((
+                    latch,
+                    BranchBehavior::LoopBack {
+                        mean_trips: self.profile.loops.mean_trip_count,
+                    },
+                ));
+                self.fill(
+                    latch,
+                    latch_insts,
+                    ProtoTerm::CondBranch {
+                        taken: body_entries[0],
+                        not_taken: usize::MAX,
+                    },
+                );
+
+                // Chain body regions together and finally into the latch.
+                for i in 0..body_entries.len() {
+                    let cont = if i + 1 < body_entries.len() {
+                        body_entries[i + 1]
+                    } else {
+                        latch
+                    };
+                    let patches = std::mem::take(&mut body_patches[i]);
+                    for p in patches {
+                        self.apply_patch(p, cont);
+                    }
+                }
+
+                (body_entries[0], vec![Patch::CondNotTaken(latch)])
+            }
+            RegionKind::Call { callee_fn } => {
+                let b = self.new_block();
+                let mut insts = self.gen_block_insts(b, None);
+                insts.push(StaticInst::call());
+                self.fill(
+                    b,
+                    insts,
+                    ProtoTerm::Call {
+                        callee_fn,
+                        return_to: usize::MAX,
+                    },
+                );
+                (b, vec![Patch::CallReturn(b)])
+            }
+        }
+    }
+
+    fn apply_patch(&mut self, patch: Patch, cont: usize) {
+        let (idx, slot) = match patch {
+            Patch::FallThrough(i) => (i, PatchSlot::FallThrough),
+            Patch::Jump(i) => (i, PatchSlot::Jump),
+            Patch::CondNotTaken(i) => (i, PatchSlot::CondNotTaken),
+            Patch::CallReturn(i) => (i, PatchSlot::CallReturn),
+        };
+        let term = self.blocks[idx].term.as_mut().expect("patching unfilled block");
+        match (slot, term) {
+            (PatchSlot::FallThrough, ProtoTerm::FallThrough(t)) => *t = cont,
+            (PatchSlot::Jump, ProtoTerm::Jump(t)) => *t = cont,
+            (PatchSlot::CondNotTaken, ProtoTerm::CondBranch { not_taken, .. }) => *not_taken = cont,
+            (PatchSlot::CallReturn, ProtoTerm::Call { return_to, .. }) => *return_to = cont,
+            (slot, term) => panic!("patch {slot:?} does not match terminator {term:?}"),
+        }
+    }
+
+    // ---------------------------------------------------------------- instructions
+
+    /// Generates the computational body of one block (without its terminator).
+    ///
+    /// `reserved` is a register the caller will write itself (the loop counter) and
+    /// must not be clobbered here.
+    fn gen_block_insts(&mut self, block_idx: usize, reserved: Option<ArchReg>) -> Vec<StaticInst> {
+        let avg = self.profile.avg_block_len as f64;
+        let len = self.sample_block_len(avg);
+        let mut insts = Vec::with_capacity(len);
+        for _ in 0..len {
+            let inst = self.gen_inst(block_idx, insts.len(), reserved);
+            insts.push(inst);
+        }
+        insts
+    }
+
+    fn sample_block_len(&mut self, avg: f64) -> usize {
+        // Geometric-ish distribution around the average, clamped to [1, 3*avg].
+        let span = (avg * 2.0).max(1.0);
+        let len = 1.0 + self.rng.gen::<f64>() * span;
+        (len.round() as usize).clamp(1, (avg * 3.0).ceil() as usize)
+    }
+
+    fn gen_inst(&mut self, block_idx: usize, inst_idx: usize, reserved: Option<ArchReg>) -> StaticInst {
+        let mix = self.profile.mix;
+        let r: f64 = self.rng.gen();
+        let op = if r < mix.load {
+            OpClass::Load
+        } else if r < mix.load + mix.store {
+            OpClass::Store
+        } else if r < mix.load + mix.store + mix.int_muldiv {
+            if self.rng.gen::<f64>() < 0.8 {
+                OpClass::IntMul
+            } else {
+                OpClass::IntDiv
+            }
+        } else if r < mix.load + mix.store + mix.int_muldiv + mix.fp_add {
+            OpClass::FpAdd
+        } else if r < mix.load + mix.store + mix.int_muldiv + mix.fp_add + mix.fp_muldiv {
+            if self.rng.gen::<f64>() < 0.75 {
+                OpClass::FpMul
+            } else {
+                OpClass::FpDiv
+            }
+        } else {
+            OpClass::IntAlu
+        };
+
+        match op {
+            OpClass::Load => {
+                let dst = self.pick_dest(false, reserved);
+                let base = self.pick_pointer();
+                let behavior = self.pick_mem_behavior();
+                self.mem_behaviors.push(((block_idx, inst_idx), behavior));
+                let inst = StaticInst::load(dst, base);
+                self.note_write(dst);
+                inst
+            }
+            OpClass::Store => {
+                let value = self.pick_source(false);
+                let base = self.pick_pointer();
+                let behavior = self.pick_mem_behavior();
+                self.mem_behaviors.push(((block_idx, inst_idx), behavior));
+                StaticInst::store(value, base)
+            }
+            OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv => {
+                let dst = self.pick_dest(true, reserved);
+                let s1 = self.pick_source(true);
+                let s2 = if self.rng.gen::<f64>() < 0.8 {
+                    Some(self.pick_source(true))
+                } else {
+                    None
+                };
+                let inst = StaticInst::compute(op, dst, s1, s2);
+                self.note_write(dst);
+                inst
+            }
+            _ => {
+                let dst = self.pick_dest(false, reserved);
+                let s1 = self.pick_source(false);
+                let s2 = if self.rng.gen::<f64>() < 0.7 {
+                    Some(self.pick_source(false))
+                } else {
+                    None
+                };
+                let inst = StaticInst::compute(op, dst, s1, s2);
+                self.note_write(dst);
+                inst
+            }
+        }
+    }
+
+    fn pick_dest(&mut self, fp: bool, reserved: Option<ArchReg>) -> ArchReg {
+        let span = self.profile.dest_register_span.max(2) as u8;
+        loop {
+            let reg = if fp {
+                let r = ArchReg::fp(self.dest_cursor_fp);
+                self.dest_cursor_fp = if self.dest_cursor_fp >= span { 1 } else { self.dest_cursor_fp + 1 };
+                r
+            } else {
+                let r = ArchReg::int(self.dest_cursor_int);
+                self.dest_cursor_int = if self.dest_cursor_int >= span { 1 } else { self.dest_cursor_int + 1 };
+                r
+            };
+            if Some(reg) != reserved {
+                return reg;
+            }
+        }
+    }
+
+    fn pick_source(&mut self, fp: bool) -> ArchReg {
+        // Sample a dependency distance: how many writes back the source value was
+        // produced. Small distances create long dependence chains.
+        let history = if fp { &self.recent_fp } else { &self.recent_int };
+        if history.is_empty() {
+            return self.pick_live_in(fp);
+        }
+        let mean = self.profile.dependency_distance.max(1.0);
+        // Geometric sample with the configured mean.
+        let p = 1.0 / mean;
+        let mut dist = 0usize;
+        while self.rng.gen::<f64>() > p && dist < 64 {
+            dist += 1;
+        }
+        if dist >= history.len() {
+            self.pick_live_in(fp)
+        } else {
+            history[history.len() - 1 - dist]
+        }
+    }
+
+    fn pick_live_in(&mut self, fp: bool) -> ArchReg {
+        if fp {
+            ArchReg::fp(20 + self.rng.gen_range(0..4))
+        } else {
+            ArchReg::int(POINTER_REGS[self.rng.gen_range(0..POINTER_REGS.len())])
+        }
+    }
+
+    fn pick_pointer(&mut self) -> ArchReg {
+        ArchReg::int(POINTER_REGS[self.rng.gen_range(0..POINTER_REGS.len())])
+    }
+
+    fn note_write(&mut self, reg: ArchReg) {
+        let history = if reg.class() == flywheel_isa::RegClass::Fp {
+            &mut self.recent_fp
+        } else {
+            &mut self.recent_int
+        };
+        history.push(reg);
+        if history.len() > 96 {
+            history.remove(0);
+        }
+    }
+
+    fn next_loop_counter(&mut self) -> ArchReg {
+        let reg = LOOP_COUNTER_REGS[(self.loop_depth_counter as usize) % LOOP_COUNTER_REGS.len()];
+        self.loop_depth_counter += 1;
+        ArchReg::int(reg)
+    }
+
+    // ---------------------------------------------------------------- behaviours
+
+    fn pick_branch_behavior(&mut self) -> BranchBehavior {
+        let b = self.profile.branches;
+        let r: f64 = self.rng.gen();
+        if r < b.biased {
+            // Half of the biased branches are biased not-taken instead of taken.
+            let taken_prob = if self.rng.gen::<bool>() { b.bias } else { 1.0 - b.bias };
+            BranchBehavior::Biased { taken_prob }
+        } else if r < b.biased + b.patterned {
+            let period = self.rng.gen_range(3..=8u8);
+            let pattern = self.rng.gen_range(1..(1u32 << period) - 1);
+            BranchBehavior::Pattern { pattern, period }
+        } else {
+            BranchBehavior::Random {
+                taken_prob: b.random_taken,
+            }
+        }
+    }
+
+    fn pick_mem_behavior(&mut self) -> MemBehavior {
+        let m = self.profile.memory;
+        let r: f64 = self.rng.gen();
+        let behavior = if r < m.streaming {
+            let region_bytes = (m.hot_set_bytes * 4).max(4096);
+            let b = MemBehavior::Stream {
+                base: self.next_region_base,
+                stride: m.stream_stride,
+                region_bytes,
+            };
+            self.next_region_base += region_bytes;
+            b
+        } else if r < m.streaming + m.hot_set {
+            // Hot-set instructions share a small number of regions so that the
+            // aggregate hot working set stays close to `hot_set_bytes`.
+            let base = DATA_BASE + 0x0800_0000;
+            MemBehavior::HotSet {
+                base,
+                bytes: m.hot_set_bytes,
+            }
+        } else {
+            let base = DATA_BASE + 0x1000_0000;
+            MemBehavior::Scattered {
+                base,
+                bytes: m.scattered_bytes,
+            }
+        };
+        behavior
+    }
+
+    // ---------------------------------------------------------------- emission
+
+    fn finish(mut self) -> SyntheticProgram {
+        let function_entries = std::mem::take(&mut self.function_entries);
+        let blocks = std::mem::take(&mut self.blocks);
+        let main_entry = function_entries[0];
+
+        let mut builder = ProgramBuilder::new();
+        for (idx, block) in blocks.iter().enumerate() {
+            let term = block
+                .term
+                .clone()
+                .unwrap_or_else(|| panic!("block {idx} was never filled"));
+            let terminator = match term {
+                ProtoTerm::FallThrough(t) => Terminator::FallThrough(BlockId(t as u32)),
+                ProtoTerm::Jump(t) => Terminator::Jump(BlockId(t as u32)),
+                ProtoTerm::CondBranch { taken, not_taken } => Terminator::CondBranch {
+                    taken: BlockId(taken as u32),
+                    not_taken: BlockId(not_taken as u32),
+                },
+                ProtoTerm::Call { callee_fn, return_to } => Terminator::Call {
+                    callee: BlockId(function_entries[callee_fn] as u32),
+                    return_to: BlockId(return_to as u32),
+                },
+                ProtoTerm::Return => Terminator::Return,
+                ProtoTerm::JumpToEntry => Terminator::Jump(BlockId(main_entry as u32)),
+            };
+            let id = builder.block(block.insts.clone(), terminator);
+            debug_assert_eq!(id.0 as usize, idx);
+        }
+        let program = builder.build(BlockId(main_entry as u32));
+
+        // Convert (block, inst index) keys into PCs now that the layout is final.
+        let mut branch_behaviors = HashMap::new();
+        for (block_idx, behavior) in &self.branch_behaviors {
+            let block = program.block(BlockId(*block_idx as u32));
+            let branch_offset = block.len() - 1;
+            let pc = block.start_pc() + branch_offset as u64;
+            debug_assert!(block.insts()[branch_offset].is_cond_branch());
+            branch_behaviors.insert(pc, *behavior);
+        }
+        let mut mem_behaviors = HashMap::new();
+        for ((block_idx, inst_idx), behavior) in &self.mem_behaviors {
+            let block = program.block(BlockId(*block_idx as u32));
+            let pc = block.start_pc() + *inst_idx as u64;
+            debug_assert!(block.insts()[*inst_idx].op().is_mem());
+            mem_behaviors.insert(pc, *behavior);
+        }
+
+        SyntheticProgram {
+            profile: self.profile,
+            program,
+            branch_behaviors,
+            mem_behaviors,
+            entry: BlockId(main_entry as u32),
+        }
+    }
+}
+
+/// A pending control-flow edge that must be pointed at a continuation block.
+#[derive(Debug, Clone, Copy)]
+enum Patch {
+    FallThrough(usize),
+    Jump(usize),
+    CondNotTaken(usize),
+    CallReturn(usize),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum PatchSlot {
+    FallThrough,
+    Jump,
+    CondNotTaken,
+    CallReturn,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Benchmark;
+    use flywheel_isa::CtrlKind;
+
+    fn micro() -> SyntheticProgram {
+        Benchmark::Micro.synthesize(7)
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let a = Benchmark::Gzip.synthesize(3);
+        let b = Benchmark::Gzip.synthesize(3);
+        assert_eq!(a.program(), b.program());
+        assert_eq!(a.branch_behaviors(), b.branch_behaviors());
+        let c = Benchmark::Gzip.synthesize(4);
+        assert_ne!(a.program(), c.program());
+    }
+
+    #[test]
+    fn every_cond_branch_has_a_behavior() {
+        let sp = micro();
+        for block in sp.program().blocks() {
+            for (i, inst) in block.insts().iter().enumerate() {
+                let pc = block.start_pc() + i as u64;
+                if inst.is_cond_branch() {
+                    assert!(
+                        sp.branch_behavior(pc).is_some(),
+                        "conditional branch at {pc} has no behaviour"
+                    );
+                }
+                if inst.op().is_mem() {
+                    assert!(
+                        sp.mem_behavior(pc).is_some(),
+                        "memory instruction at {pc} has no behaviour"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cond_branch_not_taken_target_is_fall_through() {
+        // The trace-driven front-end assumes that a not-taken branch continues at
+        // pc.next(); the synthesizer must lay blocks out accordingly.
+        let sp = Benchmark::Gcc.synthesize(11);
+        let program = sp.program();
+        for block in program.blocks() {
+            if let Terminator::CondBranch { not_taken, .. } = block.terminator() {
+                assert_eq!(
+                    program.block(*not_taken).start_pc(),
+                    block.end_pc(),
+                    "not-taken successor of {} is not contiguous",
+                    block.id()
+                );
+            }
+            if let Terminator::FallThrough(t) = block.terminator() {
+                assert_eq!(program.block(*t).start_pc(), block.end_pc());
+            }
+            if let Terminator::Call { return_to, .. } = block.terminator() {
+                assert_eq!(program.block(*return_to).start_pc(), block.end_pc());
+            }
+        }
+    }
+
+    #[test]
+    fn call_targets_are_function_entries_and_return_blocks_exist() {
+        let sp = Benchmark::Vortex.synthesize(5);
+        let program = sp.program();
+        let mut call_count = 0;
+        for block in program.blocks() {
+            if let Terminator::Call { callee, .. } = block.terminator() {
+                call_count += 1;
+                // The callee must eventually reach a Return terminator.
+                let callee_block = program.block(*callee);
+                assert!(!callee_block.is_empty());
+            }
+        }
+        assert!(call_count > 0, "vortex should contain call sites");
+    }
+
+    #[test]
+    fn terminator_instructions_match_terminators() {
+        let sp = micro();
+        for block in sp.program().blocks() {
+            let last = block.insts().last().unwrap();
+            match block.terminator() {
+                Terminator::CondBranch { .. } => assert!(last.is_cond_branch()),
+                Terminator::Jump(_) => assert_eq!(last.ctrl(), Some(CtrlKind::Jump)),
+                Terminator::Call { .. } => assert_eq!(last.ctrl(), Some(CtrlKind::Call)),
+                Terminator::Return => assert_eq!(last.ctrl(), Some(CtrlKind::Return)),
+                Terminator::FallThrough(_) => assert!(last.ctrl().is_none()),
+                Terminator::Indirect(_) => assert_eq!(last.ctrl(), Some(CtrlKind::IndirectJump)),
+            }
+        }
+    }
+
+    #[test]
+    fn footprint_scales_with_function_count() {
+        let small = Benchmark::Gzip.synthesize(1).static_footprint();
+        let large = Benchmark::Vortex.synthesize(1).static_footprint();
+        assert!(
+            large > small * 3,
+            "vortex ({large}) should be much larger than gzip ({small})"
+        );
+    }
+
+    #[test]
+    fn loop_latches_use_loopback_behavior() {
+        let sp = micro();
+        let loopbacks = sp
+            .branch_behaviors()
+            .values()
+            .filter(|b| matches!(b, BranchBehavior::LoopBack { .. }))
+            .count();
+        assert!(loopbacks > 0, "micro workload should contain loops");
+    }
+}

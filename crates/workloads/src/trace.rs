@@ -1,0 +1,305 @@
+//! Dynamic trace generation.
+
+use crate::{BranchBehavior, MemBehavior, SyntheticProgram};
+use flywheel_isa::{BlockId, DynInst, MemAccess, Pc, Terminator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Per-branch dynamic state kept by the trace generator.
+#[derive(Debug, Clone, Default)]
+struct BranchState {
+    /// Remaining taken back-edges for a loop branch (0 = resample on next visit).
+    remaining_trips: u32,
+    /// Position inside a pattern branch's period.
+    pattern_pos: u8,
+}
+
+/// Per-memory-instruction dynamic state.
+#[derive(Debug, Clone, Default)]
+struct MemState {
+    /// Current offset of a streaming access.
+    offset: u64,
+}
+
+/// Generates a dynamic instruction trace by "executing" a [`SyntheticProgram`].
+///
+/// The generator walks the program's control-flow graph, resolving every conditional
+/// branch with its attached [`BranchBehavior`], every call/return through an explicit
+/// call stack, and every memory instruction with its attached [`MemBehavior`]. It
+/// yields an unbounded stream of [`DynInst`] (the synthetic `main` loops forever), so
+/// callers bound it with [`Iterator::take`] or by instruction budget in the
+/// simulator.
+///
+/// Two generators constructed with the same program and seed produce identical
+/// traces.
+///
+/// ```
+/// use flywheel_workloads::{Benchmark, TraceGenerator};
+/// let program = Benchmark::Micro.synthesize(1);
+/// let first_million: Vec<_> = TraceGenerator::new(&program, 1).take(10_000).collect();
+/// assert_eq!(first_million.len(), 10_000);
+/// ```
+#[derive(Debug)]
+pub struct TraceGenerator<'a> {
+    program: &'a SyntheticProgram,
+    rng: StdRng,
+    /// Current block being executed.
+    block: BlockId,
+    /// Index of the next instruction within the block.
+    inst_idx: usize,
+    /// Return-address stack of block ids.
+    call_stack: Vec<BlockId>,
+    branch_states: HashMap<Pc, BranchState>,
+    mem_states: HashMap<Pc, MemState>,
+    seq: u64,
+}
+
+impl<'a> TraceGenerator<'a> {
+    /// Creates a generator positioned at the program entry.
+    pub fn new(program: &'a SyntheticProgram, seed: u64) -> Self {
+        TraceGenerator {
+            program,
+            rng: StdRng::seed_from_u64(seed ^ 0x0ddc_0ffe_e000_0001),
+            block: program.entry(),
+            inst_idx: 0,
+            call_stack: Vec::new(),
+            branch_states: HashMap::new(),
+            mem_states: HashMap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Number of instructions generated so far.
+    pub fn generated(&self) -> u64 {
+        self.seq
+    }
+
+    /// Current call-stack depth (number of pending returns).
+    pub fn call_depth(&self) -> usize {
+        self.call_stack.len()
+    }
+
+    fn resolve_branch(&mut self, pc: Pc) -> bool {
+        let behavior = *self
+            .program
+            .branch_behavior(pc)
+            .expect("conditional branch without behaviour");
+        let state = self.branch_states.entry(pc).or_default();
+        match behavior {
+            BranchBehavior::LoopBack { mean_trips } => {
+                if state.remaining_trips == 0 {
+                    // Entering the loop: sample this entry's trip count around the
+                    // mean (at least one iteration).
+                    let jitter = 0.5 + self.rng.gen::<f64>();
+                    state.remaining_trips = (mean_trips * jitter).round().max(1.0) as u32;
+                }
+                state.remaining_trips -= 1;
+                state.remaining_trips > 0
+            }
+            BranchBehavior::Biased { taken_prob } => self.rng.gen::<f64>() < taken_prob,
+            BranchBehavior::Pattern { pattern, period } => {
+                let taken = (pattern >> state.pattern_pos) & 1 == 1;
+                state.pattern_pos = (state.pattern_pos + 1) % period;
+                taken
+            }
+            BranchBehavior::Random { taken_prob } => self.rng.gen::<f64>() < taken_prob,
+        }
+    }
+
+    fn resolve_mem(&mut self, pc: Pc) -> MemAccess {
+        let behavior = *self
+            .program
+            .mem_behavior(pc)
+            .expect("memory instruction without behaviour");
+        let state = self.mem_states.entry(pc).or_default();
+        let addr = match behavior {
+            MemBehavior::Stream {
+                base,
+                stride,
+                region_bytes,
+            } => {
+                let addr = base + state.offset;
+                state.offset = (state.offset + stride) % region_bytes;
+                addr
+            }
+            MemBehavior::HotSet { base, bytes } | MemBehavior::Scattered { base, bytes } => {
+                base + (self.rng.gen_range(0..bytes.max(8)) & !7)
+            }
+        };
+        MemAccess::new(addr, 8)
+    }
+}
+
+impl Iterator for TraceGenerator<'_> {
+    type Item = DynInst;
+
+    fn next(&mut self) -> Option<DynInst> {
+        let program = self.program.program();
+        let block = program.block(self.block);
+        let inst = block.insts()[self.inst_idx];
+        let pc = block.start_pc() + self.inst_idx as u64;
+        let is_last = self.inst_idx + 1 == block.len();
+
+        let mut taken = false;
+        let mut mem = None;
+        let next_pc;
+
+        if inst.op().is_mem() {
+            mem = Some(self.resolve_mem(pc));
+        }
+
+        if is_last {
+            // Resolve the terminator to find the next block.
+            let (next_block, was_taken) = match block.terminator() {
+                Terminator::FallThrough(t) => (*t, false),
+                Terminator::Jump(t) => (*t, true),
+                Terminator::CondBranch { taken: t, not_taken: nt } => {
+                    if self.resolve_branch(pc) {
+                        (*t, true)
+                    } else {
+                        (*nt, false)
+                    }
+                }
+                Terminator::Call { callee, return_to } => {
+                    self.call_stack.push(*return_to);
+                    (*callee, true)
+                }
+                Terminator::Return => {
+                    let target = self.call_stack.pop().unwrap_or(self.program.entry());
+                    (target, true)
+                }
+                Terminator::Indirect(targets) => {
+                    let pick = self.rng.gen_range(0..targets.len());
+                    (targets[pick], true)
+                }
+            };
+            taken = was_taken;
+            next_pc = program.block(next_block).start_pc();
+            self.block = next_block;
+            self.inst_idx = 0;
+        } else {
+            next_pc = pc.next();
+            self.inst_idx += 1;
+        }
+
+        let dyn_inst = DynInst {
+            seq: self.seq,
+            pc,
+            stat: inst,
+            taken,
+            next_pc,
+            mem,
+        };
+        self.seq += 1;
+        Some(dyn_inst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Benchmark;
+    use flywheel_isa::OpClass;
+
+    #[test]
+    fn trace_is_deterministic() {
+        let sp = Benchmark::Micro.synthesize(9);
+        let a: Vec<_> = TraceGenerator::new(&sp, 9).take(5_000).collect();
+        let b: Vec<_> = TraceGenerator::new(&sp, 9).take(5_000).collect();
+        assert_eq!(a, b);
+        let c: Vec<_> = TraceGenerator::new(&sp, 10).take(5_000).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sequence_numbers_are_consecutive() {
+        let sp = Benchmark::Micro.synthesize(2);
+        for (i, d) in TraceGenerator::new(&sp, 2).take(1000).enumerate() {
+            assert_eq!(d.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn control_flow_is_consistent() {
+        // Every instruction's next_pc must be either the sequential successor or the
+        // start of a real block, and non-control instructions never "jump".
+        let sp = Benchmark::Gzip.synthesize(17);
+        let program = sp.program();
+        let mut prev: Option<DynInst> = None;
+        for d in TraceGenerator::new(&sp, 17).take(20_000) {
+            if let Some(p) = &prev {
+                assert_eq!(p.next_pc, d.pc, "trace must be contiguous");
+            }
+            if !d.stat.op().is_ctrl() {
+                assert_eq!(d.next_pc, d.pc.next(), "non-control op must fall through");
+            }
+            assert!(program.inst_at(d.pc).is_some(), "pc must map to the program");
+            prev = Some(d);
+        }
+    }
+
+    #[test]
+    fn memory_instructions_have_addresses() {
+        let sp = Benchmark::Bzip2.synthesize(3);
+        let mut mem_seen = 0;
+        for d in TraceGenerator::new(&sp, 3).take(20_000) {
+            if d.stat.op().is_mem() {
+                assert!(d.mem.is_some());
+                mem_seen += 1;
+            } else {
+                assert!(d.mem.is_none());
+            }
+        }
+        assert!(mem_seen > 2_000, "memory ops should be frequent, saw {mem_seen}");
+    }
+
+    #[test]
+    fn calls_and_returns_balance() {
+        let sp = Benchmark::Vortex.synthesize(8);
+        let mut gen = TraceGenerator::new(&sp, 8);
+        let mut calls = 0u64;
+        let mut rets = 0u64;
+        for _ in 0..50_000 {
+            let d = gen.next().unwrap();
+            match d.stat.ctrl() {
+                Some(flywheel_isa::CtrlKind::Call) => calls += 1,
+                Some(flywheel_isa::CtrlKind::Return) => rets += 1,
+                _ => {}
+            }
+        }
+        assert!(calls > 0, "vortex trace should contain calls");
+        // Returns can never outnumber calls (the call stack never underflows in a
+        // DAG-shaped call graph reached from main).
+        assert!(rets <= calls);
+        assert_eq!(gen.call_depth() as u64, calls - rets);
+    }
+
+    #[test]
+    fn loops_repeat_their_bodies() {
+        // A loop-heavy workload must revisit the same PCs many times: that locality
+        // is what the Execution Cache exploits.
+        let sp = Benchmark::Turb3d.synthesize(4);
+        let trace: Vec<_> = TraceGenerator::new(&sp, 4).take(30_000).collect();
+        let distinct: std::collections::HashSet<_> = trace.iter().map(|d| d.pc).collect();
+        assert!(
+            distinct.len() * 4 < trace.len(),
+            "expected heavy PC reuse, got {} distinct of {}",
+            distinct.len(),
+            trace.len()
+        );
+    }
+
+    #[test]
+    fn taken_flag_matches_next_pc() {
+        let sp = Benchmark::Parser.synthesize(6);
+        for d in TraceGenerator::new(&sp, 6).take(20_000) {
+            if d.stat.op() == OpClass::Ctrl && !d.taken {
+                assert_eq!(d.next_pc, d.pc.next());
+            }
+            if d.taken {
+                assert!(d.stat.op().is_ctrl());
+            }
+        }
+    }
+}

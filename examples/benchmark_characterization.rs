@@ -1,0 +1,34 @@
+//! Characterize the synthetic benchmark suite: instruction mix, branch behaviour,
+//! working sets and baseline IPC for every workload used in the paper's figures.
+//!
+//! Run with: `cargo run --release --example benchmark_characterization`
+
+use flywheel::prelude::*;
+
+fn main() {
+    let budget = SimBudget::new(10_000, 50_000);
+    println!(
+        "{:<9} {:>9} {:>8} {:>8} {:>9} {:>10} {:>8} {:>9}",
+        "bench", "mem%", "ctrl%", "taken%", "ws(KB)", "static", "IPC", "mispred%"
+    );
+    for bench in Benchmark::paper_suite() {
+        let program = bench.synthesize(23);
+        let stats = TraceStats::collect(TraceGenerator::new(&program, 23).take(60_000));
+        let result = BaselineSim::new(
+            BaselineConfig::paper(TechNode::N130),
+            TraceGenerator::new(&program, 23),
+        )
+        .run(budget);
+        println!(
+            "{:<9} {:>8.1}% {:>7.1}% {:>7.1}% {:>9} {:>10} {:>8.2} {:>8.2}%",
+            bench.to_string(),
+            stats.mem_fraction() * 100.0,
+            stats.ctrl_fraction() * 100.0,
+            stats.taken_rate() * 100.0,
+            stats.data_working_set_bytes() / 1024,
+            program.static_footprint(),
+            result.ipc(),
+            result.bpred.cond_mispredict_rate() * 100.0,
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! Clock-scaling sweep (the Figure 12 experiment at example scale): sweep the
+//! front-end speed-up with the back-end fixed at +50% and report normalized
+//! performance for a few benchmarks.
+//!
+//! Run with: `cargo run --release --example clock_scaling_sweep`
+
+use flywheel::prelude::*;
+
+fn main() {
+    let node = TechNode::N130;
+    let budget = SimBudget::new(20_000, 80_000);
+    let benchmarks = [Benchmark::Ijpeg, Benchmark::Gzip, Benchmark::Mesa, Benchmark::Vortex];
+    let frontend_speedups = [0u32, 25, 50, 75, 100];
+
+    println!("Normalized performance (baseline = 1.0), back-end +50% in trace-execution mode");
+    print!("{:<10}", "bench");
+    for fe in frontend_speedups {
+        print!("  FE{fe:>3}%");
+    }
+    println!();
+
+    for bench in benchmarks {
+        let program = bench.synthesize(7);
+        let base = BaselineSim::new(BaselineConfig::paper(node), TraceGenerator::new(&program, 7)).run(budget);
+        print!("{:<10}", bench.to_string());
+        for fe in frontend_speedups {
+            let fly = FlywheelSim::new(FlywheelConfig::paper(node, fe, 50), TraceGenerator::new(&program, 7)).run(budget);
+            print!("  {:>6.3}", fly.speedup_over(&base));
+        }
+        println!();
+    }
+}

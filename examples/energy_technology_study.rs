@@ -1,0 +1,32 @@
+//! Energy scaling with process technology (the Figure 15 experiment at example
+//! scale): relative Flywheel energy at 130 nm, 90 nm and 60 nm for the FE+100%,
+//! BE+50% configuration.
+//!
+//! Run with: `cargo run --release --example energy_technology_study`
+
+use flywheel::prelude::*;
+
+fn main() {
+    let budget = SimBudget::new(20_000, 80_000);
+    let benchmarks = [Benchmark::Gcc, Benchmark::Equake, Benchmark::Bzip2];
+
+    println!("Relative energy of Flywheel (FE100%, BE50%) vs the baseline at each node");
+    print!("{:<10}", "bench");
+    for node in TechNode::power_study_nodes() {
+        print!("  {:>7}", node.to_string());
+    }
+    println!();
+
+    for bench in benchmarks {
+        let program = bench.synthesize(11);
+        print!("{:<10}", bench.to_string());
+        for node in TechNode::power_study_nodes() {
+            let base = BaselineSim::new(BaselineConfig::paper(*node), TraceGenerator::new(&program, 11)).run(budget);
+            let fly = FlywheelSim::new(FlywheelConfig::paper(*node, 100, 50), TraceGenerator::new(&program, 11)).run(budget);
+            print!("  {:>7.3}", fly.energy_ratio_over(&base));
+        }
+        println!();
+    }
+    println!();
+    println!("(The savings shrink towards 60 nm as leakage grows — the Figure 15 trend.)");
+}

@@ -1,0 +1,46 @@
+//! # flywheel
+//!
+//! Umbrella crate for the reproduction of *"Increased Scalability and Power
+//! Efficiency by Using Multiple Speed Pipelines"* (Talpes & Marculescu, ISCA 2005).
+//!
+//! It re-exports the workspace crates under one roof so that examples, integration
+//! tests and downstream users can depend on a single crate:
+//!
+//! * [`isa`] — instruction set and program representation.
+//! * [`workloads`] — synthetic SPEC-like benchmark models and trace generation.
+//! * [`timing`] — technology scaling and structure latency models (Table 1, Fig. 1).
+//! * [`power`] — Wattch-style energy and leakage models.
+//! * [`uarch`] — the cycle-accurate baseline out-of-order machine.
+//! * [`core`] — the Flywheel microarchitecture (Dual-Clock Issue Window, Execution
+//!   Cache, pool-based renaming).
+//!
+//! ```
+//! use flywheel::prelude::*;
+//!
+//! let program = Benchmark::Micro.synthesize(3);
+//! let mut sim = BaselineSim::new(
+//!     BaselineConfig::paper_default(),
+//!     TraceGenerator::new(&program, 3),
+//! );
+//! let result = sim.run(SimBudget::new(500, 2_000));
+//! assert_eq!(result.instructions, 2_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use flywheel_core as core;
+pub use flywheel_isa as isa;
+pub use flywheel_power as power;
+pub use flywheel_timing as timing;
+pub use flywheel_uarch as uarch;
+pub use flywheel_workloads as workloads;
+
+/// The most commonly used items, for glob import in examples and tests.
+pub mod prelude {
+    pub use flywheel_core::{FlywheelConfig, FlywheelResult, FlywheelSim};
+    pub use flywheel_power::{EnergyBreakdown, PowerConfig, PowerModel, Unit};
+    pub use flywheel_timing::{ClockPlan, ModuleFrequencies, TechNode};
+    pub use flywheel_uarch::{BaselineConfig, BaselineSim, SimBudget, SimResult};
+    pub use flywheel_workloads::{Benchmark, TraceGenerator, TraceStats};
+}

@@ -1,0 +1,101 @@
+//! Cross-crate integration tests: workload -> baseline simulator -> Flywheel machine
+//! -> energy models, exercised through the umbrella crate's public API.
+
+use flywheel::prelude::*;
+
+fn budget() -> SimBudget {
+    SimBudget::new(5_000, 25_000)
+}
+
+#[test]
+fn baseline_and_flywheel_execute_the_same_instruction_stream() {
+    let program = Benchmark::Gzip.synthesize(5);
+    let base = BaselineSim::new(BaselineConfig::paper(TechNode::N130), TraceGenerator::new(&program, 5)).run(budget());
+    let fly = FlywheelSim::new(FlywheelConfig::paper_iso_clock(TechNode::N130), TraceGenerator::new(&program, 5)).run(budget());
+    assert_eq!(base.instructions, fly.sim.instructions);
+    // At this very small budget the Flywheel machine is still filling its Execution
+    // Cache, so only require plausible (not tuned) throughput from both machines.
+    assert!(base.ipc() > 0.3, "baseline IPC {}", base.ipc());
+    assert!(fly.sim.ipc() > 0.15, "flywheel IPC {}", fly.sim.ipc());
+    // Both report a full energy breakdown.
+    assert!(base.energy.total_pj() > 0.0);
+    assert!(fly.sim.energy.total_pj() > 0.0);
+}
+
+#[test]
+fn results_are_deterministic_across_runs() {
+    let program = Benchmark::Parser.synthesize(9);
+    let run = || {
+        BaselineSim::new(
+            BaselineConfig::paper(TechNode::N130),
+            TraceGenerator::new(&program, 9),
+        )
+        .run(budget())
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "identical seeds and configs must give identical results");
+}
+
+#[test]
+fn clock_plans_honour_the_timing_model() {
+    // The experiment configurations used throughout the repo must be achievable
+    // according to the latency scaling model at the newest node.
+    for (fe, be) in [(0, 50), (50, 50), (100, 50)] {
+        let plan = ClockPlan::with_speedups(TechNode::N60, fe, be);
+        assert!(
+            plan.validate_against(TechNode::N60).is_empty(),
+            "FE{fe}/BE{be} should be achievable at 60nm"
+        );
+    }
+}
+
+#[test]
+fn flywheel_reports_execution_cache_activity_on_every_paper_benchmark() {
+    for bench in Benchmark::paper_suite().iter().take(4) {
+        let program = bench.synthesize(3);
+        let fly = FlywheelSim::new(
+            FlywheelConfig::paper_iso_clock(TechNode::N130),
+            TraceGenerator::new(&program, 3),
+        )
+        .run(SimBudget::new(5_000, 20_000));
+        assert!(fly.flywheel.traces_stored > 0, "{bench}: no traces were built");
+        assert!(fly.flywheel.ec_lookups > 0, "{bench}: the EC was never searched");
+        assert!(
+            fly.flywheel.ec_residency >= 0.0 && fly.flywheel.ec_residency <= 1.0,
+            "{bench}: residency out of range"
+        );
+    }
+}
+
+#[test]
+fn energy_accounting_is_consistent_between_report_fields() {
+    let program = Benchmark::Bzip2.synthesize(2);
+    let result = BaselineSim::new(
+        BaselineConfig::paper(TechNode::N90),
+        TraceGenerator::new(&program, 2),
+    )
+    .run(budget());
+    let e = result.energy;
+    let total = e.frontend_pj + e.backend_pj + e.flywheel_pj + e.clock_pj + e.leakage_pj;
+    assert!((total - e.total_pj()).abs() < 1e-6);
+    assert!(e.leakage_fraction() > 0.0 && e.leakage_fraction() < 1.0);
+    assert_eq!(e.elapsed_ps, result.elapsed_ps);
+}
+
+#[test]
+fn technology_scaling_shifts_energy_towards_leakage() {
+    let program = Benchmark::Mesa.synthesize(4);
+    let leakage_fraction = |node: TechNode| {
+        BaselineSim::new(BaselineConfig::paper(node), TraceGenerator::new(&program, 4))
+            .run(budget())
+            .energy
+            .leakage_fraction()
+    };
+    let at_130 = leakage_fraction(TechNode::N130);
+    let at_60 = leakage_fraction(TechNode::N60);
+    assert!(
+        at_60 > at_130,
+        "leakage share must grow towards newer nodes ({at_130:.3} -> {at_60:.3})"
+    );
+}
