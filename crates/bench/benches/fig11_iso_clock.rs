@@ -11,9 +11,18 @@ use flywheel_workloads::Benchmark;
 fn fig11(c: &mut Criterion) {
     let budget = bench_budget();
     let node = TechNode::N130;
-    for bench in [Benchmark::Ijpeg, Benchmark::Gzip, Benchmark::Vpr, Benchmark::Vortex] {
+    for bench in [
+        Benchmark::Ijpeg,
+        Benchmark::Gzip,
+        Benchmark::Vpr,
+        Benchmark::Vortex,
+    ] {
         let base = run_baseline(bench, node, budget);
-        let regalloc = run_flywheel(bench, FlywheelConfig::register_allocation_only(node), budget);
+        let regalloc = run_flywheel(
+            bench,
+            FlywheelConfig::register_allocation_only(node),
+            budget,
+        );
         let flywheel = run_flywheel(bench, FlywheelConfig::paper_iso_clock(node), budget);
         println!(
             "fig11 {bench}: reg-alloc {:.3}, flywheel {:.3} (normalized performance)",

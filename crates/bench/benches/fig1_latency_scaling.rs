@@ -28,7 +28,10 @@ fn fig1(c: &mut Criterion) {
     for node in TechNode::all() {
         let iw = IssueWindowGeometry::paper_baseline().latency_ps(*node);
         let cache = CacheGeometry::paper_icache().latency_ps(*node);
-        println!("fig1 {node}: IW128 {iw:.0} ps, 64K cache {cache:.0} ps, ratio {:.2}", cache / iw);
+        println!(
+            "fig1 {node}: IW128 {iw:.0} ps, 64K cache {cache:.0} ps, ratio {:.2}",
+            cache / iw
+        );
     }
 }
 

@@ -9,12 +9,23 @@ use flywheel_workloads::Benchmark;
 fn fig2(c: &mut Criterion) {
     let budget = bench_budget();
     let node = TechNode::N130;
-    for bench in [Benchmark::Gzip, Benchmark::Gcc, Benchmark::Mesa, Benchmark::Vortex] {
+    for bench in [
+        Benchmark::Gzip,
+        Benchmark::Gcc,
+        Benchmark::Mesa,
+        Benchmark::Vortex,
+    ] {
         let base = run_baseline(bench, node, budget);
-        let deeper =
-            run_baseline_with(bench, BaselineConfig::paper(node).with_extra_frontend_stage(), budget);
-        let piped =
-            run_baseline_with(bench, BaselineConfig::paper(node).with_pipelined_wakeup(), budget);
+        let deeper = run_baseline_with(
+            bench,
+            BaselineConfig::paper(node).with_extra_frontend_stage(),
+            budget,
+        );
+        let piped = run_baseline_with(
+            bench,
+            BaselineConfig::paper(node).with_pipelined_wakeup(),
+            budget,
+        );
         println!(
             "fig2 {bench}: fetch+1 {:+.1}%, wakeup/select {:+.1}%",
             (deeper.elapsed_ps as f64 / base.elapsed_ps as f64 - 1.0) * 100.0,
@@ -25,7 +36,13 @@ fn fig2(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig2_pipeline_loops");
     group.sample_size(10);
     group.bench_function("baseline_gzip", |b| {
-        b.iter(|| criterion::black_box(run_baseline(Benchmark::Gzip, node, flywheel_uarch::SimBudget::new(1_000, 5_000))))
+        b.iter(|| {
+            criterion::black_box(run_baseline(
+                Benchmark::Gzip,
+                node,
+                flywheel_uarch::SimBudget::new(1_000, 5_000),
+            ))
+        })
     });
     group.finish();
 }

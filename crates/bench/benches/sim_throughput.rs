@@ -1,0 +1,83 @@
+//! Simulator-kernel throughput: how many simulated instructions per wall-clock
+//! second each machine model sustains.
+//!
+//! This is the bench guarding the hot-path optimisations (slab-indexed in-flight
+//! table, ready-list wakeup, allocation-free cycle loop): any regression in the
+//! per-cycle bookkeeping shows up directly as lower simulated-MIPS here.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flywheel_bench::{run_baseline, run_flywheel, simulated_mips};
+use flywheel_core::FlywheelConfig;
+use flywheel_timing::TechNode;
+use flywheel_uarch::SimBudget;
+use flywheel_workloads::Benchmark;
+use std::time::Instant;
+
+fn sim_throughput(c: &mut Criterion) {
+    let node = TechNode::N130;
+    let budget = SimBudget::new(10_000, 200_000);
+
+    // Headline numbers: simulated MIPS for one representative run of each kernel.
+    type Runner = Box<dyn Fn() -> u64>;
+    let headline: Vec<(&str, Runner)> = vec![
+        (
+            "baseline/gzip",
+            Box::new(move || run_baseline(Benchmark::Gzip, node, budget).instructions),
+        ),
+        (
+            "flywheel/gzip",
+            Box::new(move || {
+                run_flywheel(
+                    Benchmark::Gzip,
+                    FlywheelConfig::paper_iso_clock(node),
+                    budget,
+                )
+                .sim
+                .instructions
+            }),
+        ),
+    ];
+    for (name, run) in headline {
+        let start = Instant::now();
+        let measured = run();
+        let wall = start.elapsed();
+        println!(
+            "sim_throughput {name}: {:.2} simulated MIPS ({} simulated instructions, {measured} \
+             measured, in {:.3} s)",
+            simulated_mips(budget.total(), wall),
+            budget.total(),
+            wall.as_secs_f64()
+        );
+    }
+
+    let mut group = c.benchmark_group("sim_throughput");
+    group.sample_size(10);
+    group.bench_function("baseline_gzip_210k", |b| {
+        b.iter(|| criterion::black_box(run_baseline(Benchmark::Gzip, node, budget)))
+    });
+    group.bench_function("baseline_equake_210k", |b| {
+        b.iter(|| criterion::black_box(run_baseline(Benchmark::Equake, node, budget)))
+    });
+    group.bench_function("flywheel_iso_gzip_210k", |b| {
+        b.iter(|| {
+            criterion::black_box(run_flywheel(
+                Benchmark::Gzip,
+                FlywheelConfig::paper_iso_clock(node),
+                budget,
+            ))
+        })
+    });
+    group.bench_function("flywheel_fe50_be50_ijpeg_210k", |b| {
+        b.iter(|| {
+            criterion::black_box(run_flywheel(
+                Benchmark::Ijpeg,
+                FlywheelConfig::paper(node, 50, 50),
+                budget,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, sim_throughput);
+criterion_main!(benches);

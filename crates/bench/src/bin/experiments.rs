@@ -9,16 +9,50 @@
 //! where `experiment` is one of `table1`, `fig1`, `fig2`, `fig11`, `fig12`, `fig13`,
 //! `fig14`, `fig15`, `ec_residency` or `all` (default). The optional second argument
 //! overrides the measured instruction count per benchmark.
+//!
+//! The simulation sweeps fan out across all cores (`FLYWHEEL_JOBS` caps the
+//! worker count); every cell is an independent deterministic simulation, so the
+//! tables are identical to a serial run. Besides the printed tables, the binary
+//! reports per-experiment wall-clock and simulated-MIPS throughput and writes
+//! them to `BENCH.json` so the performance trajectory of the simulator itself
+//! can be tracked across commits.
 
 use flywheel_bench::{
-    experiment_budget, print_table, run_baseline, run_baseline_with, run_flywheel, Row,
-    CLOCK_SWEEP,
+    experiment_budget, parallel_map, print_table, run_baseline, run_baseline_with, run_flywheel,
+    simulated_mips, Row, CLOCK_SWEEP,
 };
 use flywheel_core::FlywheelConfig;
 use flywheel_timing::{paper, ModuleFrequencies, StructureLatency, TechNode};
 use flywheel_timing::{CacheGeometry, IssueWindowGeometry, RegFileGeometry};
 use flywheel_uarch::{BaselineConfig, SimBudget};
 use flywheel_workloads::Benchmark;
+use std::time::Instant;
+
+/// Wall-clock and throughput accounting for one experiment.
+struct Report {
+    name: &'static str,
+    wall_s: f64,
+    simulated_instructions: u64,
+    mips: f64,
+}
+
+/// Runs `f` (returning the number of simulated instructions) under a timer.
+fn timed(name: &'static str, reports: &mut Vec<Report>, f: impl FnOnce() -> u64) {
+    let start = Instant::now();
+    let simulated_instructions = f();
+    let wall = start.elapsed();
+    let mips = simulated_mips(simulated_instructions, wall);
+    println!(
+        "[{name}] {:.2} s wall, {simulated_instructions} simulated instructions, {mips:.2} MIPS",
+        wall.as_secs_f64()
+    );
+    reports.push(Report {
+        name,
+        wall_s: wall.as_secs_f64(),
+        simulated_instructions,
+        mips,
+    });
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -28,32 +62,127 @@ fn main() {
         budget = SimBudget::new(n / 10, n);
     }
 
+    let mut reports: Vec<Report> = Vec::new();
+    let r = &mut reports;
     match which.as_str() {
         "table1" => table1(),
         "fig1" => fig1(),
-        "fig2" => fig2(budget),
-        "fig11" => fig11(budget),
-        "fig12" => clock_sweep("Figure 12: relative performance", budget, Metric::Performance),
-        "fig13" => clock_sweep("Figure 13: relative energy", budget, Metric::Energy),
-        "fig14" => clock_sweep("Figure 14: relative power", budget, Metric::Power),
-        "fig15" => fig15(budget),
-        "ec_residency" => ec_residency(budget),
+        "fig2" => timed("fig2", r, || fig2(budget)),
+        "fig11" => timed("fig11", r, || fig11(budget)),
+        "fig12" => timed("fig12", r, || {
+            clock_sweep(
+                &[("Figure 12: relative performance", Metric::Performance)],
+                budget,
+            )
+        }),
+        "fig13" => timed("fig13", r, || {
+            clock_sweep(&[("Figure 13: relative energy", Metric::Energy)], budget)
+        }),
+        "fig14" => timed("fig14", r, || {
+            clock_sweep(&[("Figure 14: relative power", Metric::Power)], budget)
+        }),
+        "fig15" => timed("fig15", r, || fig15(budget)),
+        "ec_residency" => timed("ec_residency", r, || ec_residency(budget)),
         "all" => {
             table1();
             fig1();
-            fig2(budget);
-            fig11(budget);
-            clock_sweep("Figure 12: relative performance", budget, Metric::Performance);
-            clock_sweep("Figure 13: relative energy", budget, Metric::Energy);
-            clock_sweep("Figure 14: relative power", budget, Metric::Power);
-            fig15(budget);
-            ec_residency(budget);
+            timed("fig2", r, || fig2(budget));
+            timed("fig11", r, || fig11(budget));
+            // Figures 12-14 plot three metrics of the same (benchmark, clock)
+            // matrix; simulate it once and emit all three tables.
+            timed("fig12-14", r, || {
+                clock_sweep(
+                    &[
+                        ("Figure 12: relative performance", Metric::Performance),
+                        ("Figure 13: relative energy", Metric::Energy),
+                        ("Figure 14: relative power", Metric::Power),
+                    ],
+                    budget,
+                )
+            });
+            timed("fig15", r, || fig15(budget));
+            timed("ec_residency", r, || ec_residency(budget));
         }
         other => {
             eprintln!("unknown experiment '{other}'");
             std::process::exit(1);
         }
     }
+
+    if !reports.is_empty() {
+        print_throughput_summary(&reports);
+        match write_bench_json(&reports) {
+            Ok(path) => println!("wrote {path}"),
+            Err(e) => eprintln!("could not write BENCH.json: {e}"),
+        }
+    }
+}
+
+fn print_throughput_summary(reports: &[Report]) {
+    println!("\n== Simulator throughput ==");
+    println!(
+        "{:<14} {:>9} {:>16} {:>9}",
+        "experiment", "wall s", "sim insts", "MIPS"
+    );
+    let mut wall = 0.0;
+    let mut insts = 0u64;
+    for rep in reports {
+        println!(
+            "{:<14} {:>9.2} {:>16} {:>9.2}",
+            rep.name, rep.wall_s, rep.simulated_instructions, rep.mips
+        );
+        wall += rep.wall_s;
+        insts += rep.simulated_instructions;
+    }
+    println!(
+        "{:<14} {:>9.2} {:>16} {:>9.2}",
+        "total",
+        wall,
+        insts,
+        if wall > 0.0 {
+            insts as f64 / wall / 1e6
+        } else {
+            0.0
+        }
+    );
+}
+
+/// Writes the machine-readable throughput report. The JSON is assembled by hand
+/// (the build container has no registry access for serde_json); every value is a
+/// number or a plain ASCII experiment name, so no escaping is needed.
+fn write_bench_json(reports: &[Report]) -> std::io::Result<&'static str> {
+    let jobs = flywheel_bench::worker_count();
+    let mut s = String::from("{\n  \"schema\": \"flywheel-bench/1\",\n");
+    s.push_str(&format!("  \"sweep_workers\": {jobs},\n"));
+    s.push_str("  \"experiments\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"wall_seconds\": {:.3}, \"simulated_instructions\": {}, \
+             \"simulated_mips\": {:.2}}}{}\n",
+            r.name,
+            r.wall_s,
+            r.simulated_instructions,
+            r.mips,
+            if i + 1 < reports.len() { "," } else { "" }
+        ));
+    }
+    let total_wall: f64 = reports.iter().map(|r| r.wall_s).sum();
+    let total_insts: u64 = reports.iter().map(|r| r.simulated_instructions).sum();
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"total\": {{\"wall_seconds\": {:.3}, \"simulated_instructions\": {}, \
+         \"simulated_mips\": {:.2}}}\n",
+        total_wall,
+        total_insts,
+        if total_wall > 0.0 {
+            total_insts as f64 / total_wall / 1e6
+        } else {
+            0.0
+        }
+    ));
+    s.push_str("}\n");
+    std::fs::write("BENCH.json", s)?;
+    Ok("BENCH.json")
 }
 
 fn node() -> TechNode {
@@ -92,10 +221,22 @@ fn table1() {
 fn fig1() {
     println!("\n== Figure 1: access latency (ps) across technology nodes ==");
     let structures: Vec<(&str, Box<dyn StructureLatency>)> = vec![
-        ("IW 128-entry/6-way", Box::new(IssueWindowGeometry::new(128, 6))),
-        ("IW 64-entry/4-way", Box::new(IssueWindowGeometry::new(64, 4))),
-        ("Cache 64K/2w/1port", Box::new(CacheGeometry::new(64 * 1024, 2, 1, 64))),
-        ("Cache 32K/4w/2port", Box::new(CacheGeometry::new(32 * 1024, 4, 2, 64))),
+        (
+            "IW 128-entry/6-way",
+            Box::new(IssueWindowGeometry::new(128, 6)),
+        ),
+        (
+            "IW 64-entry/4-way",
+            Box::new(IssueWindowGeometry::new(64, 4)),
+        ),
+        (
+            "Cache 64K/2w/1port",
+            Box::new(CacheGeometry::new(64 * 1024, 2, 1, 64)),
+        ),
+        (
+            "Cache 32K/4w/2port",
+            Box::new(CacheGeometry::new(32 * 1024, 4, 2, 64)),
+        ),
         ("RF 128 entries", Box::new(RegFileGeometry::new(128, 18))),
         ("RF 256 entries", Box::new(RegFileGeometry::new(256, 18))),
     ];
@@ -114,104 +255,160 @@ fn fig1() {
 }
 
 /// Figure 2: IPC degradation from an extra front-end stage vs pipelined
-/// Wake-up/Select.
-fn fig2(budget: SimBudget) {
+/// Wake-up/Select. Returns the number of simulated instructions.
+fn fig2(budget: SimBudget) -> u64 {
     let columns = vec!["fetch+1 %".to_owned(), "wakeup/sel %".to_owned()];
-    let mut rows = Vec::new();
-    for bench in Benchmark::paper_suite() {
+    let benches = Benchmark::paper_suite();
+    let rows: Vec<Row> = parallel_map(benches, |bench| {
         let base = run_baseline(*bench, node(), budget);
-        let deeper = run_baseline_with(*bench, BaselineConfig::paper(node()).with_extra_frontend_stage(), budget);
-        let piped = run_baseline_with(*bench, BaselineConfig::paper(node()).with_pipelined_wakeup(), budget);
-        let degradation = |v: &flywheel_uarch::SimResult| (v.elapsed_ps as f64 / base.elapsed_ps as f64 - 1.0) * 100.0;
-        rows.push(Row { bench: bench.name(), values: vec![degradation(&deeper), degradation(&piped)] });
-    }
+        let deeper = run_baseline_with(
+            *bench,
+            BaselineConfig::paper(node()).with_extra_frontend_stage(),
+            budget,
+        );
+        let piped = run_baseline_with(
+            *bench,
+            BaselineConfig::paper(node()).with_pipelined_wakeup(),
+            budget,
+        );
+        let degradation = |v: &flywheel_uarch::SimResult| {
+            (v.elapsed_ps as f64 / base.elapsed_ps as f64 - 1.0) * 100.0
+        };
+        Row {
+            bench: bench.name(),
+            values: vec![degradation(&deeper), degradation(&piped)],
+        }
+    });
     print_table(
         "Figure 2: performance degradation (%) from pipeline-loop stretching",
         &columns,
         &rows,
     );
+    benches.len() as u64 * 3 * budget.total()
 }
 
 /// Figure 11: register-allocation machine and Flywheel at the baseline clock.
-fn fig11(budget: SimBudget) {
+/// Returns the number of simulated instructions.
+fn fig11(budget: SimBudget) -> u64 {
     let columns = vec!["reg-alloc".to_owned(), "flywheel".to_owned()];
-    let mut rows = Vec::new();
-    for bench in Benchmark::paper_suite() {
+    let benches = Benchmark::paper_suite();
+    let rows: Vec<Row> = parallel_map(benches, |bench| {
         let base = run_baseline(*bench, node(), budget);
-        let regalloc = run_flywheel(*bench, FlywheelConfig::register_allocation_only(node()), budget);
+        let regalloc = run_flywheel(
+            *bench,
+            FlywheelConfig::register_allocation_only(node()),
+            budget,
+        );
         let flywheel = run_flywheel(*bench, FlywheelConfig::paper_iso_clock(node()), budget);
-        rows.push(Row {
+        Row {
             bench: bench.name(),
             values: vec![regalloc.speedup_over(&base), flywheel.speedup_over(&base)],
-        });
-    }
+        }
+    });
     print_table(
         "Figure 11: performance at the baseline clock, normalized to the baseline",
         &columns,
         &rows,
     );
+    benches.len() as u64 * 3 * budget.total()
 }
 
+#[derive(Clone, Copy)]
 enum Metric {
     Performance,
     Energy,
     Power,
 }
 
-/// Figures 12-14: sweep the front-end clock with the back-end at +50%.
-fn clock_sweep(title: &str, budget: SimBudget, metric: Metric) {
-    let columns: Vec<String> = CLOCK_SWEEP.iter().map(|(fe, be)| format!("FE{fe}/BE{be}")).collect();
-    let mut rows = Vec::new();
-    for bench in Benchmark::paper_suite() {
-        let base = run_baseline(*bench, node(), budget);
-        let mut values = Vec::new();
-        for (fe, be) in CLOCK_SWEEP {
-            let fly = run_flywheel(*bench, FlywheelConfig::paper(node(), fe, be), budget);
-            values.push(match metric {
-                Metric::Performance => fly.speedup_over(&base),
-                Metric::Energy => fly.energy_ratio_over(&base),
-                Metric::Power => fly.power_ratio_over(&base),
-            });
-        }
-        rows.push(Row { bench: bench.name(), values });
+/// Figures 12-14: sweep the front-end clock with the back-end at +50%. Every
+/// requested metric is read off the same simulation results, so asking for all
+/// three figures costs one matrix, not three. Returns the number of simulated
+/// instructions.
+fn clock_sweep(tables: &[(&str, Metric)], budget: SimBudget) -> u64 {
+    let columns: Vec<String> = CLOCK_SWEEP
+        .iter()
+        .map(|(fe, be)| format!("FE{fe}/BE{be}"))
+        .collect();
+    let benches = Benchmark::paper_suite();
+    // Every (benchmark, clock point) cell is independent; fan the whole matrix
+    // out at once rather than row by row.
+    let baselines = parallel_map(benches, |bench| run_baseline(*bench, node(), budget));
+    let cells: Vec<(usize, u32, u32)> = benches
+        .iter()
+        .enumerate()
+        .flat_map(|(bi, _)| CLOCK_SWEEP.iter().map(move |&(fe, be)| (bi, fe, be)))
+        .collect();
+    let results = parallel_map(&cells, |&(bi, fe, be)| {
+        run_flywheel(benches[bi], FlywheelConfig::paper(node(), fe, be), budget)
+    });
+    for &(title, metric) in tables {
+        let rows: Vec<Row> = benches
+            .iter()
+            .enumerate()
+            .map(|(bi, bench)| Row {
+                bench: bench.name(),
+                values: (bi * CLOCK_SWEEP.len()..(bi + 1) * CLOCK_SWEEP.len())
+                    .map(|ci| match metric {
+                        Metric::Performance => results[ci].speedup_over(&baselines[bi]),
+                        Metric::Energy => results[ci].energy_ratio_over(&baselines[bi]),
+                        Metric::Power => results[ci].power_ratio_over(&baselines[bi]),
+                    })
+                    .collect(),
+            })
+            .collect();
+        print_table(title, &columns, &rows);
     }
-    print_table(title, &columns, &rows);
+    (benches.len() * (1 + CLOCK_SWEEP.len())) as u64 * budget.total()
 }
 
 /// Figure 15: relative energy of FE100/BE50 at 130, 90 and 60 nm.
-fn fig15(budget: SimBudget) {
-    let columns: Vec<String> = TechNode::power_study_nodes().iter().map(|n| n.to_string()).collect();
-    let mut rows = Vec::new();
-    for bench in Benchmark::paper_suite() {
-        let mut values = Vec::new();
-        for n in TechNode::power_study_nodes() {
-            let base = run_baseline(*bench, *n, budget);
-            let fly = run_flywheel(*bench, FlywheelConfig::paper(*n, 100, 50), budget);
-            values.push(fly.energy_ratio_over(&base));
-        }
-        rows.push(Row { bench: bench.name(), values });
-    }
+/// Returns the number of simulated instructions.
+fn fig15(budget: SimBudget) -> u64 {
+    let nodes = TechNode::power_study_nodes();
+    let columns: Vec<String> = nodes.iter().map(|n| n.to_string()).collect();
+    let benches = Benchmark::paper_suite();
+    let cells: Vec<(usize, TechNode)> = benches
+        .iter()
+        .enumerate()
+        .flat_map(|(bi, _)| nodes.iter().map(move |&n| (bi, n)))
+        .collect();
+    let values = parallel_map(&cells, |&(bi, n)| {
+        let base = run_baseline(benches[bi], n, budget);
+        let fly = run_flywheel(benches[bi], FlywheelConfig::paper(n, 100, 50), budget);
+        fly.energy_ratio_over(&base)
+    });
+    let rows: Vec<Row> = benches
+        .iter()
+        .enumerate()
+        .map(|(bi, bench)| Row {
+            bench: bench.name(),
+            values: values[bi * nodes.len()..(bi + 1) * nodes.len()].to_vec(),
+        })
+        .collect();
     print_table(
         "Figure 15: relative energy of Flywheel (FE100%, BE50%) per technology node",
         &columns,
         &rows,
     );
+    (benches.len() * nodes.len() * 2) as u64 * budget.total()
 }
 
 /// Section 5: fraction of execution time spent on the Execution Cache path.
-fn ec_residency(budget: SimBudget) {
+/// Returns the number of simulated instructions.
+fn ec_residency(budget: SimBudget) -> u64 {
     let columns = vec!["residency".to_owned(), "ec hit rate".to_owned()];
-    let mut rows = Vec::new();
-    for bench in Benchmark::paper_suite() {
+    let benches = Benchmark::paper_suite();
+    let rows: Vec<Row> = parallel_map(benches, |bench| {
         let fly = run_flywheel(*bench, FlywheelConfig::paper_iso_clock(node()), budget);
-        rows.push(Row {
+        Row {
             bench: bench.name(),
             values: vec![fly.flywheel.ec_residency, fly.flywheel.ec_hit_rate()],
-        });
-    }
+        }
+    });
     print_table(
         "Execution-path residency (paper reports an 88% average; vortex the lowest)",
         &columns,
         &rows,
     );
+    benches.len() as u64 * budget.total()
 }

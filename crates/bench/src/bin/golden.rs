@@ -1,0 +1,63 @@
+//! Dumps a deterministic digest of simulation results across a matrix of
+//! machines, benchmarks, and clock plans.
+//!
+//! Usage: `cargo run --release -p flywheel-bench --bin golden [> golden.txt]`
+//!
+//! Every line is the full Debug of one `SimResult`/`FlywheelResult`. Capturing
+//! this output before and after a kernel refactor and diffing the two files
+//! proves bit-identical simulation behaviour (the hot-path rework of the
+//! in-flight table was validated this way).
+
+use flywheel_core::{FlywheelConfig, FlywheelSim};
+use flywheel_timing::TechNode;
+use flywheel_uarch::{BaselineConfig, BaselineSim, SimBudget};
+use flywheel_workloads::{Benchmark, TraceGenerator};
+
+fn main() {
+    let budget = SimBudget::new(5_000, 40_000);
+    let benches = [
+        Benchmark::Micro,
+        Benchmark::Gzip,
+        Benchmark::Ijpeg,
+        Benchmark::Parser,
+        Benchmark::Vortex,
+        Benchmark::Equake,
+        Benchmark::Mesa,
+    ];
+    for bench in benches {
+        let program = bench.synthesize(42);
+        let baseline_cfgs: Vec<(&str, BaselineConfig)> = vec![
+            ("paper_default", BaselineConfig::paper_default()),
+            ("paper_n130", BaselineConfig::paper(TechNode::N130)),
+            (
+                "extra_fe_stage",
+                BaselineConfig::paper_default().with_extra_frontend_stage(),
+            ),
+            (
+                "pipelined_wakeup",
+                BaselineConfig::paper_default().with_pipelined_wakeup(),
+            ),
+            (
+                "dual_clock_fe50",
+                BaselineConfig::paper_default().with_dual_clock_frontend(50),
+            ),
+        ];
+        for (name, cfg) in baseline_cfgs {
+            let r = BaselineSim::new(cfg, TraceGenerator::new(&program, 42)).run(budget);
+            println!("baseline/{bench}/{name}: {r:?}");
+        }
+        let flywheel_cfgs: Vec<(&str, FlywheelConfig)> = vec![
+            ("iso_clock", FlywheelConfig::paper_iso_clock(TechNode::N130)),
+            ("fe50_be50", FlywheelConfig::paper(TechNode::N130, 50, 50)),
+            ("fe100_be50", FlywheelConfig::paper(TechNode::N130, 100, 50)),
+            (
+                "reg_alloc_only",
+                FlywheelConfig::register_allocation_only(TechNode::N130),
+            ),
+        ];
+        for (name, cfg) in flywheel_cfgs {
+            let r = FlywheelSim::new(cfg, TraceGenerator::new(&program, 42)).run(budget);
+            println!("flywheel/{bench}/{name}: {r:?}");
+        }
+    }
+}

@@ -26,16 +26,15 @@ pub const CLOCK_SWEEP: [(u32, u32); 5] = [(0, 50), (25, 50), (50, 50), (75, 50),
 /// Runs the baseline machine on `bench` at `node`.
 pub fn run_baseline(bench: Benchmark, node: TechNode, budget: SimBudget) -> SimResult {
     let program = bench.synthesize(EXPERIMENT_SEED);
-    BaselineSim::new(BaselineConfig::paper(node), TraceGenerator::new(&program, EXPERIMENT_SEED))
-        .run(budget)
+    BaselineSim::new(
+        BaselineConfig::paper(node),
+        TraceGenerator::new(&program, EXPERIMENT_SEED),
+    )
+    .run(budget)
 }
 
 /// Runs a baseline variant (used by the Figure 2 pipeline-loop study).
-pub fn run_baseline_with(
-    bench: Benchmark,
-    cfg: BaselineConfig,
-    budget: SimBudget,
-) -> SimResult {
+pub fn run_baseline_with(bench: Benchmark, cfg: BaselineConfig, budget: SimBudget) -> SimResult {
     let program = bench.synthesize(EXPERIMENT_SEED);
     BaselineSim::new(cfg, TraceGenerator::new(&program, EXPERIMENT_SEED)).run(budget)
 }
@@ -79,6 +78,73 @@ pub fn print_table(title: &str, columns: &[String], rows: &[Row]) {
     println!();
 }
 
+/// Applies `f` to every item on a pool of scoped worker threads and returns the
+/// results in input order.
+///
+/// Experiment cells — one (benchmark, configuration) simulation each — are
+/// deterministic and fully independent, so the figure sweeps scale across
+/// cores. Work is handed out through a shared atomic cursor, which balances the
+/// load even though cell runtimes differ by benchmark.
+///
+/// The container has no access to crates.io (no rayon), so this is a small
+/// hand-rolled scoped-thread fan-out; `FLYWHEEL_JOBS` caps the worker count
+/// (default: all available cores).
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let jobs = worker_count().min(items.len().max(1));
+    if jobs <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let results = std::sync::Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(item) = items.get(i) else { break };
+                    local.push((i, f(item)));
+                }
+                results.lock().expect("worker panicked").extend(local);
+            });
+        }
+    });
+    let mut indexed = results.into_inner().expect("worker panicked");
+    indexed.sort_by_key(|&(i, _)| i);
+    debug_assert_eq!(indexed.len(), items.len());
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// The number of sweep worker threads [`parallel_map`] uses: the `FLYWHEEL_JOBS`
+/// override if set, otherwise all available cores.
+pub fn worker_count() -> usize {
+    std::env::var("FLYWHEEL_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Simulator throughput in simulated MIPS: how many millions of simulated
+/// instructions the kernel retires per second of host wall-clock time.
+pub fn simulated_mips(instructions: u64, wall: std::time::Duration) -> f64 {
+    let secs = wall.as_secs_f64();
+    if secs <= 0.0 {
+        0.0
+    } else {
+        instructions as f64 / secs / 1e6
+    }
+}
+
 /// The default budget used by the quick benches (kept small so `cargo bench`
 /// finishes in minutes; EXPERIMENTS.md records runs with the larger budget).
 pub fn bench_budget() -> SimBudget {
@@ -106,6 +172,41 @@ mod tests {
         );
         assert_eq!(base.instructions, fly.sim.instructions);
         assert!(fly.speedup_over(&base) > 0.2);
+    }
+
+    #[test]
+    fn parallel_map_matches_serial_map_in_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        let parallel = parallel_map(&items, |&x| x * x + 1);
+        assert_eq!(serial, parallel);
+        assert!(parallel_map::<u64, u64, _>(&[], |&x| x).is_empty());
+        assert_eq!(parallel_map(&[7u64], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn parallel_sweep_results_match_serial_results() {
+        // The sweep cells must be bitwise independent of scheduling: the same
+        // simulation run on a worker thread gives the same result as inline.
+        let budget = SimBudget::new(1_000, 4_000);
+        let cells: Vec<(Benchmark, u32)> = vec![(Benchmark::Micro, 0), (Benchmark::Micro, 50)];
+        let parallel = parallel_map(&cells, |&(b, fe)| {
+            run_flywheel(b, FlywheelConfig::paper(TechNode::N130, fe, 50), budget)
+        });
+        for (i, &(b, fe)) in cells.iter().enumerate() {
+            let serial = run_flywheel(b, FlywheelConfig::paper(TechNode::N130, fe, 50), budget);
+            assert_eq!(
+                serial, parallel[i],
+                "cell {b}/FE{fe} diverged across threads"
+            );
+        }
+    }
+
+    #[test]
+    fn simulated_mips_is_sane() {
+        let mips = simulated_mips(2_000_000, std::time::Duration::from_secs(1));
+        assert!((mips - 2.0).abs() < 1e-9);
+        assert_eq!(simulated_mips(1, std::time::Duration::ZERO), 0.0);
     }
 
     #[test]

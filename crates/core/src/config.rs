@@ -2,10 +2,9 @@
 
 use flywheel_timing::{ClockPlan, TechNode};
 use flywheel_uarch::BaselineConfig;
-use serde::{Deserialize, Serialize};
 
 /// Execution Cache geometry and timing (paper §3.3, Table 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EcConfig {
     /// Capacity in bytes (128 KB in the paper).
     pub size_bytes: u64,
@@ -43,7 +42,7 @@ impl EcConfig {
 }
 
 /// Pool-based register file configuration (paper §3.4–3.5).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PoolConfig {
     /// Total physical registers (512 in the paper's Flywheel configuration).
     pub total_phys_regs: u32,
@@ -79,7 +78,7 @@ impl PoolConfig {
 /// Execution Cache. Disabling [`FlywheelConfig::execution_cache`] yields the
 /// "Register Allocation" machine of Figure 11 — the Dual-Clock Issue Window and the
 /// new renaming without pre-scheduled execution.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FlywheelConfig {
     /// The underlying pipeline structure (widths, caches, Issue Window, FUs).
     pub base: BaselineConfig,

@@ -3,10 +3,9 @@
 use crate::config::PoolConfig;
 use flywheel_isa::{ArchReg, StaticInst, NUM_ARCH_REGS};
 use flywheel_uarch::{PhysReg, PhysRegFile, RenameOutcome};
-use serde::{Deserialize, Serialize};
 
 /// Statistics of the pool renamer.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PoolStats {
     /// Successful renames.
     pub renames: u64,
@@ -59,7 +58,10 @@ impl PoolRenamer {
     /// Panics if the configuration provides fewer than two entries per register.
     pub fn new(cfg: PoolConfig) -> Self {
         let per_pool = cfg.total_phys_regs / NUM_ARCH_REGS as u32;
-        assert!(per_pool >= 2, "each pool needs at least two physical registers");
+        assert!(
+            per_pool >= 2,
+            "each pool needs at least two physical registers"
+        );
         let pool_size = vec![per_pool; NUM_ARCH_REGS];
         let mut renamer = PoolRenamer {
             cfg,
@@ -269,8 +271,14 @@ mod tests {
         for _ in 0..7 {
             assert!(r.rename(&alu(4, 4), &mut prf).is_some());
         }
-        assert!(r.rename(&alu(4, 4), &mut prf).is_none(), "pool must be exhausted");
-        assert!(r.rename(&alu(5, 4), &mut prf).is_some(), "other pools are unaffected");
+        assert!(
+            r.rename(&alu(4, 4), &mut prf).is_none(),
+            "pool must be exhausted"
+        );
+        assert!(
+            r.rename(&alu(5, 4), &mut prf).is_some(),
+            "other pools are unaffected"
+        );
         assert!(r.stats().pool_stalls >= 1);
     }
 
@@ -320,11 +328,16 @@ mod tests {
         while let Some(o) = outstanding.pop_front() {
             r.commit(&o);
         }
-        assert!(r.maybe_redistribute(), "register 2 should be detected as a bottleneck");
+        assert!(
+            r.maybe_redistribute(),
+            "register 2 should be detected as a bottleneck"
+        );
         assert!(r.pool_size(ArchReg::int(2)) > 8);
         assert_eq!(r.stats().redistributions, 1);
         // Total physical registers is conserved.
-        let total: u32 = (0..NUM_ARCH_REGS).map(|i| r.pool_size(ArchReg::from_flat_index(i))).sum();
+        let total: u32 = (0..NUM_ARCH_REGS)
+            .map(|i| r.pool_size(ArchReg::from_flat_index(i)))
+            .sum();
         assert!(total <= PoolConfig::paper().total_phys_regs);
         assert!(r.fraction_with_extra_entries() > 0.0);
     }

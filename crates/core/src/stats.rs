@@ -1,10 +1,9 @@
 //! Results reported by the Flywheel machine.
 
 use flywheel_uarch::SimResult;
-use serde::{Deserialize, Serialize};
 
 /// Flywheel-specific statistics for one run (measured portion).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct FlywheelStats {
     /// Wall-clock time spent in trace-execution mode, ps.
     pub exec_mode_ps: u64,
@@ -44,7 +43,7 @@ impl FlywheelStats {
 
 /// The complete result of one Flywheel simulation: the common performance/energy
 /// result plus the Flywheel-specific statistics.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FlywheelResult {
     /// Performance, energy and pipeline statistics (same shape as the baseline's
     /// result, so the two machines can be compared directly).

@@ -9,7 +9,12 @@ use flywheel::prelude::*;
 fn main() {
     let node = TechNode::N130;
     let budget = SimBudget::new(20_000, 80_000);
-    let benchmarks = [Benchmark::Ijpeg, Benchmark::Gzip, Benchmark::Mesa, Benchmark::Vortex];
+    let benchmarks = [
+        Benchmark::Ijpeg,
+        Benchmark::Gzip,
+        Benchmark::Mesa,
+        Benchmark::Vortex,
+    ];
     let frontend_speedups = [0u32, 25, 50, 75, 100];
 
     println!("Normalized performance (baseline = 1.0), back-end +50% in trace-execution mode");
@@ -21,10 +26,18 @@ fn main() {
 
     for bench in benchmarks {
         let program = bench.synthesize(7);
-        let base = BaselineSim::new(BaselineConfig::paper(node), TraceGenerator::new(&program, 7)).run(budget);
+        let base = BaselineSim::new(
+            BaselineConfig::paper(node),
+            TraceGenerator::new(&program, 7),
+        )
+        .run(budget);
         print!("{:<10}", bench.to_string());
         for fe in frontend_speedups {
-            let fly = FlywheelSim::new(FlywheelConfig::paper(node, fe, 50), TraceGenerator::new(&program, 7)).run(budget);
+            let fly = FlywheelSim::new(
+                FlywheelConfig::paper(node, fe, 50),
+                TraceGenerator::new(&program, 7),
+            )
+            .run(budget);
             print!("  {:>6.3}", fly.speedup_over(&base));
         }
         println!();

@@ -21,8 +21,16 @@ fn main() {
         let program = bench.synthesize(11);
         print!("{:<10}", bench.to_string());
         for node in TechNode::power_study_nodes() {
-            let base = BaselineSim::new(BaselineConfig::paper(*node), TraceGenerator::new(&program, 11)).run(budget);
-            let fly = FlywheelSim::new(FlywheelConfig::paper(*node, 100, 50), TraceGenerator::new(&program, 11)).run(budget);
+            let base = BaselineSim::new(
+                BaselineConfig::paper(*node),
+                TraceGenerator::new(&program, 11),
+            )
+            .run(budget);
+            let fly = FlywheelSim::new(
+                FlywheelConfig::paper(*node, 100, 50),
+                TraceGenerator::new(&program, 11),
+            )
+            .run(budget);
             print!("  {:>7.3}", fly.energy_ratio_over(&base));
         }
         println!();

@@ -1,0 +1,71 @@
+//! Quickstart: simulate one benchmark on the baseline and the Flywheel machine and
+//! compare performance and energy.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use flywheel::prelude::*;
+
+fn main() {
+    let node = TechNode::N130;
+    let benchmark = Benchmark::Gzip;
+    let budget = SimBudget::new(20_000, 100_000);
+    let program = benchmark.synthesize(1);
+
+    // Fully synchronous baseline (Table 2 configuration).
+    let mut baseline = BaselineSim::new(
+        BaselineConfig::paper(node),
+        TraceGenerator::new(&program, 1),
+    );
+    let base = baseline.run(budget);
+
+    // Flywheel with the paper's FE+50% / BE+50% clock plan.
+    let mut flywheel = FlywheelSim::new(
+        FlywheelConfig::paper(node, 50, 50),
+        TraceGenerator::new(&program, 1),
+    );
+    let fly = flywheel.run(budget);
+
+    println!(
+        "benchmark: {benchmark}, node: {node}, measured instructions: {}",
+        base.instructions
+    );
+    println!();
+    println!("                      baseline      flywheel(FE50,BE50)");
+    println!(
+        "IPC                   {:>8.3}      {:>8.3}",
+        base.ipc(),
+        fly.sim.ipc()
+    );
+    println!(
+        "execution time (us)   {:>8.2}      {:>8.2}",
+        base.execution_time_us(),
+        fly.sim.execution_time_us()
+    );
+    println!(
+        "energy (mJ)           {:>8.4}      {:>8.4}",
+        base.total_energy_mj(),
+        fly.sim.total_energy_mj()
+    );
+    println!(
+        "avg power (W)         {:>8.2}      {:>8.2}",
+        base.average_power_w(),
+        fly.sim.average_power_w()
+    );
+    println!();
+    println!(
+        "flywheel speed-up over baseline : {:.3}",
+        fly.speedup_over(&base)
+    );
+    println!(
+        "flywheel energy ratio           : {:.3}",
+        fly.energy_ratio_over(&base)
+    );
+    println!(
+        "execution-cache residency       : {:.1}%",
+        fly.flywheel.ec_residency * 100.0
+    );
+    println!(
+        "traces stored / switches        : {} / {}",
+        fly.flywheel.traces_stored, fly.flywheel.trace_switches
+    );
+}

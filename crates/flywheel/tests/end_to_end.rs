@@ -10,8 +10,16 @@ fn budget() -> SimBudget {
 #[test]
 fn baseline_and_flywheel_execute_the_same_instruction_stream() {
     let program = Benchmark::Gzip.synthesize(5);
-    let base = BaselineSim::new(BaselineConfig::paper(TechNode::N130), TraceGenerator::new(&program, 5)).run(budget());
-    let fly = FlywheelSim::new(FlywheelConfig::paper_iso_clock(TechNode::N130), TraceGenerator::new(&program, 5)).run(budget());
+    let base = BaselineSim::new(
+        BaselineConfig::paper(TechNode::N130),
+        TraceGenerator::new(&program, 5),
+    )
+    .run(budget());
+    let fly = FlywheelSim::new(
+        FlywheelConfig::paper_iso_clock(TechNode::N130),
+        TraceGenerator::new(&program, 5),
+    )
+    .run(budget());
     assert_eq!(base.instructions, fly.sim.instructions);
     // At this very small budget the Flywheel machine is still filling its Execution
     // Cache, so only require plausible (not tuned) throughput from both machines.
@@ -20,6 +28,31 @@ fn baseline_and_flywheel_execute_the_same_instruction_stream() {
     // Both report a full energy breakdown.
     assert!(base.energy.total_pj() > 0.0);
     assert!(fly.sim.energy.total_pj() > 0.0);
+}
+
+#[test]
+fn flywheel_results_are_deterministic_across_runs() {
+    // Same seed, same config => bit-identical FlywheelResult (instructions,
+    // cycles, energy breakdown, EC statistics). This guards the slab-indexed
+    // in-flight table and ready-list wakeup against behavioural drift: any
+    // change in issue order or bookkeeping shows up as a field mismatch here.
+    let program = Benchmark::Ijpeg.synthesize(11);
+    for cfg in [
+        FlywheelConfig::paper_iso_clock(TechNode::N130),
+        FlywheelConfig::paper(TechNode::N130, 50, 50),
+        FlywheelConfig::register_allocation_only(TechNode::N130),
+    ] {
+        let run = || FlywheelSim::new(cfg.clone(), TraceGenerator::new(&program, 11)).run(budget());
+        let a = run();
+        let b = run();
+        assert_eq!(a.sim.instructions, b.sim.instructions);
+        assert_eq!(a.sim.be_cycles, b.sim.be_cycles);
+        assert_eq!(a.sim.energy, b.sim.energy);
+        assert_eq!(
+            a, b,
+            "identical seeds and configs must give identical results"
+        );
+    }
 }
 
 #[test]
@@ -34,7 +67,10 @@ fn results_are_deterministic_across_runs() {
     };
     let a = run();
     let b = run();
-    assert_eq!(a, b, "identical seeds and configs must give identical results");
+    assert_eq!(
+        a, b,
+        "identical seeds and configs must give identical results"
+    );
 }
 
 #[test]
@@ -59,8 +95,14 @@ fn flywheel_reports_execution_cache_activity_on_every_paper_benchmark() {
             TraceGenerator::new(&program, 3),
         )
         .run(SimBudget::new(5_000, 20_000));
-        assert!(fly.flywheel.traces_stored > 0, "{bench}: no traces were built");
-        assert!(fly.flywheel.ec_lookups > 0, "{bench}: the EC was never searched");
+        assert!(
+            fly.flywheel.traces_stored > 0,
+            "{bench}: no traces were built"
+        );
+        assert!(
+            fly.flywheel.ec_lookups > 0,
+            "{bench}: the EC was never searched"
+        );
         assert!(
             fly.flywheel.ec_residency >= 0.0 && fly.flywheel.ec_residency <= 1.0,
             "{bench}: residency out of range"
@@ -87,10 +129,13 @@ fn energy_accounting_is_consistent_between_report_fields() {
 fn technology_scaling_shifts_energy_towards_leakage() {
     let program = Benchmark::Mesa.synthesize(4);
     let leakage_fraction = |node: TechNode| {
-        BaselineSim::new(BaselineConfig::paper(node), TraceGenerator::new(&program, 4))
-            .run(budget())
-            .energy
-            .leakage_fraction()
+        BaselineSim::new(
+            BaselineConfig::paper(node),
+            TraceGenerator::new(&program, 4),
+        )
+        .run(budget())
+        .energy
+        .leakage_fraction()
     };
     let at_130 = leakage_fraction(TechNode::N130);
     let at_60 = leakage_fraction(TechNode::N60);

@@ -1,11 +1,10 @@
 //! Dynamic (executed) instructions — the unit consumed by the simulators.
 
 use crate::{Pc, StaticInst};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A dynamic memory access performed by a load or store.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MemAccess {
     /// Effective byte address.
     pub addr: u64,
@@ -25,7 +24,10 @@ impl MemAccess {
     ///
     /// Panics if `line_bytes` is not a power of two.
     pub fn line_addr(&self, line_bytes: u64) -> u64 {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         self.addr & !(line_bytes - 1)
     }
 }
@@ -40,7 +42,7 @@ impl MemAccess {
 /// * [`DynInst::taken`] / [`DynInst::next_pc`] as the oracle branch outcome that the
 ///   modelled branch predictor is compared against, and
 /// * [`DynInst::mem`] as the effective address presented to the cache hierarchy.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DynInst {
     /// Sequence number in the dynamic trace (0-based).
     pub seq: u64,

@@ -1,11 +1,10 @@
 //! Static instructions.
 
 use crate::{ArchReg, OpClass};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The kind of a control-transfer instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CtrlKind {
     /// Conditional branch: taken or not-taken, direction predicted by the branch
     /// predictor.
@@ -47,7 +46,7 @@ impl CtrlKind {
 /// assert_eq!(add.dst(), Some(ArchReg::int(3)));
 /// assert_eq!(add.srcs().count(), 2);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct StaticInst {
     op: OpClass,
     dst: Option<ArchReg>,
@@ -106,7 +105,13 @@ impl StaticInst {
 
     /// A conditional branch testing `src1` (and optionally `src2`).
     pub fn cond_branch(src1: ArchReg, src2: Option<ArchReg>) -> Self {
-        StaticInst::new(OpClass::Ctrl, None, Some(src1), src2, Some(CtrlKind::CondBranch))
+        StaticInst::new(
+            OpClass::Ctrl,
+            None,
+            Some(src1),
+            src2,
+            Some(CtrlKind::CondBranch),
+        )
     }
 
     /// An unconditional direct jump.
@@ -126,7 +131,13 @@ impl StaticInst {
 
     /// An indirect jump through `src1`.
     pub fn indirect_jump(src1: ArchReg) -> Self {
-        StaticInst::new(OpClass::Ctrl, None, Some(src1), None, Some(CtrlKind::IndirectJump))
+        StaticInst::new(
+            OpClass::Ctrl,
+            None,
+            Some(src1),
+            None,
+            Some(CtrlKind::IndirectJump),
+        )
     }
 
     /// A no-operation.

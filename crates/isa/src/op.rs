@@ -1,6 +1,5 @@
 //! Operation classes and functional-unit kinds.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The operation class of an instruction.
@@ -9,7 +8,7 @@ use std::fmt;
 /// [`FuKind`] executes the instruction and its nominal execution latency. Control
 /// transfer details (conditional vs. unconditional, call/return) are captured by
 /// [`crate::CtrlKind`] on the static instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpClass {
     /// Single-cycle integer ALU operation (add, logic, shifts, compares).
     IntAlu,
@@ -117,7 +116,7 @@ impl fmt::Display for OpClass {
 /// The paper's configuration (Table 2) provides 4 integer ALUs, 2 integer
 /// multiply/divide units, 2 memory ports, 2 FP adders and 1 FP multiply/divide unit;
 /// those counts live in the simulator configuration, keyed by this enum.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FuKind {
     /// Integer ALU (also executes branches and nops).
     IntAlu,

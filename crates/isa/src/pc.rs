@@ -1,6 +1,5 @@
 //! Program-counter newtype.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::Add;
 
@@ -19,9 +18,7 @@ pub(crate) const INST_BYTES: u64 = 4;
 /// assert_eq!(pc.next(), Pc::new(0x1004));
 /// assert_eq!(pc.word_index(), 0x400);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Pc(u64);
 
 impl Pc {

@@ -2,13 +2,10 @@
 
 use crate::pc::INST_BYTES;
 use crate::{Pc, StaticInst};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a basic block inside a [`Program`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct BlockId(pub u32);
 
 impl fmt::Display for BlockId {
@@ -22,7 +19,7 @@ impl fmt::Display for BlockId {
 /// The terminator is a *static* description; which successor is actually taken on a
 /// given dynamic execution is decided by the workload generator's behavioural model
 /// (loop trip counts, branch biases) and is recorded on the dynamic trace.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Terminator {
     /// Fall through to the next block in layout order.
     FallThrough(BlockId),
@@ -66,7 +63,7 @@ impl Terminator {
 /// The last instruction of the block is the control transfer implementing the
 /// terminator (added automatically by [`ProgramBuilder`]) unless the terminator is a
 /// fall-through, in which case the block has no explicit control instruction.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BasicBlock {
     id: BlockId,
     start_pc: Pc,
@@ -117,7 +114,7 @@ impl BasicBlock {
 /// Programs are produced by [`ProgramBuilder`] (directly in tests, or by the
 /// synthetic benchmark generators in `flywheel-workloads`) and consumed by the fetch
 /// stage of the simulators, which indexes instructions by PC.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Program {
     blocks: Vec<BasicBlock>,
     entry: BlockId,
@@ -326,7 +323,10 @@ mod tests {
         assert_eq!(b0.len(), 3, "branch instruction should have been appended");
         assert!(b0.insts().last().unwrap().is_cond_branch());
         let b1 = p.block(BlockId(1));
-        assert_eq!(b1.insts().last().unwrap().ctrl(), Some(crate::CtrlKind::Return));
+        assert_eq!(
+            b1.insts().last().unwrap().ctrl(),
+            Some(crate::CtrlKind::Return)
+        );
     }
 
     #[test]

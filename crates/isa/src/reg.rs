@@ -1,6 +1,5 @@
 //! Architected registers.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Number of architected integer registers.
@@ -11,7 +10,7 @@ pub const NUM_FP_REGS: usize = 32;
 pub const NUM_ARCH_REGS: usize = NUM_INT_REGS + NUM_FP_REGS;
 
 /// The class of an architected register.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum RegClass {
     /// Integer register (`r0`–`r31`); `r0` is hard-wired to zero.
     Int,
@@ -41,7 +40,7 @@ impl fmt::Display for RegClass {
 /// assert!(!r.is_zero());
 /// assert!(ArchReg::int(0).is_zero());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ArchReg {
     class: RegClass,
     index: u8,
@@ -86,7 +85,10 @@ impl ArchReg {
     ///
     /// Panics if `flat >= NUM_ARCH_REGS`.
     pub fn from_flat_index(flat: usize) -> Self {
-        assert!(flat < NUM_ARCH_REGS, "flat register index {flat} out of range");
+        assert!(
+            flat < NUM_ARCH_REGS,
+            "flat register index {flat} out of range"
+        );
         if flat < NUM_INT_REGS {
             ArchReg::int(flat as u8)
         } else {

@@ -1,7 +1,6 @@
 //! Activity accounting and energy/power reports.
 
 use crate::{PowerModel, Unit, UnitCategory};
-use serde::{Deserialize, Serialize};
 
 /// Records the activity of one simulation run: per-unit access counts and per-domain
 /// clock edges.
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// [`EnergyAccumulator::record`] as events happen and the clock-tick methods once per
 /// domain edge; at the end, [`EnergyAccumulator::finish`] turns the counts into an
 /// [`EnergyBreakdown`] using a [`PowerModel`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EnergyAccumulator {
     counts: Vec<u64>,
     frontend_cycles: u64,
@@ -129,7 +128,7 @@ impl EnergyAccumulator {
 }
 
 /// The energy consumed by one simulation run, split by source.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct EnergyBreakdown {
     /// Dynamic energy of front-end units (fetch, decode, rename, Issue Window), pJ.
     pub frontend_pj: f64,

@@ -2,14 +2,13 @@
 
 use crate::{Unit, UnitCategory};
 use flywheel_timing::TechNode;
-use serde::{Deserialize, Serialize};
 
 /// Structural parameters of the modelled processor that matter for energy.
 ///
 /// Defaults follow the paper's Table 2. The Flywheel-only structures (Execution
 /// Cache, 512-entry register file, remapping tables) are included so the same config
 /// can describe both machines; the baseline simply never exercises them.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerConfig {
     /// Process technology node.
     pub node: TechNode,
@@ -112,8 +111,7 @@ impl PowerModel {
             0.045 * entries as f64 * width_bits.sqrt() * (0.6 + 0.4 * ports)
         };
 
-        let iw_wakeup =
-            3.2 * config.iw_entries as f64 * (0.5 + 0.5 * config.iw_width as f64 / 6.0);
+        let iw_wakeup = 3.2 * config.iw_entries as f64 * (0.5 + 0.5 * config.iw_width as f64 / 6.0);
         let iw_select = 0.9 * config.iw_entries as f64 * 0.85;
 
         let rf_read = small_array(config.rf_entries, 64.0, 1.0);
@@ -124,7 +122,10 @@ impl PowerModel {
         let mut set = |u: Unit, pj_ref: f64| access_pj[u.index()] = pj_ref * dyn_scale;
 
         set(Unit::ICache, array(config.icache_bytes, 1.0));
-        set(Unit::BranchPredictor, small_array(config.bpred_entries, 2.0, 1.0) + 25.0);
+        set(
+            Unit::BranchPredictor,
+            small_array(config.bpred_entries, 2.0, 1.0) + 25.0,
+        );
         set(Unit::Decode, 40.0);
         set(Unit::Rename, 90.0);
         set(Unit::IssueWindowInsert, 80.0);
@@ -267,7 +268,12 @@ mod tests {
     #[test]
     fn caches_and_wakeup_dominate_per_access_energy() {
         let m = model(TechNode::N130);
-        let big = [Unit::ICache, Unit::DCache, Unit::IssueWindowWakeup, Unit::L2];
+        let big = [
+            Unit::ICache,
+            Unit::DCache,
+            Unit::IssueWindowWakeup,
+            Unit::L2,
+        ];
         let small = [Unit::Decode, Unit::Rename, Unit::Retire, Unit::ResultBus];
         for b in big {
             for s in small {
@@ -340,9 +346,10 @@ mod tests {
         let ipc = 1.3;
         let fe = m.access_energy_pj(Unit::ICache)
             + m.access_energy_pj(Unit::BranchPredictor)
-            + ipc * (m.access_energy_pj(Unit::Decode)
-                + m.access_energy_pj(Unit::Rename)
-                + m.access_energy_pj(Unit::IssueWindowInsert))
+            + ipc
+                * (m.access_energy_pj(Unit::Decode)
+                    + m.access_energy_pj(Unit::Rename)
+                    + m.access_energy_pj(Unit::IssueWindowInsert))
             + m.access_energy_pj(Unit::IssueWindowWakeup)
             + m.access_energy_pj(Unit::IssueWindowSelect)
             + m.clock_frontend_pj(false);

@@ -1,6 +1,5 @@
 //! The energy-consuming units of the modelled processor.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A pipeline unit whose activity is tracked for energy accounting.
@@ -9,7 +8,7 @@ use std::fmt;
 /// the Flywheel evaluation hinges on: while the processor replays instructions from
 /// the Execution Cache, every front-end unit (and the front-end clock grid) is clock
 /// gated and stops consuming dynamic energy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Unit {
     /// Instruction-cache access (per fetch group).
     ICache,
@@ -64,7 +63,7 @@ pub enum Unit {
 
 /// Whether a unit belongs to the front-end clock domain (gated during
 /// trace-execution mode), the back-end domain, or the Execution Cache path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum UnitCategory {
     /// Fetch/decode/rename/dispatch and the Issue Window scheduling logic.
     FrontEnd,
@@ -119,8 +118,8 @@ impl Unit {
     pub fn category(&self) -> UnitCategory {
         use Unit::*;
         match self {
-            ICache | BranchPredictor | Decode | Rename | IssueWindowInsert
-            | IssueWindowWakeup | IssueWindowSelect => UnitCategory::FrontEnd,
+            ICache | BranchPredictor | Decode | Rename | IssueWindowInsert | IssueWindowWakeup
+            | IssueWindowSelect => UnitCategory::FrontEnd,
             Rob | Lsq | RegFileRead | RegFileWrite | FuIntAlu | FuIntMulDiv | FuFpAdd
             | FuFpMulDiv | DCache | L2 | ResultBus | Retire => UnitCategory::BackEnd,
             EcTagLookup | EcDataRead | EcDataWrite | RegisterUpdate => UnitCategory::FlywheelExtra,
@@ -166,7 +165,11 @@ mod tests {
 
     #[test]
     fn every_category_is_populated() {
-        for cat in [UnitCategory::FrontEnd, UnitCategory::BackEnd, UnitCategory::FlywheelExtra] {
+        for cat in [
+            UnitCategory::FrontEnd,
+            UnitCategory::BackEnd,
+            UnitCategory::FlywheelExtra,
+        ] {
             assert!(Unit::all().iter().any(|u| u.category() == cat));
         }
     }

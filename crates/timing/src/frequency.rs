@@ -9,7 +9,6 @@
 //! consumed by the simulators.
 
 use crate::{CacheGeometry, IssueWindowGeometry, RegFileGeometry, StructureLatency, TechNode};
-use serde::{Deserialize, Serialize};
 
 /// Converts an access latency (ps) pipelined over `cycles` cycles into the maximum
 /// sustainable clock frequency in MHz.
@@ -20,7 +19,7 @@ fn freq_mhz(latency_ps: f64, cycles: u32) -> f64 {
 
 /// The clock frequency each pipeline module can sustain at a given technology node
 /// (the reproduction's version of the paper's Table 1).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ModuleFrequencies {
     /// Technology node these frequencies are for.
     pub node: TechNode,
@@ -43,10 +42,7 @@ impl ModuleFrequencies {
     pub fn for_node(node: TechNode) -> Self {
         ModuleFrequencies {
             node,
-            issue_window_mhz: freq_mhz(
-                IssueWindowGeometry::paper_baseline().latency_ps(node),
-                1,
-            ),
+            issue_window_mhz: freq_mhz(IssueWindowGeometry::paper_baseline().latency_ps(node), 1),
             icache_mhz: freq_mhz(CacheGeometry::paper_icache().latency_ps(node), 2),
             dcache_mhz: freq_mhz(CacheGeometry::paper_dcache().latency_ps(node), 2),
             regfile_mhz: freq_mhz(RegFileGeometry::paper_baseline().latency_ps(node), 1),
@@ -87,7 +83,7 @@ impl ModuleFrequencies {
 /// supported. Speed-ups follow the paper's notation: `FE25` means the front-end clock
 /// is 25 % faster than the baseline clock, `BE50` means the execution core is 50 %
 /// faster while in trace-execution mode.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ClockPlan {
     /// Period of the baseline (Issue Window) clock, in ps.
     pub baseline_period_ps: u64,
@@ -137,7 +133,9 @@ impl ClockPlan {
     }
 
     fn speed_up(period_ps: u64, pct: u32) -> u64 {
-        ((period_ps as f64) / (1.0 + pct as f64 / 100.0)).round().max(1.0) as u64
+        ((period_ps as f64) / (1.0 + pct as f64 / 100.0))
+            .round()
+            .max(1.0) as u64
     }
 
     /// Front-end speed-up factor over the baseline clock.
@@ -182,12 +180,24 @@ mod tests {
         // Flywheel RF 1050 (MHz). Allow ~12% model error.
         let f = ModuleFrequencies::for_node(TechNode::N180);
         let close = |got: f64, want: f64| (got - want).abs() / want < 0.12;
-        assert!(close(f.issue_window_mhz, 950.0), "IW {}", f.issue_window_mhz);
+        assert!(
+            close(f.issue_window_mhz, 950.0),
+            "IW {}",
+            f.issue_window_mhz
+        );
         assert!(close(f.icache_mhz, 1300.0), "I$ {}", f.icache_mhz);
         assert!(close(f.dcache_mhz, 1000.0), "D$ {}", f.dcache_mhz);
         assert!(close(f.regfile_mhz, 1150.0), "RF {}", f.regfile_mhz);
-        assert!(close(f.execution_cache_mhz, 1000.0), "EC {}", f.execution_cache_mhz);
-        assert!(close(f.flywheel_regfile_mhz, 1050.0), "FRF {}", f.flywheel_regfile_mhz);
+        assert!(
+            close(f.execution_cache_mhz, 1000.0),
+            "EC {}",
+            f.execution_cache_mhz
+        );
+        assert!(
+            close(f.flywheel_regfile_mhz, 1050.0),
+            "FRF {}",
+            f.flywheel_regfile_mhz
+        );
     }
 
     #[test]
@@ -206,7 +216,11 @@ mod tests {
         // pipeline will support twice the frequency of the Issue Window, while the
         // execution core will also support a higher clock speed, but by only 50%".
         let f = ModuleFrequencies::for_node(TechNode::N60);
-        assert!(f.max_frontend_speedup() > 1.8, "{}", f.max_frontend_speedup());
+        assert!(
+            f.max_frontend_speedup() > 1.8,
+            "{}",
+            f.max_frontend_speedup()
+        );
         let be = f.max_backend_speedup();
         assert!((1.25..1.8).contains(&be), "backend speedup {be}");
         // At the older 0.18um node the headroom is smaller.

@@ -1,6 +1,5 @@
 //! Process technology nodes.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A CMOS process technology node.
@@ -10,7 +9,7 @@ use std::fmt;
 /// paper's Table 2; the logic/wire delay scale factors are normalized to 0.18 µm and
 /// calibrated so that the structure models in this crate reproduce the published
 /// Table 1 clock frequencies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TechNode {
     /// 0.25 µm.
     N250,

@@ -16,33 +16,73 @@ pub struct Table1Row {
 }
 
 /// The technology nodes covered by Table 1, in column order.
-pub const TABLE1_NODES: [TechNode; 4] = [TechNode::N180, TechNode::N130, TechNode::N90, TechNode::N60];
+pub const TABLE1_NODES: [TechNode; 4] =
+    [TechNode::N180, TechNode::N130, TechNode::N90, TechNode::N60];
 
 /// The paper's published Table 1.
 pub fn published_table1() -> Vec<Table1Row> {
     vec![
-        Table1Row { module: "Issue Window (single cycle)", mhz: [950.0, 1150.0, 1500.0, 1950.0] },
-        Table1Row { module: "I-Cache (two cycles)", mhz: [1300.0, 1800.0, 2600.0, 3800.0] },
-        Table1Row { module: "D-Cache (two cycles)", mhz: [1000.0, 1400.0, 2000.0, 3000.0] },
-        Table1Row { module: "Register File (single cycle)", mhz: [1150.0, 1650.0, 2250.0, 3250.0] },
-        Table1Row { module: "Execution Cache (three cycles)", mhz: [1000.0, 1400.0, 2050.0, 3000.0] },
-        Table1Row { module: "Register File (two cycles)", mhz: [1050.0, 1500.0, 2000.0, 2950.0] },
+        Table1Row {
+            module: "Issue Window (single cycle)",
+            mhz: [950.0, 1150.0, 1500.0, 1950.0],
+        },
+        Table1Row {
+            module: "I-Cache (two cycles)",
+            mhz: [1300.0, 1800.0, 2600.0, 3800.0],
+        },
+        Table1Row {
+            module: "D-Cache (two cycles)",
+            mhz: [1000.0, 1400.0, 2000.0, 3000.0],
+        },
+        Table1Row {
+            module: "Register File (single cycle)",
+            mhz: [1150.0, 1650.0, 2250.0, 3250.0],
+        },
+        Table1Row {
+            module: "Execution Cache (three cycles)",
+            mhz: [1000.0, 1400.0, 2050.0, 3000.0],
+        },
+        Table1Row {
+            module: "Register File (two cycles)",
+            mhz: [1050.0, 1500.0, 2000.0, 2950.0],
+        },
     ]
 }
 
 /// The model-derived equivalent of Table 1.
 pub fn modeled_table1() -> Vec<Table1Row> {
-    let freqs: Vec<ModuleFrequencies> = TABLE1_NODES.iter().map(|n| ModuleFrequencies::for_node(*n)).collect();
+    let freqs: Vec<ModuleFrequencies> = TABLE1_NODES
+        .iter()
+        .map(|n| ModuleFrequencies::for_node(*n))
+        .collect();
     let col = |f: &dyn Fn(&ModuleFrequencies) -> f64| -> [f64; 4] {
         [f(&freqs[0]), f(&freqs[1]), f(&freqs[2]), f(&freqs[3])]
     };
     vec![
-        Table1Row { module: "Issue Window (single cycle)", mhz: col(&|f| f.issue_window_mhz) },
-        Table1Row { module: "I-Cache (two cycles)", mhz: col(&|f| f.icache_mhz) },
-        Table1Row { module: "D-Cache (two cycles)", mhz: col(&|f| f.dcache_mhz) },
-        Table1Row { module: "Register File (single cycle)", mhz: col(&|f| f.regfile_mhz) },
-        Table1Row { module: "Execution Cache (three cycles)", mhz: col(&|f| f.execution_cache_mhz) },
-        Table1Row { module: "Register File (two cycles)", mhz: col(&|f| f.flywheel_regfile_mhz) },
+        Table1Row {
+            module: "Issue Window (single cycle)",
+            mhz: col(&|f| f.issue_window_mhz),
+        },
+        Table1Row {
+            module: "I-Cache (two cycles)",
+            mhz: col(&|f| f.icache_mhz),
+        },
+        Table1Row {
+            module: "D-Cache (two cycles)",
+            mhz: col(&|f| f.dcache_mhz),
+        },
+        Table1Row {
+            module: "Register File (single cycle)",
+            mhz: col(&|f| f.regfile_mhz),
+        },
+        Table1Row {
+            module: "Execution Cache (three cycles)",
+            mhz: col(&|f| f.execution_cache_mhz),
+        },
+        Table1Row {
+            module: "Register File (two cycles)",
+            mhz: col(&|f| f.flywheel_regfile_mhz),
+        },
     ]
 }
 
@@ -65,7 +105,11 @@ mod tests {
         for (pr, mr) in published_table1().iter().zip(modeled_table1()) {
             for (p, m) in pr.mhz.iter().zip(mr.mhz) {
                 let err = (m - p).abs() / p;
-                assert!(err < 0.15, "{}: published {p} MHz, modeled {m:.0} MHz", pr.module);
+                assert!(
+                    err < 0.15,
+                    "{}: published {p} MHz, modeled {m:.0} MHz",
+                    pr.module
+                );
             }
         }
     }

@@ -1,7 +1,6 @@
 //! Latency models for the pipeline structures.
 
 use crate::TechNode;
-use serde::{Deserialize, Serialize};
 
 /// Common interface of every structure latency model: a logic component and a wire
 /// component at the 0.18 µm reference node, scaled per technology node.
@@ -41,7 +40,7 @@ pub trait StructureLatency {
 /// let small = IssueWindowGeometry::new(64, 4);
 /// assert!(big.latency_ps(TechNode::N90) > small.latency_ps(TechNode::N90));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IssueWindowGeometry {
     /// Number of window entries.
     pub entries: u32,
@@ -57,7 +56,10 @@ impl IssueWindowGeometry {
     /// Panics if `entries` or `issue_width` is zero.
     pub fn new(entries: u32, issue_width: u32) -> Self {
         assert!(entries > 0 && issue_width > 0);
-        IssueWindowGeometry { entries, issue_width }
+        IssueWindowGeometry {
+            entries,
+            issue_width,
+        }
     }
 
     /// The paper's baseline configuration: 128 entries, issue width 6.
@@ -69,7 +71,8 @@ impl IssueWindowGeometry {
 impl StructureLatency for IssueWindowGeometry {
     fn logic_ps_ref(&self) -> f64 {
         // Tag match + select tree: grows slowly (logarithmically) with the window.
-        560.0 + 100.0 * ((self.entries as f64 / 64.0).log2()).max(-2.0)
+        560.0
+            + 100.0 * ((self.entries as f64 / 64.0).log2()).max(-2.0)
             + 40.0 * ((self.issue_width as f64 / 6.0).log2()).max(-2.0)
     }
 
@@ -82,7 +85,7 @@ impl StructureLatency for IssueWindowGeometry {
 }
 
 /// Geometry of a cache (I-cache, D-cache, L2 or the Execution Cache data array).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CacheGeometry {
     /// Capacity in bytes.
     pub size_bytes: u64,
@@ -154,7 +157,7 @@ impl StructureLatency for CacheGeometry {
 }
 
 /// Geometry of a multi-ported register file.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RegFileGeometry {
     /// Number of physical registers.
     pub entries: u32,

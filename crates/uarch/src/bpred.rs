@@ -2,10 +2,9 @@
 
 use crate::config::BpredConfig;
 use flywheel_isa::{CtrlKind, DynInst, Pc};
-use serde::{Deserialize, Serialize};
 
 /// Statistics of the branch predictor.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BpredStats {
     /// Conditional-branch predictions made.
     pub cond_predictions: u64,
@@ -259,7 +258,10 @@ mod tests {
                 correct_late += 1;
             }
         }
-        assert!(correct_late > 180, "gshare should learn TNTN..., got {correct_late}/200");
+        assert!(
+            correct_late > 180,
+            "gshare should learn TNTN..., got {correct_late}/200"
+        );
     }
 
     #[test]
@@ -270,7 +272,9 @@ mod tests {
         let mut mispredicts = 0;
         let n = 2000;
         for i in 0..n {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let taken = (x >> 33) & 1 == 1;
             if !p.predict(&branch(0x1000, taken, 0x2000, i)) {
                 mispredicts += 1;
@@ -302,7 +306,10 @@ mod tests {
         };
         assert!(p.predict(&ret), "return should be predicted by the RAS");
         // A second return with an empty RAS cannot be predicted.
-        let ret2 = DynInst { seq: 2, ..ret.clone() };
+        let ret2 = DynInst {
+            seq: 2,
+            ..ret.clone()
+        };
         assert!(!p.predict(&ret2));
         assert_eq!(p.stats().target_mispredicts, 1);
     }

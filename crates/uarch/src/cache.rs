@@ -1,7 +1,6 @@
 //! Set-associative caches and the two-level memory hierarchy.
 
 use crate::config::{BaselineConfig, CacheConfig};
-use serde::{Deserialize, Serialize};
 
 /// A set-associative cache with LRU replacement.
 ///
@@ -51,17 +50,14 @@ impl Cache {
         }
         self.misses += 1;
         // Choose an invalid way if present, otherwise the LRU way.
-        let victim = ways
-            .iter()
-            .position(|t| t.is_none())
-            .unwrap_or_else(|| {
-                self.stamps[set]
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, s)| **s)
-                    .map(|(i, _)| i)
-                    .expect("cache must have at least one way")
-            });
+        let victim = ways.iter().position(|t| t.is_none()).unwrap_or_else(|| {
+            self.stamps[set]
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| **s)
+                .map(|(i, _)| i)
+                .expect("cache must have at least one way")
+        });
         self.tags[set][victim] = Some(tag);
         self.stamps[set][victim] = self.stamp;
         false
@@ -70,7 +66,7 @@ impl Cache {
     /// Checks whether `addr` is resident without updating any state.
     pub fn contains(&self, addr: u64) -> bool {
         let (set, tag) = self.index_and_tag(addr);
-        self.tags[set].iter().any(|t| *t == Some(tag))
+        self.tags[set].contains(&Some(tag))
     }
 
     /// Total accesses so far.
@@ -99,7 +95,7 @@ impl Cache {
 }
 
 /// Where a memory access was satisfied.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessOutcome {
     /// L1 hit.
     L1,
@@ -110,7 +106,7 @@ pub enum AccessOutcome {
 }
 
 /// Statistics of one cache level plus the L2/memory traffic it generated.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HierarchyStats {
     /// L1 instruction-cache accesses and misses.
     pub l1i: (u64, u64),
@@ -298,6 +294,9 @@ mod tests {
         let stats = h.stats();
         assert!(stats.l1d.1 > 0, "L1 should miss");
         let l2_miss_rate = stats.l2.1 as f64 / stats.l2.0 as f64;
-        assert!(l2_miss_rate < 0.5, "L2 should absorb most L1 misses, rate {l2_miss_rate}");
+        assert!(
+            l2_miss_rate < 0.5,
+            "L2 should absorb most L1 misses, rate {l2_miss_rate}"
+        );
     }
 }

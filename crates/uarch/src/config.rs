@@ -2,10 +2,9 @@
 
 use flywheel_isa::FuKind;
 use flywheel_timing::{ClockPlan, TechNode};
-use serde::{Deserialize, Serialize};
 
 /// Geometry of one cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Capacity in bytes.
     pub size_bytes: u64,
@@ -37,7 +36,7 @@ impl CacheConfig {
 }
 
 /// Number of functional units of each kind (paper Table 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FuConfig {
     /// Integer ALUs.
     pub int_alu: u32,
@@ -76,7 +75,7 @@ impl FuConfig {
 }
 
 /// Branch predictor configuration (gshare + BTB + return-address stack).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BpredConfig {
     /// Global history length in bits.
     pub history_bits: u32,
@@ -103,7 +102,7 @@ impl BpredConfig {
 /// Full configuration of the baseline superscalar, out-of-order machine
 /// (paper Table 2), plus the knobs used by the Figure 2 pipeline-loop study and by
 /// the Dual-Clock Issue Window.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BaselineConfig {
     /// Process technology node (drives clock periods and the power model).
     pub node: TechNode,

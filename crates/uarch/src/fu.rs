@@ -2,7 +2,6 @@
 
 use crate::config::FuConfig;
 use flywheel_isa::{FuKind, OpClass};
-use serde::{Deserialize, Serialize};
 
 /// Tracks how many instructions of each functional-unit kind have been issued in the
 /// current execution-core cycle.
@@ -13,7 +12,7 @@ use serde::{Deserialize, Serialize};
 /// Long-latency operations still occupy their result latency; only the structural
 /// issue-port contention is captured here, matching the level of detail of the
 /// paper's SimpleScalar-derived simulator.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FunctionalUnits {
     cfg: FuConfig,
     used: [u32; 5],

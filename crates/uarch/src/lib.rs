@@ -12,6 +12,9 @@
 //! * [`GsharePredictor`] — gshare + BTB + return-address stack.
 //! * [`Renamer`] / [`PhysRegFile`] — R10000-style renaming and the ready scoreboard.
 //! * [`FunctionalUnits`] — per-kind issue bandwidth (Table 2 mix).
+//! * [`InflightTable`] / [`IssueScheduler`] / [`StoreIndex`] — the slab-indexed,
+//!   allocation-free in-flight bookkeeping both simulator kernels run their
+//!   per-cycle hot loop on (see `ARCHITECTURE.md`).
 //! * [`BaselineConfig`] — all structural and clocking knobs, including the Figure 2
 //!   variations (extra front-end stage, pipelined Wake-up/Select) and the Dual-Clock
 //!   Issue Window front-end.
@@ -28,6 +31,7 @@ mod bpred;
 mod cache;
 mod config;
 mod fu;
+mod inflight;
 mod pipeline;
 mod regs;
 mod stats;
@@ -36,6 +40,7 @@ pub use bpred::{BpredStats, GsharePredictor};
 pub use cache::{AccessOutcome, Cache, HierarchyStats, MemoryHierarchy};
 pub use config::{BaselineConfig, BpredConfig, CacheConfig, FuConfig};
 pub use fu::FunctionalUnits;
+pub use inflight::{EntryState, InflightEntry, InflightTable, IssueScheduler, StoreIndex};
 pub use pipeline::BaselineSim;
 pub use regs::{PhysReg, PhysRegFile, RenameOutcome, Renamer};
 pub use stats::{SimBudget, SimResult};

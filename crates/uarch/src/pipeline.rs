@@ -4,41 +4,12 @@ use crate::bpred::GsharePredictor;
 use crate::cache::{AccessOutcome, MemoryHierarchy};
 use crate::config::BaselineConfig;
 use crate::fu::FunctionalUnits;
-use crate::regs::{PhysRegFile, RenameOutcome, Renamer};
+use crate::inflight::{EntryState, InflightEntry, InflightTable, IssueScheduler, StoreIndex};
+use crate::regs::{PhysRegFile, Renamer};
 use crate::stats::{SimBudget, SimResult};
 use flywheel_isa::{DynInst, OpClass};
 use flywheel_power::{EnergyAccumulator, PowerConfig, PowerModel, Unit};
-use std::collections::{HashMap, VecDeque};
-
-/// Lifecycle of an in-flight instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum EntryState {
-    /// Fetched, travelling through the front-end stages.
-    FrontEnd,
-    /// Dispatched into the Issue Window, waiting for operands / a functional unit.
-    Waiting,
-    /// Issued to the execution core.
-    Issued,
-    /// Result produced; waiting to retire.
-    Completed,
-}
-
-/// One in-flight dynamic instruction.
-#[derive(Debug, Clone)]
-struct Entry {
-    d: DynInst,
-    rename: RenameOutcome,
-    state: EntryState,
-    /// Front-end time at which the instruction may leave the front-end pipeline.
-    dispatch_ready_ps: u64,
-    /// Back-end time from which the Wake-up logic can see the instruction
-    /// (dual-clock synchronization).
-    visible_at_ps: u64,
-    /// Back-end cycle at which the instruction completes (valid once issued).
-    complete_at: u64,
-    /// Whether the branch predictor got this control instruction wrong.
-    mispredicted: bool,
-}
+use std::collections::VecDeque;
 
 /// The baseline four-way superscalar, out-of-order machine of the paper (Table 2),
 /// with the configuration knobs needed for the Figure 2 study and for the Dual-Clock
@@ -49,6 +20,11 @@ struct Entry {
 /// dispatch, wake-up/select, execution, memory and retirement cycle by cycle in two
 /// clock domains (front-end and execution core), and reports performance plus a
 /// Wattch-style energy breakdown.
+///
+/// The per-cycle hot loop is allocation-free: in-flight instructions live in a
+/// slab-indexed [`InflightTable`], issue scans only the woken entries of the
+/// [`IssueScheduler`] ready list, and load/store ordering checks go through the
+/// [`StoreIndex`] instead of walking the LSQ.
 ///
 /// ```
 /// use flywheel_uarch::{BaselineConfig, BaselineSim, SimBudget};
@@ -75,12 +51,18 @@ pub struct BaselineSim<I: Iterator<Item = DynInst>> {
     fus: FunctionalUnits,
 
     // In-flight instruction bookkeeping.
-    inflight: HashMap<u64, Entry>,
+    inflight: InflightTable,
     frontend_q: VecDeque<u64>,
     rob: VecDeque<u64>,
-    iw: Vec<u64>,
+    iw_len: usize,
     lsq: VecDeque<u64>,
     executing: Vec<u64>,
+    sched: IssueScheduler,
+    stores: StoreIndex,
+
+    // Persistent scratch buffers (reused every cycle; never allocated in the loop).
+    finished_scratch: Vec<u64>,
+    issued_scratch: Vec<u64>,
 
     // Fetch state.
     fetch_blocked_on_branch: Option<u64>,
@@ -126,7 +108,8 @@ impl<I: Iterator<Item = DynInst>> BaselineSim<I> {
     ///
     /// Panics if the configuration fails [`BaselineConfig::validate`].
     pub fn new(cfg: BaselineConfig, trace: I) -> Self {
-        cfg.validate().unwrap_or_else(|e| panic!("invalid configuration: {e}"));
+        cfg.validate()
+            .unwrap_or_else(|e| panic!("invalid configuration: {e}"));
         let power_model = PowerModel::new(PowerConfig {
             node: cfg.node,
             iw_entries: cfg.iw_entries,
@@ -145,18 +128,24 @@ impl<I: Iterator<Item = DynInst>> BaselineSim<I> {
         // The execution core of the baseline machine (and of the Flywheel machine in
         // trace-creation mode) is synchronous with the Issue Window.
         let be_period_ps = cfg.clocks.baseline_period_ps;
+        let inflight_capacity =
+            (cfg.rob_entries + cfg.front_end_stages * cfg.fetch_width + cfg.fetch_width) as usize;
         BaselineSim {
             hierarchy: MemoryHierarchy::new(&cfg),
             bpred: GsharePredictor::new(cfg.bpred),
             renamer: Renamer::new(cfg.phys_regs),
             prf: PhysRegFile::new(cfg.phys_regs),
             fus: FunctionalUnits::new(cfg.fus),
-            inflight: HashMap::new(),
+            inflight: InflightTable::with_capacity(inflight_capacity),
             frontend_q: VecDeque::new(),
             rob: VecDeque::new(),
-            iw: Vec::new(),
+            iw_len: 0,
             lsq: VecDeque::new(),
             executing: Vec::new(),
+            sched: IssueScheduler::new(cfg.phys_regs as usize),
+            stores: StoreIndex::new(),
+            finished_scratch: Vec::new(),
+            issued_scratch: Vec::new(),
             fetch_blocked_on_branch: None,
             fetch_resume_at_ps: 0,
             fe_period_ps,
@@ -221,7 +210,7 @@ impl<I: Iterator<Item = DynInst>> BaselineSim<I> {
                  this indicates a simulator bug",
                 self.retired,
                 self.rob.len(),
-                self.iw.len(),
+                self.iw_len,
                 self.frontend_q.len()
             );
         }
@@ -246,7 +235,10 @@ impl<I: Iterator<Item = DynInst>> BaselineSim<I> {
     }
 
     fn finish(&mut self) -> SimResult {
-        let start = self.measure_start.clone().expect("measurement must have started");
+        let start = self
+            .measure_start
+            .clone()
+            .expect("measurement must have started");
         let elapsed_ps = self.now_ps().saturating_sub(start.time_ps).max(1);
         let bp = self.bpred.stats();
         let ch = self.hierarchy.stats();
@@ -299,28 +291,40 @@ impl<I: Iterator<Item = DynInst>> BaselineSim<I> {
         let sync_ps = self.cfg.sync_latency_be_cycles as u64 * self.be_period_ps;
         let mut dispatched = 0;
         while dispatched < self.cfg.dispatch_width {
-            let Some(&seq) = self.frontend_q.front() else { break };
-            let (ready, is_mem, stat) = {
-                let e = &self.inflight[&seq];
-                (e.dispatch_ready_ps <= now, e.d.stat.op().is_mem(), e.d.stat)
+            let Some(&seq) = self.frontend_q.front() else {
+                break;
             };
+            let (ready, op, stat) = {
+                let e = &self.inflight[seq];
+                (e.dispatch_ready_ps <= now, e.d.stat.op(), e.d.stat)
+            };
+            let is_mem = op.is_mem();
             if !ready
                 || self.rob.len() >= self.cfg.rob_entries as usize
-                || self.iw.len() >= self.cfg.iw_entries as usize
+                || self.iw_len >= self.cfg.iw_entries as usize
                 || (is_mem && self.lsq.len() >= self.cfg.lsq_entries as usize)
             {
                 break;
             }
-            let Some(rename) = self.renamer.rename(&stat, &mut self.prf) else { break };
+            let Some(rename) = self.renamer.rename(&stat, &mut self.prf) else {
+                break;
+            };
             self.frontend_q.pop_front();
-            let entry = self.inflight.get_mut(&seq).expect("front-end entry must exist");
-            entry.rename = rename;
-            entry.state = EntryState::Waiting;
-            entry.visible_at_ps = now + sync_ps;
+            {
+                let entry = &mut self.inflight[seq];
+                entry.rename = rename;
+                entry.state = EntryState::Waiting;
+                entry.visible_at_ps = now + sync_ps;
+                entry.in_iw = true;
+            }
             self.rob.push_back(seq);
-            self.iw.push(seq);
+            self.iw_len += 1;
+            self.sched.on_dispatch(&mut self.inflight, seq, &self.prf);
             if is_mem {
                 self.lsq.push_back(seq);
+                if op == OpClass::Store {
+                    self.stores.on_dispatch_store(seq);
+                }
             }
             self.energy.record(Unit::Rename, 1);
             self.energy.record(Unit::IssueWindowInsert, 1);
@@ -353,7 +357,9 @@ impl<I: Iterator<Item = DynInst>> BaselineSim<I> {
     }
 
     fn fetch(&mut self, now: u64) {
-        let Some(first_pc) = self.peek_trace_inst().map(|d| d.pc) else { return };
+        let Some(first_pc) = self.peek_trace_inst().map(|d| d.pc) else {
+            return;
+        };
 
         // I-cache access for the fetch group.
         self.energy.record(Unit::ICache, 1);
@@ -373,21 +379,18 @@ impl<I: Iterator<Item = DynInst>> BaselineSim<I> {
         let dispatch_delay = self.cfg.front_end_stages as u64 * self.fe_period_ps;
 
         for _ in 0..group_room {
-            let Some(d) = self.next_trace_inst() else { break };
+            let Some(d) = self.next_trace_inst() else {
+                break;
+            };
             let seq = d.seq;
             let correct = self.bpred.predict(&d);
             let redirects = d.redirects_fetch();
             self.energy.record(Unit::Decode, 1);
-            let entry = Entry {
+            self.inflight.insert(InflightEntry::new_frontend(
                 d,
-                rename: RenameOutcome::default(),
-                state: EntryState::FrontEnd,
-                dispatch_ready_ps: now + dispatch_delay,
-                visible_at_ps: 0,
-                complete_at: 0,
-                mispredicted: !correct,
-            };
-            self.inflight.insert(seq, entry);
+                now + dispatch_delay,
+                !correct,
+            ));
             self.frontend_q.push_back(seq);
             if !correct {
                 // Wrong-path fetch is not modelled: fetch stalls until the branch
@@ -416,7 +419,7 @@ impl<I: Iterator<Item = DynInst>> BaselineSim<I> {
         self.retire();
         self.issue(now);
 
-        if !self.iw.is_empty() {
+        if self.iw_len > 0 {
             self.energy.record(Unit::IssueWindowWakeup, 1);
             self.energy.record(Unit::IssueWindowSelect, 1);
         }
@@ -424,23 +427,33 @@ impl<I: Iterator<Item = DynInst>> BaselineSim<I> {
 
     fn complete(&mut self, now: u64) {
         let cycle = self.be_cycles;
-        let mut finished: Vec<u64> = self
-            .executing
-            .iter()
-            .copied()
-            .filter(|seq| self.inflight[seq].complete_at <= cycle)
-            .collect();
-        if finished.is_empty() {
+        // Partition `executing` in place: finished entries move to the scratch
+        // list, the rest compact down without reallocation.
+        self.finished_scratch.clear();
+        let mut keep = 0;
+        for i in 0..self.executing.len() {
+            let seq = self.executing[i];
+            if self.inflight[seq].complete_at <= cycle {
+                self.finished_scratch.push(seq);
+            } else {
+                self.executing[keep] = seq;
+                keep += 1;
+            }
+        }
+        if self.finished_scratch.is_empty() {
             return;
         }
-        finished.sort_unstable();
-        self.executing.retain(|seq| !finished.contains(seq));
-        for seq in finished {
-            let (has_dst, mispredicted) = {
-                let e = self.inflight.get_mut(&seq).expect("completing entry must exist");
-                e.state = EntryState::Completed;
-                (e.rename.dst.is_some(), e.mispredicted)
+        self.executing.truncate(keep);
+        self.finished_scratch.sort_unstable();
+        for i in 0..self.finished_scratch.len() {
+            let seq = self.finished_scratch[i];
+            // An earlier completion in this very cycle may have squashed this
+            // entry during mispredict recovery.
+            let Some(e) = self.inflight.get_mut(seq) else {
+                continue;
             };
+            e.state = EntryState::Completed;
+            let (has_dst, mispredicted) = (e.rename.dst.is_some(), e.mispredicted);
             if has_dst {
                 self.energy.record(Unit::RegFileWrite, 1);
             }
@@ -460,7 +473,13 @@ impl<I: Iterator<Item = DynInst>> BaselineSim<I> {
                 break;
             }
             self.rob.pop_back();
-            let entry = self.inflight.remove(&tail).expect("squashed entry must exist");
+            let entry = self
+                .inflight
+                .remove(tail)
+                .expect("squashed entry must exist");
+            if entry.in_iw {
+                self.iw_len -= 1;
+            }
             self.renamer.squash(&entry.rename);
             self.squashed += 1;
         }
@@ -471,20 +490,27 @@ impl<I: Iterator<Item = DynInst>> BaselineSim<I> {
                 break;
             }
             self.frontend_q.pop_back();
-            self.inflight.remove(&seq);
+            self.inflight.remove(seq);
             self.squashed += 1;
+            // A squashed instruction can itself be the branch fetch is blocked
+            // on; the resolving branch redirects fetch anyway.
+            if self.fetch_blocked_on_branch == Some(seq) {
+                self.fetch_blocked_on_branch = None;
+            }
         }
-        self.iw.retain(|seq| self.inflight.contains_key(seq));
-        self.lsq.retain(|seq| self.inflight.contains_key(seq));
-        self.executing.retain(|seq| self.inflight.contains_key(seq));
+        while self.lsq.back().is_some_and(|&s| s > branch_seq) {
+            self.lsq.pop_back();
+        }
+        self.executing.retain(|&seq| self.inflight.contains(seq));
+        self.sched.squash_after(branch_seq);
+        self.stores.squash_after(branch_seq);
 
         // Redirect fetch: the new PC reaches the fetch stage one front-end cycle
         // later, plus the mixed-clock FIFO latency when the domains differ.
         if self.fetch_blocked_on_branch == Some(branch_seq) {
             self.fetch_blocked_on_branch = None;
         }
-        let redirect_delay =
-            self.fe_period_ps * (1 + self.cfg.redirect_sync_fe_cycles) as u64;
+        let redirect_delay = self.fe_period_ps * (1 + self.cfg.redirect_sync_fe_cycles) as u64;
         self.fetch_resume_at_ps = self.fetch_resume_at_ps.max(now + redirect_delay);
     }
 
@@ -492,14 +518,24 @@ impl<I: Iterator<Item = DynInst>> BaselineSim<I> {
         let mut n = 0;
         while n < self.cfg.commit_width && self.retired < self.retire_limit {
             let Some(&head) = self.rob.front() else { break };
-            if self.inflight[&head].state != EntryState::Completed {
+            if self.inflight[head].state != EntryState::Completed {
                 break;
             }
             self.rob.pop_front();
-            let entry = self.inflight.remove(&head).expect("retiring entry must exist");
+            let entry = self
+                .inflight
+                .remove(head)
+                .expect("retiring entry must exist");
             self.renamer.commit(&entry.rename);
-            if entry.d.stat.op().is_mem() {
-                self.lsq.retain(|&s| s != head);
+            let op = entry.d.stat.op();
+            if op.is_mem() {
+                // The ROB head is the oldest in-flight instruction, so a retiring
+                // memory instruction is always the LSQ head.
+                debug_assert_eq!(self.lsq.front(), Some(&head));
+                self.lsq.pop_front();
+                if op == OpClass::Store {
+                    self.stores.on_store_retire(head);
+                }
             }
             self.energy.record(Unit::Retire, 1);
             self.retired += 1;
@@ -511,36 +547,36 @@ impl<I: Iterator<Item = DynInst>> BaselineSim<I> {
     fn issue(&mut self, now: u64) {
         let cycle = self.be_cycles;
         let wakeup_extra = if self.cfg.pipelined_wakeup { 1 } else { 0 };
-        let mut issued = Vec::new();
         let mut issued_count = 0;
+        self.issued_scratch.clear();
 
-        let candidates: Vec<u64> = self.iw.clone();
-        for seq in candidates {
+        // Scan only woken entries (all sources produced), in program order — the
+        // same order the original kernel walked the whole Issue Window in.
+        for i in 0..self.sched.ready_len() {
             if issued_count >= self.cfg.issue_width {
                 break;
             }
-            let (op, srcs, visible_at, mem_addr) = {
-                let e = &self.inflight[&seq];
+            let seq = self.sched.ready_seq(i);
+            let (op, srcs_len, visible_at, ready_cycle, mem_addr) = {
+                let e = &self.inflight[seq];
                 (
                     e.d.stat.op(),
-                    e.rename.srcs.clone(),
+                    e.rename.srcs.len(),
                     e.visible_at_ps,
+                    e.ready_cycle,
                     e.d.mem.map(|m| m.addr),
                 )
             };
             if visible_at > now {
                 continue;
             }
-            let ready = srcs
-                .iter()
-                .all(|&r| self.prf.ready_at(r).saturating_add(wakeup_extra) <= cycle);
-            if !ready {
+            if ready_cycle.saturating_add(wakeup_extra) > cycle {
                 continue;
             }
             if !self.fus.can_issue(op) {
                 continue;
             }
-            if op == OpClass::Load && self.load_blocked_by_older_store(seq) {
+            if op == OpClass::Load && self.stores.blocks_load(seq) {
                 continue;
             }
             // Issue it.
@@ -549,25 +585,31 @@ impl<I: Iterator<Item = DynInst>> BaselineSim<I> {
             let wakeup_ready = cycle + exec_cycles;
             let complete_at = cycle + self.cfg.reg_read_cycles as u64 + exec_cycles;
             {
-                let e = self.inflight.get_mut(&seq).expect("issuing entry must exist");
+                let e = &mut self.inflight[seq];
                 e.state = EntryState::Issued;
                 e.complete_at = complete_at;
+                e.in_iw = false;
                 if let Some(dst) = e.rename.dst {
                     self.prf.mark_ready(dst, wakeup_ready);
+                    self.sched.defer_wake(dst, wakeup_ready);
                 }
             }
             self.executing.push(seq);
-            self.energy.record(Unit::RegFileRead, srcs.len() as u64);
+            self.iw_len -= 1;
+            self.energy.record(Unit::RegFileRead, srcs_len as u64);
             self.energy.record(self.fu_energy_unit(op), 1);
             if op.is_mem() {
                 self.energy.record(Unit::Lsq, 1);
+                if op == OpClass::Store {
+                    let addr = mem_addr.expect("stores carry an address");
+                    self.stores.on_store_issue(seq, addr & !63);
+                }
             }
-            issued.push(seq);
+            self.issued_scratch.push(seq);
             issued_count += 1;
         }
-        if !issued.is_empty() {
-            self.iw.retain(|seq| !issued.contains(seq));
-        }
+        self.sched.remove_issued(&self.issued_scratch);
+        self.sched.drain_wakes(&mut self.inflight);
     }
 
     fn fu_energy_unit(&self, op: OpClass) -> Unit {
@@ -579,30 +621,13 @@ impl<I: Iterator<Item = DynInst>> BaselineSim<I> {
         }
     }
 
-    fn load_blocked_by_older_store(&self, load_seq: u64) -> bool {
-        self.lsq.iter().take_while(|&&s| s < load_seq).any(|&s| {
-            let st = &self.inflight[&s];
-            st.d.stat.op() == OpClass::Store && st.state == EntryState::Waiting
-        })
-    }
-
-    fn store_forwards_to(&self, load_seq: u64, addr: u64) -> bool {
-        let line = addr & !63;
-        self.lsq.iter().take_while(|&&s| s < load_seq).any(|&s| {
-            let st = &self.inflight[&s];
-            st.d.stat.op() == OpClass::Store
-                && st.state != EntryState::Waiting
-                && st.d.mem.map(|m| m.addr & !63) == Some(line)
-        })
-    }
-
     /// Execution latency in back-end cycles for an instruction issued this cycle.
     fn execution_latency(&mut self, seq: u64, op: OpClass, mem_addr: Option<u64>) -> u64 {
         let base = op.base_latency() as u64;
         match op {
             OpClass::Load => {
                 let addr = mem_addr.expect("loads carry an address");
-                if self.store_forwards_to(seq, addr) {
+                if self.stores.forwards_to(seq, addr & !63) {
                     // Store-to-load forwarding inside the LSQ.
                     return base;
                 }
@@ -725,7 +750,10 @@ mod tests {
             SimBudget::test(),
         );
         assert!(r.bpred.total_ctrl > 0);
-        assert!(r.bpred.cond_mispredicts > 0, "parser should mispredict sometimes");
+        assert!(
+            r.bpred.cond_mispredicts > 0,
+            "parser should mispredict sometimes"
+        );
         assert!(r.bpred.cond_mispredict_rate() < 0.5);
         assert!(r.caches.l1d.0 > 0);
         // Wrong-path fetch is not modelled (fetch stalls at a mispredicted branch),
@@ -767,7 +795,10 @@ mod tests {
         let budget = SimBudget::new(5_000, 30_000);
         let friendly = run_benchmark(Benchmark::Ijpeg, BaselineConfig::paper_default(), budget);
         let bound = run_benchmark(Benchmark::Equake, BaselineConfig::paper_default(), budget);
-        assert!(bound.ipc() < friendly.ipc() * 1.2, "equake should not be dramatically faster");
+        assert!(
+            bound.ipc() < friendly.ipc() * 1.2,
+            "equake should not be dramatically faster"
+        );
         assert!(
             bound.caches.l1d.1 as f64 / bound.caches.l1d.0 as f64
                 > friendly.caches.l1d.1 as f64 / friendly.caches.l1d.0 as f64,

@@ -1,7 +1,6 @@
 //! R10000-style register renaming and the physical register file scoreboard.
 
 use flywheel_isa::{ArchReg, StaticInst, NUM_ARCH_REGS};
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a physical register.
 pub type PhysReg = u16;
@@ -57,7 +56,7 @@ impl PhysRegFile {
 }
 
 /// The result of renaming one instruction.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RenameOutcome {
     /// Physical registers of the source operands.
     pub srcs: Vec<PhysReg>,
@@ -103,7 +102,9 @@ impl Renamer {
         for (i, m) in map.iter_mut().enumerate() {
             *m = i as PhysReg;
         }
-        let free = (NUM_ARCH_REGS as PhysReg..phys_regs as PhysReg).rev().collect();
+        let free = (NUM_ARCH_REGS as PhysReg..phys_regs as PhysReg)
+            .rev()
+            .collect();
         Renamer {
             map,
             free,

@@ -3,14 +3,13 @@
 use crate::bpred::BpredStats;
 use crate::cache::HierarchyStats;
 use flywheel_power::EnergyBreakdown;
-use serde::{Deserialize, Serialize};
 
 /// How many instructions to warm up and to measure in one simulation run.
 ///
 /// The paper fast-forwards 500 M instructions and measures 100 M; the reproduction
 /// defaults to a scaled-down 200 k / 2 M (see EXPERIMENTS.md) but any budget can be
 /// chosen per run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimBudget {
     /// Instructions executed before measurement starts (caches and predictors warm
     /// up, statistics are discarded).
@@ -52,7 +51,7 @@ impl Default for SimBudget {
 }
 
 /// The result of one simulation run (measured portion only).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimResult {
     /// Instructions retired during measurement.
     pub instructions: u64,
@@ -153,7 +152,10 @@ mod tests {
         let faster = result(1000, 600, 1_000_000, 6000.0);
         assert!((faster.speedup_over(&baseline) - 2.0).abs() < 1e-9);
         assert!((faster.energy_ratio_over(&baseline) - 0.75).abs() < 1e-9);
-        assert!(faster.power_ratio_over(&baseline) > 1.0, "same-ish energy in half the time is more power");
+        assert!(
+            faster.power_ratio_over(&baseline) > 1.0,
+            "same-ish energy in half the time is more power"
+        );
     }
 
     #[test]

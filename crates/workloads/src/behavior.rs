@@ -1,13 +1,11 @@
 //! Dynamic behaviour attached to static branches and memory instructions.
 
-use serde::{Deserialize, Serialize};
-
 /// The dynamic behaviour of one static conditional branch.
 ///
 /// The behaviour is assigned at synthesis time (driven by
 /// [`crate::BranchMixProfile`]) and interpreted by the [`crate::TraceGenerator`],
 /// which keeps the per-branch state (loop counters, pattern positions).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum BranchBehavior {
     /// A loop back-edge: taken for `trips - 1` consecutive executions, then not
     /// taken once, with `trips` resampled around `mean_trips` at every loop entry.
@@ -44,7 +42,7 @@ impl BranchBehavior {
 }
 
 /// The dynamic address behaviour of one static load or store.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum MemBehavior {
     /// Sequential streaming through a region of `region_bytes` bytes with a fixed
     /// stride; wraps around at the end of the region.
@@ -100,7 +98,11 @@ mod tests {
     fn predictability_classification() {
         assert!(BranchBehavior::LoopBack { mean_trips: 10.0 }.is_predictable());
         assert!(BranchBehavior::Biased { taken_prob: 0.9 }.is_predictable());
-        assert!(BranchBehavior::Pattern { pattern: 0b0101, period: 4 }.is_predictable());
+        assert!(BranchBehavior::Pattern {
+            pattern: 0b0101,
+            period: 4
+        }
+        .is_predictable());
         assert!(!BranchBehavior::Random { taken_prob: 0.5 }.is_predictable());
     }
 
@@ -113,7 +115,10 @@ mod tests {
         };
         assert_eq!(m.footprint(), 4096);
         assert_eq!(m.base(), 0x1000);
-        let h = MemBehavior::HotSet { base: 0x2000, bytes: 64 };
+        let h = MemBehavior::HotSet {
+            base: 0x2000,
+            bytes: 64,
+        };
         assert_eq!(h.footprint(), 64);
         assert_eq!(h.base(), 0x2000);
     }

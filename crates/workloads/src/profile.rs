@@ -1,13 +1,11 @@
 //! Statistical benchmark profiles.
 
-use serde::{Deserialize, Serialize};
-
 /// Fractions of non-control instruction classes in the generated code.
 ///
 /// The fractions describe the *computational* part of a basic block; conditional
 /// branches, jumps, calls and returns are added by the control-flow synthesizer and
 /// their density is governed by [`BenchmarkProfile::avg_block_len`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct InstMixProfile {
     /// Fraction of loads.
     pub load: f64,
@@ -68,7 +66,7 @@ impl InstMixProfile {
 /// Each static conditional branch is assigned one of four behaviours at synthesis
 /// time; the fractions here control that assignment. Loop back-edges are always
 /// loop-behaved and are not governed by these fractions.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BranchMixProfile {
     /// Fraction of strongly biased branches (taken or not-taken with probability
     /// [`BranchMixProfile::bias`]).
@@ -120,7 +118,7 @@ impl BranchMixProfile {
 /// Each static memory instruction is bound to one of three address-stream behaviours;
 /// the fractions and working-set sizes below determine the resulting L1/L2 miss
 /// rates.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemoryProfile {
     /// Fraction of memory instructions streaming through arrays with a small stride.
     pub streaming: f64,
@@ -174,7 +172,7 @@ impl MemoryProfile {
 }
 
 /// Loop-structure description.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LoopProfile {
     /// Mean trip count of innermost loops.
     pub mean_trip_count: f64,
@@ -209,7 +207,7 @@ impl LoopProfile {
 /// A profile is consumed by [`crate::ProgramSynthesizer`] (static structure) and by
 /// [`crate::TraceGenerator`] (dynamic behaviour). The per-benchmark calibrated
 /// profiles live on [`crate::Benchmark::profile`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BenchmarkProfile {
     /// Human-readable benchmark name.
     pub name: String,
@@ -244,7 +242,10 @@ impl BenchmarkProfile {
     /// Returns a human-readable description of the first violated constraint.
     pub fn validate(&self) -> Result<(), String> {
         if !self.mix.is_valid() {
-            return Err(format!("{}: instruction mix fractions are invalid", self.name));
+            return Err(format!(
+                "{}: instruction mix fractions are invalid",
+                self.name
+            ));
         }
         if !self.branches.is_valid() {
             return Err(format!("{}: branch mix fractions are invalid", self.name));
@@ -269,7 +270,10 @@ impl BenchmarkProfile {
             ));
         }
         if !(0.0..=1.0).contains(&self.call_probability) {
-            return Err(format!("{}: call probability must be a probability", self.name));
+            return Err(format!(
+                "{}: call probability must be a probability",
+                self.name
+            ));
         }
         Ok(())
     }
@@ -292,7 +296,8 @@ mod tests {
     #[test]
     fn int_alu_is_remainder() {
         let mix = InstMixProfile::integer();
-        let total = mix.load + mix.store + mix.int_muldiv + mix.fp_add + mix.fp_muldiv + mix.int_alu();
+        let total =
+            mix.load + mix.store + mix.int_muldiv + mix.fp_add + mix.fp_muldiv + mix.int_alu();
         assert!((total - 1.0).abs() < 1e-12);
     }
 

@@ -4,7 +4,6 @@ use crate::{
     BenchmarkProfile, BranchMixProfile, InstMixProfile, LoopProfile, MemoryProfile,
     ProgramSynthesizer, SyntheticProgram,
 };
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The SPEC95/SPEC2000 benchmarks evaluated in the paper, plus a tiny `Micro`
@@ -12,7 +11,7 @@ use std::fmt;
 ///
 /// Calling [`Benchmark::profile`] returns the calibrated statistical description;
 /// [`Benchmark::synthesize`] generates the corresponding synthetic program.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Benchmark {
     /// SPEC95 `ijpeg` — integer image compression, loop-dominated, very predictable.
     Ijpeg,
@@ -75,7 +74,10 @@ impl Benchmark {
 
     /// Whether the benchmark is floating-point dominated.
     pub fn is_fp(&self) -> bool {
-        matches!(self, Benchmark::Mesa | Benchmark::Equake | Benchmark::Turb3d)
+        matches!(
+            self,
+            Benchmark::Mesa | Benchmark::Equake | Benchmark::Turb3d
+        )
     }
 
     /// The calibrated statistical profile for this benchmark.
@@ -485,9 +487,15 @@ mod tests {
         for b in Benchmark::paper_suite() {
             let p = b.profile();
             if b.is_fp() {
-                assert!(p.mix.fp_add + p.mix.fp_muldiv > 0.1, "{b} should be FP heavy");
+                assert!(
+                    p.mix.fp_add + p.mix.fp_muldiv > 0.1,
+                    "{b} should be FP heavy"
+                );
             } else {
-                assert!(p.mix.fp_add + p.mix.fp_muldiv < 0.1, "{b} should be integer");
+                assert!(
+                    p.mix.fp_add + p.mix.fp_muldiv < 0.1,
+                    "{b} should be integer"
+                );
             }
         }
     }
@@ -497,7 +505,10 @@ mod tests {
         let names: Vec<&str> = Benchmark::paper_suite().iter().map(|b| b.name()).collect();
         assert_eq!(
             names,
-            vec!["ijpeg", "gcc", "gzip", "vpr", "mesa", "equake", "parser", "vortex", "bzip2", "turb3d"]
+            vec![
+                "ijpeg", "gcc", "gzip", "vpr", "mesa", "equake", "parser", "vortex", "bzip2",
+                "turb3d"
+            ]
         );
     }
 

@@ -1,14 +1,13 @@
 //! Aggregate statistics of a dynamic trace.
 
 use flywheel_isa::{DynInst, OpClass};
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
 /// Aggregate statistics over a dynamic instruction trace.
 ///
 /// Used by the calibration tests (to check that a synthetic benchmark behaves the way
 /// its profile promises) and by the characterization example.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TraceStats {
     /// Total number of instructions observed.
     pub total: u64,

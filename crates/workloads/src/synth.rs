@@ -4,8 +4,7 @@ use crate::{BenchmarkProfile, BranchBehavior, MemBehavior};
 use flywheel_isa::{
     ArchReg, BlockId, OpClass, Pc, Program, ProgramBuilder, StaticInst, Terminator,
 };
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use flywheel_rng::SimRng;
 use std::collections::HashMap;
 
 /// Base address of the synthetic data segment; memory regions are carved out of it.
@@ -129,7 +128,7 @@ impl ProgramSynthesizer {
     pub fn synthesize(&self, seed: u64) -> SyntheticProgram {
         let mut state = SynthState {
             profile: self.profile.clone(),
-            rng: StdRng::seed_from_u64(seed ^ 0x5f37_59df_4c2a_11e5),
+            rng: SimRng::seed_from_u64(seed ^ 0x4995_2399_c4aa_eac1),
             blocks: Vec::new(),
             branch_behaviors: Vec::new(),
             mem_behaviors: Vec::new(),
@@ -149,7 +148,7 @@ impl ProgramSynthesizer {
 /// Mutable state used while generating one program.
 struct SynthState {
     profile: BenchmarkProfile,
-    rng: StdRng,
+    rng: SimRng,
     blocks: Vec<ProtoBlock>,
     /// Behaviour of the branch that terminates block `usize`.
     branch_behaviors: Vec<(usize, BranchBehavior)>,
@@ -198,7 +197,7 @@ impl SynthState {
         self.recent_int.clear();
         self.recent_fp.clear();
 
-        let n_regions = self.rng.gen_range(3..=8);
+        let n_regions = self.rng.range_inclusive_u64(3, 8) as usize;
         let mut kinds = Vec::with_capacity(n_regions);
         for _ in 0..n_regions {
             kinds.push(self.pick_region_kind(func_idx, functions, 0));
@@ -226,7 +225,11 @@ impl SynthState {
 
         // Patch each region to continue at the entry of the following region.
         for i in 0..entries.len() {
-            let cont = if i + 1 < entries.len() { entries[i + 1] } else { epilogue };
+            let cont = if i + 1 < entries.len() {
+                entries[i + 1]
+            } else {
+                epilogue
+            };
             let patches = std::mem::take(&mut pending[i]);
             for p in patches {
                 self.apply_patch(p, cont);
@@ -237,9 +240,9 @@ impl SynthState {
 
     fn pick_region_kind(&mut self, func_idx: usize, functions: usize, depth: u32) -> RegionKind {
         let can_call = func_idx + 1 < functions;
-        let r: f64 = self.rng.gen();
+        let r = self.rng.f64();
         if can_call && r < self.profile.call_probability {
-            let callee_fn = self.rng.gen_range(func_idx + 1..functions);
+            let callee_fn = self.rng.range_usize(func_idx + 1, functions);
             RegionKind::Call { callee_fn }
         } else if r < self.profile.call_probability + 0.35 && depth < self.profile.loops.max_nesting
         {
@@ -288,22 +291,25 @@ impl SynthState {
                 let then_insts = self.gen_block_insts(then_b, None);
                 self.fill(then_b, then_insts, ProtoTerm::FallThrough(usize::MAX));
 
-                (header, vec![Patch::Jump(else_b), Patch::FallThrough(then_b)])
+                (
+                    header,
+                    vec![Patch::Jump(else_b), Patch::FallThrough(then_b)],
+                )
             }
             RegionKind::Loop { depth } => {
                 // Rotated loop: body blocks first, then the latch block holding the
                 // back-edge conditional branch (taken -> body entry, not taken ->
                 // continuation).
                 let counter = self.next_loop_counter();
-                let n_body_regions = self.rng.gen_range(1..=2);
+                let n_body_regions = self.rng.range_inclusive_u64(1, 2);
                 let mut body_kinds = Vec::new();
                 for _ in 0..n_body_regions {
                     // Nested structure inside the loop body.
-                    let kind = if self.rng.gen::<f64>() < self.profile.loops.nest_probability
+                    let kind = if self.rng.f64() < self.profile.loops.nest_probability
                         && depth + 1 < self.profile.loops.max_nesting
                     {
                         RegionKind::Loop { depth: depth + 1 }
-                    } else if self.rng.gen::<f64>() < 0.4 {
+                    } else if self.rng.f64() < 0.4 {
                         RegionKind::Diamond
                     } else {
                         RegionKind::Straight
@@ -378,7 +384,10 @@ impl SynthState {
             Patch::CondNotTaken(i) => (i, PatchSlot::CondNotTaken),
             Patch::CallReturn(i) => (i, PatchSlot::CallReturn),
         };
-        let term = self.blocks[idx].term.as_mut().expect("patching unfilled block");
+        let term = self.blocks[idx]
+            .term
+            .as_mut()
+            .expect("patching unfilled block");
         match (slot, term) {
             (PatchSlot::FallThrough, ProtoTerm::FallThrough(t)) => *t = cont,
             (PatchSlot::Jump, ProtoTerm::Jump(t)) => *t = cont,
@@ -408,19 +417,24 @@ impl SynthState {
     fn sample_block_len(&mut self, avg: f64) -> usize {
         // Geometric-ish distribution around the average, clamped to [1, 3*avg].
         let span = (avg * 2.0).max(1.0);
-        let len = 1.0 + self.rng.gen::<f64>() * span;
+        let len = 1.0 + self.rng.f64() * span;
         (len.round() as usize).clamp(1, (avg * 3.0).ceil() as usize)
     }
 
-    fn gen_inst(&mut self, block_idx: usize, inst_idx: usize, reserved: Option<ArchReg>) -> StaticInst {
+    fn gen_inst(
+        &mut self,
+        block_idx: usize,
+        inst_idx: usize,
+        reserved: Option<ArchReg>,
+    ) -> StaticInst {
         let mix = self.profile.mix;
-        let r: f64 = self.rng.gen();
+        let r = self.rng.f64();
         let op = if r < mix.load {
             OpClass::Load
         } else if r < mix.load + mix.store {
             OpClass::Store
         } else if r < mix.load + mix.store + mix.int_muldiv {
-            if self.rng.gen::<f64>() < 0.8 {
+            if self.rng.f64() < 0.8 {
                 OpClass::IntMul
             } else {
                 OpClass::IntDiv
@@ -428,7 +442,7 @@ impl SynthState {
         } else if r < mix.load + mix.store + mix.int_muldiv + mix.fp_add {
             OpClass::FpAdd
         } else if r < mix.load + mix.store + mix.int_muldiv + mix.fp_add + mix.fp_muldiv {
-            if self.rng.gen::<f64>() < 0.75 {
+            if self.rng.f64() < 0.75 {
                 OpClass::FpMul
             } else {
                 OpClass::FpDiv
@@ -457,7 +471,7 @@ impl SynthState {
             OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv => {
                 let dst = self.pick_dest(true, reserved);
                 let s1 = self.pick_source(true);
-                let s2 = if self.rng.gen::<f64>() < 0.8 {
+                let s2 = if self.rng.f64() < 0.8 {
                     Some(self.pick_source(true))
                 } else {
                     None
@@ -469,7 +483,7 @@ impl SynthState {
             _ => {
                 let dst = self.pick_dest(false, reserved);
                 let s1 = self.pick_source(false);
-                let s2 = if self.rng.gen::<f64>() < 0.7 {
+                let s2 = if self.rng.f64() < 0.7 {
                     Some(self.pick_source(false))
                 } else {
                     None
@@ -486,11 +500,19 @@ impl SynthState {
         loop {
             let reg = if fp {
                 let r = ArchReg::fp(self.dest_cursor_fp);
-                self.dest_cursor_fp = if self.dest_cursor_fp >= span { 1 } else { self.dest_cursor_fp + 1 };
+                self.dest_cursor_fp = if self.dest_cursor_fp >= span {
+                    1
+                } else {
+                    self.dest_cursor_fp + 1
+                };
                 r
             } else {
                 let r = ArchReg::int(self.dest_cursor_int);
-                self.dest_cursor_int = if self.dest_cursor_int >= span { 1 } else { self.dest_cursor_int + 1 };
+                self.dest_cursor_int = if self.dest_cursor_int >= span {
+                    1
+                } else {
+                    self.dest_cursor_int + 1
+                };
                 r
             };
             if Some(reg) != reserved {
@@ -502,7 +524,11 @@ impl SynthState {
     fn pick_source(&mut self, fp: bool) -> ArchReg {
         // Sample a dependency distance: how many writes back the source value was
         // produced. Small distances create long dependence chains.
-        let history = if fp { &self.recent_fp } else { &self.recent_int };
+        let history = if fp {
+            &self.recent_fp
+        } else {
+            &self.recent_int
+        };
         if history.is_empty() {
             return self.pick_live_in(fp);
         }
@@ -510,7 +536,7 @@ impl SynthState {
         // Geometric sample with the configured mean.
         let p = 1.0 / mean;
         let mut dist = 0usize;
-        while self.rng.gen::<f64>() > p && dist < 64 {
+        while self.rng.f64() > p && dist < 64 {
             dist += 1;
         }
         if dist >= history.len() {
@@ -522,14 +548,14 @@ impl SynthState {
 
     fn pick_live_in(&mut self, fp: bool) -> ArchReg {
         if fp {
-            ArchReg::fp(20 + self.rng.gen_range(0..4))
+            ArchReg::fp(20 + self.rng.range_u64(0, 4) as u8)
         } else {
-            ArchReg::int(POINTER_REGS[self.rng.gen_range(0..POINTER_REGS.len())])
+            ArchReg::int(POINTER_REGS[self.rng.range_usize(0, POINTER_REGS.len())])
         }
     }
 
     fn pick_pointer(&mut self) -> ArchReg {
-        ArchReg::int(POINTER_REGS[self.rng.gen_range(0..POINTER_REGS.len())])
+        ArchReg::int(POINTER_REGS[self.rng.range_usize(0, POINTER_REGS.len())])
     }
 
     fn note_write(&mut self, reg: ArchReg) {
@@ -554,14 +580,18 @@ impl SynthState {
 
     fn pick_branch_behavior(&mut self) -> BranchBehavior {
         let b = self.profile.branches;
-        let r: f64 = self.rng.gen();
+        let r = self.rng.f64();
         if r < b.biased {
             // Half of the biased branches are biased not-taken instead of taken.
-            let taken_prob = if self.rng.gen::<bool>() { b.bias } else { 1.0 - b.bias };
+            let taken_prob = if self.rng.bool() {
+                b.bias
+            } else {
+                1.0 - b.bias
+            };
             BranchBehavior::Biased { taken_prob }
         } else if r < b.biased + b.patterned {
-            let period = self.rng.gen_range(3..=8u8);
-            let pattern = self.rng.gen_range(1..(1u32 << period) - 1);
+            let period = self.rng.range_inclusive_u64(3, 8) as u8;
+            let pattern = self.rng.range_u64(1, u64::from((1u32 << period) - 1)) as u32;
             BranchBehavior::Pattern { pattern, period }
         } else {
             BranchBehavior::Random {
@@ -572,8 +602,8 @@ impl SynthState {
 
     fn pick_mem_behavior(&mut self) -> MemBehavior {
         let m = self.profile.memory;
-        let r: f64 = self.rng.gen();
-        let behavior = if r < m.streaming {
+        let r = self.rng.f64();
+        if r < m.streaming {
             let region_bytes = (m.hot_set_bytes * 4).max(4096);
             let b = MemBehavior::Stream {
                 base: self.next_region_base,
@@ -596,8 +626,7 @@ impl SynthState {
                 base,
                 bytes: m.scattered_bytes,
             }
-        };
-        behavior
+        }
     }
 
     // ---------------------------------------------------------------- emission
@@ -620,7 +649,10 @@ impl SynthState {
                     taken: BlockId(taken as u32),
                     not_taken: BlockId(not_taken as u32),
                 },
-                ProtoTerm::Call { callee_fn, return_to } => Terminator::Call {
+                ProtoTerm::Call {
+                    callee_fn,
+                    return_to,
+                } => Terminator::Call {
                     callee: BlockId(function_entries[callee_fn] as u32),
                     return_to: BlockId(return_to as u32),
                 },

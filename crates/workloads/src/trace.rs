@@ -2,8 +2,7 @@
 
 use crate::{BranchBehavior, MemBehavior, SyntheticProgram};
 use flywheel_isa::{BlockId, DynInst, MemAccess, Pc, Terminator};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use flywheel_rng::SimRng;
 use std::collections::HashMap;
 
 /// Per-branch dynamic state kept by the trace generator.
@@ -43,7 +42,7 @@ struct MemState {
 #[derive(Debug)]
 pub struct TraceGenerator<'a> {
     program: &'a SyntheticProgram,
-    rng: StdRng,
+    rng: SimRng,
     /// Current block being executed.
     block: BlockId,
     /// Index of the next instruction within the block.
@@ -60,7 +59,7 @@ impl<'a> TraceGenerator<'a> {
     pub fn new(program: &'a SyntheticProgram, seed: u64) -> Self {
         TraceGenerator {
             program,
-            rng: StdRng::seed_from_u64(seed ^ 0x0ddc_0ffe_e000_0001),
+            rng: SimRng::seed_from_u64(seed ^ 0x0ddc_0ffe_e000_0001),
             block: program.entry(),
             inst_idx: 0,
             call_stack: Vec::new(),
@@ -91,19 +90,19 @@ impl<'a> TraceGenerator<'a> {
                 if state.remaining_trips == 0 {
                     // Entering the loop: sample this entry's trip count around the
                     // mean (at least one iteration).
-                    let jitter = 0.5 + self.rng.gen::<f64>();
+                    let jitter = 0.5 + self.rng.f64();
                     state.remaining_trips = (mean_trips * jitter).round().max(1.0) as u32;
                 }
                 state.remaining_trips -= 1;
                 state.remaining_trips > 0
             }
-            BranchBehavior::Biased { taken_prob } => self.rng.gen::<f64>() < taken_prob,
+            BranchBehavior::Biased { taken_prob } => self.rng.f64() < taken_prob,
             BranchBehavior::Pattern { pattern, period } => {
                 let taken = (pattern >> state.pattern_pos) & 1 == 1;
                 state.pattern_pos = (state.pattern_pos + 1) % period;
                 taken
             }
-            BranchBehavior::Random { taken_prob } => self.rng.gen::<f64>() < taken_prob,
+            BranchBehavior::Random { taken_prob } => self.rng.f64() < taken_prob,
         }
     }
 
@@ -124,7 +123,7 @@ impl<'a> TraceGenerator<'a> {
                 addr
             }
             MemBehavior::HotSet { base, bytes } | MemBehavior::Scattered { base, bytes } => {
-                base + (self.rng.gen_range(0..bytes.max(8)) & !7)
+                base + (self.rng.range_u64(0, bytes.max(8)) & !7)
             }
         };
         MemAccess::new(addr, 8)
@@ -154,7 +153,10 @@ impl Iterator for TraceGenerator<'_> {
             let (next_block, was_taken) = match block.terminator() {
                 Terminator::FallThrough(t) => (*t, false),
                 Terminator::Jump(t) => (*t, true),
-                Terminator::CondBranch { taken: t, not_taken: nt } => {
+                Terminator::CondBranch {
+                    taken: t,
+                    not_taken: nt,
+                } => {
                     if self.resolve_branch(pc) {
                         (*t, true)
                     } else {
@@ -170,7 +172,7 @@ impl Iterator for TraceGenerator<'_> {
                     (target, true)
                 }
                 Terminator::Indirect(targets) => {
-                    let pick = self.rng.gen_range(0..targets.len());
+                    let pick = self.rng.range_usize(0, targets.len());
                     (targets[pick], true)
                 }
             };
@@ -234,7 +236,10 @@ mod tests {
             if !d.stat.op().is_ctrl() {
                 assert_eq!(d.next_pc, d.pc.next(), "non-control op must fall through");
             }
-            assert!(program.inst_at(d.pc).is_some(), "pc must map to the program");
+            assert!(
+                program.inst_at(d.pc).is_some(),
+                "pc must map to the program"
+            );
             prev = Some(d);
         }
     }
@@ -251,7 +256,10 @@ mod tests {
                 assert!(d.mem.is_none());
             }
         }
-        assert!(mem_seen > 2_000, "memory ops should be frequent, saw {mem_seen}");
+        assert!(
+            mem_seen > 2_000,
+            "memory ops should be frequent, saw {mem_seen}"
+        );
     }
 
     #[test]
