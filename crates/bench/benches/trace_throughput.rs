@@ -1,0 +1,68 @@
+//! Trace-supply throughput: one-shot generation through [`TraceGenerator`]
+//! versus recorded replay through a [`RecordedTrace`] cursor.
+//!
+//! This is the bench guarding the recorded-trace subsystem: capture cost must
+//! stay a small one-time multiple of generation, and replay must be much faster
+//! than generation (it is the per-cell cost every sweep pays after the first).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use flywheel_workloads::{Benchmark, RecordedTrace, TraceGenerator};
+use std::time::Instant;
+
+const TRACE_INSTS: usize = 210_000;
+
+fn trace_throughput(c: &mut Criterion) {
+    // Headline numbers: million instructions per second of trace supply, for a
+    // loop-dominated benchmark and for the largest-footprint one.
+    for bench in [Benchmark::Gzip, Benchmark::Vortex] {
+        let program = bench.synthesize(1);
+        let start = Instant::now();
+        let trace = RecordedTrace::record(&program, 1, TRACE_INSTS);
+        let record_wall = start.elapsed();
+
+        let start = Instant::now();
+        let generated = TraceGenerator::new(&program, 1).take(TRACE_INSTS).count();
+        let generate_wall = start.elapsed();
+
+        let start = Instant::now();
+        let replayed = trace.cursor().count();
+        let replay_wall = start.elapsed();
+
+        assert_eq!(generated, replayed);
+        let mips = |wall: std::time::Duration| TRACE_INSTS as f64 / wall.as_secs_f64() / 1e6;
+        println!(
+            "trace_throughput {bench}: generate {:.1} Minst/s, record {:.1} Minst/s, \
+             replay {:.1} Minst/s ({} insts, arena {} KiB)",
+            mips(generate_wall),
+            mips(record_wall),
+            mips(replay_wall),
+            TRACE_INSTS,
+            trace.arena_bytes() / 1024,
+        );
+    }
+
+    let program = Benchmark::Gzip.synthesize(1);
+    let recorded = RecordedTrace::record(&program, 1, TRACE_INSTS);
+    let mut group = c.benchmark_group("trace_throughput");
+    group.sample_size(10);
+    group.bench_function("generate_gzip_210k", |b| {
+        b.iter(|| {
+            black_box(
+                TraceGenerator::new(&program, 1)
+                    .take(TRACE_INSTS)
+                    .map(|d| d.pc.addr())
+                    .sum::<u64>(),
+            )
+        })
+    });
+    group.bench_function("record_gzip_210k", |b| {
+        b.iter(|| black_box(RecordedTrace::record(&program, 1, TRACE_INSTS).len()))
+    });
+    group.bench_function("replay_gzip_210k", |b| {
+        b.iter(|| black_box(recorded.cursor().map(|d| d.pc.addr()).sum::<u64>()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, trace_throughput);
+criterion_main!(benches);

@@ -6,12 +6,21 @@
 //! Every line is the full Debug of one `SimResult`/`FlywheelResult`. Capturing
 //! this output before and after a kernel refactor and diffing the two files
 //! proves bit-identical simulation behaviour (the hot-path rework of the
-//! in-flight table was validated this way).
+//! in-flight table was validated this way; the recorded-trace subsystem was
+//! proven against live generation the same way). CI re-runs this binary and
+//! diffs it against the committed `golden.txt`, so bit-identity is enforced
+//! continuously, not only during refactors.
+//!
+//! All nine configurations of a benchmark replay the same shared
+//! [`flywheel_workloads::RecordedTrace`] through cheap cursors — the digest
+//! thereby also certifies that recorded replay is equivalent to generating the
+//! trace per run.
 
+use flywheel_bench::shared_trace;
 use flywheel_core::{FlywheelConfig, FlywheelSim};
 use flywheel_timing::TechNode;
 use flywheel_uarch::{BaselineConfig, BaselineSim, SimBudget};
-use flywheel_workloads::{Benchmark, TraceGenerator};
+use flywheel_workloads::Benchmark;
 
 fn main() {
     let budget = SimBudget::new(5_000, 40_000);
@@ -25,7 +34,7 @@ fn main() {
         Benchmark::Mesa,
     ];
     for bench in benches {
-        let program = bench.synthesize(42);
+        let trace = shared_trace(bench, 42, budget);
         let baseline_cfgs: Vec<(&str, BaselineConfig)> = vec![
             ("paper_default", BaselineConfig::paper_default()),
             ("paper_n130", BaselineConfig::paper(TechNode::N130)),
@@ -43,7 +52,7 @@ fn main() {
             ),
         ];
         for (name, cfg) in baseline_cfgs {
-            let r = BaselineSim::new(cfg, TraceGenerator::new(&program, 42)).run(budget);
+            let r = BaselineSim::new(cfg, trace.cursor()).run(budget);
             println!("baseline/{bench}/{name}: {r:?}");
         }
         let flywheel_cfgs: Vec<(&str, FlywheelConfig)> = vec![
@@ -56,7 +65,7 @@ fn main() {
             ),
         ];
         for (name, cfg) in flywheel_cfgs {
-            let r = FlywheelSim::new(cfg, TraceGenerator::new(&program, 42)).run(budget);
+            let r = FlywheelSim::new(cfg, trace.cursor()).run(budget);
             println!("flywheel/{bench}/{name}: {r:?}");
         }
     }

@@ -15,7 +15,9 @@
 use flywheel_core::{FlywheelConfig, FlywheelResult, FlywheelSim};
 use flywheel_timing::TechNode;
 use flywheel_uarch::{BaselineConfig, BaselineSim, SimBudget, SimResult};
-use flywheel_workloads::{Benchmark, TraceGenerator};
+use flywheel_workloads::{Benchmark, RecordedTrace, SyntheticProgram};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Seed used for every experiment (results are deterministic).
 pub const EXPERIMENT_SEED: u64 = 2005;
@@ -23,26 +25,74 @@ pub const EXPERIMENT_SEED: u64 = 2005;
 /// The clock configurations swept in Figures 12-14: (front-end %, back-end %).
 pub const CLOCK_SWEEP: [(u32, u32); 5] = [(0, 50), (25, 50), (50, 50), (75, 50), (100, 50)];
 
+/// Process-wide cache of synthesized programs and recorded traces, keyed by
+/// `(benchmark, seed)`. Every sweep cell of every experiment replays the same
+/// per-benchmark dynamic stream, so each program is synthesized once and each
+/// trace is generated once per process (per budget growth), instead of once per
+/// (machine, benchmark, configuration) cell.
+#[derive(Default)]
+struct WorkloadCache {
+    programs: HashMap<(Benchmark, u64), Arc<SyntheticProgram>>,
+    traces: HashMap<(Benchmark, u64), Arc<RecordedTrace>>,
+}
+
+fn cache() -> &'static Mutex<WorkloadCache> {
+    static CACHE: OnceLock<Mutex<WorkloadCache>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(WorkloadCache::default()))
+}
+
+fn locked_program(c: &mut WorkloadCache, bench: Benchmark, seed: u64) -> Arc<SyntheticProgram> {
+    c.programs
+        .entry((bench, seed))
+        .or_insert_with(|| Arc::new(bench.synthesize(seed)))
+        .clone()
+}
+
+/// The shared synthesized program for `(bench, seed)` (cached per process).
+pub fn shared_program(bench: Benchmark, seed: u64) -> Arc<SyntheticProgram> {
+    locked_program(
+        &mut cache().lock().expect("workload cache poisoned"),
+        bench,
+        seed,
+    )
+}
+
+/// The shared recorded trace for `(bench, seed)`, captured long enough for
+/// `budget` (see [`RecordedTrace::capture_len_for`]) and cached per process.
+///
+/// If a later call asks for a larger budget than the cached capture covers, the
+/// trace is re-recorded at the larger bound and replaces the cached one; the
+/// longer capture replays the identical stream (bounded captures are prefixes of
+/// unbounded generation), so results do not depend on the request order.
+pub fn shared_trace(bench: Benchmark, seed: u64, budget: SimBudget) -> Arc<RecordedTrace> {
+    let need = RecordedTrace::capture_len_for(budget.total());
+    let mut c = cache().lock().expect("workload cache poisoned");
+    if let Some(t) = c.traces.get(&(bench, seed)) {
+        if t.len() >= need {
+            return t.clone();
+        }
+    }
+    let program = locked_program(&mut c, bench, seed);
+    let trace = Arc::new(RecordedTrace::record(&program, seed, need));
+    c.traces.insert((bench, seed), trace.clone());
+    trace
+}
+
 /// Runs the baseline machine on `bench` at `node`.
 pub fn run_baseline(bench: Benchmark, node: TechNode, budget: SimBudget) -> SimResult {
-    let program = bench.synthesize(EXPERIMENT_SEED);
-    BaselineSim::new(
-        BaselineConfig::paper(node),
-        TraceGenerator::new(&program, EXPERIMENT_SEED),
-    )
-    .run(budget)
+    run_baseline_with(bench, BaselineConfig::paper(node), budget)
 }
 
 /// Runs a baseline variant (used by the Figure 2 pipeline-loop study).
 pub fn run_baseline_with(bench: Benchmark, cfg: BaselineConfig, budget: SimBudget) -> SimResult {
-    let program = bench.synthesize(EXPERIMENT_SEED);
-    BaselineSim::new(cfg, TraceGenerator::new(&program, EXPERIMENT_SEED)).run(budget)
+    let trace = shared_trace(bench, EXPERIMENT_SEED, budget);
+    BaselineSim::new(cfg, trace.cursor()).run(budget)
 }
 
 /// Runs a Flywheel configuration on `bench`.
 pub fn run_flywheel(bench: Benchmark, cfg: FlywheelConfig, budget: SimBudget) -> FlywheelResult {
-    let program = bench.synthesize(EXPERIMENT_SEED);
-    FlywheelSim::new(cfg, TraceGenerator::new(&program, EXPERIMENT_SEED)).run(budget)
+    let trace = shared_trace(bench, EXPERIMENT_SEED, budget);
+    FlywheelSim::new(cfg, trace.cursor()).run(budget)
 }
 
 /// One row of a per-benchmark, per-configuration result table.
@@ -172,6 +222,45 @@ mod tests {
         );
         assert_eq!(base.instructions, fly.sim.instructions);
         assert!(fly.speedup_over(&base) > 0.2);
+    }
+
+    #[test]
+    fn shared_recorded_trace_matches_direct_generation() {
+        // The cached RecordedTrace replay must be bit-identical to handing the
+        // simulator a live TraceGenerator, and escalating the budget (which
+        // re-records a longer capture) must not change earlier results.
+        use flywheel_workloads::TraceGenerator;
+        let budget = SimBudget::new(1_000, 5_000);
+        let program = Benchmark::Micro.synthesize(EXPERIMENT_SEED);
+        let direct = BaselineSim::new(
+            BaselineConfig::paper(TechNode::N130),
+            TraceGenerator::new(&program, EXPERIMENT_SEED),
+        )
+        .run(budget);
+        let cached = run_baseline(Benchmark::Micro, TechNode::N130, budget);
+        assert_eq!(direct, cached);
+        // Grow the cached capture, then re-run the small budget.
+        let _ = shared_trace(
+            Benchmark::Micro,
+            EXPERIMENT_SEED,
+            SimBudget::new(2_000, 10_000),
+        );
+        assert_eq!(
+            direct,
+            run_baseline(Benchmark::Micro, TechNode::N130, budget)
+        );
+    }
+
+    #[test]
+    fn shared_workloads_are_cached() {
+        let budget = SimBudget::new(500, 2_000);
+        let p1 = shared_program(Benchmark::Micro, EXPERIMENT_SEED);
+        let p2 = shared_program(Benchmark::Micro, EXPERIMENT_SEED);
+        assert!(Arc::ptr_eq(&p1, &p2), "program must be synthesized once");
+        let t1 = shared_trace(Benchmark::Micro, EXPERIMENT_SEED, budget);
+        let t2 = shared_trace(Benchmark::Micro, EXPERIMENT_SEED, budget);
+        assert!(Arc::ptr_eq(&t1, &t2), "trace must be recorded once");
+        assert!(t1.len() >= RecordedTrace::capture_len_for(budget.total()));
     }
 
     #[test]

@@ -28,20 +28,19 @@
 //! use flywheel_core::{FlywheelConfig, FlywheelSim};
 //! use flywheel_timing::TechNode;
 //! use flywheel_uarch::{BaselineConfig, BaselineSim, SimBudget};
-//! use flywheel_workloads::{Benchmark, TraceGenerator};
+//! use flywheel_workloads::{Benchmark, RecordedTrace};
 //!
 //! let program = Benchmark::Micro.synthesize(7);
 //! let budget = SimBudget::new(2_000, 10_000);
+//! // Record the dynamic stream once; both machines replay identical cursors.
+//! let trace = RecordedTrace::record(&program, 7, RecordedTrace::capture_len_for(budget.total()));
 //!
-//! let mut baseline = BaselineSim::new(
-//!     BaselineConfig::paper(TechNode::N130),
-//!     TraceGenerator::new(&program, 7),
-//! );
+//! let mut baseline = BaselineSim::new(BaselineConfig::paper(TechNode::N130), trace.cursor());
 //! let base = baseline.run(budget);
 //!
 //! let mut flywheel = FlywheelSim::new(
 //!     FlywheelConfig::paper(TechNode::N130, 50, 50),
-//!     TraceGenerator::new(&program, 7),
+//!     trace.cursor(),
 //! );
 //! let fly = flywheel.run(budget);
 //! assert!(fly.speedup_over(&base) > 0.5);

@@ -2,7 +2,7 @@
 
 use crate::config::PoolConfig;
 use flywheel_isa::{ArchReg, StaticInst, NUM_ARCH_REGS};
-use flywheel_uarch::{PhysReg, PhysRegFile, RenameOutcome};
+use flywheel_uarch::{PhysReg, PhysRegFile, RenameOutcome, SrcList};
 
 /// Statistics of the pool renamer.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -118,7 +118,7 @@ impl PoolRenamer {
     /// register equals its pool size minus one (one entry always holds the last
     /// committed value).
     pub fn rename(&mut self, inst: &StaticInst, prf: &mut PhysRegFile) -> Option<RenameOutcome> {
-        let srcs: Vec<PhysReg> = inst.srcs().map(|s| self.mapping[s.flat_index()]).collect();
+        let srcs: SrcList = inst.srcs().map(|s| self.mapping[s.flat_index()]).collect();
         let (dst, prev, dst_arch) = if let Some(d) = inst.dst() {
             let idx = d.flat_index();
             self.rename_counts[idx] += 1;
@@ -256,7 +256,7 @@ mod tests {
         let (mut r, mut prf) = renamer();
         let base_mapping = r.mapping(ArchReg::int(3));
         let out = r.rename(&alu(3, 3), &mut prf).unwrap();
-        assert_eq!(out.srcs, vec![base_mapping]);
+        assert_eq!(out.srcs.as_slice(), &[base_mapping]);
         let dst = out.dst.unwrap();
         assert_ne!(dst, base_mapping);
         // The new mapping stays within register 3's pool (8 consecutive ids).

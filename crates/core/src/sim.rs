@@ -7,8 +7,9 @@ use crate::stats::{FlywheelResult, FlywheelStats};
 use flywheel_isa::{DynInst, OpClass, Pc};
 use flywheel_power::{EnergyAccumulator, PowerConfig, PowerModel, Unit};
 use flywheel_uarch::{
-    AccessOutcome, BpredStats, EntryState, GsharePredictor, HierarchyStats, InflightEntry,
-    InflightTable, IssueScheduler, MemoryHierarchy, PhysRegFile, SimBudget, SimResult, StoreIndex,
+    AccessOutcome, BpredStats, CompletionQueue, EntryState, GsharePredictor, HierarchyStats,
+    InflightEntry, InflightTable, IssueScheduler, MemoryHierarchy, PhysRegFile, SimBudget,
+    SimResult, StoreIndex,
 };
 use std::collections::VecDeque;
 
@@ -56,12 +57,15 @@ struct Replay {
 /// use flywheel_core::{FlywheelConfig, FlywheelSim};
 /// use flywheel_timing::TechNode;
 /// use flywheel_uarch::SimBudget;
-/// use flywheel_workloads::{Benchmark, TraceGenerator};
+/// use flywheel_workloads::{Benchmark, RecordedTrace};
 ///
+/// let budget = SimBudget::new(1_000, 5_000);
 /// let program = Benchmark::Micro.synthesize(1);
-/// let trace = TraceGenerator::new(&program, 1);
-/// let mut sim = FlywheelSim::new(FlywheelConfig::paper_iso_clock(TechNode::N130), trace);
-/// let result = sim.run(SimBudget::new(1_000, 5_000));
+/// // Both machine models replay the same recorded stream; fresh cursors restart
+/// // it from the beginning at zero cost.
+/// let trace = RecordedTrace::record(&program, 1, RecordedTrace::capture_len_for(budget.total()));
+/// let mut sim = FlywheelSim::new(FlywheelConfig::paper_iso_clock(TechNode::N130), trace.cursor());
+/// let result = sim.run(budget);
 /// assert_eq!(result.sim.instructions, 5_000);
 /// ```
 pub struct FlywheelSim<I: Iterator<Item = DynInst>> {
@@ -87,12 +91,14 @@ pub struct FlywheelSim<I: Iterator<Item = DynInst>> {
     rob: VecDeque<u64>,
     iw_len: usize,
     lsq: VecDeque<u64>,
-    executing: Vec<u64>,
+    /// Executing instructions keyed by completion cycle; stale (squashed)
+    /// entries are validated out on pop.
+    completions: CompletionQueue,
     sched: IssueScheduler,
     stores: StoreIndex,
 
     // Persistent scratch buffers (reused every cycle; never allocated in the loop).
-    finished_scratch: Vec<u64>,
+    finished_scratch: Vec<(u64, u64)>,
     issued_scratch: Vec<u64>,
 
     // Creation-mode fetch state.
@@ -136,6 +142,9 @@ pub struct FlywheelSim<I: Iterator<Item = DynInst>> {
     trace_switches: u64,
     trace_divergences: u64,
     last_progress_cycle: u64,
+    /// Whether the edge being processed changed any machine state (gates the
+    /// idle fast-forward in the run loop).
+    tick_activity: bool,
     measure_start: Option<Snapshot>,
 }
 
@@ -199,8 +208,11 @@ impl<I: Iterator<Item = DynInst>> FlywheelSim<I> {
             rob: VecDeque::new(),
             iw_len: 0,
             lsq: VecDeque::new(),
-            executing: Vec::new(),
-            sched: IssueScheduler::new(cfg.pools.total_phys_regs as usize),
+            completions: CompletionQueue::new(),
+            sched: IssueScheduler::new(
+                cfg.pools.total_phys_regs as usize,
+                if cfg.base.pipelined_wakeup { 1 } else { 0 },
+            ),
             stores: StoreIndex::new(),
             finished_scratch: Vec::new(),
             issued_scratch: Vec::new(),
@@ -232,6 +244,7 @@ impl<I: Iterator<Item = DynInst>> FlywheelSim<I> {
             trace_switches: 0,
             trace_divergences: 0,
             last_progress_cycle: 0,
+            tick_activity: false,
             measure_start: None,
             peeked: None,
             pushback: VecDeque::new(),
@@ -256,10 +269,14 @@ impl<I: Iterator<Item = DynInst>> FlywheelSim<I> {
                 self.begin_measurement();
                 self.retire_limit = total_target;
             }
+            self.tick_activity = false;
             if self.be_time_ps <= self.fe_time_ps {
                 self.tick_backend();
             } else {
                 self.tick_frontend();
+            }
+            if !self.tick_activity {
+                self.fast_forward();
             }
             if self.be_cycles - self.last_progress_cycle > 500_000 {
                 panic!(
@@ -284,6 +301,210 @@ impl<I: Iterator<Item = DynInst>> FlywheelSim<I> {
         match self.mode {
             Mode::Creation => self.be_period_creation_ps,
             Mode::Execution => self.be_period_exec_ps,
+        }
+    }
+
+    /// The back-end edge time at which cycle `c` executes (the edge at
+    /// `be_time_ps` runs cycle `be_cycles + 1`). The mode — and with it the
+    /// back-end period — is constant across the idle stretch being bounded: any
+    /// mode switch is tick activity.
+    fn be_cycle_time_ps(&self, c: u64) -> u64 {
+        if c <= self.be_cycles + 1 {
+            self.be_time_ps
+        } else {
+            self.be_time_ps
+                .saturating_add((c - self.be_cycles - 1).saturating_mul(self.be_period()))
+        }
+    }
+
+    /// The first back-end edge at or after time `ps`.
+    fn be_edge_at_or_after(&self, ps: u64) -> u64 {
+        if ps <= self.be_time_ps {
+            self.be_time_ps
+        } else {
+            self.be_time_ps + (ps - self.be_time_ps).div_ceil(self.be_period()) * self.be_period()
+        }
+    }
+
+    /// The first front-end edge at or after time `ps`.
+    fn fe_edge_at_or_after(&self, ps: u64) -> u64 {
+        if ps <= self.fe_time_ps {
+            self.fe_time_ps
+        } else {
+            self.fe_time_ps + (ps - self.fe_time_ps).div_ceil(self.fe_period_ps) * self.fe_period_ps
+        }
+    }
+
+    /// A conservative lower bound on the next time any machine state can
+    /// change, or `None` when no event is safely boundable (then the machine
+    /// single-steps as before). See `BaselineSim::next_event_ps` for the
+    /// reasoning; the Flywheel machine adds the mode-specific gates (Register
+    /// Update checkpoint, redistribution stalls, trace-replay startup and
+    /// operand arrival).
+    fn next_event_ps(&self) -> Option<u64> {
+        // A completed ROB head retires at the next back-end edge — or is gated
+        // only by the retire limit, which the run loop may lift between steps.
+        if let Some(&head) = self.rob.front() {
+            if self.inflight[head].state == EntryState::Completed {
+                return None;
+            }
+        }
+        let mut t = u64::MAX;
+        if let Some(c) = self.completions.next_due() {
+            t = t.min(self.be_cycle_time_ps(c));
+        }
+        if let Some(c) = self.sched.next_due() {
+            t = t.min(self.be_cycle_time_ps(c));
+        }
+        let wakeup_extra = if self.cfg.base.pipelined_wakeup { 1 } else { 0 };
+        for i in 0..self.sched.ready_len() {
+            let seq = self.sched.ready_seq(i);
+            let Some(e) = self.inflight.get(seq) else {
+                continue;
+            };
+            // A load behind an older unresolved store wakes through that
+            // store's own events (it is dispatched, woken or completing).
+            if e.d.stat.op() == OpClass::Load && self.stores.blocks_load(seq) {
+                continue;
+            }
+            let arrive = self.be_cycle_time_ps(e.ready_cycle.saturating_add(wakeup_extra));
+            t = t.min(arrive.max(self.be_edge_at_or_after(e.visible_at_ps)));
+        }
+        // Cycle-numbered gates that open in the future (past thresholds are
+        // permanently inert).
+        for c in [self.stalled_until_cycle, self.checkpoint_ready_cycle] {
+            if c > self.be_cycles {
+                t = t.min(self.be_cycle_time_ps(c));
+            }
+        }
+        match self.mode {
+            Mode::Creation => {
+                // Pool redistribution is considered whenever the ROB drains.
+                if self.rob.is_empty() {
+                    t = t.min(self.be_cycle_time_ps(self.next_redistribution_cycle));
+                }
+                // Dispatch of the front-end queue head, when Register Update is
+                // currently allowed (it can only open — never close — without
+                // tick activity, and its opening edges are included above).
+                let gate_open = self.checkpoint_wait_retire_of.is_none()
+                    && self.be_cycles >= self.checkpoint_ready_cycle
+                    && self.be_cycles >= self.stalled_until_cycle;
+                if gate_open {
+                    if let Some(&head) = self.frontend_q.front() {
+                        let e = &self.inflight[head];
+                        if e.dispatch_ready_ps > self.fe_time_ps {
+                            t = t.min(self.fe_edge_at_or_after(e.dispatch_ready_ps));
+                        } else {
+                            let is_mem = e.d.stat.op().is_mem();
+                            let blocked = self.rob.len() >= self.cfg.base.rob_entries as usize
+                                || self.iw_len >= self.cfg.base.iw_entries as usize
+                                || (is_mem && self.lsq.len() >= self.cfg.base.lsq_entries as usize);
+                            if !blocked {
+                                t = t.min(self.fe_time_ps);
+                            }
+                        }
+                    }
+                }
+                // Fetch resuming (not checkpoint-gated).
+                let queue_cap =
+                    (self.cfg.base.front_end_stages * self.cfg.base.fetch_width) as usize;
+                if self.fetch_blocked_on_branch.is_none()
+                    && !self.trace_done
+                    && self.frontend_q.len() < queue_cap
+                {
+                    t = t.min(self.fe_edge_at_or_after(self.fetch_resume_at_ps));
+                }
+            }
+            Mode::Execution => {
+                let Some(r) = &self.replay else {
+                    // The next back-end tick falls back to creation mode.
+                    return None;
+                };
+                if !r.diverged && r.pulled.len() < r.trace.len() && !self.trace_done {
+                    // The next back-end tick pulls (and trains on) oracle
+                    // instructions.
+                    t = t.min(self.be_time_ps);
+                } else if r.next_idx < r.pulled.len() {
+                    // The machine is waiting to issue the next replay unit.
+                    if self.rob.is_empty() && self.iw_len == 0 {
+                        // The abandon-replay safety valve may fire next tick.
+                        return None;
+                    }
+                    let unit = r.trace.insts[r.next_idx].unit;
+                    let mut unit_end = r.next_idx;
+                    while unit_end < r.trace.len() && r.trace.insts[unit_end].unit == unit {
+                        unit_end += 1;
+                    }
+                    // Replay issues one unit per cycle: the next unit goes out
+                    // at the first edge where the startup buffer, the Register
+                    // Update checkpoint and all its source operands are due
+                    // (capacity and pool blocks only delay it further, which a
+                    // conservative bound may ignore). A checkpoint waiting on a
+                    // retire is bounded by the completion events instead.
+                    let issuable = unit_end.min(r.pulled.len()) == unit_end || r.diverged;
+                    if issuable && self.checkpoint_wait_retire_of.is_none() {
+                        let mut unit_time = self.be_time_ps;
+                        for c in [r.ready_at_cycle, self.checkpoint_ready_cycle] {
+                            if c > self.be_cycles {
+                                unit_time = unit_time.max(self.be_cycle_time_ps(c));
+                            }
+                        }
+                        let end = unit_end.min(r.pulled.len());
+                        for i in r.next_idx..end {
+                            for src in r.trace.insts[i].stat.srcs() {
+                                let at = self.prf.ready_at(self.pools.mapping(src));
+                                if at == u64::MAX {
+                                    return None;
+                                }
+                                if at > self.be_cycles {
+                                    unit_time = unit_time.max(self.be_cycle_time_ps(at));
+                                }
+                            }
+                        }
+                        t = t.min(unit_time);
+                    }
+                }
+                // A fully drained replay transitions out with tick activity, so
+                // no further events are needed here.
+            }
+        }
+        // Never jump past the no-progress watchdog's firing point.
+        t = t.min(self.be_cycle_time_ps(self.last_progress_cycle + 500_001));
+        (t != u64::MAX).then_some(t)
+    }
+
+    /// Bulk-advances both clock domains over the edges strictly before the next
+    /// possible event, charging exactly the per-cycle bookkeeping those idle
+    /// edges would have performed (clock energy, gated-front-end accounting,
+    /// per-mode time, and the Issue Window wake-up/select energy of occupied
+    /// windows).
+    fn fast_forward(&mut self) {
+        let Some(t) = self.next_event_ps() else {
+            return;
+        };
+        if self.fe_time_ps < t {
+            let k = (t - 1 - self.fe_time_ps) / self.fe_period_ps + 1;
+            self.fe_cycles += k;
+            self.fe_time_ps += k * self.fe_period_ps;
+            self.energy.tick_frontend_n(self.mode == Mode::Execution, k);
+        }
+        if self.be_time_ps < t {
+            let period = self.be_period();
+            let k = (t - 1 - self.be_time_ps) / period + 1;
+            self.be_cycles += k;
+            self.be_time_ps += k * period;
+            match self.mode {
+                Mode::Creation => self.creation_mode_ps += k * period,
+                Mode::Execution => self.exec_mode_ps += k * period,
+            }
+            self.energy.tick_backend_n(k);
+            // The skipped cycles lie entirely on one side of the stall window
+            // (its end is an event above); only unstalled cycles pay the
+            // per-cycle Issue Window energy of an occupied window.
+            if self.iw_len > 0 && self.be_cycles >= self.stalled_until_cycle {
+                self.energy.record(Unit::IssueWindowWakeup, k);
+                self.energy.record(Unit::IssueWindowSelect, k);
+            }
         }
     }
 
@@ -423,6 +644,9 @@ impl<I: Iterator<Item = DynInst>> FlywheelSim<I> {
                     && self.frontend_q.len() < queue_cap
                     && !self.trace_done
                 {
+                    // A fetch attempt always changes state: it inserts
+                    // instructions, starts a line fill, or exhausts the trace.
+                    self.tick_activity = true;
                     self.fetch(now);
                 }
             }
@@ -455,6 +679,10 @@ impl<I: Iterator<Item = DynInst>> FlywheelSim<I> {
             {
                 break;
             }
+            // Everything past this point changes machine state: the EC lookup
+            // charges tag energy, a failed pool rename counts a stall, and a
+            // successful one dispatches.
+            self.tick_activity = true;
             // Trace completion condition: if the current trace has grown to its
             // limit, look the next PC up in the EC before dispatching it — on a hit
             // the machine switches to the alternative execution path; on a miss the
@@ -591,6 +819,7 @@ impl<I: Iterator<Item = DynInst>> FlywheelSim<I> {
         }
         self.next_redistribution_cycle = self.be_cycles + self.cfg.pools.redistribution_interval;
         if self.pools.maybe_redistribute() {
+            self.tick_activity = true;
             self.stalled_until_cycle = self.be_cycles + self.cfg.pools.redistribution_cost;
             self.ec.invalidate_all();
             // Renaming information stored in the current trace is obsolete too.
@@ -600,31 +829,31 @@ impl<I: Iterator<Item = DynInst>> FlywheelSim<I> {
 
     fn complete(&mut self, now: u64) {
         let cycle = self.be_cycles;
-        // Partition `executing` in place: finished entries move to the scratch
-        // list, the rest compact down without reallocation.
+        // Drain the due prefix of the completion queue; the per-cycle cost when
+        // nothing finishes (the common case during a memory stall) is one peek.
         self.finished_scratch.clear();
-        let mut keep = 0;
-        for i in 0..self.executing.len() {
-            let seq = self.executing[i];
-            if self.inflight[seq].complete_at <= cycle {
-                self.finished_scratch.push(seq);
-            } else {
-                self.executing[keep] = seq;
-                keep += 1;
-            }
+        while let Some((at, seq)) = self.completions.pop_due(cycle) {
+            self.finished_scratch.push((seq, at));
         }
         if self.finished_scratch.is_empty() {
             return;
         }
-        self.executing.truncate(keep);
+        self.tick_activity = true;
+        // Process in program order, as the original executing-list scan did.
         self.finished_scratch.sort_unstable();
         for i in 0..self.finished_scratch.len() {
-            let seq = self.finished_scratch[i];
+            let (seq, at) = self.finished_scratch[i];
             // An earlier completion in this very cycle may have squashed this
-            // entry during mispredict recovery.
+            // entry during mispredict recovery, and a squashed + re-issued
+            // instruction (trace-replay hand-backs re-fetch the same sequence
+            // numbers) leaves stale queue entries whose deadline no longer
+            // matches the live schedule.
             let Some(e) = self.inflight.get_mut(seq) else {
                 continue;
             };
+            if e.state != EntryState::Issued || e.complete_at != at {
+                continue;
+            }
             e.state = EntryState::Completed;
             let (has_dst, mispredicted) = (e.rename.dst.is_some(), e.mispredicted);
             if has_dst {
@@ -666,7 +895,8 @@ impl<I: Iterator<Item = DynInst>> FlywheelSim<I> {
         while self.lsq.back().is_some_and(|&s| s > branch_seq) {
             self.lsq.pop_back();
         }
-        self.executing.retain(|&seq| self.inflight.contains(seq));
+        // Squashed executing instructions leave stale completion-queue entries;
+        // `complete` validates them against the live table on pop.
         self.sched.squash_after(branch_seq);
         self.stores.squash_after(branch_seq);
 
@@ -759,6 +989,7 @@ impl<I: Iterator<Item = DynInst>> FlywheelSim<I> {
         let wakeup_extra = if self.cfg.base.pipelined_wakeup { 1 } else { 0 };
         let mut issued_count = 0;
         self.issued_scratch.clear();
+        self.sched.release_due(&self.inflight, cycle);
 
         // Scan only woken entries (all sources produced), in program order — the
         // same order the original kernel walked the whole Issue Window in.
@@ -809,6 +1040,9 @@ impl<I: Iterator<Item = DynInst>> FlywheelSim<I> {
             self.issued_scratch.push(seq);
             issued_count += 1;
         }
+        if issued_count > 0 {
+            self.tick_activity = true;
+        }
         if let Some(builder) = self.builder.as_mut() {
             builder.close_unit();
         }
@@ -835,7 +1069,7 @@ impl<I: Iterator<Item = DynInst>> FlywheelSim<I> {
             self.stores
                 .on_store_issue(seq, line.expect("stores carry an address"));
         }
-        self.executing.push(seq);
+        self.completions.push(complete_at, seq);
     }
 
     // -------------------------------------------------------- execution-mode issue
@@ -843,6 +1077,7 @@ impl<I: Iterator<Item = DynInst>> FlywheelSim<I> {
     fn issue_execution(&mut self) {
         let Some(mut replay) = self.replay.take() else {
             // Should not happen; fall back to creation mode.
+            self.tick_activity = true;
             self.enter_creation_mode_at_next_oracle_pc();
             return;
         };
@@ -858,10 +1093,12 @@ impl<I: Iterator<Item = DynInst>> FlywheelSim<I> {
                     // the next trace-creation phase.
                     self.bpred.train(&d);
                     replay.pulled.push(d);
+                    self.tick_activity = true;
                 }
                 Some(_) => {
                     replay.diverged = true;
                     self.trace_divergences += 1;
+                    self.tick_activity = true;
                 }
                 None => break,
             }
@@ -884,12 +1121,14 @@ impl<I: Iterator<Item = DynInst>> FlywheelSim<I> {
             if end == unit_end || replay.diverged {
                 let group = replay.next_idx..end;
                 if !group.is_empty() && self.can_issue_replay_group(&replay, group.clone()) {
+                    self.tick_activity = true;
                     for idx in group {
                         self.issue_replay_inst(&mut replay, idx);
                     }
                     self.sched.drain_wakes(&mut self.inflight);
                     replay.next_idx = end;
                 } else if !group.is_empty() && self.rob.is_empty() && self.iw_len == 0 {
+                    self.tick_activity = true;
                     // Safety valve: with nothing in flight the unit can only be
                     // blocked by state that will never change (e.g. a pool shrunk by
                     // a redistribution below what the recorded schedule assumed).
@@ -912,6 +1151,7 @@ impl<I: Iterator<Item = DynInst>> FlywheelSim<I> {
         let finished_all = replay.next_idx >= replay.trace.len();
         let finished_diverged = replay.diverged && replay.next_idx >= replay.pulled.len();
         if finished_all || finished_diverged {
+            self.tick_activity = true;
             if replay.diverged {
                 // The offending branch must retire before the next trace can pass
                 // Register Update (FRT checkpoint).
@@ -1086,6 +1326,7 @@ impl<I: Iterator<Item = DynInst>> FlywheelSim<I> {
             self.energy.record(Unit::Retire, 1);
             self.retired += 1;
             self.last_progress_cycle = self.be_cycles;
+            self.tick_activity = true;
             n += 1;
         }
     }

@@ -10,19 +10,16 @@ fn main() {
     let benchmark = Benchmark::Gzip;
     let budget = SimBudget::new(20_000, 100_000);
     let program = benchmark.synthesize(1);
+    // Record the dynamic instruction stream once; both machines (and any
+    // further configurations) replay identical zero-cost cursors of it.
+    let trace = RecordedTrace::record(&program, 1, RecordedTrace::capture_len_for(budget.total()));
 
     // Fully synchronous baseline (Table 2 configuration).
-    let mut baseline = BaselineSim::new(
-        BaselineConfig::paper(node),
-        TraceGenerator::new(&program, 1),
-    );
+    let mut baseline = BaselineSim::new(BaselineConfig::paper(node), trace.cursor());
     let base = baseline.run(budget);
 
     // Flywheel with the paper's FE+50% / BE+50% clock plan.
-    let mut flywheel = FlywheelSim::new(
-        FlywheelConfig::paper(node, 50, 50),
-        TraceGenerator::new(&program, 1),
-    );
+    let mut flywheel = FlywheelSim::new(FlywheelConfig::paper(node, 50, 50), trace.cursor());
     let fly = flywheel.run(budget);
 
     println!(

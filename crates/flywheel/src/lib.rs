@@ -17,12 +17,12 @@
 //! ```
 //! use flywheel::prelude::*;
 //!
+//! let budget = SimBudget::new(500, 2_000);
 //! let program = Benchmark::Micro.synthesize(3);
-//! let mut sim = BaselineSim::new(
-//!     BaselineConfig::paper_default(),
-//!     TraceGenerator::new(&program, 3),
-//! );
-//! let result = sim.run(SimBudget::new(500, 2_000));
+//! // Capture the workload once; every simulation replays it through a cursor.
+//! let trace = RecordedTrace::record(&program, 3, RecordedTrace::capture_len_for(budget.total()));
+//! let mut sim = BaselineSim::new(BaselineConfig::paper_default(), trace.cursor());
+//! let result = sim.run(budget);
 //! assert_eq!(result.instructions, 2_000);
 //! ```
 
@@ -42,5 +42,7 @@ pub mod prelude {
     pub use flywheel_power::{EnergyBreakdown, PowerConfig, PowerModel, Unit};
     pub use flywheel_timing::{ClockPlan, ModuleFrequencies, TechNode};
     pub use flywheel_uarch::{BaselineConfig, BaselineSim, SimBudget, SimResult};
-    pub use flywheel_workloads::{Benchmark, TraceGenerator, TraceStats};
+    pub use flywheel_workloads::{
+        Benchmark, RecordedTrace, TraceCursor, TraceGenerator, TraceStats,
+    };
 }

@@ -31,6 +31,38 @@ fn baseline_and_flywheel_execute_the_same_instruction_stream() {
 }
 
 #[test]
+fn recorded_replay_is_bit_identical_to_live_generation_on_both_machines() {
+    // The evaluation stack records each workload once and replays it across all
+    // sweep cells; both machine models must produce bit-identical results from a
+    // cursor and from a live generator.
+    let program = Benchmark::Gzip.synthesize(5);
+    let trace = RecordedTrace::record(
+        &program,
+        5,
+        RecordedTrace::capture_len_for(budget().total()),
+    );
+    let base_live = BaselineSim::new(
+        BaselineConfig::paper(TechNode::N130),
+        TraceGenerator::new(&program, 5),
+    )
+    .run(budget());
+    let base_replayed =
+        BaselineSim::new(BaselineConfig::paper(TechNode::N130), trace.cursor()).run(budget());
+    assert_eq!(base_live, base_replayed);
+    let fly_live = FlywheelSim::new(
+        FlywheelConfig::paper_iso_clock(TechNode::N130),
+        TraceGenerator::new(&program, 5),
+    )
+    .run(budget());
+    let fly_replayed = FlywheelSim::new(
+        FlywheelConfig::paper_iso_clock(TechNode::N130),
+        trace.cursor(),
+    )
+    .run(budget());
+    assert_eq!(fly_live, fly_replayed);
+}
+
+#[test]
 fn flywheel_results_are_deterministic_across_runs() {
     // Same seed, same config => bit-identical FlywheelResult (instructions,
     // cycles, energy breakdown, EC statistics). This guards the slab-indexed

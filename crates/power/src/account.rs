@@ -53,16 +53,28 @@ impl EnergyAccumulator {
     /// Records one front-end clock edge; `gated` selects whether the front-end was
     /// clock gated (trace-execution mode) on that edge.
     pub fn tick_frontend(&mut self, gated: bool) {
+        self.tick_frontend_n(gated, 1);
+    }
+
+    /// Records `n` front-end clock edges at once (used when the simulator
+    /// fast-forwards over provably idle cycles).
+    pub fn tick_frontend_n(&mut self, gated: bool, n: u64) {
         if gated {
-            self.frontend_gated_cycles += 1;
+            self.frontend_gated_cycles += n;
         } else {
-            self.frontend_cycles += 1;
+            self.frontend_cycles += n;
         }
     }
 
     /// Records one back-end clock edge.
     pub fn tick_backend(&mut self) {
-        self.backend_cycles += 1;
+        self.tick_backend_n(1);
+    }
+
+    /// Records `n` back-end clock edges at once (used when the simulator
+    /// fast-forwards over provably idle cycles).
+    pub fn tick_backend_n(&mut self, n: u64) {
+        self.backend_cycles += n;
     }
 
     /// Front-end clock edges recorded (active, gated).

@@ -28,6 +28,8 @@
 
 use crate::regs::{PhysReg, PhysRegFile, RenameOutcome};
 use flywheel_isa::DynInst;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Lifecycle of an in-flight instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -268,33 +270,55 @@ impl std::ops::IndexMut<u64> for InflightTable {
 
 /// Wakeup network + ready list: the issue stage scans only entries whose source
 /// operands have all been produced (or scheduled), in program order.
+///
+/// Entries whose operands are scheduled but not yet available — a woken
+/// consumer's `ready_cycle` is its producer's issue cycle *plus the execution
+/// latency*, which for a memory-miss producer lies hundreds of cycles in the
+/// future — are parked in a time-indexed hold queue instead of the ready list,
+/// so the per-cycle issue scan never revisits instructions that provably cannot
+/// issue yet. The driver calls [`Self::release_due`] at the top of each issue
+/// scan to move entries whose cycle has come into the ready list.
 #[derive(Debug, Clone)]
 pub struct IssueScheduler {
     /// Per-physical-register list of waiting consumer sequence numbers.
     /// Squashed consumers are left in place and skipped lazily on wake (their
     /// sequence numbers are never reused, so a stale entry can only miss).
     waiters: Vec<Vec<u64>>,
-    /// Sequence numbers with `pending_srcs == 0`, sorted ascending (= program
-    /// order, the order the original kernel scanned the Issue Window in).
+    /// Sequence numbers with `pending_srcs == 0` whose `ready_cycle` has been
+    /// reached, sorted ascending (= program order, the order the original
+    /// kernel scanned the Issue Window in).
     ready: Vec<u64>,
+    /// Entries with `pending_srcs == 0` waiting for their operands to arrive,
+    /// as `(ready_cycle + wakeup_extra, seq)`. Squashed entries are skipped
+    /// lazily on release.
+    held: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Extra wake-up latency in cycles (1 with pipelined Wake-up/Select, else
+    /// 0), folded into the hold deadline.
+    wakeup_extra: u64,
     /// Wakeups deferred while the ready list is being scanned
     /// ([`Self::defer_wake`] / [`Self::drain_wakes`]).
     deferred: Vec<(PhysReg, u64)>,
 }
 
 impl IssueScheduler {
-    /// Creates a scheduler for a machine with `phys_regs` physical registers.
-    pub fn new(phys_regs: usize) -> Self {
+    /// Creates a scheduler for a machine with `phys_regs` physical registers
+    /// and `wakeup_extra` extra cycles of wake-up latency (pipelined
+    /// Wake-up/Select).
+    pub fn new(phys_regs: usize, wakeup_extra: u64) -> Self {
         IssueScheduler {
             waiters: vec![Vec::new(); phys_regs],
             ready: Vec::new(),
+            held: BinaryHeap::new(),
+            wakeup_extra,
             deferred: Vec::new(),
         }
     }
 
     /// Registers a freshly dispatched entry: counts outstanding producers,
     /// records the ready cycle contributed by already-issued ones, and either
-    /// queues the entry as ready or parks it on the wakeup lists.
+    /// parks the entry on the wakeup lists or queues it in the hold queue (from
+    /// where [`Self::release_due`] moves it to the ready list once its operands
+    /// arrive).
     pub fn on_dispatch(&mut self, table: &mut InflightTable, seq: u64, prf: &PhysRegFile) {
         let entry = &mut table[seq];
         let mut pending = 0u8;
@@ -311,8 +335,43 @@ impl IssueScheduler {
         entry.pending_srcs = pending;
         entry.ready_cycle = ready_cycle;
         if pending == 0 {
+            self.held.push(Reverse((
+                ready_cycle.saturating_add(self.wakeup_extra),
+                seq,
+            )));
+        }
+    }
+
+    /// Moves every held entry whose operand-arrival cycle has been reached into
+    /// the ready list. Must run before each issue scan. Stale hold entries
+    /// (squashed or re-dispatched instructions) are validated against the live
+    /// table and dropped.
+    pub fn release_due(&mut self, table: &InflightTable, cycle: u64) {
+        while let Some(&Reverse((due, seq))) = self.held.peek() {
+            if due > cycle {
+                break;
+            }
+            self.held.pop();
+            let Some(entry) = table.get(seq) else {
+                continue;
+            };
+            // A re-dispatched instruction (trace-replay hand-back) gets fresh
+            // hold entries; only the one matching its current schedule counts.
+            if entry.state != EntryState::Waiting
+                || !entry.in_iw
+                || entry.pending_srcs != 0
+                || entry.ready_cycle.saturating_add(self.wakeup_extra) != due
+            {
+                continue;
+            }
             self.push_ready(seq);
         }
+    }
+
+    /// The earliest hold-queue deadline, if any (entries may be stale; the
+    /// value is a conservative lower bound for event scheduling).
+    pub fn next_due(&self) -> Option<u64> {
+        self.held.peek().map(|&Reverse((due, _))| due)
     }
 
     /// Records a wakeup of `reg`'s consumers to be applied by
@@ -338,7 +397,8 @@ impl IssueScheduler {
     }
 
     /// Wakes the consumers of `reg`: called when its producer issues and the
-    /// scoreboard learns the cycle the value arrives.
+    /// scoreboard learns the cycle the value arrives. Fully woken consumers go
+    /// to the hold queue keyed by the cycle their last operand arrives.
     fn wake(&mut self, table: &mut InflightTable, reg: PhysReg, ready_cycle: u64) {
         // The list is drained even when some consumers are stale (squashed):
         // a producer issues exactly once per allocation of `reg`, so everything
@@ -352,7 +412,10 @@ impl IssueScheduler {
             entry.pending_srcs -= 1;
             entry.ready_cycle = entry.ready_cycle.max(ready_cycle);
             if entry.pending_srcs == 0 {
-                self.push_ready(seq);
+                self.held.push(Reverse((
+                    entry.ready_cycle.saturating_add(self.wakeup_extra),
+                    seq,
+                )));
             }
         }
         // Hand the (empty) buffer back so its capacity is reused.
@@ -360,9 +423,10 @@ impl IssueScheduler {
     }
 
     fn push_ready(&mut self, seq: u64) {
-        match self.ready.binary_search(&seq) {
-            Ok(_) => debug_assert!(false, "seq {seq} woken twice"),
-            Err(pos) => self.ready.insert(pos, seq),
+        // Duplicate hold entries can survive a squash + re-dispatch race with a
+        // coinciding deadline; inserting once keeps the list a set.
+        if let Err(pos) = self.ready.binary_search(&seq) {
+            self.ready.insert(pos, seq);
         }
     }
 
@@ -396,6 +460,53 @@ impl IssueScheduler {
     pub fn squash_after(&mut self, branch_seq: u64) {
         let cut = self.ready.partition_point(|&seq| seq <= branch_seq);
         self.ready.truncate(cut);
+    }
+}
+
+/// Time-indexed queue of executing instructions, replacing the per-cycle scan
+/// of the whole executing set with a heap pop of the entries actually due.
+///
+/// Long-latency instructions (memory misses run for hundreds of back-end
+/// cycles) sit in the queue untouched until their completion cycle; the
+/// per-cycle cost is a single peek. Squashed instructions leave stale entries
+/// that the driver must validate against the live table on pop (entry present,
+/// still `Issued`, and `complete_at` matching the popped deadline).
+#[derive(Debug, Clone, Default)]
+pub struct CompletionQueue {
+    heap: BinaryHeap<Reverse<(u64, u64)>>,
+}
+
+impl CompletionQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        CompletionQueue::default()
+    }
+
+    /// Schedules `seq` to complete at back-end cycle `at`.
+    pub fn push(&mut self, at: u64, seq: u64) {
+        self.heap.push(Reverse((at, seq)));
+    }
+
+    /// Pops one entry due at or before `cycle`, as `(complete_at, seq)`.
+    pub fn pop_due(&mut self, cycle: u64) -> Option<(u64, u64)> {
+        match self.heap.peek() {
+            Some(&Reverse((at, _))) if at <= cycle => {
+                let Reverse(pair) = self.heap.pop().expect("peeked entry exists");
+                Some(pair)
+            }
+            _ => None,
+        }
+    }
+
+    /// The earliest scheduled completion cycle, if any (entries may be stale;
+    /// the value is a conservative lower bound for event scheduling).
+    pub fn next_due(&self) -> Option<u64> {
+        self.heap.peek().map(|&Reverse((at, _))| at)
+    }
+
+    /// Whether no completion is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
     }
 }
 
@@ -578,11 +689,13 @@ mod tests {
     fn scheduler_wakes_consumers_in_program_order() {
         let mut t = InflightTable::with_capacity(16);
         let mut prf = PhysRegFile::new(8);
-        let mut sched = IssueScheduler::new(8);
+        let mut sched = IssueScheduler::new(8, 0);
         prf.mark_pending(3);
         for seq in [5u64, 6, 7] {
             let mut e = entry(seq);
-            e.rename.srcs = vec![3];
+            e.rename.srcs = [3].into_iter().collect();
+            e.state = EntryState::Waiting;
+            e.in_iw = true;
             t.insert(e);
             sched.on_dispatch(&mut t, seq, &prf);
         }
@@ -590,6 +703,12 @@ mod tests {
         prf.mark_ready(3, 17);
         sched.defer_wake(3, 17);
         sched.drain_wakes(&mut t);
+        // The woken consumers wait in the hold queue until their operand
+        // arrives at cycle 17; releasing earlier surfaces nothing.
+        assert_eq!(sched.next_due(), Some(17));
+        sched.release_due(&t, 16);
+        assert_eq!(sched.ready_len(), 0, "operands arrive at cycle 17");
+        sched.release_due(&t, 17);
         assert_eq!(sched.ready_len(), 3);
         assert_eq!(
             (0..3).map(|i| sched.ready_seq(i)).collect::<Vec<_>>(),
@@ -602,6 +721,27 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_wakeup_delays_the_release_by_one_cycle() {
+        let mut t = InflightTable::with_capacity(16);
+        let mut prf = PhysRegFile::new(8);
+        let mut sched = IssueScheduler::new(8, 1);
+        prf.mark_pending(2);
+        let mut e = entry(4);
+        e.rename.srcs = [2].into_iter().collect();
+        e.state = EntryState::Waiting;
+        e.in_iw = true;
+        t.insert(e);
+        sched.on_dispatch(&mut t, 4, &prf);
+        prf.mark_ready(2, 10);
+        sched.defer_wake(2, 10);
+        sched.drain_wakes(&mut t);
+        sched.release_due(&t, 10);
+        assert_eq!(sched.ready_len(), 0, "pipelined wakeup adds one cycle");
+        sched.release_due(&t, 11);
+        assert_eq!(sched.ready_len(), 1);
+    }
+
+    #[test]
     fn scheduler_skips_squashed_waiters() {
         let mut t = InflightTable::with_capacity(16);
         let prf_pending = {
@@ -609,18 +749,36 @@ mod tests {
             p.mark_pending(1);
             p
         };
-        let mut sched = IssueScheduler::new(4);
+        let mut sched = IssueScheduler::new(4, 0);
         let mut e = entry(8);
-        e.rename.srcs = vec![1];
+        e.rename.srcs = [1].into_iter().collect();
         t.insert(e);
         sched.on_dispatch(&mut t, 8, &prf_pending);
         // Ready entries younger than the branch disappear; the parked waiter is
-        // squashed from the table and must be skipped on wake.
+        // squashed from the table and must be skipped on wake and on release.
         sched.squash_after(7);
         t.remove(8);
         sched.defer_wake(1, 9);
         sched.drain_wakes(&mut t);
+        sched.release_due(&t, 100);
         assert_eq!(sched.ready_len(), 0);
+    }
+
+    #[test]
+    fn completion_queue_pops_in_deadline_order() {
+        let mut q = CompletionQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.pop_due(1000), None);
+        q.push(30, 7);
+        q.push(10, 9);
+        q.push(10, 3);
+        assert_eq!(q.next_due(), Some(10));
+        assert_eq!(q.pop_due(9), None, "nothing due before cycle 10");
+        assert_eq!(q.pop_due(10), Some((10, 3)));
+        assert_eq!(q.pop_due(10), Some((10, 9)));
+        assert_eq!(q.pop_due(10), None);
+        assert_eq!(q.pop_due(u64::MAX), Some((30, 7)));
+        assert!(q.is_empty());
     }
 
     #[test]

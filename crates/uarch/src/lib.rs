@@ -40,7 +40,9 @@ pub use bpred::{BpredStats, GsharePredictor};
 pub use cache::{AccessOutcome, Cache, HierarchyStats, MemoryHierarchy};
 pub use config::{BaselineConfig, BpredConfig, CacheConfig, FuConfig};
 pub use fu::FunctionalUnits;
-pub use inflight::{EntryState, InflightEntry, InflightTable, IssueScheduler, StoreIndex};
+pub use inflight::{
+    CompletionQueue, EntryState, InflightEntry, InflightTable, IssueScheduler, StoreIndex,
+};
 pub use pipeline::BaselineSim;
-pub use regs::{PhysReg, PhysRegFile, RenameOutcome, Renamer};
+pub use regs::{PhysReg, PhysRegFile, RenameOutcome, Renamer, SrcList};
 pub use stats::{SimBudget, SimResult};

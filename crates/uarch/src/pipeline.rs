@@ -4,7 +4,9 @@ use crate::bpred::GsharePredictor;
 use crate::cache::{AccessOutcome, MemoryHierarchy};
 use crate::config::BaselineConfig;
 use crate::fu::FunctionalUnits;
-use crate::inflight::{EntryState, InflightEntry, InflightTable, IssueScheduler, StoreIndex};
+use crate::inflight::{
+    CompletionQueue, EntryState, InflightEntry, InflightTable, IssueScheduler, StoreIndex,
+};
 use crate::regs::{PhysRegFile, Renamer};
 use crate::stats::{SimBudget, SimResult};
 use flywheel_isa::{DynInst, OpClass};
@@ -16,24 +18,32 @@ use std::collections::VecDeque;
 /// Issue Window front-end.
 ///
 /// The simulator is trace driven: it consumes [`DynInst`]s from a
-/// [`flywheel_workloads::TraceGenerator`] (or any other iterator), models fetch,
+/// [`flywheel_workloads::TraceGenerator`], a shared
+/// [`flywheel_workloads::RecordedTrace`] cursor (the cheap option when many
+/// configurations replay the same workload), or any other iterator; models fetch,
 /// dispatch, wake-up/select, execution, memory and retirement cycle by cycle in two
-/// clock domains (front-end and execution core), and reports performance plus a
+/// clock domains (front-end and execution core); and reports performance plus a
 /// Wattch-style energy breakdown.
 ///
-/// The per-cycle hot loop is allocation-free: in-flight instructions live in a
-/// slab-indexed [`InflightTable`], issue scans only the woken entries of the
-/// [`IssueScheduler`] ready list, and load/store ordering checks go through the
-/// [`StoreIndex`] instead of walking the LSQ.
+/// The per-cycle hot loop is allocation-free and event-indexed: in-flight
+/// instructions live in a slab-indexed [`InflightTable`], issue scans only the
+/// woken entries of the [`IssueScheduler`] ready list whose operands have
+/// arrived, executing instructions wait in a [`CompletionQueue`] keyed by
+/// completion cycle, load/store ordering checks go through the [`StoreIndex`]
+/// instead of walking the LSQ, and provably idle stretches (memory stalls) are
+/// fast-forwarded in bulk — all bit-identical to single-stepped execution.
 ///
 /// ```
 /// use flywheel_uarch::{BaselineConfig, BaselineSim, SimBudget};
-/// use flywheel_workloads::{Benchmark, TraceGenerator};
+/// use flywheel_workloads::{Benchmark, RecordedTrace};
 ///
+/// let budget = SimBudget::new(1_000, 5_000);
 /// let program = Benchmark::Micro.synthesize(1);
-/// let trace = TraceGenerator::new(&program, 1);
-/// let mut sim = BaselineSim::new(BaselineConfig::paper_default(), trace);
-/// let result = sim.run(SimBudget::new(1_000, 5_000));
+/// // Capture the dynamic stream once; every configuration replays it through a
+/// // zero-allocation cursor.
+/// let trace = RecordedTrace::record(&program, 1, RecordedTrace::capture_len_for(budget.total()));
+/// let mut sim = BaselineSim::new(BaselineConfig::paper_default(), trace.cursor());
+/// let result = sim.run(budget);
 /// assert_eq!(result.instructions, 5_000);
 /// assert!(result.ipc() > 0.3);
 /// ```
@@ -56,12 +66,14 @@ pub struct BaselineSim<I: Iterator<Item = DynInst>> {
     rob: VecDeque<u64>,
     iw_len: usize,
     lsq: VecDeque<u64>,
-    executing: Vec<u64>,
+    /// Executing instructions keyed by completion cycle; stale (squashed)
+    /// entries are validated out on pop.
+    completions: CompletionQueue,
     sched: IssueScheduler,
     stores: StoreIndex,
 
     // Persistent scratch buffers (reused every cycle; never allocated in the loop).
-    finished_scratch: Vec<u64>,
+    finished_scratch: Vec<(u64, u64)>,
     issued_scratch: Vec<u64>,
 
     // Fetch state.
@@ -85,6 +97,9 @@ pub struct BaselineSim<I: Iterator<Item = DynInst>> {
     retire_limit: u64,
     squashed: u64,
     last_progress_cycle: u64,
+    /// Whether the edge being processed changed any machine state (gates the
+    /// idle fast-forward in [`Self::step`]).
+    tick_activity: bool,
 
     // Measurement snapshot (set when warm-up ends).
     measure_start: Option<MeasureSnapshot>,
@@ -141,8 +156,11 @@ impl<I: Iterator<Item = DynInst>> BaselineSim<I> {
             rob: VecDeque::new(),
             iw_len: 0,
             lsq: VecDeque::new(),
-            executing: Vec::new(),
-            sched: IssueScheduler::new(cfg.phys_regs as usize),
+            completions: CompletionQueue::new(),
+            sched: IssueScheduler::new(
+                cfg.phys_regs as usize,
+                if cfg.pipelined_wakeup { 1 } else { 0 },
+            ),
             stores: StoreIndex::new(),
             finished_scratch: Vec::new(),
             issued_scratch: Vec::new(),
@@ -160,6 +178,7 @@ impl<I: Iterator<Item = DynInst>> BaselineSim<I> {
             retire_limit: u64::MAX,
             squashed: 0,
             last_progress_cycle: 0,
+            tick_activity: false,
             measure_start: None,
             peeked: None,
             trace_done: false,
@@ -195,11 +214,147 @@ impl<I: Iterator<Item = DynInst>> BaselineSim<I> {
     }
 
     /// Advances the machine by one clock edge (whichever domain fires next).
+    ///
+    /// After a fully idle edge the machine fast-forwards: it computes the
+    /// earliest future time at which any state can change (next completion,
+    /// operand arrival, front-end wake-up) and bulk-advances both clock domains
+    /// over the provably idle edges in between, so memory-stall cycles cost a
+    /// few event-queue peeks instead of a full tick each.
     fn step(&mut self) {
+        self.tick_activity = false;
         if self.be_time_ps <= self.fe_time_ps {
             self.tick_backend();
         } else {
             self.tick_frontend();
+        }
+        if !self.tick_activity {
+            self.fast_forward();
+        }
+    }
+
+    /// The back-end edge time at which cycle `c` executes (the edge at
+    /// `be_time_ps` runs cycle `be_cycles + 1`).
+    fn be_cycle_time_ps(&self, c: u64) -> u64 {
+        if c <= self.be_cycles + 1 {
+            self.be_time_ps
+        } else {
+            self.be_time_ps
+                .saturating_add((c - self.be_cycles - 1).saturating_mul(self.be_period_ps))
+        }
+    }
+
+    /// The first back-end edge at or after time `ps`.
+    fn be_edge_at_or_after(&self, ps: u64) -> u64 {
+        if ps <= self.be_time_ps {
+            self.be_time_ps
+        } else {
+            self.be_time_ps + (ps - self.be_time_ps).div_ceil(self.be_period_ps) * self.be_period_ps
+        }
+    }
+
+    /// The first front-end edge at or after time `ps`.
+    fn fe_edge_at_or_after(&self, ps: u64) -> u64 {
+        if ps <= self.fe_time_ps {
+            self.fe_time_ps
+        } else {
+            self.fe_time_ps + (ps - self.fe_time_ps).div_ceil(self.fe_period_ps) * self.fe_period_ps
+        }
+    }
+
+    /// A conservative lower bound on the next time any machine state can
+    /// change, or `None` when no event is safely boundable (then the machine
+    /// single-steps as before).
+    ///
+    /// Every state change of an idle machine is driven by one of: a scheduled
+    /// completion, a woken instruction's operand arrival, a dispatched
+    /// instruction leaving the front-end pipeline, or fetch resuming after a
+    /// miss/redirect. Chains bottom out in one of those (a parked consumer's
+    /// producer is issued or itself parked; a blocked load's store is dispatched
+    /// or woken), so the minimum below can only fire early — never late —
+    /// which keeps fast-forwarding bit-identical to single-stepped execution.
+    fn next_event_ps(&self) -> Option<u64> {
+        // A completed ROB head retires at the next back-end edge — or is gated
+        // only by the retire limit, which the run loop may lift between steps.
+        if let Some(&head) = self.rob.front() {
+            if self.inflight[head].state == EntryState::Completed {
+                return None;
+            }
+        }
+        let mut t = u64::MAX;
+        if let Some(c) = self.completions.next_due() {
+            t = t.min(self.be_cycle_time_ps(c));
+        }
+        if let Some(c) = self.sched.next_due() {
+            t = t.min(self.be_cycle_time_ps(c));
+        }
+        let wakeup_extra = if self.cfg.pipelined_wakeup { 1 } else { 0 };
+        for i in 0..self.sched.ready_len() {
+            let seq = self.sched.ready_seq(i);
+            let Some(e) = self.inflight.get(seq) else {
+                continue;
+            };
+            // A load behind an older unresolved store wakes through that
+            // store's own events (it is dispatched, woken or completing).
+            if e.d.stat.op() == OpClass::Load && self.stores.blocks_load(seq) {
+                continue;
+            }
+            let arrive = self.be_cycle_time_ps(e.ready_cycle.saturating_add(wakeup_extra));
+            t = t.min(arrive.max(self.be_edge_at_or_after(e.visible_at_ps)));
+        }
+        // Dispatch of the front-end queue head.
+        if let Some(&head) = self.frontend_q.front() {
+            let e = &self.inflight[head];
+            if e.dispatch_ready_ps > self.fe_time_ps {
+                t = t.min(self.fe_edge_at_or_after(e.dispatch_ready_ps));
+            } else {
+                // Ready now: it dispatches at the next front-end edge unless
+                // provably blocked on a back-end structure whose release is
+                // covered by the back-end events above.
+                let is_mem = e.d.stat.op().is_mem();
+                let blocked = self.rob.len() >= self.cfg.rob_entries as usize
+                    || self.iw_len >= self.cfg.iw_entries as usize
+                    || (is_mem && self.lsq.len() >= self.cfg.lsq_entries as usize)
+                    || (e.d.stat.dst().is_some() && self.renamer.free_regs() == 0);
+                if !blocked {
+                    t = t.min(self.fe_time_ps);
+                }
+            }
+        }
+        // Fetch resuming (after an I-cache fill or a mispredict redirect).
+        let queue_cap = (self.cfg.front_end_stages * self.cfg.fetch_width) as usize;
+        if self.fetch_blocked_on_branch.is_none()
+            && !self.trace_done
+            && self.frontend_q.len() < queue_cap
+        {
+            t = t.min(self.fe_edge_at_or_after(self.fetch_resume_at_ps));
+        }
+        // Never jump past the no-progress watchdog's firing point.
+        t = t.min(self.be_cycle_time_ps(self.last_progress_cycle + 500_001));
+        (t != u64::MAX).then_some(t)
+    }
+
+    /// Bulk-advances both clock domains over the edges strictly before the next
+    /// possible event, charging exactly the per-cycle bookkeeping those idle
+    /// edges would have performed.
+    fn fast_forward(&mut self) {
+        let Some(t) = self.next_event_ps() else {
+            return;
+        };
+        if self.fe_time_ps < t {
+            let k = (t - 1 - self.fe_time_ps) / self.fe_period_ps + 1;
+            self.fe_cycles += k;
+            self.fe_time_ps += k * self.fe_period_ps;
+            self.energy.tick_frontend_n(false, k);
+        }
+        if self.be_time_ps < t {
+            let k = (t - 1 - self.be_time_ps) / self.be_period_ps + 1;
+            self.be_cycles += k;
+            self.be_time_ps += k * self.be_period_ps;
+            self.energy.tick_backend_n(k);
+            if self.iw_len > 0 {
+                self.energy.record(Unit::IssueWindowWakeup, k);
+                self.energy.record(Unit::IssueWindowSelect, k);
+            }
         }
     }
 
@@ -283,6 +438,9 @@ impl<I: Iterator<Item = DynInst>> BaselineSim<I> {
             && self.frontend_q.len() < queue_cap
             && !self.trace_done
         {
+            // A fetch attempt always changes state: it inserts instructions,
+            // starts a line fill, or exhausts the trace.
+            self.tick_activity = true;
             self.fetch(now);
         }
     }
@@ -330,6 +488,7 @@ impl<I: Iterator<Item = DynInst>> BaselineSim<I> {
             self.energy.record(Unit::IssueWindowInsert, 1);
             self.energy.record(Unit::Rob, 1);
             dispatched += 1;
+            self.tick_activity = true;
         }
     }
 
@@ -427,31 +586,30 @@ impl<I: Iterator<Item = DynInst>> BaselineSim<I> {
 
     fn complete(&mut self, now: u64) {
         let cycle = self.be_cycles;
-        // Partition `executing` in place: finished entries move to the scratch
-        // list, the rest compact down without reallocation.
+        // Drain the due prefix of the completion queue; the per-cycle cost when
+        // nothing finishes (the common case during a memory stall) is one peek.
         self.finished_scratch.clear();
-        let mut keep = 0;
-        for i in 0..self.executing.len() {
-            let seq = self.executing[i];
-            if self.inflight[seq].complete_at <= cycle {
-                self.finished_scratch.push(seq);
-            } else {
-                self.executing[keep] = seq;
-                keep += 1;
-            }
+        while let Some((at, seq)) = self.completions.pop_due(cycle) {
+            self.finished_scratch.push((seq, at));
         }
         if self.finished_scratch.is_empty() {
             return;
         }
-        self.executing.truncate(keep);
+        self.tick_activity = true;
+        // Process in program order, as the original executing-list scan did.
         self.finished_scratch.sort_unstable();
         for i in 0..self.finished_scratch.len() {
-            let seq = self.finished_scratch[i];
+            let (seq, at) = self.finished_scratch[i];
             // An earlier completion in this very cycle may have squashed this
-            // entry during mispredict recovery.
+            // entry during mispredict recovery, and a squashed + re-issued
+            // instruction leaves stale queue entries whose deadline no longer
+            // matches the live schedule.
             let Some(e) = self.inflight.get_mut(seq) else {
                 continue;
             };
+            if e.state != EntryState::Issued || e.complete_at != at {
+                continue;
+            }
             e.state = EntryState::Completed;
             let (has_dst, mispredicted) = (e.rename.dst.is_some(), e.mispredicted);
             if has_dst {
@@ -501,7 +659,8 @@ impl<I: Iterator<Item = DynInst>> BaselineSim<I> {
         while self.lsq.back().is_some_and(|&s| s > branch_seq) {
             self.lsq.pop_back();
         }
-        self.executing.retain(|&seq| self.inflight.contains(seq));
+        // Squashed executing instructions leave stale completion-queue entries;
+        // `complete` validates them against the live table on pop.
         self.sched.squash_after(branch_seq);
         self.stores.squash_after(branch_seq);
 
@@ -540,6 +699,7 @@ impl<I: Iterator<Item = DynInst>> BaselineSim<I> {
             self.energy.record(Unit::Retire, 1);
             self.retired += 1;
             self.last_progress_cycle = self.be_cycles;
+            self.tick_activity = true;
             n += 1;
         }
     }
@@ -549,9 +709,11 @@ impl<I: Iterator<Item = DynInst>> BaselineSim<I> {
         let wakeup_extra = if self.cfg.pipelined_wakeup { 1 } else { 0 };
         let mut issued_count = 0;
         self.issued_scratch.clear();
+        self.sched.release_due(&self.inflight, cycle);
 
-        // Scan only woken entries (all sources produced), in program order — the
-        // same order the original kernel walked the whole Issue Window in.
+        // Scan only woken entries whose operands have arrived (all sources
+        // produced and their values due), in program order — the same order the
+        // original kernel walked the whole Issue Window in.
         for i in 0..self.sched.ready_len() {
             if issued_count >= self.cfg.issue_width {
                 break;
@@ -594,7 +756,7 @@ impl<I: Iterator<Item = DynInst>> BaselineSim<I> {
                     self.sched.defer_wake(dst, wakeup_ready);
                 }
             }
-            self.executing.push(seq);
+            self.completions.push(complete_at, seq);
             self.iw_len -= 1;
             self.energy.record(Unit::RegFileRead, srcs_len as u64);
             self.energy.record(self.fu_energy_unit(op), 1);
@@ -607,6 +769,9 @@ impl<I: Iterator<Item = DynInst>> BaselineSim<I> {
             }
             self.issued_scratch.push(seq);
             issued_count += 1;
+        }
+        if issued_count > 0 {
+            self.tick_activity = true;
         }
         self.sched.remove_issued(&self.issued_scratch);
         self.sched.drain_wakes(&mut self.inflight);

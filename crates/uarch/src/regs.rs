@@ -55,11 +55,66 @@ impl PhysRegFile {
     }
 }
 
+/// Physical source registers of a renamed instruction (at most two), stored
+/// inline so renaming never allocates — the rename path runs once per dispatched
+/// instruction on the simulator hot loop.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SrcList {
+    regs: [PhysReg; 2],
+    len: u8,
+}
+
+impl SrcList {
+    /// Appends a source register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than two sources are pushed (the ISA has at most two).
+    pub fn push(&mut self, reg: PhysReg) {
+        self.regs[self.len as usize] = reg;
+        self.len += 1;
+    }
+
+    /// Number of sources.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the instruction has no register sources.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The sources as a slice.
+    pub fn as_slice(&self) -> &[PhysReg] {
+        &self.regs[..self.len as usize]
+    }
+}
+
+impl<'a> IntoIterator for &'a SrcList {
+    type Item = &'a PhysReg;
+    type IntoIter = std::slice::Iter<'a, PhysReg>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl FromIterator<PhysReg> for SrcList {
+    fn from_iter<I: IntoIterator<Item = PhysReg>>(iter: I) -> Self {
+        let mut list = SrcList::default();
+        for reg in iter {
+            list.push(reg);
+        }
+        list
+    }
+}
+
 /// The result of renaming one instruction.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RenameOutcome {
     /// Physical registers of the source operands.
-    pub srcs: Vec<PhysReg>,
+    pub srcs: SrcList,
     /// Physical register allocated to the destination, if the instruction writes one.
     pub dst: Option<PhysReg>,
     /// The previous mapping of the destination architected register (freed when the
@@ -130,7 +185,7 @@ impl Renamer {
     /// Renames `inst`. Returns `None` (and changes nothing) if a destination register
     /// is needed but the free list is empty.
     pub fn rename(&mut self, inst: &StaticInst, prf: &mut PhysRegFile) -> Option<RenameOutcome> {
-        let srcs: Vec<PhysReg> = inst.srcs().map(|s| self.map[s.flat_index()]).collect();
+        let srcs: SrcList = inst.srcs().map(|s| self.map[s.flat_index()]).collect();
         let (dst, prev, dst_arch) = if let Some(d) = inst.dst() {
             let phys = self.free.pop()?;
             let prev = self.map[d.flat_index()];
@@ -181,7 +236,11 @@ mod tests {
         let mut prf = PhysRegFile::new(80);
         let before = r.mapping(ArchReg::int(5));
         let out = r.rename(&alu(5, 5), &mut prf).unwrap();
-        assert_eq!(out.srcs, vec![before], "source reads the old mapping");
+        assert_eq!(
+            out.srcs.as_slice(),
+            &[before],
+            "source reads the old mapping"
+        );
         assert_ne!(out.dst.unwrap(), before);
         assert_eq!(out.prev.unwrap(), before);
         assert_eq!(r.mapping(ArchReg::int(5)), out.dst.unwrap());

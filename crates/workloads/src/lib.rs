@@ -22,6 +22,10 @@
 //!   behaviour attached to its branches and memory instructions.
 //! * [`TraceGenerator`] — an iterator of [`flywheel_isa::DynInst`] driving the
 //!   simulators.
+//! * [`RecordedTrace`] / [`TraceCursor`] — a generator stream captured once into a
+//!   packed arena and replayed with zero-allocation slice indexing, so sweeps that
+//!   run the same workload across many machine configurations pay trace
+//!   generation once per benchmark instead of once per cell.
 //! * [`TraceStats`] — aggregate statistics of a trace, used for calibration tests.
 //!
 //! ```
@@ -40,6 +44,7 @@
 
 mod behavior;
 mod profile;
+mod recorded;
 mod spec;
 mod stats;
 mod synth;
@@ -47,6 +52,7 @@ mod trace;
 
 pub use behavior::{BranchBehavior, MemBehavior};
 pub use profile::{BenchmarkProfile, BranchMixProfile, InstMixProfile, LoopProfile, MemoryProfile};
+pub use recorded::{RecordedTrace, TraceCursor};
 pub use spec::Benchmark;
 pub use stats::TraceStats;
 pub use synth::{ProgramSynthesizer, SyntheticProgram};

@@ -1,0 +1,319 @@
+//! Recorded dynamic traces: generate each workload once, replay it everywhere.
+//!
+//! The evaluation of the paper is trace-driven and every figure sweep replays the
+//! *same* dynamic instruction stream per benchmark across many machine
+//! configurations. Re-running [`crate::TraceGenerator`] for every (machine,
+//! benchmark, configuration) cell pays program "execution" (RNG draws, control-flow
+//! walking, behaviour lookups) once per simulated instruction per cell.
+//! [`RecordedTrace`] captures the generator's output once into a packed
+//! structure-of-arrays arena; [`TraceCursor`] then replays it any number of times
+//! with pure slice indexing and zero per-instruction allocation.
+//!
+//! ## Arena layout
+//!
+//! One dynamic instruction costs 8 bytes + 1 bit in the columns, plus 8 bytes in
+//! the memory side table when it is a load/store — versus ~80 bytes for a
+//! materialised [`DynInst`] vector:
+//!
+//! * `pc_slots: Vec<u32>` — the instruction's [`SyntheticProgram::word_slot`]
+//!   (PC and static instruction are both derived from it),
+//! * `next_slots: Vec<u32>` — the word slot of the next dynamic PC,
+//! * `taken: Vec<u64>` — a bitset of taken control transfers,
+//! * `mem_addrs: Vec<u64>` — effective addresses of loads/stores only, in stream
+//!   order (no `Option<MemAccess>` padding on the other ~65% of instructions),
+//! * `static_insts: Vec<StaticInst>` — the flattened program, shared by all
+//!   dynamic occurrences of a PC.
+//!
+//! ```
+//! use flywheel_workloads::{Benchmark, RecordedTrace, TraceGenerator};
+//!
+//! let program = Benchmark::Micro.synthesize(1);
+//! let trace = RecordedTrace::record(&program, 1, 10_000);
+//! // Replay is bit-identical to generation...
+//! let generated: Vec<_> = TraceGenerator::new(&program, 1).take(10_000).collect();
+//! let replayed: Vec<_> = trace.cursor().collect();
+//! assert_eq!(generated, replayed);
+//! // ...and every cursor restarts from the beginning.
+//! assert_eq!(trace.cursor().next(), generated.first().cloned());
+//! ```
+
+use crate::{SyntheticProgram, TraceGenerator};
+use flywheel_isa::{DynInst, MemAccess, Pc, StaticInst};
+
+/// All dynamic memory accesses of the synthetic workloads are 8 bytes wide; the
+/// arena stores only addresses and reconstitutes the size on replay (asserted
+/// during capture).
+const MEM_ACCESS_BYTES: u8 = 8;
+
+/// A dynamic instruction trace captured once from a [`TraceGenerator`] into a
+/// packed structure-of-arrays arena.
+///
+/// The trace is self-contained (it copies the flattened static program), so it can
+/// be wrapped in an `Arc` and shared by every sweep cell across threads; each cell
+/// replays it through its own cheap [`TraceCursor`]. Capture is *bounded*: the
+/// arena holds exactly the first `max_insts` instructions of the stream, so memory
+/// stays proportional to the longest simulation run (see
+/// [`RecordedTrace::capture_len_for`]).
+#[derive(Debug, Clone)]
+pub struct RecordedTrace {
+    /// Flattened static program in layout order, indexed by word slot.
+    static_insts: Vec<StaticInst>,
+    /// Byte address of slot 0.
+    base_addr: u64,
+    /// Per dynamic instruction: word slot of its PC.
+    pc_slots: Vec<u32>,
+    /// Per dynamic instruction: word slot of the next dynamic PC.
+    next_slots: Vec<u32>,
+    /// Bit `i` set = dynamic instruction `i` was a taken control transfer.
+    taken: Vec<u64>,
+    /// Effective addresses of loads/stores, in stream order.
+    mem_addrs: Vec<u64>,
+}
+
+impl RecordedTrace {
+    /// Captures the first `max_insts` instructions of
+    /// `TraceGenerator::new(program, seed)` into an arena.
+    ///
+    /// Replaying the result is bit-identical to running the generator directly:
+    /// same instructions, same sequence numbers, same addresses and branch
+    /// outcomes.
+    pub fn record(program: &SyntheticProgram, seed: u64, max_insts: usize) -> Self {
+        let mut static_insts = Vec::with_capacity(program.static_footprint());
+        for block in program.program().blocks() {
+            static_insts.extend_from_slice(block.insts());
+        }
+        let base_addr = program.base_pc().addr();
+
+        let mut trace = RecordedTrace {
+            static_insts,
+            base_addr,
+            pc_slots: Vec::with_capacity(max_insts),
+            next_slots: Vec::with_capacity(max_insts),
+            taken: vec![0u64; max_insts.div_ceil(64)],
+            mem_addrs: Vec::new(),
+        };
+        for (i, d) in TraceGenerator::new(program, seed)
+            .take(max_insts)
+            .enumerate()
+        {
+            debug_assert_eq!(d.seq, i as u64, "generator sequence must be 0-based");
+            let slot = program.word_slot(d.pc);
+            let next_slot = program.word_slot(d.next_pc);
+            assert!(
+                slot < trace.static_insts.len() && next_slot < trace.static_insts.len(),
+                "trace PC outside the program"
+            );
+            debug_assert_eq!(trace.static_insts[slot], d.stat);
+            trace.pc_slots.push(slot as u32);
+            trace.next_slots.push(next_slot as u32);
+            if d.taken {
+                trace.taken[i / 64] |= 1u64 << (i % 64);
+            }
+            if let Some(m) = d.mem {
+                assert_eq!(m.size, MEM_ACCESS_BYTES, "unexpected access size");
+                trace.mem_addrs.push(m.addr);
+            }
+        }
+        trace
+    }
+
+    /// Number of recorded dynamic instructions.
+    pub fn len(&self) -> usize {
+        self.pc_slots.len()
+    }
+
+    /// Whether the trace contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.pc_slots.is_empty()
+    }
+
+    /// Number of recorded memory accesses (the length of the side table).
+    pub fn mem_accesses(&self) -> usize {
+        self.mem_addrs.len()
+    }
+
+    /// Approximate arena footprint in bytes (columns, side table and the shared
+    /// static instructions).
+    pub fn arena_bytes(&self) -> usize {
+        self.pc_slots.len() * std::mem::size_of::<u32>() * 2
+            + self.taken.len() * std::mem::size_of::<u64>()
+            + self.mem_addrs.len() * std::mem::size_of::<u64>()
+            + self.static_insts.len() * std::mem::size_of::<StaticInst>()
+    }
+
+    /// How many instructions to capture so that a simulation with `budget_total`
+    /// retired instructions (warm-up + measured) never exhausts the trace.
+    ///
+    /// The simulators consume the oracle stream strictly forward: every pulled
+    /// instruction is retired, still in flight when the run stops (bounded by the
+    /// in-flight table capacity, a few hundred entries), squashed on a mispredict
+    /// recovery, or a single look-ahead peek. The 1/8 + 4096 headroom covers all
+    /// three non-retired classes with two orders of magnitude of margin at
+    /// experiment scale; bit-identity against unbounded generation is enforced by
+    /// the `golden` digest harness in CI.
+    pub fn capture_len_for(budget_total: u64) -> usize {
+        (budget_total + budget_total / 8 + 4096) as usize
+    }
+
+    /// A zero-allocation iterator replaying the trace from its beginning.
+    pub fn cursor(&self) -> TraceCursor<'_> {
+        TraceCursor {
+            trace: self,
+            idx: 0,
+            mem_idx: 0,
+        }
+    }
+
+    /// Reconstructs the dynamic instruction at `idx`, tracking the memory side
+    /// table through `mem_idx`.
+    #[inline]
+    fn inst_at(&self, idx: usize, mem_idx: &mut usize) -> DynInst {
+        let slot = self.pc_slots[idx] as usize;
+        let stat = self.static_insts[slot];
+        let mem = if stat.op().is_mem() {
+            let addr = self.mem_addrs[*mem_idx];
+            *mem_idx += 1;
+            Some(MemAccess::new(addr, MEM_ACCESS_BYTES))
+        } else {
+            None
+        };
+        DynInst {
+            seq: idx as u64,
+            pc: Pc::new(self.base_addr + slot as u64 * 4),
+            stat,
+            taken: (self.taken[idx / 64] >> (idx % 64)) & 1 == 1,
+            next_pc: Pc::new(self.base_addr + self.next_slots[idx] as u64 * 4),
+            mem,
+        }
+    }
+}
+
+/// Replays a [`RecordedTrace`] as an `Iterator<Item = DynInst>` with pure slice
+/// indexing — no hashing, no RNG, no allocation per instruction.
+///
+/// Cursors are cheap (three words); hand a fresh one to every simulation that
+/// should consume the stream from the beginning, or [`TraceCursor::restart`] an
+/// existing one. The iterator ends after the recorded (bounded) prefix.
+#[derive(Debug, Clone)]
+pub struct TraceCursor<'a> {
+    trace: &'a RecordedTrace,
+    idx: usize,
+    mem_idx: usize,
+}
+
+impl TraceCursor<'_> {
+    /// Rewinds the cursor to the first instruction.
+    pub fn restart(&mut self) {
+        self.idx = 0;
+        self.mem_idx = 0;
+    }
+
+    /// Instructions left to replay.
+    pub fn remaining(&self) -> usize {
+        self.trace.len() - self.idx
+    }
+}
+
+impl Iterator for TraceCursor<'_> {
+    type Item = DynInst;
+
+    #[inline]
+    fn next(&mut self) -> Option<DynInst> {
+        if self.idx >= self.trace.len() {
+            return None;
+        }
+        let d = self.trace.inst_at(self.idx, &mut self.mem_idx);
+        self.idx += 1;
+        Some(d)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining();
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for TraceCursor<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Benchmark;
+
+    #[test]
+    fn capture_matches_generation_for_every_benchmark() {
+        // Replay must be bit-identical to one-shot generation (same DynInst,
+        // including seq, mem and branch outcomes) across the whole suite.
+        const N: usize = 20_000;
+        for bench in Benchmark::paper_suite().iter().chain([&Benchmark::Micro]) {
+            let program = bench.synthesize(7);
+            let trace = RecordedTrace::record(&program, 7, N);
+            let generated: Vec<_> = TraceGenerator::new(&program, 7).take(N).collect();
+            let replayed: Vec<_> = trace.cursor().collect();
+            assert_eq!(generated, replayed, "replay diverged for {bench}");
+        }
+    }
+
+    #[test]
+    fn bounded_capture_truncates_at_the_requested_length() {
+        let program = Benchmark::Micro.synthesize(3);
+        let trace = RecordedTrace::record(&program, 3, 1_000);
+        assert_eq!(trace.len(), 1_000);
+        let mut cursor = trace.cursor();
+        assert_eq!(cursor.len(), 1_000);
+        let replayed: Vec<_> = cursor.by_ref().collect();
+        assert_eq!(replayed.len(), 1_000);
+        // The cursor is exhausted for good after the bounded prefix.
+        assert_eq!(cursor.next(), None);
+        assert_eq!(cursor.remaining(), 0);
+        // The truncated prefix equals the prefix of a longer capture.
+        let longer = RecordedTrace::record(&program, 3, 1_500);
+        assert_eq!(longer.len(), 1_500);
+        let prefix: Vec<_> = longer.cursor().take(1_000).collect();
+        assert_eq!(replayed, prefix);
+    }
+
+    #[test]
+    fn cursor_restart_is_deterministic() {
+        let program = Benchmark::Gzip.synthesize(5);
+        let trace = RecordedTrace::record(&program, 5, 5_000);
+        let first: Vec<_> = trace.cursor().collect();
+        // A fresh cursor and a restarted cursor both replay the identical stream.
+        let again: Vec<_> = trace.cursor().collect();
+        assert_eq!(first, again);
+        let mut cursor = trace.cursor();
+        let _ = cursor.by_ref().take(1_234).count();
+        cursor.restart();
+        let restarted: Vec<_> = cursor.collect();
+        assert_eq!(first, restarted);
+    }
+
+    #[test]
+    fn mem_side_table_has_no_padding() {
+        let program = Benchmark::Bzip2.synthesize(9);
+        let trace = RecordedTrace::record(&program, 9, 10_000);
+        let mem_insts = trace.cursor().filter(|d| d.stat.op().is_mem()).count();
+        assert_eq!(
+            trace.mem_accesses(),
+            mem_insts,
+            "side table must hold exactly one entry per memory instruction"
+        );
+        // The packed arena is far smaller than a materialised DynInst vector.
+        let materialized = trace.len() * std::mem::size_of::<DynInst>();
+        assert!(
+            trace.arena_bytes() * 2 < materialized,
+            "arena {} should be well under half of {materialized}",
+            trace.arena_bytes()
+        );
+    }
+
+    #[test]
+    fn capture_len_covers_the_budget_with_headroom() {
+        assert!(RecordedTrace::capture_len_for(0) >= 4096);
+        let n = RecordedTrace::capture_len_for(300_000);
+        assert!(
+            n >= 300_000 + 4096,
+            "need headroom beyond the budget, got {n}"
+        );
+    }
+}

@@ -26,6 +26,14 @@ pub struct SyntheticProgram {
     program: Program,
     branch_behaviors: HashMap<Pc, BranchBehavior>,
     mem_behaviors: HashMap<Pc, MemBehavior>,
+    /// Word index of the first instruction (programs are laid out contiguously).
+    base_word: u64,
+    /// Dense per-instruction branch behaviours, indexed by [`Self::word_slot`].
+    /// Built once at synthesis time so the trace generator's per-instruction
+    /// behaviour lookups are slice reads instead of `HashMap` probes.
+    branch_dense: Vec<Option<BranchBehavior>>,
+    /// Dense per-instruction memory behaviours, indexed by [`Self::word_slot`].
+    mem_dense: Vec<Option<MemBehavior>>,
     entry: BlockId,
 }
 
@@ -45,14 +53,32 @@ impl SyntheticProgram {
         self.entry
     }
 
+    /// Dense per-instruction slot of `pc`: its word offset from the program's
+    /// first instruction. Every PC of the program maps to a unique slot in
+    /// `0..static_footprint()`, which the trace machinery uses to index flat
+    /// side tables (behaviours here, dynamic branch/memory state in
+    /// [`crate::TraceGenerator`], recorded columns in [`crate::RecordedTrace`]).
+    #[inline]
+    pub fn word_slot(&self, pc: Pc) -> usize {
+        debug_assert!(pc.word_index() >= self.base_word, "pc below program base");
+        (pc.word_index() - self.base_word) as usize
+    }
+
+    /// The PC of the program's first instruction (slot 0).
+    pub fn base_pc(&self) -> Pc {
+        Pc::new(self.base_word * 4)
+    }
+
     /// The dynamic behaviour of the conditional branch at `pc`, if one exists there.
+    #[inline]
     pub fn branch_behavior(&self, pc: Pc) -> Option<&BranchBehavior> {
-        self.branch_behaviors.get(&pc)
+        self.branch_dense.get(self.word_slot(pc))?.as_ref()
     }
 
     /// The dynamic behaviour of the memory instruction at `pc`, if one exists there.
+    #[inline]
     pub fn mem_behavior(&self, pc: Pc) -> Option<&MemBehavior> {
-        self.mem_behaviors.get(&pc)
+        self.mem_dense.get(self.word_slot(pc))?.as_ref()
     }
 
     /// All conditional-branch behaviours, keyed by PC.
@@ -665,6 +691,12 @@ impl SynthState {
         let program = builder.build(BlockId(main_entry as u32));
 
         // Convert (block, inst index) keys into PCs now that the layout is final.
+        // Both a PC-keyed map (stable public API) and dense word-slot-indexed side
+        // tables (the trace generator's hot-path lookup) are built from the same
+        // entries.
+        let base_word = program.blocks()[0].start_pc().word_index();
+        let mut branch_dense: Vec<Option<BranchBehavior>> = vec![None; program.len()];
+        let mut mem_dense: Vec<Option<MemBehavior>> = vec![None; program.len()];
         let mut branch_behaviors = HashMap::new();
         for (block_idx, behavior) in &self.branch_behaviors {
             let block = program.block(BlockId(*block_idx as u32));
@@ -672,6 +704,7 @@ impl SynthState {
             let pc = block.start_pc() + branch_offset as u64;
             debug_assert!(block.insts()[branch_offset].is_cond_branch());
             branch_behaviors.insert(pc, *behavior);
+            branch_dense[(pc.word_index() - base_word) as usize] = Some(*behavior);
         }
         let mut mem_behaviors = HashMap::new();
         for ((block_idx, inst_idx), behavior) in &self.mem_behaviors {
@@ -679,6 +712,7 @@ impl SynthState {
             let pc = block.start_pc() + *inst_idx as u64;
             debug_assert!(block.insts()[*inst_idx].op().is_mem());
             mem_behaviors.insert(pc, *behavior);
+            mem_dense[(pc.word_index() - base_word) as usize] = Some(*behavior);
         }
 
         SyntheticProgram {
@@ -686,6 +720,9 @@ impl SynthState {
             program,
             branch_behaviors,
             mem_behaviors,
+            base_word,
+            branch_dense,
+            mem_dense,
             entry: BlockId(main_entry as u32),
         }
     }
@@ -814,6 +851,43 @@ mod tests {
             large > small * 3,
             "vortex ({large}) should be much larger than gzip ({small})"
         );
+    }
+
+    #[test]
+    fn dense_behavior_tables_match_pc_keyed_maps() {
+        // The hot-path lookups go through the dense word-slot tables; they must
+        // agree exactly with the PC-keyed maps for every instruction.
+        let sp = Benchmark::Gcc.synthesize(11);
+        for block in sp.program().blocks() {
+            for i in 0..block.len() {
+                let pc = block.start_pc() + i as u64;
+                assert_eq!(
+                    sp.branch_behavior(pc),
+                    sp.branch_behaviors().get(&pc),
+                    "branch behaviour mismatch at {pc}"
+                );
+                assert_eq!(
+                    sp.mem_behavior(pc),
+                    sp.mem_behaviors().get(&pc),
+                    "memory behaviour mismatch at {pc}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn word_slots_are_dense_and_unique() {
+        let sp = micro();
+        let mut seen = vec![false; sp.static_footprint()];
+        for block in sp.program().blocks() {
+            for i in 0..block.len() {
+                let slot = sp.word_slot(block.start_pc() + i as u64);
+                assert!(!seen[slot], "slot {slot} mapped twice");
+                seen[slot] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every slot must be covered");
+        assert_eq!(sp.word_slot(sp.base_pc()), 0);
     }
 
     #[test]

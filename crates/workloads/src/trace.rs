@@ -3,7 +3,6 @@
 use crate::{BranchBehavior, MemBehavior, SyntheticProgram};
 use flywheel_isa::{BlockId, DynInst, MemAccess, Pc, Terminator};
 use flywheel_rng::SimRng;
-use std::collections::HashMap;
 
 /// Per-branch dynamic state kept by the trace generator.
 #[derive(Debug, Clone, Default)]
@@ -33,6 +32,12 @@ struct MemState {
 /// Two generators constructed with the same program and seed produce identical
 /// traces.
 ///
+/// Per-branch and per-memory-instruction dynamic state lives in dense vectors
+/// indexed by [`SyntheticProgram::word_slot`] (behaviours come from the equally
+/// dense side tables built at synthesis time), so advancing the generator never
+/// touches a hash map. For replaying the same trace many times, capture it once
+/// into a [`crate::RecordedTrace`] instead of re-generating it.
+///
 /// ```
 /// use flywheel_workloads::{Benchmark, TraceGenerator};
 /// let program = Benchmark::Micro.synthesize(1);
@@ -49,22 +54,25 @@ pub struct TraceGenerator<'a> {
     inst_idx: usize,
     /// Return-address stack of block ids.
     call_stack: Vec<BlockId>,
-    branch_states: HashMap<Pc, BranchState>,
-    mem_states: HashMap<Pc, MemState>,
+    /// Dynamic branch state, one slot per static instruction.
+    branch_states: Vec<BranchState>,
+    /// Dynamic memory state, one slot per static instruction.
+    mem_states: Vec<MemState>,
     seq: u64,
 }
 
 impl<'a> TraceGenerator<'a> {
     /// Creates a generator positioned at the program entry.
     pub fn new(program: &'a SyntheticProgram, seed: u64) -> Self {
+        let slots = program.static_footprint();
         TraceGenerator {
             program,
             rng: SimRng::seed_from_u64(seed ^ 0x0ddc_0ffe_e000_0001),
             block: program.entry(),
             inst_idx: 0,
             call_stack: Vec::new(),
-            branch_states: HashMap::new(),
-            mem_states: HashMap::new(),
+            branch_states: vec![BranchState::default(); slots],
+            mem_states: vec![MemState::default(); slots],
             seq: 0,
         }
     }
@@ -84,7 +92,7 @@ impl<'a> TraceGenerator<'a> {
             .program
             .branch_behavior(pc)
             .expect("conditional branch without behaviour");
-        let state = self.branch_states.entry(pc).or_default();
+        let state = &mut self.branch_states[self.program.word_slot(pc)];
         match behavior {
             BranchBehavior::LoopBack { mean_trips } => {
                 if state.remaining_trips == 0 {
@@ -111,7 +119,7 @@ impl<'a> TraceGenerator<'a> {
             .program
             .mem_behavior(pc)
             .expect("memory instruction without behaviour");
-        let state = self.mem_states.entry(pc).or_default();
+        let state = &mut self.mem_states[self.program.word_slot(pc)];
         let addr = match behavior {
             MemBehavior::Stream {
                 base,
@@ -119,7 +127,10 @@ impl<'a> TraceGenerator<'a> {
                 region_bytes,
             } => {
                 let addr = base + state.offset;
-                state.offset = (state.offset + stride) % region_bytes;
+                // `.max(1)` guards a zero-sized region (a hand-built profile could
+                // produce one); real profiles clamp regions to >= 4 KiB, where this
+                // is the identity. HotSet/Scattered guard with `bytes.max(8)` below.
+                state.offset = (state.offset + stride) % region_bytes.max(1);
                 addr
             }
             MemBehavior::HotSet { base, bytes } | MemBehavior::Scattered { base, bytes } => {
