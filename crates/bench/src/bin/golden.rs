@@ -3,7 +3,9 @@
 //!
 //! Usage: `cargo run --release -p flywheel-bench --bin golden [> golden.txt]`
 //!
-//! Every line is the full Debug of one `SimResult`/`FlywheelResult`. Capturing
+//! Every line is the full Debug of one `SimResult`/`FlywheelResult` over the
+//! seven original benchmarks plus the four stress workloads (99 runs total).
+//! Capturing
 //! this output before and after a kernel refactor and diffing the two files
 //! proves bit-identical simulation behaviour (the hot-path rework of the
 //! in-flight table was validated this way; the recorded-trace subsystem was
@@ -32,6 +34,13 @@ fn main() {
         Benchmark::Vortex,
         Benchmark::Equake,
         Benchmark::Mesa,
+        // The stress family (PR 3): adversarial profiles whose digests pin the
+        // machine paths — forwarding, squash recovery, EC eviction, idle
+        // fast-forward — that the SPEC-like profiles barely exercise.
+        Benchmark::PtrChase,
+        Benchmark::BranchStorm,
+        Benchmark::CodeBloat,
+        Benchmark::StoreStorm,
     ];
     for bench in benches {
         let trace = shared_trace(bench, 42, budget);

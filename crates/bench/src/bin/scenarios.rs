@@ -1,0 +1,219 @@
+//! Runs declarative scenario grids: figure presets, stress sweeps, or fully
+//! custom axis products.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p flywheel-bench --bin scenarios -- <preset> [options]
+//! cargo run --release -p flywheel-bench --bin scenarios -- custom [axes] [options]
+//! ```
+//!
+//! Presets: `fig2`, `fig11`, `fig12` (tables byte-identical to the
+//! `experiments` binary at the same budget), `smoke` (the CI grid), `stress`
+//! (the stress-workload family over three config axes).
+//!
+//! Axes (comma-separated lists; `custom` starts from the paper's single-point
+//! defaults):
+//!
+//! ```text
+//! --benches gzip,ptrchase   --machines baseline,flywheel,regalloc
+//! --nodes 130,90            --clocks 0:50,50:50      (FE%:BE%)
+//! --windows 64:64,128:128   (IW:ROB)                 --ec 64,128  (KiB)
+//! --mem 100,300             (baseline cycles)        --seeds 2005,7
+//! ```
+//!
+//! Options: `--insts N` (measured instructions per cell with N/10 warm-up on
+//! top, matching the `experiments` binary's budget argument — applies to every
+//! preset, including `smoke`), `--check` (assert the machine invariants on
+//! every cell), `--json PATH`, `--csv PATH`.
+//!
+//! Sweeps fan out across all cores (`FLYWHEEL_JOBS` caps the workers); results
+//! are byte-identical for any worker count.
+
+use flywheel_bench::scenario::{Machine, Scenario};
+use flywheel_bench::{experiment_budget, simulated_mips, worker_count};
+use flywheel_timing::TechNode;
+use flywheel_uarch::SimBudget;
+use flywheel_workloads::Benchmark;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: scenarios <fig2|fig11|fig12|smoke|stress|custom> \
+         [--benches a,b] [--machines m,..] [--nodes 130,..] [--clocks FE:BE,..] \
+         [--windows IW:ROB,..] [--ec KB,..] [--mem CYC,..] [--seeds S,..] \
+         [--insts N] [--check] [--json PATH] [--csv PATH]"
+    );
+    std::process::exit(1);
+}
+
+fn parse_list<T>(arg: &str, what: &str, parse: impl Fn(&str) -> Option<T>) -> Vec<T> {
+    let items: Vec<T> = arg
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .filter_map(|s| {
+            let v = parse(s);
+            if v.is_none() {
+                eprintln!("unknown {what} '{s}'");
+                std::process::exit(1);
+            }
+            v
+        })
+        .collect();
+    if items.is_empty() {
+        eprintln!("empty {what} list '{arg}'");
+        std::process::exit(1);
+    }
+    items
+}
+
+fn parse_pair(s: &str) -> Option<(u32, u32)> {
+    let (a, b) = s.split_once(':')?;
+    Some((a.parse().ok()?, b.parse().ok()?))
+}
+
+fn parse_node(s: &str) -> Option<TechNode> {
+    TechNode::all()
+        .iter()
+        .copied()
+        .find(|n| n.feature_nm().to_string() == s)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(which) = args.first() else { usage() };
+
+    // Scan for --insts first: presets embed the budget at construction.
+    let mut insts_override: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--insts" {
+            let n: u64 = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| usage());
+            insts_override = Some(n);
+        }
+    }
+    let budget = insts_override
+        .map(|n| SimBudget::new(n / 10, n))
+        .unwrap_or_else(experiment_budget);
+
+    let mut scenario = match which.as_str() {
+        "fig2" => Scenario::fig2(budget),
+        "fig11" => Scenario::fig11(budget),
+        "fig12" => Scenario::fig12(budget),
+        "smoke" => {
+            let mut s = Scenario::smoke();
+            // The smoke preset keeps its own tiny default budget but still
+            // honours an explicit --insts.
+            if insts_override.is_some() {
+                s.budget = budget;
+            }
+            s
+        }
+        "stress" => Scenario::stress(budget),
+        "custom" => Scenario::new("custom", budget),
+        _ => usage(),
+    };
+
+    let mut check = false;
+    let mut json_path: Option<String> = None;
+    let mut csv_path: Option<String> = None;
+    let mut it = args.iter().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = || it.next().map(String::as_str).unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--benches" => {
+                scenario.benchmarks = parse_list(value(), "benchmark", Benchmark::from_name)
+            }
+            "--machines" => scenario.machines = parse_list(value(), "machine", Machine::from_name),
+            "--nodes" => scenario.nodes = parse_list(value(), "node", parse_node),
+            "--clocks" => scenario.clocks = parse_list(value(), "clock pair", parse_pair),
+            "--windows" => scenario.windows = parse_list(value(), "window pair", parse_pair),
+            "--ec" => scenario.ec_kb = parse_list(value(), "EC size", |s| s.parse().ok()),
+            "--mem" => {
+                scenario.mem_cycles = parse_list(value(), "memory latency", |s| s.parse().ok())
+            }
+            "--seeds" => scenario.seeds = parse_list(value(), "seed", |s| s.parse().ok()),
+            "--insts" => {
+                let _ = value(); // already applied above
+            }
+            "--check" => check = true,
+            "--json" => json_path = Some(value().to_owned()),
+            "--csv" => csv_path = Some(value().to_owned()),
+            _ => usage(),
+        }
+    }
+
+    if let Err(e) = scenario.validate() {
+        eprintln!("invalid scenario: {e}");
+        std::process::exit(1);
+    }
+
+    let cell_count = scenario.cell_count();
+    println!(
+        "scenario '{}': {} cells x {} instructions on {} workers",
+        scenario.name,
+        cell_count,
+        scenario.budget.total(),
+        worker_count().min(cell_count.max(1)),
+    );
+    let start = Instant::now();
+    let run = scenario.run();
+    let wall = start.elapsed();
+    let insts = scenario.simulated_instructions();
+    println!(
+        "[{}] {:.2} s wall, {} simulated instructions, {:.2} MIPS",
+        scenario.name,
+        wall.as_secs_f64(),
+        insts,
+        simulated_mips(insts, wall)
+    );
+
+    let table = match scenario.name.as_str() {
+        "fig2" => Some(run.fig2_table()),
+        "fig11" => Some(run.fig11_table()),
+        "fig12" => Some(run.fig12_table()),
+        _ => None,
+    };
+    match table {
+        Some(Ok(t)) => print!("{t}"),
+        // Axis overrides can strip cells a figure needs or move it off the
+        // paper configuration; the run (and any requested artifacts) still
+        // stand, only the figure table is refused.
+        Some(Err(e)) => eprintln!("cannot render the figure table: {e}"),
+        None => {}
+    }
+
+    // Artifacts are written before the invariant gate so a failing grid still
+    // leaves its data behind for inspection.
+    if let Some(path) = &csv_path {
+        std::fs::write(path, run.to_csv()).unwrap_or_else(|e| {
+            eprintln!("could not write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {path}");
+    }
+    if let Some(path) = &json_path {
+        std::fs::write(path, run.to_json()).unwrap_or_else(|e| {
+            eprintln!("could not write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {path}");
+    }
+
+    if check {
+        match run.check_invariants() {
+            Ok(()) => println!(
+                "invariants: all {} cells passed (retired budget, energy accounting, \
+                 counter sanity, machine-specific stats)",
+                run.cells.len()
+            ),
+            Err(e) => {
+                eprintln!("invariant violation: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

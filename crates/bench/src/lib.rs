@@ -12,6 +12,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod scenario;
+
 use flywheel_core::{FlywheelConfig, FlywheelResult, FlywheelSim};
 use flywheel_timing::TechNode;
 use flywheel_uarch::{BaselineConfig, BaselineSim, SimBudget, SimResult};
@@ -104,28 +106,40 @@ pub struct Row {
     pub values: Vec<f64>,
 }
 
-/// Prints a table of rows plus their geometric-mean/average row, Figure-style.
-pub fn print_table(title: &str, columns: &[String], rows: &[Row]) {
-    println!("\n== {title} ==");
-    print!("{:<10}", "bench");
+/// Renders a table of rows plus their average row, Figure-style, to a string.
+///
+/// This is the single formatting path for figure tables: both the
+/// `experiments` binary and the scenario engine's figure presets render
+/// through it, which is what makes their outputs byte-comparable.
+pub fn format_table(title: &str, columns: &[String], rows: &[Row]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "\n== {title} ==");
+    let _ = write!(out, "{:<10}", "bench");
     for c in columns {
-        print!(" {c:>10}");
+        let _ = write!(out, " {c:>10}");
     }
-    println!();
+    let _ = writeln!(out);
     let mut sums = vec![0.0; columns.len()];
     for row in rows {
-        print!("{:<10}", row.bench);
+        let _ = write!(out, "{:<10}", row.bench);
         for (i, v) in row.values.iter().enumerate() {
             sums[i] += v;
-            print!(" {v:>10.3}");
+            let _ = write!(out, " {v:>10.3}");
         }
-        println!();
+        let _ = writeln!(out);
     }
-    print!("{:<10}", "average");
+    let _ = write!(out, "{:<10}", "average");
     for s in &sums {
-        print!(" {:>10.3}", s / rows.len() as f64);
+        let _ = write!(out, " {:>10.3}", s / rows.len() as f64);
     }
-    println!();
+    let _ = writeln!(out);
+    out
+}
+
+/// Prints a table of rows plus their geometric-mean/average row, Figure-style.
+pub fn print_table(title: &str, columns: &[String], rows: &[Row]) {
+    print!("{}", format_table(title, columns, rows));
 }
 
 /// Applies `f` to every item on a pool of scoped worker threads and returns the
@@ -145,7 +159,21 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let jobs = worker_count().min(items.len().max(1));
+    parallel_map_jobs(items, worker_count(), f)
+}
+
+/// [`parallel_map`] with an explicit worker count instead of the
+/// `FLYWHEEL_JOBS`/core-count default.
+///
+/// Exposed so the scenario engine (and the parallel-identity tests) can pin
+/// the worker count without mutating process-wide environment variables.
+pub fn parallel_map_jobs<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let jobs = jobs.max(1).min(items.len().max(1));
     if jobs <= 1 || items.len() <= 1 {
         return items.iter().map(&f).collect();
     }

@@ -1,0 +1,1133 @@
+//! Declarative scenario engine: describe a sweep as axes, run it as a grid.
+//!
+//! The `experiments` binary hard-codes the paper's five figure sweeps. A
+//! [`Scenario`] instead *describes* a sweep — which machines, which workloads,
+//! which machine-configuration axes (technology node, clock-domain ratios,
+//! issue-window/ROB sizes, Execution Cache geometry, memory latency), which
+//! seeds and instruction budget — and the engine expands the description into a
+//! grid of [`ScenarioCell`]s, runs every cell on the shared
+//! [`parallel_map`](crate::parallel_map) driver against the process-wide
+//! recorded-trace cache, and returns a [`ScenarioRun`] that can be checked
+//! against machine invariants and emitted as JSON or CSV.
+//!
+//! The paper's figure sweeps are expressible as presets ([`Scenario::fig2`],
+//! [`Scenario::fig11`], [`Scenario::fig12`]) whose rendered tables are
+//! byte-identical to the `experiments` binary's output — the engine is a strict
+//! generalisation, proven by the `scenario_figures` tests.
+//!
+//! Every cell is a deterministic, independent simulation: the same scenario
+//! always produces the same results regardless of worker count
+//! ([`Scenario::run_with_jobs`] with 1 vs N workers is byte-identical; enforced
+//! by the `parallel_identity` integration test).
+
+use crate::{format_table, parallel_map_jobs, shared_trace, worker_count, Row, EXPERIMENT_SEED};
+use flywheel_core::{FlywheelConfig, FlywheelSim, FlywheelStats};
+use flywheel_timing::{ClockPlan, TechNode};
+use flywheel_uarch::{BaselineConfig, BaselineSim, SimBudget, SimResult};
+use flywheel_workloads::Benchmark;
+
+/// The machine models a scenario can place in a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Machine {
+    /// The paper's synchronous baseline (Table 2).
+    Baseline,
+    /// Baseline with one extra front-end stage (Figure 2, light bars).
+    BaselineExtraFe,
+    /// Baseline with Wake-up/Select pipelined over two cycles (Figure 2, dark
+    /// bars).
+    BaselinePipedWakeup,
+    /// The "Register Allocation" machine of Figure 11: Dual-Clock Issue Window
+    /// and pool renaming without the Execution Cache.
+    RegAlloc,
+    /// The full Flywheel machine.
+    Flywheel,
+}
+
+impl Machine {
+    /// All machines, in a stable order.
+    pub fn all() -> &'static [Machine] {
+        &[
+            Machine::Baseline,
+            Machine::BaselineExtraFe,
+            Machine::BaselinePipedWakeup,
+            Machine::RegAlloc,
+            Machine::Flywheel,
+        ]
+    }
+
+    /// The machine's name as used by the `scenarios` CLI and the emitters.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Machine::Baseline => "baseline",
+            Machine::BaselineExtraFe => "baseline-extra-fe",
+            Machine::BaselinePipedWakeup => "baseline-piped-wakeup",
+            Machine::RegAlloc => "regalloc",
+            Machine::Flywheel => "flywheel",
+        }
+    }
+
+    /// Parses a machine from its [`Machine::name`].
+    pub fn from_name(name: &str) -> Option<Machine> {
+        Machine::all().iter().copied().find(|m| m.name() == name)
+    }
+
+    /// Whether this is a baseline-family machine (simulated by `BaselineSim`).
+    pub fn is_baseline(&self) -> bool {
+        matches!(
+            self,
+            Machine::Baseline | Machine::BaselineExtraFe | Machine::BaselinePipedWakeup
+        )
+    }
+
+    /// Whether the machine sweeps the scenario's clock axis. Baseline-family
+    /// machines run at the scenario's single `baseline_clock` instead, so a
+    /// clock sweep does not multiply the reference runs.
+    pub fn uses_clock_axis(&self) -> bool {
+        !self.is_baseline()
+    }
+
+    /// Whether the machine's behaviour depends on the Execution Cache axis.
+    pub fn uses_ec_axis(&self) -> bool {
+        matches!(self, Machine::Flywheel)
+    }
+}
+
+impl std::fmt::Display for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A declarative sweep description: the cartesian product of its axes is the
+/// grid the engine runs.
+///
+/// Axes that a machine does not consume are not multiplied into its cells: a
+/// baseline machine is not re-run per Execution Cache size or per point of the
+/// clock sweep (it runs once per remaining axes at [`Scenario::baseline_clock`]).
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario name (used in emitted files and reports).
+    pub name: String,
+    /// Workload axis.
+    pub benchmarks: Vec<Benchmark>,
+    /// Machine axis.
+    pub machines: Vec<Machine>,
+    /// Technology-node axis.
+    pub nodes: Vec<TechNode>,
+    /// Clock-domain axis as (front-end %, back-end %) speed-ups over the
+    /// baseline clock — applies to machines with [`Machine::uses_clock_axis`].
+    pub clocks: Vec<(u32, u32)>,
+    /// The single clock point baseline-family machines run at (default: the
+    /// synchronous paper clock, `(0, 0)`).
+    pub baseline_clock: (u32, u32),
+    /// Issue-window / ROB size axis as (iw_entries, rob_entries).
+    pub windows: Vec<(u32, u32)>,
+    /// Execution Cache capacity axis, in KiB (Flywheel machines only).
+    pub ec_kb: Vec<u64>,
+    /// Main-memory latency axis, in baseline cycles.
+    pub mem_cycles: Vec<u32>,
+    /// Workload seed axis (each seed is an independent program + trace).
+    pub seeds: Vec<u64>,
+    /// Instruction budget of every cell.
+    pub budget: SimBudget,
+}
+
+impl Scenario {
+    /// A scenario with the paper's default single-point axes: both machines,
+    /// the paper suite, 0.13 µm, synchronous clocks, Table 2 window/EC/memory
+    /// parameters and the experiment seed.
+    pub fn new(name: &str, budget: SimBudget) -> Self {
+        Scenario {
+            name: name.to_owned(),
+            benchmarks: Benchmark::paper_suite().to_vec(),
+            machines: vec![Machine::Baseline, Machine::Flywheel],
+            nodes: vec![TechNode::N130],
+            clocks: vec![(0, 0)],
+            baseline_clock: (0, 0),
+            windows: vec![(128, 128)],
+            ec_kb: vec![128],
+            mem_cycles: vec![100],
+            seeds: vec![EXPERIMENT_SEED],
+            budget,
+        }
+    }
+
+    /// The Figure 2 preset: pipeline-loop stretching on the baseline machine.
+    pub fn fig2(budget: SimBudget) -> Self {
+        let mut s = Scenario::new("fig2", budget);
+        s.machines = vec![
+            Machine::Baseline,
+            Machine::BaselineExtraFe,
+            Machine::BaselinePipedWakeup,
+        ];
+        s
+    }
+
+    /// The Figure 11 preset: register-allocation machine and Flywheel at the
+    /// baseline clock.
+    pub fn fig11(budget: SimBudget) -> Self {
+        let mut s = Scenario::new("fig11", budget);
+        s.machines = vec![Machine::Baseline, Machine::RegAlloc, Machine::Flywheel];
+        s
+    }
+
+    /// The Figure 12 preset: the front-end clock sweep with the back-end at
+    /// +50%, normalized to the synchronous baseline.
+    pub fn fig12(budget: SimBudget) -> Self {
+        let mut s = Scenario::new("fig12", budget);
+        s.clocks = crate::CLOCK_SWEEP.to_vec();
+        s
+    }
+
+    /// A small grid over the stress workloads used by CI as a smoke test: three
+    /// config axes on both machines at a tiny budget.
+    pub fn smoke() -> Self {
+        let mut s = Scenario::new("smoke", SimBudget::new(2_000, 8_000));
+        s.benchmarks = vec![Benchmark::Gzip, Benchmark::PtrChase, Benchmark::StoreStorm];
+        s.clocks = vec![(0, 50), (50, 50)];
+        s.windows = vec![(64, 64), (128, 128)];
+        s.ec_kb = vec![64, 128];
+        s
+    }
+
+    /// The stress preset: the full stress family across clocks, window sizes
+    /// and memory latencies on both machines.
+    pub fn stress(budget: SimBudget) -> Self {
+        let mut s = Scenario::new("stress", budget);
+        s.benchmarks = Benchmark::stress_suite().to_vec();
+        s.clocks = vec![(0, 0), (50, 50), (100, 50)];
+        s.windows = vec![(64, 64), (128, 128)];
+        s.mem_cycles = vec![100, 300];
+        s
+    }
+
+    /// Validates the scenario: every axis non-empty and every expanded cell's
+    /// machine configuration internally consistent.
+    pub fn validate(&self) -> Result<(), String> {
+        for (axis, empty) in [
+            ("benchmarks", self.benchmarks.is_empty()),
+            ("machines", self.machines.is_empty()),
+            ("nodes", self.nodes.is_empty()),
+            ("clocks", self.clocks.is_empty()),
+            ("windows", self.windows.is_empty()),
+            ("ec_kb", self.ec_kb.is_empty()),
+            ("mem_cycles", self.mem_cycles.is_empty()),
+            ("seeds", self.seeds.is_empty()),
+        ] {
+            if empty {
+                return Err(format!("scenario '{}': axis '{axis}' is empty", self.name));
+            }
+        }
+        for cell in self.expand() {
+            cell.validate()
+                .map_err(|e| format!("scenario '{}', cell {}: {e}", self.name, cell.label()))?;
+        }
+        Ok(())
+    }
+
+    /// Expands the axes into the grid of cells, in a deterministic order.
+    pub fn expand(&self) -> Vec<ScenarioCell> {
+        let mut cells = Vec::new();
+        for &bench in &self.benchmarks {
+            for &seed in &self.seeds {
+                for &machine in &self.machines {
+                    let clocks: &[(u32, u32)] = if machine.uses_clock_axis() {
+                        &self.clocks
+                    } else {
+                        std::slice::from_ref(&self.baseline_clock)
+                    };
+                    // Machines that ignore the EC axis take only its first
+                    // point, so a capacity sweep does not duplicate them. An
+                    // empty axis expands to an empty grid (validate() reports
+                    // it as an error) instead of panicking here.
+                    let ecs: &[u64] = if machine.uses_ec_axis() {
+                        &self.ec_kb
+                    } else {
+                        self.ec_kb.get(..1).unwrap_or(&[])
+                    };
+                    for &node in &self.nodes {
+                        for &(fe_pct, be_pct) in clocks {
+                            for &(iw_entries, rob_entries) in &self.windows {
+                                for &ec_kb in ecs {
+                                    for &mem_cycles in &self.mem_cycles {
+                                        cells.push(ScenarioCell {
+                                            bench,
+                                            seed,
+                                            machine,
+                                            node,
+                                            fe_pct,
+                                            be_pct,
+                                            iw_entries,
+                                            rob_entries,
+                                            ec_kb,
+                                            mem_cycles,
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// Number of cells the scenario expands to.
+    pub fn cell_count(&self) -> usize {
+        self.expand().len()
+    }
+
+    /// Total instructions the grid simulates (cells × per-cell budget).
+    pub fn simulated_instructions(&self) -> u64 {
+        self.cell_count() as u64 * self.budget.total()
+    }
+
+    /// Runs the grid across all available cores (`FLYWHEEL_JOBS` caps the
+    /// worker count, exactly like the `experiments` sweeps).
+    pub fn run(&self) -> ScenarioRun {
+        self.run_with_jobs(worker_count())
+    }
+
+    /// Runs the grid on exactly `jobs` workers. Results are byte-identical for
+    /// any worker count.
+    pub fn run_with_jobs(&self, jobs: usize) -> ScenarioRun {
+        let cells = self.expand();
+        let budget = self.budget;
+        let results = parallel_map_jobs(&cells, jobs, |cell| cell.run(budget));
+        ScenarioRun {
+            scenario: self.clone(),
+            cells,
+            results,
+        }
+    }
+}
+
+/// One point of an expanded scenario grid: a (benchmark, seed, machine,
+/// configuration) simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScenarioCell {
+    /// Workload.
+    pub bench: Benchmark,
+    /// Workload seed.
+    pub seed: u64,
+    /// Machine model.
+    pub machine: Machine,
+    /// Technology node.
+    pub node: TechNode,
+    /// Front-end clock speed-up over the baseline clock, percent.
+    pub fe_pct: u32,
+    /// Back-end clock speed-up over the baseline clock, percent.
+    pub be_pct: u32,
+    /// Issue Window entries.
+    pub iw_entries: u32,
+    /// Reorder-buffer entries.
+    pub rob_entries: u32,
+    /// Execution Cache capacity in KiB (unused by baseline-family machines).
+    pub ec_kb: u64,
+    /// Main-memory latency in baseline cycles.
+    pub mem_cycles: u32,
+}
+
+impl ScenarioCell {
+    /// A short human-readable cell label.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/s{}/{}nm/FE{}+BE{}/iw{}rob{}/ec{}K/mem{}",
+            self.machine,
+            self.bench,
+            self.seed,
+            self.node.feature_nm(),
+            self.fe_pct,
+            self.be_pct,
+            self.iw_entries,
+            self.rob_entries,
+            self.ec_kb,
+            self.mem_cycles
+        )
+    }
+
+    /// The baseline-machine configuration of this cell.
+    ///
+    /// With every axis at its paper default this is exactly
+    /// [`BaselineConfig::paper`] (plus the Figure 2 variant knob selected by
+    /// the machine), which is what makes the figure presets byte-identical to
+    /// the `experiments` binary.
+    pub fn baseline_config(&self) -> BaselineConfig {
+        let mut c = BaselineConfig::paper(self.node);
+        match self.machine {
+            Machine::BaselineExtraFe => c = c.with_extra_frontend_stage(),
+            Machine::BaselinePipedWakeup => c = c.with_pipelined_wakeup(),
+            _ => {}
+        }
+        if self.fe_pct > 0 || self.be_pct > 0 {
+            // A clocked-up baseline needs the Dual-Clock Issue Window's
+            // synchronization latencies, as in
+            // `BaselineConfig::with_dual_clock_frontend`.
+            c.clocks = ClockPlan::with_speedups(self.node, self.fe_pct, self.be_pct);
+            c.sync_latency_be_cycles = 1;
+            c.redirect_sync_fe_cycles = 1;
+        }
+        c.iw_entries = self.iw_entries;
+        c.rob_entries = self.rob_entries;
+        c.mem_cycles = self.mem_cycles;
+        c
+    }
+
+    /// The Flywheel-machine configuration of this cell (Execution Cache
+    /// disabled for [`Machine::RegAlloc`]).
+    pub fn flywheel_config(&self) -> FlywheelConfig {
+        let mut c = FlywheelConfig::paper(self.node, self.fe_pct, self.be_pct);
+        if self.machine == Machine::RegAlloc {
+            c.execution_cache = false;
+        }
+        c.base.iw_entries = self.iw_entries;
+        c.base.rob_entries = self.rob_entries;
+        c.base.mem_cycles = self.mem_cycles;
+        c.ec.size_bytes = self.ec_kb * 1024;
+        c
+    }
+
+    /// Validates the cell's machine configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.machine.is_baseline() {
+            self.baseline_config().validate()
+        } else {
+            self.flywheel_config().validate()
+        }
+    }
+
+    /// Runs the cell against the shared recorded trace of its
+    /// `(benchmark, seed)` pair.
+    pub fn run(&self, budget: SimBudget) -> CellResult {
+        let trace = shared_trace(self.bench, self.seed, budget);
+        if self.machine.is_baseline() {
+            let sim = BaselineSim::new(self.baseline_config(), trace.cursor()).run(budget);
+            CellResult {
+                sim,
+                flywheel: None,
+            }
+        } else {
+            let r = FlywheelSim::new(self.flywheel_config(), trace.cursor()).run(budget);
+            CellResult {
+                sim: r.sim,
+                flywheel: Some(r.flywheel),
+            }
+        }
+    }
+}
+
+/// The result of one cell: the machine-independent simulation result plus the
+/// Flywheel statistics when the cell ran the Flywheel machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// Performance/energy/pipeline statistics.
+    pub sim: SimResult,
+    /// Flywheel-specific statistics (None for baseline-family machines).
+    pub flywheel: Option<FlywheelStats>,
+}
+
+/// Checks the machine invariants one cell's result must satisfy regardless of
+/// configuration. Returns a description of the first violation.
+pub fn check_cell_invariants(
+    cell: &ScenarioCell,
+    budget: SimBudget,
+    r: &CellResult,
+) -> Result<(), String> {
+    let fail = |msg: String| Err(format!("cell {}: {msg}", cell.label()));
+    let sim = &r.sim;
+    // The simulator must retire exactly the measured budget.
+    if sim.instructions != budget.measured_instructions {
+        return fail(format!(
+            "retired {} instructions, budget measured {}",
+            sim.instructions, budget.measured_instructions
+        ));
+    }
+    if sim.be_cycles == 0 || sim.fe_cycles == 0 || sim.elapsed_ps == 0 {
+        return fail(format!(
+            "degenerate counters: be {} fe {} elapsed {}",
+            sim.be_cycles, sim.fe_cycles, sim.elapsed_ps
+        ));
+    }
+    // Retirement bandwidth bounds the cycle count from below.
+    let commit_width = if cell.machine.is_baseline() {
+        cell.baseline_config().commit_width
+    } else {
+        cell.flywheel_config().base.commit_width
+    };
+    if sim.instructions > sim.be_cycles * commit_width as u64 {
+        return fail(format!(
+            "{} instructions exceed the commit bandwidth of {} cycles x {}",
+            sim.instructions, sim.be_cycles, commit_width
+        ));
+    }
+    // Energy: every component finite and non-negative, and the reported total
+    // must equal their sum (within f64 rounding of the summation order).
+    let e = &sim.energy;
+    let components = [
+        ("frontend", e.frontend_pj),
+        ("backend", e.backend_pj),
+        ("flywheel", e.flywheel_pj),
+        ("clock", e.clock_pj),
+        ("leakage", e.leakage_pj),
+    ];
+    for (name, v) in components {
+        if !v.is_finite() || v < 0.0 {
+            return fail(format!("energy component {name} is {v}"));
+        }
+    }
+    let sum: f64 = components.iter().map(|&(_, v)| v).sum();
+    let total = e.total_pj();
+    if (total - sum).abs() > 1e-6 * sum.max(1.0) {
+        return fail(format!("energy total {total} != component sum {sum}"));
+    }
+    // Average power must be consistent with total energy over elapsed time.
+    let implied_w = total * 1.0e-12 / (sim.elapsed_ps as f64 * 1.0e-12);
+    if (sim.average_power_w() - implied_w).abs() > 1e-9 * implied_w.max(1.0) {
+        return fail(format!(
+            "average power {} inconsistent with energy/time {}",
+            sim.average_power_w(),
+            implied_w
+        ));
+    }
+    if !(0.0..=1.0).contains(&sim.gated_frontend_fraction) {
+        return fail(format!(
+            "gated front-end fraction {} outside [0, 1]",
+            sim.gated_frontend_fraction
+        ));
+    }
+    match (&r.flywheel, cell.machine.is_baseline()) {
+        (Some(_), true) => return fail("baseline cell carries Flywheel stats".into()),
+        (None, false) => return fail("Flywheel cell lost its stats".into()),
+        (Some(f), false) => {
+            if f.ec_hits > f.ec_lookups {
+                return fail(format!(
+                    "EC hits {} exceed lookups {}",
+                    f.ec_hits, f.ec_lookups
+                ));
+            }
+            for (name, v) in [
+                ("ec_residency", f.ec_residency),
+                ("ec_utilization", f.ec_utilization),
+            ] {
+                if !(0.0..=1.0).contains(&v) {
+                    return fail(format!("{name} {v} outside [0, 1]"));
+                }
+            }
+            if cell.machine == Machine::RegAlloc && f.ec_lookups != 0 {
+                return fail("register-allocation machine touched the EC".into());
+            }
+        }
+        (None, true) => {
+            // The baseline never gates its front-end clock and owns no
+            // Flywheel-only units.
+            if sim.gated_frontend_fraction != 0.0 {
+                return fail("baseline gated its front-end clock".into());
+            }
+            if e.flywheel_pj != 0.0 {
+                return fail(format!("baseline charged {} pJ to EC units", e.flywheel_pj));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The results of one executed scenario grid.
+#[derive(Debug, Clone)]
+pub struct ScenarioRun {
+    /// The scenario that was run.
+    pub scenario: Scenario,
+    /// The expanded grid, in execution order.
+    pub cells: Vec<ScenarioCell>,
+    /// One result per cell, in the same order.
+    pub results: Vec<CellResult>,
+}
+
+impl ScenarioRun {
+    /// Runs [`check_cell_invariants`] over every cell.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (cell, r) in self.cells.iter().zip(&self.results) {
+            check_cell_invariants(cell, self.scenario.budget, r)?;
+        }
+        Ok(())
+    }
+
+    /// The result of the first cell matching `(bench, machine, fe, be)`, if
+    /// present in the grid.
+    pub fn result_for(
+        &self,
+        bench: Benchmark,
+        machine: Machine,
+        fe_pct: u32,
+        be_pct: u32,
+    ) -> Option<&CellResult> {
+        self.cells
+            .iter()
+            .position(|c| {
+                c.bench == bench && c.machine == machine && c.fe_pct == fe_pct && c.be_pct == be_pct
+            })
+            .map(|i| &self.results[i])
+    }
+
+    /// Checks that the grid can support a figure table: every non-machine,
+    /// non-clock axis must be pinned to the paper's single point (otherwise the
+    /// rendered output would carry a paper-figure title while describing a
+    /// different machine, or `result_for` would silently pick the first
+    /// matching cell of a multi-point grid), and every machine the table reads
+    /// must be in the grid.
+    fn figure_grid_guard(&self, figure: &str, machines: &[Machine]) -> Result<(), String> {
+        let s = &self.scenario;
+        let paper = Scenario::new(&s.name, s.budget);
+        let fmt_axis = |v: &dyn std::fmt::Debug| format!("{v:?}");
+        for (axis, got, want) in [
+            ("seeds", fmt_axis(&s.seeds), fmt_axis(&paper.seeds)),
+            ("nodes", fmt_axis(&s.nodes), fmt_axis(&paper.nodes)),
+            ("windows", fmt_axis(&s.windows), fmt_axis(&paper.windows)),
+            ("ec_kb", fmt_axis(&s.ec_kb), fmt_axis(&paper.ec_kb)),
+            (
+                "mem_cycles",
+                fmt_axis(&s.mem_cycles),
+                fmt_axis(&paper.mem_cycles),
+            ),
+            (
+                "baseline_clock",
+                fmt_axis(&s.baseline_clock),
+                fmt_axis(&paper.baseline_clock),
+            ),
+        ] {
+            if got != want {
+                return Err(format!(
+                    "{figure} is defined at the paper configuration ('{axis}' = {want}); \
+                     scenario '{}' has {got}",
+                    s.name
+                ));
+            }
+        }
+        for m in machines {
+            if !s.machines.contains(m) {
+                return Err(format!(
+                    "{figure} table needs machine '{m}', scenario '{}' does not run it",
+                    s.name
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn reference_baseline(&self, bench: Benchmark) -> Result<&SimResult, String> {
+        let (fe, be) = self.scenario.baseline_clock;
+        self.result_for(bench, Machine::Baseline, fe, be)
+            .map(|r| &r.sim)
+            .ok_or_else(|| format!("no baseline reference cell for '{bench}' in the grid"))
+    }
+
+    fn required(
+        &self,
+        bench: Benchmark,
+        m: Machine,
+        fe: u32,
+        be: u32,
+    ) -> Result<&SimResult, String> {
+        self.result_for(bench, m, fe, be)
+            .map(|r| &r.sim)
+            .ok_or_else(|| format!("no ({bench}, {m}, FE{fe}/BE{be}) cell in the grid"))
+    }
+
+    /// Renders the Figure 2 table from a [`Scenario::fig2`] run — byte-identical
+    /// to `experiments fig2` at the same budget. Fails (instead of mislabelling
+    /// the output) when the grid lacks the cells the figure needs.
+    pub fn fig2_table(&self) -> Result<String, String> {
+        self.figure_grid_guard(
+            "fig2",
+            &[
+                Machine::Baseline,
+                Machine::BaselineExtraFe,
+                Machine::BaselinePipedWakeup,
+            ],
+        )?;
+        let columns = vec!["fetch+1 %".to_owned(), "wakeup/sel %".to_owned()];
+        let (fe, be) = self.scenario.baseline_clock;
+        let mut rows = Vec::new();
+        for &bench in &self.scenario.benchmarks {
+            let base = self.reference_baseline(bench)?;
+            let degradation = |m: Machine| -> Result<f64, String> {
+                let v = self.required(bench, m, fe, be)?;
+                Ok((v.elapsed_ps as f64 / base.elapsed_ps as f64 - 1.0) * 100.0)
+            };
+            rows.push(Row {
+                bench: bench.name(),
+                values: vec![
+                    degradation(Machine::BaselineExtraFe)?,
+                    degradation(Machine::BaselinePipedWakeup)?,
+                ],
+            });
+        }
+        Ok(format_table(
+            "Figure 2: performance degradation (%) from pipeline-loop stretching",
+            &columns,
+            &rows,
+        ))
+    }
+
+    /// Renders the Figure 11 table from a [`Scenario::fig11`] run —
+    /// byte-identical to `experiments fig11` at the same budget. Fails when the
+    /// grid lacks the cells the figure needs (the machines at the baseline
+    /// clock point `(0, 0)`).
+    pub fn fig11_table(&self) -> Result<String, String> {
+        self.figure_grid_guard(
+            "fig11",
+            &[Machine::Baseline, Machine::RegAlloc, Machine::Flywheel],
+        )?;
+        let columns = vec!["reg-alloc".to_owned(), "flywheel".to_owned()];
+        let mut rows = Vec::new();
+        for &bench in &self.scenario.benchmarks {
+            let base = self.reference_baseline(bench)?;
+            let speedup = |m: Machine| -> Result<f64, String> {
+                Ok(self.required(bench, m, 0, 0)?.speedup_over(base))
+            };
+            rows.push(Row {
+                bench: bench.name(),
+                values: vec![speedup(Machine::RegAlloc)?, speedup(Machine::Flywheel)?],
+            });
+        }
+        Ok(format_table(
+            "Figure 11: performance at the baseline clock, normalized to the baseline",
+            &columns,
+            &rows,
+        ))
+    }
+
+    /// Renders the Figure 12 table from a [`Scenario::fig12`] run —
+    /// byte-identical to `experiments fig12` at the same budget (columns follow
+    /// the scenario's clock axis). Fails when the grid lacks the cells the
+    /// figure needs.
+    pub fn fig12_table(&self) -> Result<String, String> {
+        self.figure_grid_guard("fig12", &[Machine::Baseline, Machine::Flywheel])?;
+        let columns: Vec<String> = self
+            .scenario
+            .clocks
+            .iter()
+            .map(|(fe, be)| format!("FE{fe}/BE{be}"))
+            .collect();
+        let mut rows = Vec::new();
+        for &bench in &self.scenario.benchmarks {
+            let base = self.reference_baseline(bench)?;
+            let mut values = Vec::new();
+            for &(fe, be) in &self.scenario.clocks {
+                values.push(
+                    self.required(bench, Machine::Flywheel, fe, be)?
+                        .speedup_over(base),
+                );
+            }
+            rows.push(Row {
+                bench: bench.name(),
+                values,
+            });
+        }
+        Ok(format_table(
+            "Figure 12: relative performance",
+            &columns,
+            &rows,
+        ))
+    }
+
+    /// The scenario name as emitted into CSV/JSON: anything that could break
+    /// the hand-assembled formats (quotes, commas, newlines, non-ASCII) is
+    /// replaced by `_`. Preset names pass through unchanged.
+    fn emitted_name(&self) -> String {
+        self.scenario
+            .name
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.' | ' ') {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect()
+    }
+
+    /// Emits the run as CSV (one row per cell, header included).
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from(
+            "scenario,bench,seed,machine,node_nm,fe_pct,be_pct,iw,rob,ec_kb,mem_cycles,\
+             instructions,be_cycles,fe_cycles,elapsed_ps,squashed,ipc,total_energy_pj,\
+             avg_power_w,gated_fraction,ec_residency,ec_hit_rate\n",
+        );
+        let name = self.emitted_name();
+        for (cell, r) in self.cells.iter().zip(&self.results) {
+            let (res, hit) = match &r.flywheel {
+                Some(f) => (
+                    format!("{:.6}", f.ec_residency),
+                    format!("{:.6}", f.ec_hit_rate()),
+                ),
+                None => (String::new(), String::new()),
+            };
+            s.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{:.3},{:.6},{:.6},{},{}\n",
+                name,
+                cell.bench,
+                cell.seed,
+                cell.machine,
+                cell.node.feature_nm(),
+                cell.fe_pct,
+                cell.be_pct,
+                cell.iw_entries,
+                cell.rob_entries,
+                cell.ec_kb,
+                cell.mem_cycles,
+                r.sim.instructions,
+                r.sim.be_cycles,
+                r.sim.fe_cycles,
+                r.sim.elapsed_ps,
+                r.sim.squashed,
+                r.sim.ipc(),
+                r.sim.energy.total_pj(),
+                r.sim.average_power_w(),
+                r.sim.gated_frontend_fraction,
+                res,
+                hit,
+            ));
+        }
+        s
+    }
+
+    /// Emits the run as JSON (hand-assembled: the container has no registry
+    /// access for serde; every emitted string is sanitized plain ASCII, so no
+    /// escaping is needed).
+    pub fn to_json(&self) -> String {
+        let b = self.scenario.budget;
+        let mut s = String::from("{\n  \"schema\": \"flywheel-scenarios/1\",\n");
+        s.push_str(&format!("  \"scenario\": \"{}\",\n", self.emitted_name()));
+        s.push_str(&format!(
+            "  \"budget\": {{\"warmup_instructions\": {}, \"measured_instructions\": {}}},\n",
+            b.warmup_instructions, b.measured_instructions
+        ));
+        s.push_str(&format!("  \"cell_count\": {},\n", self.cells.len()));
+        s.push_str("  \"cells\": [\n");
+        for (i, (cell, r)) in self.cells.iter().zip(&self.results).enumerate() {
+            s.push_str(&format!(
+                "    {{\"bench\": \"{}\", \"seed\": {}, \"machine\": \"{}\", \"node_nm\": {}, \
+                 \"fe_pct\": {}, \"be_pct\": {}, \"iw\": {}, \"rob\": {}, \"ec_kb\": {}, \
+                 \"mem_cycles\": {}, \"instructions\": {}, \"be_cycles\": {}, \"fe_cycles\": {}, \
+                 \"elapsed_ps\": {}, \"squashed\": {}, \"ipc\": {:.6}, \"total_energy_pj\": {:.3}, \
+                 \"avg_power_w\": {:.6}",
+                cell.bench,
+                cell.seed,
+                cell.machine,
+                cell.node.feature_nm(),
+                cell.fe_pct,
+                cell.be_pct,
+                cell.iw_entries,
+                cell.rob_entries,
+                cell.ec_kb,
+                cell.mem_cycles,
+                r.sim.instructions,
+                r.sim.be_cycles,
+                r.sim.fe_cycles,
+                r.sim.elapsed_ps,
+                r.sim.squashed,
+                r.sim.ipc(),
+                r.sim.energy.total_pj(),
+                r.sim.average_power_w(),
+            ));
+            if let Some(f) = &r.flywheel {
+                s.push_str(&format!(
+                    ", \"ec_residency\": {:.6}, \"ec_hit_rate\": {:.6}",
+                    f.ec_residency,
+                    f.ec_hit_rate()
+                ));
+            }
+            s.push_str(if i + 1 < self.cells.len() {
+                "},\n"
+            } else {
+                "}\n"
+            });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_baseline, run_baseline_with, run_flywheel};
+
+    fn tiny_budget() -> SimBudget {
+        SimBudget::new(500, 2_000)
+    }
+
+    #[test]
+    fn machines_round_trip_through_names() {
+        for &m in Machine::all() {
+            assert_eq!(Machine::from_name(m.name()), Some(m));
+        }
+        assert_eq!(Machine::from_name("nope"), None);
+    }
+
+    #[test]
+    fn presets_validate_and_have_the_expected_cell_counts() {
+        let b = tiny_budget();
+        for (s, per_bench) in [
+            (Scenario::fig2(b), 3),
+            (Scenario::fig11(b), 3),
+            (Scenario::fig12(b), 6),
+        ] {
+            s.validate().unwrap_or_else(|e| panic!("{e}"));
+            assert_eq!(s.cell_count(), s.benchmarks.len() * per_bench, "{}", s.name);
+        }
+        Scenario::smoke().validate().unwrap();
+        Scenario::stress(b).validate().unwrap();
+    }
+
+    #[test]
+    fn baseline_cells_do_not_multiply_over_flywheel_axes() {
+        let mut s = Scenario::new("t", tiny_budget());
+        s.benchmarks = vec![Benchmark::Micro];
+        s.clocks = vec![(0, 50), (50, 50)];
+        s.ec_kb = vec![64, 128];
+        let cells = s.expand();
+        let baseline = cells.iter().filter(|c| c.machine.is_baseline()).count();
+        let flywheel = cells.iter().filter(|c| !c.machine.is_baseline()).count();
+        assert_eq!(baseline, 1, "one reference baseline");
+        assert_eq!(flywheel, 4, "clock x EC grid on the Flywheel machine");
+    }
+
+    #[test]
+    fn paper_default_cells_reproduce_the_paper_configs() {
+        let s = Scenario::new("t", tiny_budget());
+        let cells = s.expand();
+        let base = cells
+            .iter()
+            .find(|c| c.machine == Machine::Baseline)
+            .unwrap();
+        assert_eq!(
+            base.baseline_config(),
+            BaselineConfig::paper(TechNode::N130)
+        );
+        let fly = cells
+            .iter()
+            .find(|c| c.machine == Machine::Flywheel)
+            .unwrap();
+        assert_eq!(
+            fly.flywheel_config(),
+            FlywheelConfig::paper_iso_clock(TechNode::N130)
+        );
+        let fig11 = Scenario::fig11(tiny_budget());
+        let ra = fig11
+            .expand()
+            .into_iter()
+            .find(|c| c.machine == Machine::RegAlloc)
+            .unwrap();
+        assert_eq!(
+            ra.flywheel_config(),
+            FlywheelConfig::register_allocation_only(TechNode::N130)
+        );
+    }
+
+    #[test]
+    fn scenario_run_matches_the_harness_runners_bitwise() {
+        // The engine path (cell -> config -> shared trace) must agree exactly
+        // with the run_* helpers the experiments binary uses.
+        let budget = tiny_budget();
+        let mut s = Scenario::new("t", budget);
+        s.benchmarks = vec![Benchmark::Micro];
+        s.clocks = vec![(50, 50)];
+        let run = s.run();
+        run.check_invariants().unwrap_or_else(|e| panic!("{e}"));
+        let base = run
+            .result_for(Benchmark::Micro, Machine::Baseline, 0, 0)
+            .unwrap();
+        assert_eq!(
+            base.sim,
+            run_baseline(Benchmark::Micro, TechNode::N130, budget)
+        );
+        let fly = run
+            .result_for(Benchmark::Micro, Machine::Flywheel, 50, 50)
+            .unwrap();
+        let direct = run_flywheel(
+            Benchmark::Micro,
+            FlywheelConfig::paper(TechNode::N130, 50, 50),
+            budget,
+        );
+        assert_eq!(fly.sim, direct.sim);
+        assert_eq!(fly.flywheel, Some(direct.flywheel));
+    }
+
+    #[test]
+    fn fig2_preset_table_is_byte_identical_to_the_experiments_path() {
+        // Recompute the Figure 2 table exactly the way the experiments binary
+        // does and compare the rendered bytes against the scenario preset.
+        let budget = tiny_budget();
+        let mut preset = Scenario::fig2(budget);
+        preset.benchmarks = vec![Benchmark::Micro, Benchmark::Gzip];
+        let table = preset.run().fig2_table().unwrap();
+
+        let columns = vec!["fetch+1 %".to_owned(), "wakeup/sel %".to_owned()];
+        let rows: Vec<Row> = preset
+            .benchmarks
+            .iter()
+            .map(|&bench| {
+                let base = run_baseline(bench, TechNode::N130, budget);
+                let deeper = run_baseline_with(
+                    bench,
+                    BaselineConfig::paper(TechNode::N130).with_extra_frontend_stage(),
+                    budget,
+                );
+                let piped = run_baseline_with(
+                    bench,
+                    BaselineConfig::paper(TechNode::N130).with_pipelined_wakeup(),
+                    budget,
+                );
+                let degradation =
+                    |v: &SimResult| (v.elapsed_ps as f64 / base.elapsed_ps as f64 - 1.0) * 100.0;
+                Row {
+                    bench: bench.name(),
+                    values: vec![degradation(&deeper), degradation(&piped)],
+                }
+            })
+            .collect();
+        let expected = format_table(
+            "Figure 2: performance degradation (%) from pipeline-loop stretching",
+            &columns,
+            &rows,
+        );
+        assert_eq!(table, expected);
+    }
+
+    #[test]
+    fn fig12_preset_table_is_byte_identical_to_the_experiments_path() {
+        let budget = tiny_budget();
+        let mut preset = Scenario::fig12(budget);
+        preset.benchmarks = vec![Benchmark::Micro, Benchmark::Gzip];
+        let table = preset.run().fig12_table().unwrap();
+
+        let columns: Vec<String> = crate::CLOCK_SWEEP
+            .iter()
+            .map(|(fe, be)| format!("FE{fe}/BE{be}"))
+            .collect();
+        let rows: Vec<Row> = preset
+            .benchmarks
+            .iter()
+            .map(|&bench| {
+                let base = run_baseline(bench, TechNode::N130, budget);
+                Row {
+                    bench: bench.name(),
+                    values: crate::CLOCK_SWEEP
+                        .iter()
+                        .map(|&(fe, be)| {
+                            run_flywheel(
+                                bench,
+                                FlywheelConfig::paper(TechNode::N130, fe, be),
+                                budget,
+                            )
+                            .speedup_over(&base)
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+        let expected = format_table("Figure 12: relative performance", &columns, &rows);
+        assert_eq!(table, expected);
+    }
+
+    #[test]
+    fn fig11_preset_table_is_byte_identical_to_the_experiments_path() {
+        let budget = tiny_budget();
+        let mut preset = Scenario::fig11(budget);
+        preset.benchmarks = vec![Benchmark::Micro, Benchmark::Gzip];
+        let table = preset.run().fig11_table().unwrap();
+
+        let columns = vec!["reg-alloc".to_owned(), "flywheel".to_owned()];
+        let rows: Vec<Row> = preset
+            .benchmarks
+            .iter()
+            .map(|&bench| {
+                let base = run_baseline(bench, TechNode::N130, budget);
+                let regalloc = run_flywheel(
+                    bench,
+                    FlywheelConfig::register_allocation_only(TechNode::N130),
+                    budget,
+                );
+                let flywheel = run_flywheel(
+                    bench,
+                    FlywheelConfig::paper_iso_clock(TechNode::N130),
+                    budget,
+                );
+                Row {
+                    bench: bench.name(),
+                    values: vec![regalloc.speedup_over(&base), flywheel.speedup_over(&base)],
+                }
+            })
+            .collect();
+        let expected = format_table(
+            "Figure 11: performance at the baseline clock, normalized to the baseline",
+            &columns,
+            &rows,
+        );
+        assert_eq!(table, expected);
+    }
+
+    #[test]
+    fn figure_tables_reject_grids_missing_their_cells() {
+        // Rendering a figure from a grid that lacks the figure's machines or
+        // collapses a multi-point axis must fail loudly, not mislabel output.
+        let mut s = Scenario::fig2(tiny_budget());
+        s.benchmarks = vec![Benchmark::Micro];
+        s.machines = vec![Machine::Baseline]; // fig2 variants removed
+        let run = s.run();
+        let err = run.fig2_table().unwrap_err();
+        assert!(err.contains("baseline-extra-fe"), "got: {err}");
+
+        let mut s = Scenario::fig12(tiny_budget());
+        s.benchmarks = vec![Benchmark::Micro];
+        s.seeds = vec![1, 2]; // multi-point non-clock axis
+        let run = s.run();
+        let err = run.fig12_table().unwrap_err();
+        assert!(err.contains("'seeds'"), "got: {err}");
+
+        let mut s = Scenario::fig11(tiny_budget());
+        s.benchmarks = vec![Benchmark::Micro];
+        s.clocks = vec![(50, 50)]; // fig11 needs the (0, 0) point
+        let run = s.run();
+        assert!(run.fig11_table().is_err());
+    }
+
+    #[test]
+    fn emitters_cover_every_cell() {
+        let mut s = Scenario::smoke();
+        s.benchmarks = vec![Benchmark::Micro];
+        s.budget = tiny_budget();
+        let run = s.run();
+        let csv = run.to_csv();
+        assert_eq!(csv.lines().count(), run.cells.len() + 1, "header + cells");
+        let json = run.to_json();
+        assert_eq!(json.matches("\"bench\"").count(), run.cells.len());
+        assert!(json.contains("\"schema\": \"flywheel-scenarios/1\""));
+        // Flywheel cells carry EC fields, baseline cells leave them empty.
+        assert!(json.contains("\"ec_residency\""));
+        for line in csv.lines().skip(1) {
+            assert_eq!(line.matches(',').count(), 21, "column count in {line}");
+        }
+        // A hostile scenario name must not break either format.
+        let mut evil = s.clone();
+        evil.name = "a\"b,c\nd".to_owned();
+        let run = evil.run();
+        assert!(run.to_json().contains("\"scenario\": \"a_b_c_d\""));
+        for line in run.to_csv().lines().skip(1) {
+            assert_eq!(line.matches(',').count(), 21, "column count in {line}");
+        }
+    }
+
+    #[test]
+    fn invariant_checker_rejects_a_corrupted_cell() {
+        let mut s = Scenario::new("t", tiny_budget());
+        s.benchmarks = vec![Benchmark::Micro];
+        let mut run = s.run();
+        run.check_invariants().unwrap();
+        run.results[0].sim.instructions += 1;
+        assert!(run.check_invariants().is_err());
+    }
+}

@@ -1,0 +1,171 @@
+//! Differential invariant layer over randomized scenario grids.
+//!
+//! The golden digest proves bit-identity of the 99 runs the figures happen to
+//! exercise; this layer guards the *rest* of the config/workload space the
+//! scenario engine opened up. A seeded RNG draws machine-config axes, the grid
+//! runs on both machines over SPEC-like and stress workloads, and every cell is
+//! checked against invariants that must hold for any configuration:
+//!
+//! * the simulator retires exactly the measured instruction budget,
+//! * per-unit energy components are finite, non-negative and sum to the
+//!   reported total (power consistent with energy over time),
+//! * cycle/time counters are sane per cell and monotone in the budget,
+//! * machine-specific stats stay in range (EC residency/hit rate, no Flywheel
+//!   energy or front-end gating on the baseline).
+//!
+//! The axes are drawn through `flywheel-rng`, so any failure reproduces
+//! exactly from the printed scenario description.
+
+use flywheel_bench::scenario::{check_cell_invariants, Machine, Scenario};
+use flywheel_rng::SimRng;
+use flywheel_timing::TechNode;
+use flywheel_uarch::SimBudget;
+use flywheel_workloads::Benchmark;
+
+/// Draws a randomized scenario over ≥3 config axes mixing stress and SPEC-like
+/// workloads.
+fn random_scenario(rng: &mut SimRng) -> Scenario {
+    let mut s = Scenario::new("randomized", SimBudget::new(1_000, 5_000));
+    // Two stress workloads plus one SPEC-like profile per draw.
+    let mut stress = Benchmark::stress_suite().to_vec();
+    let spec = [Benchmark::Gzip, Benchmark::Vortex, Benchmark::Equake];
+    s.benchmarks = vec![
+        stress.remove(rng.range_usize(0, stress.len())),
+        stress.remove(rng.range_usize(0, stress.len())),
+        spec[rng.range_usize(0, spec.len())],
+    ];
+    s.machines = vec![Machine::Baseline, Machine::RegAlloc, Machine::Flywheel];
+    s.nodes = vec![[TechNode::N130, TechNode::N90][rng.range_usize(0, 2)]];
+    let clock_points = [(0, 0), (0, 50), (50, 50), (100, 50)];
+    let a = rng.range_usize(0, clock_points.len());
+    let b = (a + 1 + rng.range_usize(0, clock_points.len() - 1)) % clock_points.len();
+    s.clocks = vec![clock_points[a], clock_points[b]];
+    let windows = [(64u32, 64u32), (64, 128), (128, 128), (256, 256)];
+    s.windows = vec![windows[rng.range_usize(0, windows.len())]];
+    s.ec_kb = vec![[32u64, 64, 128][rng.range_usize(0, 3)]];
+    s.mem_cycles = vec![[60u32, 100, 250][rng.range_usize(0, 3)]];
+    s.seeds = vec![rng.range_u64(1, 1 << 40)];
+    s
+}
+
+#[test]
+fn randomized_grids_satisfy_the_machine_invariants() {
+    let mut rng = SimRng::seed_from_u64(0x5ce7a210);
+    for round in 0..3 {
+        let s = random_scenario(&mut rng);
+        s.validate()
+            .unwrap_or_else(|e| panic!("round {round}: {e}"));
+        let run = s.run();
+        run.check_invariants()
+            .unwrap_or_else(|e| panic!("round {round}, scenario {s:?}: {e}"));
+        // Same grid, same results: the whole run must be deterministic.
+        let again = s.run();
+        assert_eq!(
+            run.results, again.results,
+            "round {round} not deterministic"
+        );
+    }
+}
+
+#[test]
+fn cycle_and_time_counters_are_monotone_in_the_budget() {
+    // A longer run of the same cell can only accumulate more cycles, time and
+    // energy — on both machines, at stress-heavy and paper configs alike.
+    let mut rng = SimRng::seed_from_u64(0xb06e7);
+    let s = random_scenario(&mut rng);
+    let cells = s.expand();
+    let small = SimBudget::new(1_000, 3_000);
+    let large = SimBudget::new(1_000, 9_000);
+    // One cell per machine kind keeps the test fast while covering both
+    // kernels plus the no-EC Flywheel variant.
+    for machine in [Machine::Baseline, Machine::RegAlloc, Machine::Flywheel] {
+        let cell = cells
+            .iter()
+            .find(|c| c.machine == machine)
+            .expect("machine present in grid");
+        let a = cell.run(small);
+        let b = cell.run(large);
+        check_cell_invariants(cell, small, &a).unwrap_or_else(|e| panic!("{e}"));
+        check_cell_invariants(cell, large, &b).unwrap_or_else(|e| panic!("{e}"));
+        assert!(
+            b.sim.be_cycles > a.sim.be_cycles,
+            "{}: be_cycles {} !> {}",
+            cell.label(),
+            b.sim.be_cycles,
+            a.sim.be_cycles
+        );
+        assert!(
+            b.sim.fe_cycles >= a.sim.fe_cycles,
+            "{}: fe_cycles {} !>= {}",
+            cell.label(),
+            b.sim.fe_cycles,
+            a.sim.fe_cycles
+        );
+        assert!(
+            b.sim.elapsed_ps > a.sim.elapsed_ps,
+            "{}: elapsed {} !> {}",
+            cell.label(),
+            b.sim.elapsed_ps,
+            a.sim.elapsed_ps
+        );
+        assert!(
+            b.sim.energy.total_pj() > a.sim.energy.total_pj(),
+            "{}: energy not monotone",
+            cell.label()
+        );
+    }
+}
+
+#[test]
+fn stress_workloads_run_deterministically_on_both_machines() {
+    // The acceptance grid: all four stress workloads x both machines x three
+    // config axes (clocks, windows, memory latency), deterministic under
+    // repetition, all invariants passing.
+    let mut s = Scenario::stress(SimBudget::new(500, 2_000));
+    s.clocks = vec![(0, 0), (50, 50)];
+    s.windows = vec![(64, 64), (128, 128)];
+    s.mem_cycles = vec![100, 250];
+    s.validate().unwrap_or_else(|e| panic!("{e}"));
+    let run = s.run();
+    run.check_invariants().unwrap_or_else(|e| panic!("{e}"));
+    assert_eq!(
+        run.cells.len(),
+        // per benchmark: baseline 1x2x2 + flywheel 2x2x2
+        s.benchmarks.len() * (4 + 8),
+    );
+    let again = s.run();
+    assert_eq!(run.results, again.results, "stress grid not deterministic");
+    // The stress family must actually stress: a pointer-chase cell at 250-cycle
+    // memory must run at far lower IPC than the same machine on gzip-like
+    // codes; brstorm must squash heavily.
+    let chase = run
+        .cells
+        .iter()
+        .zip(&run.results)
+        .find(|(c, _)| {
+            c.bench == Benchmark::PtrChase && c.machine == Machine::Baseline && c.mem_cycles == 250
+        })
+        .map(|(_, r)| r)
+        .expect("ptrchase baseline cell");
+    assert!(
+        chase.sim.ipc() < 0.5,
+        "ptrchase should be memory-bound, got IPC {}",
+        chase.sim.ipc()
+    );
+    let result_of = |bench| {
+        run.cells
+            .iter()
+            .zip(&run.results)
+            .find(|(c, _)| {
+                c.bench == bench && c.machine == Machine::Baseline && c.mem_cycles == 100
+            })
+            .map(|(_, r)| r)
+            .expect("baseline cell")
+    };
+    let storm = result_of(Benchmark::BranchStorm);
+    assert!(
+        storm.sim.bpred.cond_mispredict_rate() > 0.15,
+        "brstorm should defeat gshare, got mispredict rate {}",
+        storm.sim.bpred.cond_mispredict_rate()
+    );
+}

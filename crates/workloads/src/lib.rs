@@ -47,6 +47,7 @@ mod profile;
 mod recorded;
 mod spec;
 mod stats;
+pub mod stress;
 mod synth;
 mod trace;
 

@@ -36,6 +36,18 @@ pub enum Benchmark {
     Turb3d,
     /// A tiny deterministic workload for unit tests (not part of the paper).
     Micro,
+    /// Stress: pointer-chasing memory-bound workload (dependent loads over a
+    /// 64 MiB working set; see [`crate::stress::ptr_chase`]).
+    PtrChase,
+    /// Stress: misprediction-heavy workload (short blocks, 70% random branches;
+    /// see [`crate::stress::branch_storm`]).
+    BranchStorm,
+    /// Stress: I-cache/Execution-Cache-thrashing large-footprint workload (see
+    /// [`crate::stress::code_bloat`]).
+    CodeBloat,
+    /// Stress: store-forward-heavy workload hammering a tiny hot set (see
+    /// [`crate::stress::store_storm`]).
+    StoreStorm,
 }
 
 impl Benchmark {
@@ -55,6 +67,33 @@ impl Benchmark {
         ]
     }
 
+    /// The four stress workloads (none are part of the paper's evaluation):
+    /// adversarial profiles exercising machine paths the SPEC-like suite barely
+    /// touches (see [`crate::stress`]).
+    pub fn stress_suite() -> &'static [Benchmark] {
+        &[
+            Benchmark::PtrChase,
+            Benchmark::BranchStorm,
+            Benchmark::CodeBloat,
+            Benchmark::StoreStorm,
+        ]
+    }
+
+    /// Every benchmark the repo knows: the paper suite, the stress suite and
+    /// the `micro` test workload.
+    pub fn all() -> Vec<Benchmark> {
+        let mut v = Benchmark::paper_suite().to_vec();
+        v.push(Benchmark::Micro);
+        v.extend_from_slice(Benchmark::stress_suite());
+        v
+    }
+
+    /// Parses a benchmark from its [`Benchmark::name`] (as accepted by the
+    /// `scenarios` CLI).
+    pub fn from_name(name: &str) -> Option<Benchmark> {
+        Benchmark::all().into_iter().find(|b| b.name() == name)
+    }
+
     /// The benchmark's name as used in the paper's figures.
     pub fn name(&self) -> &'static str {
         match self {
@@ -69,6 +108,10 @@ impl Benchmark {
             Benchmark::Bzip2 => "bzip2",
             Benchmark::Turb3d => "turb3d",
             Benchmark::Micro => "micro",
+            Benchmark::PtrChase => "ptrchase",
+            Benchmark::BranchStorm => "brstorm",
+            Benchmark::CodeBloat => "codebloat",
+            Benchmark::StoreStorm => "ststorm",
         }
     }
 
@@ -449,6 +492,10 @@ impl Benchmark {
                 dest_register_span: 16,
                 call_probability: 0.1,
             },
+            Benchmark::PtrChase => crate::stress::ptr_chase(),
+            Benchmark::BranchStorm => crate::stress::branch_storm(),
+            Benchmark::CodeBloat => crate::stress::code_bloat(),
+            Benchmark::StoreStorm => crate::stress::store_storm(),
         }
     }
 
@@ -498,6 +545,16 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn stress_suite_round_trips_through_names() {
+        assert_eq!(Benchmark::stress_suite().len(), 4);
+        for b in Benchmark::all() {
+            assert_eq!(Benchmark::from_name(b.name()), Some(b));
+        }
+        assert_eq!(Benchmark::from_name("no-such-bench"), None);
+        assert!(!Benchmark::stress_suite().iter().any(|b| b.is_fp()));
     }
 
     #[test]
