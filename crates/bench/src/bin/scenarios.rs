@@ -25,7 +25,10 @@
 //! Options: `--insts N` (measured instructions per cell with N/10 warm-up on
 //! top, matching the `experiments` binary's budget argument — applies to every
 //! preset, including `smoke`), `--check` (assert the machine invariants on
-//! every cell), `--json PATH`, `--csv PATH`.
+//! every cell), `--json PATH`, `--csv PATH`, `--store PATH` (memoize cells in
+//! a persistent content-addressed result store: cells already present are
+//! recalled bit-identically instead of simulated, so warm re-runs simulate
+//! nothing and edited scenarios only simulate the cells they changed).
 //!
 //! Sweeps fan out across all cores (`FLYWHEEL_JOBS` caps the workers); results
 //! are byte-identical for any worker count.
@@ -42,7 +45,7 @@ fn usage() -> ! {
         "usage: scenarios <fig2|fig11|fig12|smoke|stress|custom> \
          [--benches a,b] [--machines m,..] [--nodes 130,..] [--clocks FE:BE,..] \
          [--windows IW:ROB,..] [--ec KB,..] [--mem CYC,..] [--seeds S,..] \
-         [--insts N] [--check] [--json PATH] [--csv PATH]"
+         [--insts N] [--check] [--json PATH] [--csv PATH] [--store PATH]"
     );
     std::process::exit(1);
 }
@@ -120,6 +123,7 @@ fn main() {
     let mut check = false;
     let mut json_path: Option<String> = None;
     let mut csv_path: Option<String> = None;
+    let mut store_path: Option<String> = None;
     let mut it = args.iter().skip(1);
     while let Some(arg) = it.next() {
         let mut value = || it.next().map(String::as_str).unwrap_or_else(|| usage());
@@ -142,6 +146,7 @@ fn main() {
             "--check" => check = true,
             "--json" => json_path = Some(value().to_owned()),
             "--csv" => csv_path = Some(value().to_owned()),
+            "--store" => store_path = Some(value().to_owned()),
             _ => usage(),
         }
     }
@@ -160,7 +165,17 @@ fn main() {
         worker_count().min(cell_count.max(1)),
     );
     let start = Instant::now();
-    let run = scenario.run();
+    let (run, summary) = match &store_path {
+        Some(path) => {
+            let mut store = flywheel_bench::store::ResultStore::open(path).unwrap_or_else(|e| {
+                eprintln!("could not open result store {path}: {e}");
+                std::process::exit(1);
+            });
+            let (run, summary) = scenario.run_with_store(&mut store);
+            (run, Some((summary, store.len())))
+        }
+        None => (scenario.run(), None),
+    };
     let wall = start.elapsed();
     let insts = scenario.simulated_instructions();
     println!(
@@ -170,6 +185,12 @@ fn main() {
         insts,
         simulated_mips(insts, wall)
     );
+    if let (Some(path), Some((summary, total))) = (&store_path, &summary) {
+        println!(
+            "store {path}: {} cells recalled, {} simulated, {} records total",
+            summary.hits, summary.simulated, total
+        );
+    }
 
     let table = match scenario.name.as_str() {
         "fig2" => Some(run.fig2_table()),

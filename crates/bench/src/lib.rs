@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod scenario;
+pub mod store;
 
 use flywheel_core::{FlywheelConfig, FlywheelResult, FlywheelSim};
 use flywheel_timing::TechNode;
@@ -20,6 +21,8 @@ use flywheel_uarch::{BaselineConfig, BaselineSim, SimBudget, SimResult};
 use flywheel_workloads::{Benchmark, RecordedTrace, SyntheticProgram};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
+
+pub use store::simulations_performed;
 
 /// Seed used for every experiment (results are deterministic).
 pub const EXPERIMENT_SEED: u64 = 2005;
@@ -85,16 +88,86 @@ pub fn run_baseline(bench: Benchmark, node: TechNode, budget: SimBudget) -> SimR
     run_baseline_with(bench, BaselineConfig::paper(node), budget)
 }
 
-/// Runs a baseline variant (used by the Figure 2 pipeline-loop study).
+/// Runs a baseline variant (used by the Figure 2 pipeline-loop study) at the
+/// shared experiment seed.
 pub fn run_baseline_with(bench: Benchmark, cfg: BaselineConfig, budget: SimBudget) -> SimResult {
-    let trace = shared_trace(bench, EXPERIMENT_SEED, budget);
+    run_baseline_cfg(bench, EXPERIMENT_SEED, cfg, budget)
+}
+
+/// Runs a Flywheel configuration on `bench` at the shared experiment seed.
+pub fn run_flywheel(bench: Benchmark, cfg: FlywheelConfig, budget: SimBudget) -> FlywheelResult {
+    run_flywheel_cfg(bench, EXPERIMENT_SEED, cfg, budget)
+}
+
+/// Simulates one baseline-machine cell, bypassing every store. The single
+/// choke point through which all baseline simulations run (and are counted).
+fn simulate_baseline(
+    bench: Benchmark,
+    seed: u64,
+    cfg: BaselineConfig,
+    budget: SimBudget,
+) -> SimResult {
+    store::count_simulation();
+    let trace = shared_trace(bench, seed, budget);
     BaselineSim::new(cfg, trace.cursor()).run(budget)
 }
 
-/// Runs a Flywheel configuration on `bench`.
-pub fn run_flywheel(bench: Benchmark, cfg: FlywheelConfig, budget: SimBudget) -> FlywheelResult {
-    let trace = shared_trace(bench, EXPERIMENT_SEED, budget);
+/// Simulates one Flywheel-machine cell, bypassing every store.
+fn simulate_flywheel(
+    bench: Benchmark,
+    seed: u64,
+    cfg: FlywheelConfig,
+    budget: SimBudget,
+) -> FlywheelResult {
+    store::count_simulation();
+    let trace = shared_trace(bench, seed, budget);
     FlywheelSim::new(cfg, trace.cursor()).run(budget)
+}
+
+/// Runs (or recalls) a baseline-machine cell at an explicit seed.
+///
+/// When a process-global [`store::ResultStore`] is installed (the binaries'
+/// `--store` flag), the cell's content address is looked up first and a hit is
+/// returned without simulating — the record round-trips bit-identically, so
+/// callers cannot tell the difference.
+pub fn run_baseline_cfg(
+    bench: Benchmark,
+    seed: u64,
+    cfg: BaselineConfig,
+    budget: SimBudget,
+) -> SimResult {
+    if store::global_store_installed() {
+        let key = store::baseline_key(&cfg, bench, seed, budget);
+        if let Some(hit) = store::global_get(&key) {
+            return hit.sim;
+        }
+        let r = simulate_baseline(bench, seed, cfg, budget);
+        let label = store::cell_label("baseline", bench, seed);
+        store::global_put(key, &label, store::RunStats::from_baseline(r.clone()));
+        return r;
+    }
+    simulate_baseline(bench, seed, cfg, budget)
+}
+
+/// Runs (or recalls) a Flywheel-machine cell at an explicit seed. See
+/// [`run_baseline_cfg`] for the store semantics.
+pub fn run_flywheel_cfg(
+    bench: Benchmark,
+    seed: u64,
+    cfg: FlywheelConfig,
+    budget: SimBudget,
+) -> FlywheelResult {
+    if store::global_store_installed() {
+        let key = store::flywheel_key(&cfg, bench, seed, budget);
+        if let Some(r) = store::global_get(&key).and_then(|s| s.to_flywheel_result()) {
+            return r;
+        }
+        let r = simulate_flywheel(bench, seed, cfg, budget);
+        let label = store::cell_label("flywheel", bench, seed);
+        store::global_put(key, &label, store::RunStats::from_flywheel(&r));
+        return r;
+    }
+    simulate_flywheel(bench, seed, cfg, budget)
 }
 
 /// One row of a per-benchmark, per-configuration result table.

@@ -20,10 +20,14 @@
 //! ([`Scenario::run_with_jobs`] with 1 vs N workers is byte-identical; enforced
 //! by the `parallel_identity` integration test).
 
-use crate::{format_table, parallel_map_jobs, shared_trace, worker_count, Row, EXPERIMENT_SEED};
-use flywheel_core::{FlywheelConfig, FlywheelSim, FlywheelStats};
+use crate::store::{baseline_key, flywheel_key, ResultStore, RunStats, StoreKey, StoreSummary};
+use crate::{
+    format_table, parallel_map_jobs, run_baseline_cfg, run_flywheel_cfg, worker_count, Row,
+    EXPERIMENT_SEED,
+};
+use flywheel_core::{FlywheelConfig, FlywheelStats};
 use flywheel_timing::{ClockPlan, TechNode};
-use flywheel_uarch::{BaselineConfig, BaselineSim, SimBudget, SimResult};
+use flywheel_uarch::{BaselineConfig, SimBudget, SimResult};
 use flywheel_workloads::Benchmark;
 
 /// The machine models a scenario can place in a cell.
@@ -104,6 +108,21 @@ impl std::fmt::Display for Machine {
 /// Axes that a machine does not consume are not multiplied into its cells: a
 /// baseline machine is not re-run per Execution Cache size or per point of the
 /// clock sweep (it runs once per remaining axes at [`Scenario::baseline_clock`]).
+///
+/// # Example
+///
+/// ```
+/// use flywheel_bench::scenario::Scenario;
+/// use flywheel_uarch::SimBudget;
+/// use flywheel_workloads::Benchmark;
+///
+/// let mut s = Scenario::new("doc", SimBudget::new(200, 1_000));
+/// s.benchmarks = vec![Benchmark::Micro];
+/// assert_eq!(s.cell_count(), 2); // one baseline cell, one Flywheel cell
+/// let run = s.run();
+/// run.check_invariants().unwrap();
+/// assert_eq!(run.results[0].sim.instructions, 1_000);
+/// ```
 #[derive(Debug, Clone)]
 pub struct Scenario {
     /// Scenario name (used in emitted files and reports).
@@ -301,6 +320,72 @@ impl Scenario {
             results,
         }
     }
+
+    /// Runs the grid incrementally against a result store: cells whose content
+    /// address is already present are recalled without simulating (records
+    /// round-trip bit-identically, so the returned run is byte-equal to a cold
+    /// [`Scenario::run`]); only the missing cells are simulated — in parallel
+    /// — and appended to the store.
+    ///
+    /// Returns the run plus a [`StoreSummary`] of how many cells were recalled
+    /// versus simulated. A second run of an unchanged scenario against the
+    /// same store therefore reports `simulated == 0`.
+    pub fn run_with_store(&self, store: &mut ResultStore) -> (ScenarioRun, StoreSummary) {
+        self.run_with_store_jobs(store, worker_count())
+    }
+
+    /// [`Scenario::run_with_store`] with an explicit worker count.
+    pub fn run_with_store_jobs(
+        &self,
+        store: &mut ResultStore,
+        jobs: usize,
+    ) -> (ScenarioRun, StoreSummary) {
+        let cells = self.expand();
+        let budget = self.budget;
+        let keys: Vec<StoreKey> = cells.iter().map(|c| c.key(budget)).collect();
+        // Keep each miss's already-computed key: deriving one renders the full
+        // machine config, which is not worth doing twice per cell.
+        let misses: Vec<(ScenarioCell, StoreKey)> = cells
+            .iter()
+            .zip(&keys)
+            .filter(|(_, k)| !store.contains(k))
+            .map(|(c, k)| (*c, *k))
+            .collect();
+        let miss_results = parallel_map_jobs(&misses, jobs, |(cell, _)| cell.run(budget));
+        for ((cell, key), result) in misses.iter().zip(&miss_results) {
+            let stats = RunStats {
+                sim: result.sim.clone(),
+                flywheel: result.flywheel,
+            };
+            if let Err(e) = store.insert(*key, &cell.label(), stats) {
+                eprintln!("warning: could not append to the result store: {e}");
+            }
+        }
+        let results: Vec<CellResult> = keys
+            .iter()
+            .map(|k| {
+                let r = store
+                    .get(k)
+                    .expect("every grid key is present after the miss sweep");
+                CellResult {
+                    sim: r.sim.clone(),
+                    flywheel: r.flywheel,
+                }
+            })
+            .collect();
+        let summary = StoreSummary {
+            hits: cells.len() - misses.len(),
+            simulated: misses.len(),
+        };
+        (
+            ScenarioRun {
+                scenario: self.clone(),
+                cells,
+                results,
+            },
+            summary,
+        )
+    }
 }
 
 /// One point of an expanded scenario grid: a (benchmark, seed, machine,
@@ -397,18 +482,29 @@ impl ScenarioCell {
         }
     }
 
-    /// Runs the cell against the shared recorded trace of its
-    /// `(benchmark, seed)` pair.
-    pub fn run(&self, budget: SimBudget) -> CellResult {
-        let trace = shared_trace(self.bench, self.seed, budget);
+    /// The content address of this cell at `budget`: a hash of the full
+    /// machine configuration, workload, seed, budget, and the code-version
+    /// salt (see [`crate::store`]).
+    pub fn key(&self, budget: SimBudget) -> StoreKey {
         if self.machine.is_baseline() {
-            let sim = BaselineSim::new(self.baseline_config(), trace.cursor()).run(budget);
+            baseline_key(&self.baseline_config(), self.bench, self.seed, budget)
+        } else {
+            flywheel_key(&self.flywheel_config(), self.bench, self.seed, budget)
+        }
+    }
+
+    /// Runs the cell against the shared recorded trace of its
+    /// `(benchmark, seed)` pair (recalling it from the process-global result
+    /// store instead, when one is installed).
+    pub fn run(&self, budget: SimBudget) -> CellResult {
+        if self.machine.is_baseline() {
+            let sim = run_baseline_cfg(self.bench, self.seed, self.baseline_config(), budget);
             CellResult {
                 sim,
                 flywheel: None,
             }
         } else {
-            let r = FlywheelSim::new(self.flywheel_config(), trace.cursor()).run(budget);
+            let r = run_flywheel_cfg(self.bench, self.seed, self.flywheel_config(), budget);
             CellResult {
                 sim: r.sim,
                 flywheel: Some(r.flywheel),

@@ -1,0 +1,712 @@
+//! Persistent, content-addressed store of simulation results.
+//!
+//! Every evaluation cell — one (machine configuration, workload, seed, budget)
+//! simulation — is fully deterministic, so its result is a pure function of its
+//! inputs. This module gives that function a durable memo table:
+//!
+//! * [`StoreKey`] — a 128-bit FNV-1a hash of the cell's *complete* input: the
+//!   machine family, the full machine configuration (via its canonical `Debug`
+//!   rendering, which covers every structural/clocking knob), the workload and
+//!   seed, the instruction budget, and a code-version salt derived from the
+//!   committed `golden.txt` digest. Touch any input — or change simulator
+//!   behaviour (which regenerates `golden.txt`) — and the key changes, so stale
+//!   records can never be served.
+//! * [`RunStats`] — the serializable record of one run: the full [`SimResult`]
+//!   plus the [`FlywheelStats`] when the cell ran a Flywheel-family machine.
+//!   Floats are stored as IEEE-754 bit patterns, so a record read back from
+//!   disk is *bit-identical* to the freshly simulated result.
+//! * [`ResultStore`] — an append-only, line-oriented on-disk store
+//!   (hand-rolled serialization; the build container has no registry access
+//!   for serde, mirroring `flywheel-rng`'s approach to `rand`).
+//!
+//! The `scenarios` and `experiments` binaries consult a store before
+//! simulating (`--store PATH`), so a re-run after touching one workload only
+//! simulates the affected cells; the `flywheel-report` crate regenerates the
+//! Markdown figure tables byte-identically from the same records.
+
+use flywheel_core::{FlywheelResult, FlywheelStats};
+use flywheel_uarch::{BaselineConfig, SimBudget, SimResult};
+use flywheel_workloads::Benchmark;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read as _, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// On-disk schema version. Bump when the record line format changes; a store
+/// written by a different schema is rejected at [`ResultStore::open`] time.
+pub const STORE_SCHEMA: &str = "flywheel-store/1";
+
+/// The committed golden digest, compiled in so the code-version salt tracks
+/// simulator behaviour: regenerating `golden.txt` (the required step whenever
+/// simulation results legitimately change) automatically invalidates every
+/// stored key.
+const GOLDEN_DIGEST: &str = include_str!("../../../golden.txt");
+
+/// The code-version salt mixed into every [`StoreKey`]: an FNV-1a hash of the
+/// committed `golden.txt`. Two builds whose simulators behave differently
+/// cannot share store records.
+pub fn code_version_salt() -> u64 {
+    static SALT: AtomicU64 = AtomicU64::new(0);
+    let cached = SALT.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let salt = fnv1a64(FNV_OFFSET, GOLDEN_DIGEST.as_bytes()) | 1;
+    SALT.store(salt, Ordering::Relaxed);
+    salt
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a64(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// A 128-bit content address of one simulation's complete input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StoreKey(pub u64, pub u64);
+
+impl StoreKey {
+    /// Hashes a canonical input string into a key (two independent FNV-1a
+    /// streams; 128 bits make collisions implausible at any realistic store
+    /// size).
+    pub fn of_input(input: &str) -> StoreKey {
+        let lo = fnv1a64(FNV_OFFSET, input.as_bytes());
+        // Second lane: different offset basis (the first lane's output folded
+        // in) so the two halves are independent functions of the input.
+        let hi = fnv1a64(
+            FNV_OFFSET ^ lo.rotate_left(32) ^ 0x9e37_79b9_7f4a_7c15,
+            input.as_bytes(),
+        );
+        StoreKey(hi, lo)
+    }
+
+    /// The key as fixed-width hex (32 characters).
+    pub fn hex(&self) -> String {
+        format!("{:016x}{:016x}", self.0, self.1)
+    }
+
+    /// Parses a key from its [`StoreKey::hex`] form.
+    pub fn from_hex(s: &str) -> Option<StoreKey> {
+        if s.len() != 32 {
+            return None;
+        }
+        let hi = u64::from_str_radix(&s[..16], 16).ok()?;
+        let lo = u64::from_str_radix(&s[16..], 16).ok()?;
+        Some(StoreKey(hi, lo))
+    }
+}
+
+/// The canonical input string hashed into a baseline-machine cell key.
+///
+/// The configuration enters through its `Debug` rendering: it is exhaustive
+/// (every public knob appears), deterministic, and changes whenever the config
+/// structure itself changes — exactly the invalidation behaviour a
+/// content-addressed key needs.
+pub fn baseline_input(
+    cfg: &BaselineConfig,
+    bench: Benchmark,
+    seed: u64,
+    budget: SimBudget,
+) -> String {
+    format!(
+        "salt={:016x}\nmachine=baseline\nconfig={cfg:?}\nbench={}\nseed={seed}\nwarmup={}\nmeasured={}\n",
+        code_version_salt(),
+        bench.name(),
+        budget.warmup_instructions,
+        budget.measured_instructions,
+    )
+}
+
+/// The canonical input string hashed into a Flywheel-machine cell key.
+pub fn flywheel_input(
+    cfg: &flywheel_core::FlywheelConfig,
+    bench: Benchmark,
+    seed: u64,
+    budget: SimBudget,
+) -> String {
+    format!(
+        "salt={:016x}\nmachine=flywheel\nconfig={cfg:?}\nbench={}\nseed={seed}\nwarmup={}\nmeasured={}\n",
+        code_version_salt(),
+        bench.name(),
+        budget.warmup_instructions,
+        budget.measured_instructions,
+    )
+}
+
+/// The content address of a baseline-machine cell.
+pub fn baseline_key(
+    cfg: &BaselineConfig,
+    bench: Benchmark,
+    seed: u64,
+    budget: SimBudget,
+) -> StoreKey {
+    StoreKey::of_input(&baseline_input(cfg, bench, seed, budget))
+}
+
+/// The content address of a Flywheel-machine cell.
+pub fn flywheel_key(
+    cfg: &flywheel_core::FlywheelConfig,
+    bench: Benchmark,
+    seed: u64,
+    budget: SimBudget,
+) -> StoreKey {
+    StoreKey::of_input(&flywheel_input(cfg, bench, seed, budget))
+}
+
+/// One stored simulation record: the machine-independent result plus the
+/// Flywheel statistics when the run was a Flywheel-family machine.
+///
+/// Round-trips through the store bit-identically (floats are serialized as
+/// their IEEE-754 bit patterns).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunStats {
+    /// Performance/energy/pipeline statistics.
+    pub sim: SimResult,
+    /// Flywheel-specific statistics (`None` for baseline-family machines).
+    pub flywheel: Option<FlywheelStats>,
+}
+
+impl RunStats {
+    /// Wraps a baseline result.
+    pub fn from_baseline(sim: SimResult) -> Self {
+        RunStats {
+            sim,
+            flywheel: None,
+        }
+    }
+
+    /// Wraps a Flywheel result.
+    pub fn from_flywheel(r: &FlywheelResult) -> Self {
+        RunStats {
+            sim: r.sim.clone(),
+            flywheel: Some(r.flywheel),
+        }
+    }
+
+    /// Reassembles a [`FlywheelResult`] (when the record holds Flywheel stats).
+    pub fn to_flywheel_result(&self) -> Option<FlywheelResult> {
+        self.flywheel.as_ref().map(|f| FlywheelResult {
+            sim: self.sim.clone(),
+            flywheel: *f,
+        })
+    }
+
+    fn serialize_into(&self, out: &mut String) {
+        let s = &self.sim;
+        let u = |out: &mut String, v: u64| {
+            let _ = write!(out, " {v}");
+        };
+        let f = |out: &mut String, v: f64| {
+            let _ = write!(out, " f{:016x}", v.to_bits());
+        };
+        u(out, s.instructions);
+        u(out, s.be_cycles);
+        u(out, s.fe_cycles);
+        u(out, s.elapsed_ps);
+        u(out, s.squashed);
+        u(out, s.bpred.cond_predictions);
+        u(out, s.bpred.cond_mispredicts);
+        u(out, s.bpred.target_mispredicts);
+        u(out, s.bpred.total_ctrl);
+        u(out, s.caches.l1i.0);
+        u(out, s.caches.l1i.1);
+        u(out, s.caches.l1d.0);
+        u(out, s.caches.l1d.1);
+        u(out, s.caches.l2.0);
+        u(out, s.caches.l2.1);
+        f(out, s.energy.frontend_pj);
+        f(out, s.energy.backend_pj);
+        f(out, s.energy.flywheel_pj);
+        f(out, s.energy.clock_pj);
+        f(out, s.energy.leakage_pj);
+        u(out, s.energy.elapsed_ps);
+        f(out, s.gated_frontend_fraction);
+        if let Some(w) = &self.flywheel {
+            out.push_str(" F");
+            u(out, w.exec_mode_ps);
+            u(out, w.creation_mode_ps);
+            f(out, w.ec_residency);
+            u(out, w.ec_lookups);
+            u(out, w.ec_hits);
+            u(out, w.traces_stored);
+            f(out, w.ec_utilization);
+            u(out, w.trace_switches);
+            u(out, w.trace_divergences);
+            u(out, w.pool_stalls);
+            u(out, w.redistributions);
+        } else {
+            out.push_str(" B");
+        }
+    }
+
+    fn parse_fields(fields: &mut std::str::SplitWhitespace<'_>) -> Option<RunStats> {
+        fn u(fields: &mut std::str::SplitWhitespace<'_>) -> Option<u64> {
+            fields.next()?.parse().ok()
+        }
+        fn f(fields: &mut std::str::SplitWhitespace<'_>) -> Option<f64> {
+            let s = fields.next()?.strip_prefix('f')?;
+            Some(f64::from_bits(u64::from_str_radix(s, 16).ok()?))
+        }
+        let mut sim = SimResult {
+            instructions: u(fields)?,
+            be_cycles: u(fields)?,
+            fe_cycles: u(fields)?,
+            elapsed_ps: u(fields)?,
+            squashed: u(fields)?,
+            bpred: Default::default(),
+            caches: Default::default(),
+            energy: Default::default(),
+            gated_frontend_fraction: 0.0,
+        };
+        sim.bpred.cond_predictions = u(fields)?;
+        sim.bpred.cond_mispredicts = u(fields)?;
+        sim.bpred.target_mispredicts = u(fields)?;
+        sim.bpred.total_ctrl = u(fields)?;
+        sim.caches.l1i = (u(fields)?, u(fields)?);
+        sim.caches.l1d = (u(fields)?, u(fields)?);
+        sim.caches.l2 = (u(fields)?, u(fields)?);
+        sim.energy.frontend_pj = f(fields)?;
+        sim.energy.backend_pj = f(fields)?;
+        sim.energy.flywheel_pj = f(fields)?;
+        sim.energy.clock_pj = f(fields)?;
+        sim.energy.leakage_pj = f(fields)?;
+        sim.energy.elapsed_ps = u(fields)?;
+        sim.gated_frontend_fraction = f(fields)?;
+        let flywheel = match fields.next()? {
+            "B" => None,
+            "F" => Some(FlywheelStats {
+                exec_mode_ps: u(fields)?,
+                creation_mode_ps: u(fields)?,
+                ec_residency: f(fields)?,
+                ec_lookups: u(fields)?,
+                ec_hits: u(fields)?,
+                traces_stored: u(fields)?,
+                ec_utilization: f(fields)?,
+                trace_switches: u(fields)?,
+                trace_divergences: u(fields)?,
+                pool_stalls: u(fields)?,
+                redistributions: u(fields)?,
+            }),
+            _ => return None,
+        };
+        if fields.next().is_some() {
+            return None; // trailing garbage
+        }
+        Some(RunStats { sim, flywheel })
+    }
+}
+
+/// A persistent, append-only map from [`StoreKey`] to [`RunStats`].
+///
+/// The on-disk format is one header line (`flywheel-store/1`) followed by one
+/// record per line: `<key-hex> <label> <fields…>`. The label is informational
+/// only (a human-readable cell description); lookups go by key. Records are
+/// only ever appended — a re-run with changed inputs appends new keys and the
+/// old records simply stop being addressed.
+///
+/// ```
+/// use flywheel_bench::store::{ResultStore, RunStats, StoreKey};
+/// # use flywheel_uarch::SimResult;
+/// let mut store = ResultStore::in_memory();
+/// let key = StoreKey::of_input("example");
+/// assert!(store.get(&key).is_none());
+/// let stats = RunStats::from_baseline(SimResult {
+///     instructions: 1, be_cycles: 1, fe_cycles: 1, elapsed_ps: 1, squashed: 0,
+///     bpred: Default::default(), caches: Default::default(),
+///     energy: Default::default(), gated_frontend_fraction: 0.0,
+/// });
+/// store.insert(key, "doc/example", stats.clone()).unwrap();
+/// assert_eq!(store.get(&key), Some(&stats));
+/// ```
+#[derive(Debug)]
+pub struct ResultStore {
+    records: HashMap<StoreKey, RunStats>,
+    /// Opened lazily on the first insert, so read-only users (the `report
+    /// --check` gate) never create or touch the backing file.
+    appender: Option<BufWriter<File>>,
+    /// Whether the schema header still has to be written before the first
+    /// appended record (the backing file was absent or empty at open).
+    needs_header: bool,
+    path: Option<PathBuf>,
+}
+
+impl ResultStore {
+    /// An unbacked store: lookups and inserts work, nothing touches the disk.
+    /// Useful for tests and for running with memoization but no persistence.
+    pub fn in_memory() -> Self {
+        ResultStore {
+            records: HashMap::new(),
+            appender: None,
+            needs_header: false,
+            path: None,
+        }
+    }
+
+    /// Opens the store at `path` and loads every record. A missing file is an
+    /// empty store; nothing is created or written until the first
+    /// [`ResultStore::insert`], so read-only use has no side effects.
+    ///
+    /// Fails on I/O errors, on an unknown schema header, or on a corrupt
+    /// record line — a damaged store should be noticed, not silently
+    /// recomputed around.
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let corrupt = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+        let mut records = HashMap::new();
+        let mut fresh = true;
+        if path.exists() {
+            let mut text = String::new();
+            File::open(&path)?.read_to_string(&mut text)?;
+            let mut lines = text.lines();
+            if let Some(header) = lines.next() {
+                fresh = false;
+                if header != STORE_SCHEMA {
+                    return Err(corrupt(format!(
+                        "store {}: unknown schema '{header}' (expected '{STORE_SCHEMA}')",
+                        path.display()
+                    )));
+                }
+                for (i, line) in lines.enumerate() {
+                    if line.is_empty() {
+                        continue;
+                    }
+                    let mut fields = line.split_whitespace();
+                    let key = fields.next().and_then(StoreKey::from_hex).ok_or_else(|| {
+                        corrupt(format!(
+                            "store {}: bad key on line {}",
+                            path.display(),
+                            i + 2
+                        ))
+                    })?;
+                    let _label = fields.next().ok_or_else(|| {
+                        corrupt(format!(
+                            "store {}: missing label on line {}",
+                            path.display(),
+                            i + 2
+                        ))
+                    })?;
+                    let stats = RunStats::parse_fields(&mut fields).ok_or_else(|| {
+                        corrupt(format!(
+                            "store {}: corrupt record on line {}",
+                            path.display(),
+                            i + 2
+                        ))
+                    })?;
+                    // Append-only updates: the latest record for a key wins.
+                    records.insert(key, stats);
+                }
+            }
+        }
+        Ok(ResultStore {
+            records,
+            appender: None,
+            needs_header: fresh,
+            path: Some(path),
+        })
+    }
+
+    /// The backing file, if the store is disk-backed.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// Number of addressable records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The record stored under `key`, if present.
+    pub fn get(&self, key: &StoreKey) -> Option<&RunStats> {
+        self.records.get(key)
+    }
+
+    /// Whether a record is stored under `key`.
+    pub fn contains(&self, key: &StoreKey) -> bool {
+        self.records.contains_key(key)
+    }
+
+    /// Inserts (and, when disk-backed, durably appends) a record.
+    ///
+    /// `label` is a human-readable cell description written next to the key
+    /// for store debugging; whitespace is replaced (and an empty label gets a
+    /// `-` placeholder) so the line always parses back as one field.
+    pub fn insert(&mut self, key: StoreKey, label: &str, stats: RunStats) -> std::io::Result<()> {
+        if let Some(path) = &self.path {
+            if self.appender.is_none() {
+                let mut appender =
+                    BufWriter::new(OpenOptions::new().create(true).append(true).open(path)?);
+                if self.needs_header {
+                    writeln!(appender, "{STORE_SCHEMA}")?;
+                    self.needs_header = false;
+                }
+                self.appender = Some(appender);
+            }
+        }
+        if let Some(appender) = &mut self.appender {
+            let mut line = key.hex();
+            line.push(' ');
+            if label.is_empty() {
+                line.push('-');
+            } else {
+                line.extend(
+                    label
+                        .chars()
+                        .map(|c| if c.is_whitespace() { '_' } else { c }),
+                );
+            }
+            stats.serialize_into(&mut line);
+            writeln!(appender, "{line}")?;
+            appender.flush()?;
+        }
+        self.records.insert(key, stats);
+        Ok(())
+    }
+
+    /// Recalls a baseline-machine cell by content address.
+    pub fn recall_baseline(
+        &self,
+        cfg: &BaselineConfig,
+        bench: Benchmark,
+        seed: u64,
+        budget: SimBudget,
+    ) -> Option<SimResult> {
+        self.get(&baseline_key(cfg, bench, seed, budget))
+            .map(|r| r.sim.clone())
+    }
+
+    /// Records a baseline-machine cell under its content address.
+    pub fn record_baseline(
+        &mut self,
+        cfg: &BaselineConfig,
+        bench: Benchmark,
+        seed: u64,
+        budget: SimBudget,
+        sim: &SimResult,
+    ) -> std::io::Result<()> {
+        self.insert(
+            baseline_key(cfg, bench, seed, budget),
+            &cell_label("baseline", bench, seed),
+            RunStats::from_baseline(sim.clone()),
+        )
+    }
+
+    /// Recalls a Flywheel-machine cell by content address.
+    pub fn recall_flywheel(
+        &self,
+        cfg: &flywheel_core::FlywheelConfig,
+        bench: Benchmark,
+        seed: u64,
+        budget: SimBudget,
+    ) -> Option<FlywheelResult> {
+        self.get(&flywheel_key(cfg, bench, seed, budget))
+            .and_then(RunStats::to_flywheel_result)
+    }
+
+    /// Records a Flywheel-machine cell under its content address.
+    pub fn record_flywheel(
+        &mut self,
+        cfg: &flywheel_core::FlywheelConfig,
+        bench: Benchmark,
+        seed: u64,
+        budget: SimBudget,
+        r: &FlywheelResult,
+    ) -> std::io::Result<()> {
+        self.insert(
+            flywheel_key(cfg, bench, seed, budget),
+            &cell_label("flywheel", bench, seed),
+            RunStats::from_flywheel(r),
+        )
+    }
+}
+
+/// The human-readable label written next to a harness cell's record.
+pub fn cell_label(family: &str, bench: Benchmark, seed: u64) -> String {
+    format!("{family}/{}/s{seed}", bench.name())
+}
+
+/// Outcome of running a sweep against a store: how many cells were served
+/// from memo records and how many had to be simulated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreSummary {
+    /// Cells answered from the store without simulating.
+    pub hits: usize,
+    /// Cells simulated (and inserted into the store).
+    pub simulated: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Process-global store (used by the binaries' `--store` flag) and the
+// simulation counter.
+// ---------------------------------------------------------------------------
+
+static GLOBAL_STORE: Mutex<Option<ResultStore>> = Mutex::new(None);
+static GLOBAL_HITS: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_MISSES: AtomicU64 = AtomicU64::new(0);
+static SIMULATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Installs `store` as the process-global store consulted by
+/// [`crate::run_baseline_cfg`]/[`crate::run_flywheel_cfg`] (and therefore by
+/// every harness runner and scenario cell). Resets the hit/miss counters.
+pub fn install_global_store(store: ResultStore) {
+    GLOBAL_HITS.store(0, Ordering::Relaxed);
+    GLOBAL_MISSES.store(0, Ordering::Relaxed);
+    *GLOBAL_STORE.lock().expect("store lock poisoned") = Some(store);
+}
+
+/// Removes and returns the process-global store.
+pub fn take_global_store() -> Option<ResultStore> {
+    GLOBAL_STORE.lock().expect("store lock poisoned").take()
+}
+
+/// Whether a process-global store is installed.
+pub fn global_store_installed() -> bool {
+    GLOBAL_STORE.lock().expect("store lock poisoned").is_some()
+}
+
+/// (hits, misses) of the process-global store since it was installed.
+pub fn global_store_counters() -> (u64, u64) {
+    (
+        GLOBAL_HITS.load(Ordering::Relaxed),
+        GLOBAL_MISSES.load(Ordering::Relaxed),
+    )
+}
+
+pub(crate) fn global_get(key: &StoreKey) -> Option<RunStats> {
+    let guard = GLOBAL_STORE.lock().expect("store lock poisoned");
+    let store = guard.as_ref()?;
+    let hit = store.get(key).cloned();
+    match &hit {
+        Some(_) => GLOBAL_HITS.fetch_add(1, Ordering::Relaxed),
+        None => GLOBAL_MISSES.fetch_add(1, Ordering::Relaxed),
+    };
+    hit
+}
+
+pub(crate) fn global_put(key: StoreKey, label: &str, stats: RunStats) {
+    let mut guard = GLOBAL_STORE.lock().expect("store lock poisoned");
+    if let Some(store) = guard.as_mut() {
+        if let Err(e) = store.insert(key, label, stats) {
+            eprintln!("warning: could not append to the result store: {e}");
+        }
+    }
+}
+
+/// Total simulations actually executed by this process (store hits do not
+/// count). Monotone; read deltas around a sweep to see how much work the
+/// store saved.
+pub fn simulations_performed() -> u64 {
+    SIMULATIONS.load(Ordering::Relaxed)
+}
+
+pub(crate) fn count_simulation() {
+    SIMULATIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(instructions: u64, fly: bool) -> RunStats {
+        let mut sim = SimResult {
+            instructions,
+            be_cycles: instructions / 2 + 1,
+            fe_cycles: instructions / 3 + 1,
+            elapsed_ps: instructions * 250,
+            squashed: 7,
+            bpred: Default::default(),
+            caches: Default::default(),
+            energy: Default::default(),
+            gated_frontend_fraction: 0.25,
+        };
+        sim.bpred.total_ctrl = 11;
+        sim.caches.l1d = (100, 3);
+        sim.energy.frontend_pj = 1.5e7 + 0.1; // not exactly representable in decimal
+        sim.energy.leakage_pj = f64::MIN_POSITIVE; // subnormal-adjacent round-trip
+        sim.energy.elapsed_ps = sim.elapsed_ps;
+        RunStats {
+            sim,
+            flywheel: fly.then_some(FlywheelStats {
+                exec_mode_ps: 5,
+                creation_mode_ps: 9,
+                ec_residency: 0.1 + 0.2, // 0.30000000000000004
+                ec_lookups: 4,
+                ec_hits: 2,
+                traces_stored: 1,
+                ec_utilization: 0.875,
+                trace_switches: 3,
+                trace_divergences: 1,
+                pool_stalls: 0,
+                redistributions: 2,
+            }),
+        }
+    }
+
+    #[test]
+    fn record_lines_round_trip_bit_exactly() {
+        for fly in [false, true] {
+            let original = stats(1000, fly);
+            let mut line = String::new();
+            original.serialize_into(&mut line);
+            let parsed = RunStats::parse_fields(&mut line.split_whitespace()).unwrap();
+            assert_eq!(parsed, original);
+            assert_eq!(
+                parsed.sim.energy.frontend_pj.to_bits(),
+                original.sim.energy.frontend_pj.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn parse_rejects_truncated_and_trailing_input() {
+        let mut line = String::new();
+        stats(10, true).serialize_into(&mut line);
+        let truncated = &line[..line.len() - 2];
+        assert!(RunStats::parse_fields(&mut truncated.split_whitespace()).is_none());
+        let extended = format!("{line} 9");
+        assert!(RunStats::parse_fields(&mut extended.split_whitespace()).is_none());
+    }
+
+    #[test]
+    fn keys_are_stable_hex_round_trips() {
+        let k = StoreKey::of_input("hello");
+        assert_eq!(StoreKey::from_hex(&k.hex()), Some(k));
+        assert_eq!(StoreKey::from_hex("zz"), None);
+        assert_ne!(StoreKey::of_input("hello"), StoreKey::of_input("hello!"));
+        // The two 64-bit lanes must not be copies of each other.
+        assert_ne!(k.0, k.1);
+    }
+
+    #[test]
+    fn in_memory_store_inserts_and_overwrites() {
+        let mut s = ResultStore::in_memory();
+        let k = StoreKey::of_input("a");
+        assert!(s.is_empty());
+        s.insert(k, "label with spaces", stats(5, false)).unwrap();
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(&k));
+        s.insert(k, "l", stats(6, true)).unwrap();
+        assert_eq!(s.len(), 1, "same key overwrites");
+        assert_eq!(s.get(&k).unwrap().sim.instructions, 6);
+        assert!(s.path().is_none());
+    }
+
+    #[test]
+    fn salt_is_nonzero_and_stable() {
+        assert_ne!(code_version_salt(), 0);
+        assert_eq!(code_version_salt(), code_version_salt());
+    }
+}

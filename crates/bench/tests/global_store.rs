@@ -1,0 +1,43 @@
+//! The process-global store path the binaries' `--store` flag uses.
+//!
+//! Kept in its own integration-test binary: the global store memoizes *every*
+//! harness runner in the process, so this must not share a process with tests
+//! that count simulations.
+
+use flywheel_bench::store::{self, ResultStore};
+use flywheel_bench::{run_baseline_cfg, run_flywheel_cfg, simulations_performed};
+use flywheel_core::FlywheelConfig;
+use flywheel_timing::TechNode;
+use flywheel_uarch::{BaselineConfig, SimBudget};
+use flywheel_workloads::Benchmark;
+
+#[test]
+fn global_store_memoizes_the_harness_runners() {
+    let budget = SimBudget::new(200, 800);
+    let bcfg = BaselineConfig::paper(TechNode::N130);
+    let fcfg = FlywheelConfig::paper_iso_clock(TechNode::N130);
+    store::install_global_store(ResultStore::in_memory());
+    assert!(store::global_store_installed());
+
+    let cold_b = run_baseline_cfg(Benchmark::Micro, 42, bcfg.clone(), budget);
+    let cold_f = run_flywheel_cfg(Benchmark::Micro, 42, fcfg.clone(), budget);
+    let sims_after_cold = simulations_performed();
+    assert_eq!(sims_after_cold, 2, "both cold cells simulate");
+
+    let warm_b = run_baseline_cfg(Benchmark::Micro, 42, bcfg, budget);
+    let warm_f = run_flywheel_cfg(Benchmark::Micro, 42, fcfg, budget);
+    assert_eq!(
+        simulations_performed(),
+        sims_after_cold,
+        "warm cells must be recalled, not simulated"
+    );
+    assert_eq!(cold_b, warm_b);
+    assert_eq!(cold_f.sim, warm_f.sim);
+    assert_eq!(cold_f.flywheel, warm_f.flywheel);
+
+    let (hits, misses) = store::global_store_counters();
+    assert_eq!((hits, misses), (2, 2));
+    let taken = store::take_global_store().expect("store was installed");
+    assert_eq!(taken.len(), 2);
+    assert!(!store::global_store_installed());
+}

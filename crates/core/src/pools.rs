@@ -28,7 +28,7 @@ pub struct PoolStats {
 ///
 /// The pool sizes adapt at run time: every `redistribution_interval` cycles the
 /// per-register stall counters are examined and entries are moved from cold registers
-/// to the bottleneck registers (the dynamic scheme of [12] referenced in §3.5). A
+/// to the bottleneck registers (the dynamic scheme of reference \[12\] in §3.5). A
 /// redistribution costs `redistribution_cost` cycles and invalidates the Execution
 /// Cache, which the pipeline driver enacts.
 #[derive(Debug, Clone)]

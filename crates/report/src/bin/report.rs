@@ -1,0 +1,148 @@
+//! Regenerates (or verifies) the repo's published result documents from the
+//! content-addressed result store.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p flywheel-report --bin report -- [options]
+//!
+//! --store PATH        result store to read (default: results.store)
+//! --insts N           measured instructions per cell, N/10 warm-up on top
+//!                     (default: the experiment budget, 250000)
+//! --bench-json PATH   throughput report to embed (default: BENCH.json;
+//!                     skipped if the file does not exist)
+//! --results PATH      RESULTS.md artifact (default: RESULTS.md)
+//! --experiments PATH  document carrying the generated figure block
+//!                     (default: EXPERIMENTS.md)
+//! --populate          simulate (and store) any record the figures need that
+//!                     the store is missing, instead of failing
+//! --check             verify the committed documents against the store and
+//!                     exit non-zero on any disagreement, writing nothing
+//! ```
+//!
+//! Without `--check`, the binary writes RESULTS.md and rewrites the generated
+//! block of EXPERIMENTS.md in place. With `--check` (the CI gate), both files
+//! are regenerated in memory and byte-compared against what is committed —
+//! the paper tables in the docs therefore provably match `golden.txt`-pinned
+//! simulator behaviour.
+
+use flywheel_bench::store::ResultStore;
+use flywheel_report::{
+    check_block, diff_texts, experiments_block, patch_block, populate, results_markdown, Source,
+};
+use flywheel_uarch::SimBudget;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: report [--store PATH] [--insts N] [--bench-json PATH] \
+         [--results PATH] [--experiments PATH] [--populate] [--check]"
+    );
+    std::process::exit(1);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("report: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let mut store_path = "results.store".to_owned();
+    let mut bench_json_path = "BENCH.json".to_owned();
+    let mut results_path = "RESULTS.md".to_owned();
+    let mut experiments_path = "EXPERIMENTS.md".to_owned();
+    let mut budget = flywheel_bench::experiment_budget();
+    let mut do_populate = false;
+    let mut do_check = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || it.next().map(String::to_owned).unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--store" => store_path = value(),
+            "--bench-json" => bench_json_path = value(),
+            "--results" => results_path = value(),
+            "--experiments" => experiments_path = value(),
+            "--insts" => {
+                let n: u64 = value().parse().unwrap_or_else(|_| usage());
+                budget = SimBudget::new(n / 10, n);
+            }
+            "--populate" => do_populate = true,
+            "--check" => do_check = true,
+            _ => usage(),
+        }
+    }
+
+    let mut store = ResultStore::open(&store_path)
+        .unwrap_or_else(|e| fail(&format!("could not open store {store_path}: {e}")));
+    println!("store {store_path}: {} records", store.len());
+
+    if do_populate {
+        let summary = populate(&mut store, budget).unwrap_or_else(|e| fail(&e));
+        println!(
+            "populate: {} cells recalled, {} simulated, {} records total",
+            summary.hits,
+            summary.simulated,
+            store.len()
+        );
+    }
+
+    let bench_json = std::fs::read_to_string(&bench_json_path).ok();
+    if bench_json.is_none() {
+        println!(
+            "note: {bench_json_path} not found; RESULTS.md will omit the throughput trajectory"
+        );
+    }
+
+    let mut src = Source::read_only(&mut store);
+    let results =
+        results_markdown(&mut src, budget, bench_json.as_deref()).unwrap_or_else(|e| fail(&e));
+    let block = experiments_block(&mut src, budget).unwrap_or_else(|e| fail(&e));
+
+    if do_check {
+        let mut failures = Vec::new();
+        match std::fs::read_to_string(&results_path) {
+            Ok(committed) => {
+                if let Err(e) = diff_texts(&committed, &results, &results_path) {
+                    failures.push(e);
+                }
+            }
+            Err(e) => failures.push(format!("{results_path}: {e}")),
+        }
+        match std::fs::read_to_string(&experiments_path) {
+            Ok(committed) => {
+                if let Err(e) = check_block(&committed, &block, &experiments_path) {
+                    failures.push(e);
+                }
+            }
+            Err(e) => failures.push(format!("{experiments_path}: {e}")),
+        }
+        if failures.is_empty() {
+            println!("check: {results_path} and {experiments_path} match the store");
+        } else {
+            for f in &failures {
+                eprintln!("report: {f}");
+            }
+            eprintln!(
+                "report: committed docs drifted from the result store; regenerate them with \
+                 `cargo run --release -p flywheel-report --bin report`"
+            );
+            std::process::exit(1);
+        }
+    } else {
+        std::fs::write(&results_path, &results)
+            .unwrap_or_else(|e| fail(&format!("could not write {results_path}: {e}")));
+        println!("wrote {results_path}");
+        let doc = std::fs::read_to_string(&experiments_path)
+            .unwrap_or_else(|e| fail(&format!("could not read {experiments_path}: {e}")));
+        let patched =
+            patch_block(&doc, &block).unwrap_or_else(|e| fail(&format!("{experiments_path}: {e}")));
+        if patched != doc {
+            std::fs::write(&experiments_path, patched)
+                .unwrap_or_else(|e| fail(&format!("could not write {experiments_path}: {e}")));
+            println!("updated the generated block of {experiments_path}");
+        } else {
+            println!("{experiments_path} already up to date");
+        }
+    }
+}

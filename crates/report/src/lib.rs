@@ -1,0 +1,507 @@
+//! # flywheel-report
+//!
+//! The self-regenerating documentation pipeline: turns the content-addressed
+//! result store (`flywheel_bench::store`) back into the Markdown the repo
+//! publishes, so the numbers in the docs are provably the numbers the
+//! simulators produce.
+//!
+//! * Every paper figure table (Figures 2, 11, 12, 13, 14, 15 and the
+//!   Execution-Cache residency study) is rendered from stored
+//!   [`RunStats`](flywheel_bench::store::RunStats) records through the exact
+//!   same [`format_table`] path the `experiments` binary prints, so a
+//!   regenerated table is byte-identical to a freshly simulated one.
+//! * [`results_markdown`] assembles the full `RESULTS.md` artifact: figure
+//!   tables plus the simulator-throughput trajectory read from `BENCH.json`.
+//! * [`patch_block`]/[`extract_block`] maintain the generated section of
+//!   `EXPERIMENTS.md` between `flywheel-report` markers.
+//! * The `report` binary drives it all, and its `--check` mode is the CI gate
+//!   that fails when committed docs disagree with the store.
+//!
+//! Reads go through a [`Source`], which either refuses to simulate
+//! ([`Source::read_only`], the `--check` path) or fills store misses by
+//! simulating the missing cell ([`Source::computing`], the `--populate` path).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use flywheel_bench::store::{ResultStore, StoreSummary};
+use flywheel_bench::{
+    format_table, run_baseline_cfg, run_flywheel_cfg, Row, CLOCK_SWEEP, EXPERIMENT_SEED,
+};
+use flywheel_core::{FlywheelConfig, FlywheelResult};
+use flywheel_timing::TechNode;
+use flywheel_uarch::{BaselineConfig, SimBudget, SimResult};
+use flywheel_workloads::Benchmark;
+
+/// The marker opening the generated section of EXPERIMENTS.md.
+pub const BLOCK_BEGIN: &str = "<!-- flywheel-report:begin -->";
+/// The marker closing the generated section of EXPERIMENTS.md.
+pub const BLOCK_END: &str = "<!-- flywheel-report:end -->";
+
+/// The technology node every simulated figure uses (the paper's 0.13 µm).
+fn node() -> TechNode {
+    TechNode::N130
+}
+
+/// A store-backed supplier of simulation results for the figure renderers.
+pub struct Source<'a> {
+    store: &'a mut ResultStore,
+    compute: bool,
+    summary: StoreSummary,
+}
+
+impl<'a> Source<'a> {
+    /// A source that only recalls stored records; a missing record is an
+    /// error telling the operator how to populate the store.
+    pub fn read_only(store: &'a mut ResultStore) -> Self {
+        Source {
+            store,
+            compute: false,
+            summary: StoreSummary::default(),
+        }
+    }
+
+    /// A source that simulates (and stores) any missing record.
+    pub fn computing(store: &'a mut ResultStore) -> Self {
+        Source {
+            store,
+            compute: true,
+            summary: StoreSummary::default(),
+        }
+    }
+
+    /// How many records this source recalled vs simulated so far.
+    pub fn summary(&self) -> StoreSummary {
+        self.summary
+    }
+
+    fn missing(&self, what: &str) -> String {
+        format!(
+            "no stored record for {what}; populate the store first \
+             (`cargo run --release -p flywheel-report --bin report -- --populate` or \
+             `cargo run --release -p flywheel-bench --bin experiments -- all --store results.store`)"
+        )
+    }
+
+    fn baseline(
+        &mut self,
+        bench: Benchmark,
+        cfg: BaselineConfig,
+        budget: SimBudget,
+    ) -> Result<SimResult, String> {
+        if let Some(r) = self
+            .store
+            .recall_baseline(&cfg, bench, EXPERIMENT_SEED, budget)
+        {
+            self.summary.hits += 1;
+            return Ok(r);
+        }
+        if !self.compute {
+            return Err(self.missing(&format!("baseline/{}", bench.name())));
+        }
+        let r = run_baseline_cfg(bench, EXPERIMENT_SEED, cfg.clone(), budget);
+        self.summary.simulated += 1;
+        self.store
+            .record_baseline(&cfg, bench, EXPERIMENT_SEED, budget, &r)
+            .map_err(|e| format!("could not append to the result store: {e}"))?;
+        Ok(r)
+    }
+
+    fn flywheel(
+        &mut self,
+        bench: Benchmark,
+        cfg: FlywheelConfig,
+        budget: SimBudget,
+    ) -> Result<FlywheelResult, String> {
+        if let Some(r) = self
+            .store
+            .recall_flywheel(&cfg, bench, EXPERIMENT_SEED, budget)
+        {
+            self.summary.hits += 1;
+            return Ok(r);
+        }
+        if !self.compute {
+            return Err(self.missing(&format!("flywheel/{}", bench.name())));
+        }
+        let r = run_flywheel_cfg(bench, EXPERIMENT_SEED, cfg.clone(), budget);
+        self.summary.simulated += 1;
+        self.store
+            .record_flywheel(&cfg, bench, EXPERIMENT_SEED, budget, &r)
+            .map_err(|e| format!("could not append to the result store: {e}"))?;
+        Ok(r)
+    }
+}
+
+/// Figure 2 (pipeline-loop stretching), byte-identical to `experiments fig2`.
+pub fn fig2_table(src: &mut Source<'_>, budget: SimBudget) -> Result<String, String> {
+    let columns = vec!["fetch+1 %".to_owned(), "wakeup/sel %".to_owned()];
+    let mut rows = Vec::new();
+    for &bench in Benchmark::paper_suite() {
+        let base = src.baseline(bench, BaselineConfig::paper(node()), budget)?;
+        let deeper = src.baseline(
+            bench,
+            BaselineConfig::paper(node()).with_extra_frontend_stage(),
+            budget,
+        )?;
+        let piped = src.baseline(
+            bench,
+            BaselineConfig::paper(node()).with_pipelined_wakeup(),
+            budget,
+        )?;
+        let degradation =
+            |v: &SimResult| (v.elapsed_ps as f64 / base.elapsed_ps as f64 - 1.0) * 100.0;
+        rows.push(Row {
+            bench: bench.name(),
+            values: vec![degradation(&deeper), degradation(&piped)],
+        });
+    }
+    Ok(format_table(
+        "Figure 2: performance degradation (%) from pipeline-loop stretching",
+        &columns,
+        &rows,
+    ))
+}
+
+/// Figure 11 (machines at the baseline clock), byte-identical to
+/// `experiments fig11`.
+pub fn fig11_table(src: &mut Source<'_>, budget: SimBudget) -> Result<String, String> {
+    let columns = vec!["reg-alloc".to_owned(), "flywheel".to_owned()];
+    let mut rows = Vec::new();
+    for &bench in Benchmark::paper_suite() {
+        let base = src.baseline(bench, BaselineConfig::paper(node()), budget)?;
+        let regalloc = src.flywheel(
+            bench,
+            FlywheelConfig::register_allocation_only(node()),
+            budget,
+        )?;
+        let flywheel = src.flywheel(bench, FlywheelConfig::paper_iso_clock(node()), budget)?;
+        rows.push(Row {
+            bench: bench.name(),
+            values: vec![regalloc.speedup_over(&base), flywheel.speedup_over(&base)],
+        });
+    }
+    Ok(format_table(
+        "Figure 11: performance at the baseline clock, normalized to the baseline",
+        &columns,
+        &rows,
+    ))
+}
+
+/// Which Figure 12–14 metric to read off the shared clock-sweep matrix.
+#[derive(Debug, Clone, Copy)]
+pub enum ClockSweepMetric {
+    /// Figure 12: relative performance.
+    Performance,
+    /// Figure 13: relative energy.
+    Energy,
+    /// Figure 14: relative power.
+    Power,
+}
+
+impl ClockSweepMetric {
+    fn title(&self) -> &'static str {
+        match self {
+            ClockSweepMetric::Performance => "Figure 12: relative performance",
+            ClockSweepMetric::Energy => "Figure 13: relative energy",
+            ClockSweepMetric::Power => "Figure 14: relative power",
+        }
+    }
+}
+
+/// One of the Figure 12–14 tables, byte-identical to the `experiments`
+/// binary's `fig12`/`fig13`/`fig14` output.
+pub fn clock_sweep_table(
+    src: &mut Source<'_>,
+    metric: ClockSweepMetric,
+    budget: SimBudget,
+) -> Result<String, String> {
+    let columns: Vec<String> = CLOCK_SWEEP
+        .iter()
+        .map(|(fe, be)| format!("FE{fe}/BE{be}"))
+        .collect();
+    let mut rows = Vec::new();
+    for &bench in Benchmark::paper_suite() {
+        let base = src.baseline(bench, BaselineConfig::paper(node()), budget)?;
+        let mut values = Vec::new();
+        for &(fe, be) in &CLOCK_SWEEP {
+            let fly = src.flywheel(bench, FlywheelConfig::paper(node(), fe, be), budget)?;
+            values.push(match metric {
+                ClockSweepMetric::Performance => fly.speedup_over(&base),
+                ClockSweepMetric::Energy => fly.energy_ratio_over(&base),
+                ClockSweepMetric::Power => fly.power_ratio_over(&base),
+            });
+        }
+        rows.push(Row {
+            bench: bench.name(),
+            values,
+        });
+    }
+    Ok(format_table(metric.title(), &columns, &rows))
+}
+
+/// Figure 15 (relative energy per technology node), byte-identical to
+/// `experiments fig15`.
+pub fn fig15_table(src: &mut Source<'_>, budget: SimBudget) -> Result<String, String> {
+    let nodes = TechNode::power_study_nodes();
+    let columns: Vec<String> = nodes.iter().map(|n| n.to_string()).collect();
+    let mut rows = Vec::new();
+    for &bench in Benchmark::paper_suite() {
+        let mut values = Vec::new();
+        for &n in nodes {
+            let base = src.baseline(bench, BaselineConfig::paper(n), budget)?;
+            let fly = src.flywheel(bench, FlywheelConfig::paper(n, 100, 50), budget)?;
+            values.push(fly.energy_ratio_over(&base));
+        }
+        rows.push(Row {
+            bench: bench.name(),
+            values,
+        });
+    }
+    Ok(format_table(
+        "Figure 15: relative energy of Flywheel (FE100%, BE50%) per technology node",
+        &columns,
+        &rows,
+    ))
+}
+
+/// The Execution-Cache residency study, byte-identical to
+/// `experiments ec_residency`.
+pub fn ec_residency_table(src: &mut Source<'_>, budget: SimBudget) -> Result<String, String> {
+    let columns = vec!["residency".to_owned(), "ec hit rate".to_owned()];
+    let mut rows = Vec::new();
+    for &bench in Benchmark::paper_suite() {
+        let fly = src.flywheel(bench, FlywheelConfig::paper_iso_clock(node()), budget)?;
+        rows.push(Row {
+            bench: bench.name(),
+            values: vec![fly.flywheel.ec_residency, fly.flywheel.ec_hit_rate()],
+        });
+    }
+    Ok(format_table(
+        "Execution-path residency (paper reports an 88% average; vortex the lowest)",
+        &columns,
+        &rows,
+    ))
+}
+
+/// All figure tables, in the `experiments all` order.
+pub fn all_figure_tables(src: &mut Source<'_>, budget: SimBudget) -> Result<String, String> {
+    let mut out = String::new();
+    out.push_str(&fig2_table(src, budget)?);
+    out.push_str(&fig11_table(src, budget)?);
+    out.push_str(&clock_sweep_table(
+        src,
+        ClockSweepMetric::Performance,
+        budget,
+    )?);
+    out.push_str(&clock_sweep_table(src, ClockSweepMetric::Energy, budget)?);
+    out.push_str(&clock_sweep_table(src, ClockSweepMetric::Power, budget)?);
+    out.push_str(&fig15_table(src, budget)?);
+    out.push_str(&ec_residency_table(src, budget)?);
+    Ok(out)
+}
+
+/// Simulates (or recalls) every cell the figure tables read, appending any
+/// missing record to the store. Returns how many cells were recalled vs
+/// simulated.
+pub fn populate(store: &mut ResultStore, budget: SimBudget) -> Result<StoreSummary, String> {
+    let mut src = Source::computing(store);
+    all_figure_tables(&mut src, budget)?;
+    Ok(src.summary())
+}
+
+/// Extracts one field of a hand-assembled `BENCH.json` object line.
+fn json_field<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+    let pat = format!("\"{name}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        return stripped.split('"').next();
+    }
+    rest.split([',', '}']).next().map(str::trim)
+}
+
+/// Renders the simulator-throughput trajectory table from a `BENCH.json`
+/// document written by the `experiments` binary.
+pub fn trajectory_table(bench_json: &str) -> Result<String, String> {
+    if !bench_json.contains("\"schema\": \"flywheel-bench/1\"") {
+        return Err("BENCH.json: unknown or missing schema".to_owned());
+    }
+    let mut out = String::new();
+    out.push_str("| experiment | wall s | simulated instructions | MIPS |\n");
+    out.push_str("|------------|-------:|-----------------------:|-----:|\n");
+    let mut rows = 0;
+    for line in bench_json.lines() {
+        let line = line.trim();
+        let name = if line.starts_with("{\"name\":") {
+            json_field(line, "name")
+        } else if line.starts_with("\"total\":") {
+            Some("**total**")
+        } else {
+            continue;
+        };
+        let (Some(name), Some(wall), Some(insts), Some(mips)) = (
+            name,
+            json_field(line, "wall_seconds"),
+            json_field(line, "simulated_instructions"),
+            json_field(line, "simulated_mips"),
+        ) else {
+            return Err(format!("BENCH.json: malformed line '{line}'"));
+        };
+        out.push_str(&format!("| {name} | {wall} | {insts} | {mips} |\n"));
+        rows += 1;
+    }
+    if rows == 0 {
+        return Err("BENCH.json: no experiment entries found".to_owned());
+    }
+    Ok(out)
+}
+
+/// Assembles the full RESULTS.md artifact from the store (and, optionally,
+/// the `BENCH.json` throughput report).
+pub fn results_markdown(
+    src: &mut Source<'_>,
+    budget: SimBudget,
+    bench_json: Option<&str>,
+) -> Result<String, String> {
+    let tables = all_figure_tables(src, budget)?;
+    let mut out = String::new();
+    out.push_str("# RESULTS\n\n");
+    out.push_str(
+        "Regenerated from the content-addressed result store by\n\
+         `cargo run --release -p flywheel-report --bin report`. **Do not edit by\n\
+         hand** — CI runs `report --check` and fails when this file disagrees\n\
+         with the store. To refresh after a legitimate behaviour change:\n\
+         regenerate `golden.txt`, re-populate the store, and re-run the report\n\
+         binary (see EXPERIMENTS.md).\n\n",
+    );
+    out.push_str(&format!(
+        "Store: schema `{}`, code-version salt `{:016x}` (derived from the\n\
+         committed `golden.txt`, so records can never outlive a simulator\n\
+         behaviour change). Budget: {} warm-up + {} measured instructions per\n\
+         cell, seed {}.\n",
+        flywheel_bench::store::STORE_SCHEMA,
+        flywheel_bench::store::code_version_salt(),
+        budget.warmup_instructions,
+        budget.measured_instructions,
+        EXPERIMENT_SEED,
+    ));
+    out.push_str("\n## Figure tables\n\n```text");
+    out.push_str(&tables);
+    out.push_str("```\n");
+    if let Some(json) = bench_json {
+        out.push_str(
+            "\n## Simulator throughput trajectory\n\n\
+             From `BENCH.json` (written by the `experiments` binary; wall-clock\n\
+             and MIPS are host-dependent — diff across commits on the same\n\
+             machine to track the simulator's own performance):\n\n",
+        );
+        out.push_str(&trajectory_table(json)?);
+    }
+    Ok(out)
+}
+
+/// The generated EXPERIMENTS.md section (between the report markers).
+pub fn experiments_block(src: &mut Source<'_>, budget: SimBudget) -> Result<String, String> {
+    let tables = all_figure_tables(src, budget)?;
+    Ok(format!(
+        "{BLOCK_BEGIN}\n\
+         The tables below are regenerated from the result store by\n\
+         `cargo run --release -p flywheel-report --bin report` (checked by CI via\n\
+         `report --check`; budget {} + {} instructions, seed {}):\n\n```text{tables}```\n{BLOCK_END}",
+        budget.warmup_instructions, budget.measured_instructions, EXPERIMENT_SEED,
+    ))
+}
+
+/// Extracts the generated block (markers included) from a document.
+pub fn extract_block(doc: &str) -> Result<&str, String> {
+    let start = doc
+        .find(BLOCK_BEGIN)
+        .ok_or_else(|| format!("missing '{BLOCK_BEGIN}' marker"))?;
+    let end = doc
+        .find(BLOCK_END)
+        .ok_or_else(|| format!("missing '{BLOCK_END}' marker"))?;
+    if end < start {
+        return Err("generated-block markers out of order".to_owned());
+    }
+    if doc[start + BLOCK_BEGIN.len()..].contains(BLOCK_BEGIN)
+        || doc[end + BLOCK_END.len()..].contains(BLOCK_END)
+    {
+        return Err("duplicate generated-block markers".to_owned());
+    }
+    Ok(&doc[start..end + BLOCK_END.len()])
+}
+
+/// Replaces the generated block of `doc` with `block` (which must carry the
+/// markers, as produced by [`experiments_block`]).
+pub fn patch_block(doc: &str, block: &str) -> Result<String, String> {
+    let current = extract_block(doc)?;
+    Ok(doc.replacen(current, block, 1))
+}
+
+/// Compares a document's generated block against the expected one; on
+/// mismatch, reports the first diverging line.
+pub fn check_block(doc: &str, expected_block: &str, what: &str) -> Result<(), String> {
+    diff_texts(extract_block(doc)?, expected_block, what)
+}
+
+/// Byte-compares two documents, reporting the first diverging line.
+pub fn diff_texts(actual: &str, expected: &str, what: &str) -> Result<(), String> {
+    if actual == expected {
+        return Ok(());
+    }
+    let mut a = actual.lines();
+    let mut e = expected.lines();
+    let mut line = 1;
+    loop {
+        match (a.next(), e.next()) {
+            (Some(x), Some(y)) if x == y => line += 1,
+            (x, y) => {
+                return Err(format!(
+                    "{what}: out of sync with the store at line {line}\n  committed: {}\n  expected:  {}",
+                    x.unwrap_or("<end of file>"),
+                    y.unwrap_or("<end of file>"),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_patching_round_trips() {
+        let doc = format!("intro\n{BLOCK_BEGIN}\nold\n{BLOCK_END}\noutro\n");
+        let block = format!("{BLOCK_BEGIN}\nnew\n{BLOCK_END}");
+        let patched = patch_block(&doc, &block).unwrap();
+        assert_eq!(
+            patched,
+            format!("intro\n{BLOCK_BEGIN}\nnew\n{BLOCK_END}\noutro\n")
+        );
+        check_block(&patched, &block, "doc").unwrap();
+        assert!(check_block(&doc, &block, "doc").is_err());
+        assert!(extract_block("no markers").is_err());
+        let dup = format!("{BLOCK_BEGIN}\n{BLOCK_END}\n{BLOCK_BEGIN}\n{BLOCK_END}");
+        assert!(extract_block(&dup).is_err());
+    }
+
+    #[test]
+    fn trajectory_table_parses_the_handwritten_json() {
+        let json = "{\n  \"schema\": \"flywheel-bench/1\",\n  \"sweep_workers\": 4,\n  \"experiments\": [\n    {\"name\": \"fig2\", \"wall_seconds\": 2.510, \"simulated_instructions\": 9000000, \"simulated_mips\": 3.59},\n    {\"name\": \"fig11\", \"wall_seconds\": 2.670, \"simulated_instructions\": 9000000, \"simulated_mips\": 3.37}\n  ],\n  \"total\": {\"wall_seconds\": 5.180, \"simulated_instructions\": 18000000, \"simulated_mips\": 3.47}\n}\n";
+        let table = trajectory_table(json).unwrap();
+        assert!(table.contains("| fig2 | 2.510 | 9000000 | 3.59 |"));
+        assert!(table.contains("| **total** | 5.180 | 18000000 | 3.47 |"));
+        assert!(trajectory_table("{}").is_err());
+        assert!(trajectory_table("{\"schema\": \"flywheel-bench/1\"}").is_err());
+    }
+
+    #[test]
+    fn read_only_source_refuses_to_simulate() {
+        let mut store = ResultStore::in_memory();
+        let mut src = Source::read_only(&mut store);
+        let err = fig2_table(&mut src, SimBudget::new(100, 400)).unwrap_err();
+        assert!(err.contains("no stored record"), "got: {err}");
+        assert_eq!(src.summary(), StoreSummary::default());
+    }
+}

@@ -1,0 +1,127 @@
+//! End-to-end tests of the self-regenerating docs pipeline: populate a store,
+//! render the documents, verify the `--check` logic accepts faithful docs and
+//! catches tampered ones, and prove the regenerated tables are byte-identical
+//! to the `experiments` binary's simulation path.
+
+use flywheel_bench::store::ResultStore;
+use flywheel_bench::{format_table, run_baseline, run_flywheel, Row};
+use flywheel_core::FlywheelConfig;
+use flywheel_report::{
+    check_block, diff_texts, ec_residency_table, experiments_block, fig11_table, patch_block,
+    populate, results_markdown, Source, BLOCK_BEGIN, BLOCK_END,
+};
+use flywheel_timing::TechNode;
+use flywheel_uarch::SimBudget;
+use flywheel_workloads::Benchmark;
+
+fn tiny_budget() -> SimBudget {
+    SimBudget::new(150, 600)
+}
+
+#[test]
+fn pipeline_regenerates_checks_and_catches_tampering() {
+    let budget = tiny_budget();
+    let mut store = ResultStore::in_memory();
+
+    // Cold populate simulates every figure cell; a second populate is free.
+    let first = populate(&mut store, budget).unwrap();
+    assert!(first.simulated > 0);
+    let second = populate(&mut store, budget).unwrap();
+    assert_eq!(second.simulated, 0, "populate must be incremental");
+    assert_eq!(second.hits, first.hits + first.simulated);
+
+    // Regeneration is deterministic: two renders are byte-identical.
+    let mut src = Source::read_only(&mut store);
+    let results = results_markdown(&mut src, budget, None).unwrap();
+    let block = experiments_block(&mut src, budget).unwrap();
+    let mut src = Source::read_only(&mut store);
+    assert_eq!(results, results_markdown(&mut src, budget, None).unwrap());
+
+    // A faithful document passes the check.
+    let doc =
+        format!("# Experiments\n\nprose\n\n{BLOCK_BEGIN}\nstale\n{BLOCK_END}\n\nmore prose\n");
+    let published = patch_block(&doc, &block).unwrap();
+    check_block(&published, &block, "EXPERIMENTS.md").unwrap();
+    diff_texts(&results, &results, "RESULTS.md").unwrap();
+
+    // Tamper with one digit inside a figure table: the check must fail and
+    // point at the divergence.
+    let digit = published
+        .char_indices()
+        .skip(published.find("== Figure 11").unwrap())
+        .find(|(_, c)| c.is_ascii_digit())
+        .map(|(i, _)| i)
+        .unwrap();
+    let mut tampered = published.clone();
+    let old = tampered.remove(digit);
+    tampered.insert(digit, if old == '9' { '8' } else { '9' });
+    let err = check_block(&tampered, &block, "EXPERIMENTS.md").unwrap_err();
+    assert!(err.contains("out of sync"), "got: {err}");
+
+    // Deleting a marker is reported as such, not as a silent pass.
+    let headless = published.replace(BLOCK_END, "");
+    assert!(check_block(&headless, &block, "EXPERIMENTS.md").is_err());
+
+    // Tampering RESULTS.md is caught by the same diff.
+    let tampered_results = results.replacen("average", "avg", 1);
+    assert!(diff_texts(&tampered_results, &results, "RESULTS.md").is_err());
+}
+
+#[test]
+fn store_backed_tables_match_the_simulation_path_byte_for_byte() {
+    // Render Figure 11 and the EC-residency study from stored records and
+    // recompute them the way the experiments binary does, through the same
+    // shared format_table; the bytes must agree.
+    let budget = tiny_budget();
+    let mut store = ResultStore::in_memory();
+    populate(&mut store, budget).unwrap();
+    let mut src = Source::read_only(&mut store);
+    let from_store = fig11_table(&mut src, budget).unwrap();
+    let residency_from_store = ec_residency_table(&mut src, budget).unwrap();
+
+    let node = TechNode::N130;
+    let columns = vec!["reg-alloc".to_owned(), "flywheel".to_owned()];
+    let mut rows = Vec::new();
+    let mut res_rows = Vec::new();
+    for &bench in Benchmark::paper_suite() {
+        let base = run_baseline(bench, node, budget);
+        let regalloc = run_flywheel(
+            bench,
+            FlywheelConfig::register_allocation_only(node),
+            budget,
+        );
+        let flywheel = run_flywheel(bench, FlywheelConfig::paper_iso_clock(node), budget);
+        rows.push(Row {
+            bench: bench.name(),
+            values: vec![regalloc.speedup_over(&base), flywheel.speedup_over(&base)],
+        });
+        res_rows.push(Row {
+            bench: bench.name(),
+            values: vec![
+                flywheel.flywheel.ec_residency,
+                flywheel.flywheel.ec_hit_rate(),
+            ],
+        });
+    }
+    let expected = format_table(
+        "Figure 11: performance at the baseline clock, normalized to the baseline",
+        &columns,
+        &rows,
+    );
+    assert_eq!(from_store, expected);
+    let expected_res = format_table(
+        "Execution-path residency (paper reports an 88% average; vortex the lowest)",
+        &["residency".to_owned(), "ec hit rate".to_owned()],
+        &res_rows,
+    );
+    assert_eq!(residency_from_store, expected_res);
+}
+
+#[test]
+fn missing_records_name_the_populate_commands() {
+    let mut store = ResultStore::in_memory();
+    let mut src = Source::read_only(&mut store);
+    let err = fig11_table(&mut src, tiny_budget()).unwrap_err();
+    assert!(err.contains("--populate"), "got: {err}");
+    assert!(err.contains("--store results.store"), "got: {err}");
+}

@@ -116,6 +116,28 @@ impl InflightEntry {
 /// machine's in-flight capacity (ROB + front-end queue), so a power-of-two ring
 /// indexed by `seq & mask` gives collision-free O(1) access. The table grows
 /// automatically if a window ever exceeds the initial capacity hint.
+///
+/// # Example
+///
+/// ```
+/// use flywheel_uarch::{InflightEntry, InflightTable};
+/// use flywheel_workloads::{Benchmark, RecordedTrace};
+///
+/// // Instructions enter in fetch order and are addressed by sequence number.
+/// let program = Benchmark::Micro.synthesize(7);
+/// let trace = RecordedTrace::record(&program, 7, 32);
+/// let mut table = InflightTable::with_capacity(8);
+/// for d in trace.cursor().take(4) {
+///     table.insert(InflightEntry::new_frontend(d, 0, false));
+/// }
+/// assert_eq!(table.len(), 4);
+/// assert!(table.contains(0) && table.contains(3));
+/// // Retirement pops the window head; the freed slot is reusable at once.
+/// let retired = table.remove(0).unwrap();
+/// assert_eq!(retired.d.seq, 0);
+/// assert_eq!(table.len(), 3);
+/// assert!(table.get(0).is_none());
+/// ```
 #[derive(Debug, Clone)]
 pub struct InflightTable {
     slots: Vec<Option<InflightEntry>>,

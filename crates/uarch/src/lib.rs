@@ -20,7 +20,7 @@
 //!   Issue Window front-end.
 //!
 //! The simulator consumes [`flywheel_isa::DynInst`] streams (usually from
-//! [`flywheel_workloads::TraceGenerator`]), models two clock domains with arbitrary
+//! `flywheel_workloads::TraceGenerator`), models two clock domains with arbitrary
 //! period ratios, and reports performance plus a Wattch-style energy breakdown
 //! ([`SimResult`]).
 

@@ -18,8 +18,8 @@ use std::collections::VecDeque;
 /// Issue Window front-end.
 ///
 /// The simulator is trace driven: it consumes [`DynInst`]s from a
-/// [`flywheel_workloads::TraceGenerator`], a shared
-/// [`flywheel_workloads::RecordedTrace`] cursor (the cheap option when many
+/// `flywheel_workloads::TraceGenerator`, a shared
+/// `flywheel_workloads::RecordedTrace` cursor (the cheap option when many
 /// configurations replay the same workload), or any other iterator; models fetch,
 /// dispatch, wake-up/select, execution, memory and retirement cycle by cycle in two
 /// clock domains (front-end and execution core); and reports performance plus a

@@ -54,6 +54,23 @@ const MEM_ACCESS_BYTES: u8 = 8;
 /// arena holds exactly the first `max_insts` instructions of the stream, so memory
 /// stays proportional to the longest simulation run (see
 /// [`RecordedTrace::capture_len_for`]).
+///
+/// # Example
+///
+/// ```
+/// use flywheel_workloads::{Benchmark, RecordedTrace};
+///
+/// let program = Benchmark::Micro.synthesize(42);
+/// let trace = RecordedTrace::record(&program, 42, 100);
+/// assert_eq!(trace.len(), 100);
+/// // Cursors are independent, restartable iterators over the same arena.
+/// let first: Vec<u64> = trace.cursor().take(3).map(|d| d.seq).collect();
+/// assert_eq!(first, vec![0, 1, 2]);
+/// let mut cursor = trace.cursor();
+/// cursor.next();
+/// cursor.restart();
+/// assert_eq!(cursor.next().unwrap().seq, 0);
+/// ```
 #[derive(Debug, Clone)]
 pub struct RecordedTrace {
     /// Flattened static program in layout order, indexed by word slot.
