@@ -10,7 +10,8 @@
 //!
 //! Presets: `fig2`, `fig11`, `fig12` (tables byte-identical to the
 //! `experiments` binary at the same budget), `smoke` (the CI grid), `stress`
-//! (the stress-workload family over three config axes).
+//! (the stress-workload family over three config axes), `leakage` (technology
+//! node x machine x Execution Cache capacity, the attributed-leakage sweep).
 //!
 //! Axes (comma-separated lists; `custom` starts from the paper's single-point
 //! defaults):
@@ -42,7 +43,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: scenarios <fig2|fig11|fig12|smoke|stress|custom> \
+        "usage: scenarios <fig2|fig11|fig12|smoke|stress|leakage|custom> \
          [--benches a,b] [--machines m,..] [--nodes 130,..] [--clocks FE:BE,..] \
          [--windows IW:ROB,..] [--ec KB,..] [--mem CYC,..] [--seeds S,..] \
          [--insts N] [--check] [--json PATH] [--csv PATH] [--store PATH]"
@@ -116,6 +117,7 @@ fn main() {
             s
         }
         "stress" => Scenario::stress(budget),
+        "leakage" => Scenario::leakage(budget),
         "custom" => Scenario::new("custom", budget),
         _ => usage(),
     };
@@ -228,7 +230,7 @@ fn main() {
         match run.check_invariants() {
             Ok(()) => println!(
                 "invariants: all {} cells passed (retired budget, energy accounting, \
-                 counter sanity, machine-specific stats)",
+                 machine-aware leakage attribution, counter sanity, machine-specific stats)",
                 run.cells.len()
             ),
             Err(e) => {

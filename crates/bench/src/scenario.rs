@@ -13,7 +13,11 @@
 //! The paper's figure sweeps are expressible as presets ([`Scenario::fig2`],
 //! [`Scenario::fig11`], [`Scenario::fig12`]) whose rendered tables are
 //! byte-identical to the `experiments` binary's output — the engine is a strict
-//! generalisation, proven by the `scenario_figures` tests.
+//! generalisation, proven by the `scenario_figures` tests. The
+//! [`Scenario::leakage`] preset sweeps technology node x machine x Execution
+//! Cache capacity, exercising the attributed leakage model of PR 5 on every
+//! cell ([`check_cell_invariants`] recomputes each cell's per-category leakage
+//! from the machine-aware power model and rejects any disagreement).
 //!
 //! Every cell is a deterministic, independent simulation: the same scenario
 //! always produces the same results regardless of worker count
@@ -26,6 +30,7 @@ use crate::{
     EXPERIMENT_SEED,
 };
 use flywheel_core::{FlywheelConfig, FlywheelStats};
+use flywheel_power::{MachineKind, PowerModel, UnitCategory};
 use flywheel_timing::{ClockPlan, TechNode};
 use flywheel_uarch::{BaselineConfig, SimBudget, SimResult};
 use flywheel_workloads::Benchmark;
@@ -217,6 +222,21 @@ impl Scenario {
         s.clocks = vec![(0, 0), (50, 50), (100, 50)];
         s.windows = vec![(64, 64), (128, 128)];
         s.mem_cycles = vec![100, 300];
+        s
+    }
+
+    /// The leakage-attribution preset: technology node x machine x Execution
+    /// Cache capacity, at the paper's Figure 15 clock point (FE +100 %,
+    /// BE +50 %). Every cell's attributed leakage components are pinned by
+    /// [`check_cell_invariants`] against the machine-aware power model, so this
+    /// grid is the sweep that demonstrates (and guards) the widened
+    /// baseline-vs-Flywheel leakage gap across nodes and EC geometries.
+    pub fn leakage(budget: SimBudget) -> Self {
+        let mut s = Scenario::new("leakage", budget);
+        s.machines = vec![Machine::Baseline, Machine::Flywheel];
+        s.nodes = TechNode::power_study_nodes().to_vec();
+        s.clocks = vec![(100, 50)];
+        s.ec_kb = vec![64, 128, 256];
         s
     }
 
@@ -565,7 +585,9 @@ pub fn check_cell_invariants(
         ("backend", e.backend_pj),
         ("flywheel", e.flywheel_pj),
         ("clock", e.clock_pj),
-        ("leakage", e.leakage_pj),
+        ("leakage_frontend", e.leakage_frontend_pj),
+        ("leakage_backend", e.leakage_backend_pj),
+        ("leakage_flywheel", e.leakage_flywheel_pj),
     ];
     for (name, v) in components {
         if !v.is_finite() || v < 0.0 {
@@ -576,6 +598,35 @@ pub fn check_cell_invariants(
     let total = e.total_pj();
     if (total - sum).abs() > 1e-6 * sum.max(1.0) {
         return fail(format!("energy total {total} != component sum {sum}"));
+    }
+    // Leakage attribution: each reported component must equal the machine-aware
+    // power model's per-category leakage over the cell's elapsed time,
+    // recomputed here from the cell's own machine configuration. This is the
+    // invariant that makes machine-blind leakage accounting (the class of bug
+    // fixed in PR 5: a baseline charged for Execution-Cache leakage it does not
+    // instantiate) impossible to reintroduce silently in either kernel.
+    let (power_cfg, kind) = if cell.machine.is_baseline() {
+        (cell.baseline_config().power_config(), MachineKind::Baseline)
+    } else {
+        (cell.flywheel_config().power_config(), MachineKind::Flywheel)
+    };
+    let model = PowerModel::new(power_cfg);
+    let elapsed_s = sim.elapsed_ps as f64 * 1.0e-12;
+    for (cat, name, got) in [
+        (UnitCategory::FrontEnd, "frontend", e.leakage_frontend_pj),
+        (UnitCategory::BackEnd, "backend", e.leakage_backend_pj),
+        (
+            UnitCategory::FlywheelExtra,
+            "flywheel",
+            e.leakage_flywheel_pj,
+        ),
+    ] {
+        let want = model.machine_leakage_w(kind, Some(cat)) * elapsed_s * 1.0e12;
+        if (got - want).abs() > 1e-9 * want.max(1.0) {
+            return fail(format!(
+                "{name} leakage {got} pJ disagrees with the machine-aware model ({want} pJ)"
+            ));
+        }
     }
     // Average power must be consistent with total energy over elapsed time.
     let implied_w = total * 1.0e-12 / (sim.elapsed_ps as f64 * 1.0e-12);
@@ -596,6 +647,16 @@ pub fn check_cell_invariants(
         (Some(_), true) => return fail("baseline cell carries Flywheel stats".into()),
         (None, false) => return fail("Flywheel cell lost its stats".into()),
         (Some(f), false) => {
+            // Every Flywheel-family machine instantiates at least the Register
+            // Update stage (the RegAlloc variant's Execution Cache enters the
+            // power geometry as zero bytes), so its Flywheel-category leakage
+            // is strictly positive.
+            if e.leakage_flywheel_pj <= 0.0 {
+                return fail(format!(
+                    "Flywheel machine reports {} pJ of Flywheel-structure leakage",
+                    e.leakage_flywheel_pj
+                ));
+            }
             if f.ec_hits > f.ec_lookups {
                 return fail(format!(
                     "EC hits {} exceed lookups {}",
@@ -622,6 +683,12 @@ pub fn check_cell_invariants(
             }
             if e.flywheel_pj != 0.0 {
                 return fail(format!("baseline charged {} pJ to EC units", e.flywheel_pj));
+            }
+            if e.leakage_flywheel_pj != 0.0 {
+                return fail(format!(
+                    "baseline charged {} pJ of leakage to Flywheel-only structures",
+                    e.leakage_flywheel_pj
+                ));
             }
         }
     }
@@ -849,7 +916,8 @@ impl ScenarioRun {
         let mut s = String::from(
             "scenario,bench,seed,machine,node_nm,fe_pct,be_pct,iw,rob,ec_kb,mem_cycles,\
              instructions,be_cycles,fe_cycles,elapsed_ps,squashed,ipc,total_energy_pj,\
-             avg_power_w,gated_fraction,ec_residency,ec_hit_rate\n",
+             avg_power_w,leak_frontend_pj,leak_backend_pj,leak_flywheel_pj,leak_fraction,\
+             gated_fraction,ec_residency,ec_hit_rate\n",
         );
         let name = self.emitted_name();
         for (cell, r) in self.cells.iter().zip(&self.results) {
@@ -861,7 +929,8 @@ impl ScenarioRun {
                 None => (String::new(), String::new()),
             };
             s.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{:.3},{:.6},{:.6},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{:.3},{:.6},\
+                 {:.3},{:.3},{:.3},{:.6},{:.6},{},{}\n",
                 name,
                 cell.bench,
                 cell.seed,
@@ -881,6 +950,10 @@ impl ScenarioRun {
                 r.sim.ipc(),
                 r.sim.energy.total_pj(),
                 r.sim.average_power_w(),
+                r.sim.energy.leakage_frontend_pj,
+                r.sim.energy.leakage_backend_pj,
+                r.sim.energy.leakage_flywheel_pj,
+                r.sim.energy.leakage_fraction(),
                 r.sim.gated_frontend_fraction,
                 res,
                 hit,
@@ -908,7 +981,8 @@ impl ScenarioRun {
                  \"fe_pct\": {}, \"be_pct\": {}, \"iw\": {}, \"rob\": {}, \"ec_kb\": {}, \
                  \"mem_cycles\": {}, \"instructions\": {}, \"be_cycles\": {}, \"fe_cycles\": {}, \
                  \"elapsed_ps\": {}, \"squashed\": {}, \"ipc\": {:.6}, \"total_energy_pj\": {:.3}, \
-                 \"avg_power_w\": {:.6}",
+                 \"avg_power_w\": {:.6}, \"leak_frontend_pj\": {:.3}, \"leak_backend_pj\": {:.3}, \
+                 \"leak_flywheel_pj\": {:.3}, \"leak_fraction\": {:.6}",
                 cell.bench,
                 cell.seed,
                 cell.machine,
@@ -927,6 +1001,10 @@ impl ScenarioRun {
                 r.sim.ipc(),
                 r.sim.energy.total_pj(),
                 r.sim.average_power_w(),
+                r.sim.energy.leakage_frontend_pj,
+                r.sim.energy.leakage_backend_pj,
+                r.sim.energy.leakage_flywheel_pj,
+                r.sim.energy.leakage_fraction(),
             ));
             if let Some(f) = &r.flywheel {
                 s.push_str(&format!(
@@ -976,6 +1054,22 @@ mod tests {
         }
         Scenario::smoke().validate().unwrap();
         Scenario::stress(b).validate().unwrap();
+        Scenario::leakage(b).validate().unwrap();
+    }
+
+    #[test]
+    fn leakage_preset_sweeps_node_machine_and_ec() {
+        let s = Scenario::leakage(tiny_budget());
+        assert_eq!(s.nodes, TechNode::power_study_nodes().to_vec());
+        assert_eq!(s.clocks, vec![(100, 50)]);
+        assert_eq!(s.ec_kb, vec![64, 128, 256]);
+        // Per (bench, seed): baseline runs once per node; the Flywheel machine
+        // multiplies over nodes x EC capacities.
+        let nodes = s.nodes.len();
+        assert_eq!(
+            s.cell_count(),
+            s.benchmarks.len() * (nodes + nodes * s.ec_kb.len())
+        );
     }
 
     #[test]
@@ -1204,8 +1298,11 @@ mod tests {
         assert!(json.contains("\"schema\": \"flywheel-scenarios/1\""));
         // Flywheel cells carry EC fields, baseline cells leave them empty.
         assert!(json.contains("\"ec_residency\""));
+        // The leakage-attribution column family is emitted for every cell.
+        assert!(json.contains("\"leak_flywheel_pj\""));
+        assert!(csv.lines().next().unwrap().contains("leak_flywheel_pj"));
         for line in csv.lines().skip(1) {
-            assert_eq!(line.matches(',').count(), 21, "column count in {line}");
+            assert_eq!(line.matches(',').count(), 25, "column count in {line}");
         }
         // A hostile scenario name must not break either format.
         let mut evil = s.clone();
@@ -1213,7 +1310,7 @@ mod tests {
         let run = evil.run();
         assert!(run.to_json().contains("\"scenario\": \"a_b_c_d\""));
         for line in run.to_csv().lines().skip(1) {
-            assert_eq!(line.matches(',').count(), 21, "column count in {line}");
+            assert_eq!(line.matches(',').count(), 25, "column count in {line}");
         }
     }
 

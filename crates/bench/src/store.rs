@@ -37,7 +37,10 @@ use std::sync::Mutex;
 
 /// On-disk schema version. Bump when the record line format changes; a store
 /// written by a different schema is rejected at [`ResultStore::open`] time.
-pub const STORE_SCHEMA: &str = "flywheel-store/1";
+///
+/// v2: `EnergyBreakdown` leakage is attributed — the single `leakage_pj` field
+/// became three per-category components (front-end, back-end, Flywheel-only).
+pub const STORE_SCHEMA: &str = "flywheel-store/2";
 
 /// The committed golden digest, compiled in so the code-version salt tracks
 /// simulator behaviour: regenerating `golden.txt` (the required step whenever
@@ -227,7 +230,9 @@ impl RunStats {
         f(out, s.energy.backend_pj);
         f(out, s.energy.flywheel_pj);
         f(out, s.energy.clock_pj);
-        f(out, s.energy.leakage_pj);
+        f(out, s.energy.leakage_frontend_pj);
+        f(out, s.energy.leakage_backend_pj);
+        f(out, s.energy.leakage_flywheel_pj);
         u(out, s.energy.elapsed_ps);
         f(out, s.gated_frontend_fraction);
         if let Some(w) = &self.flywheel {
@@ -278,7 +283,9 @@ impl RunStats {
         sim.energy.backend_pj = f(fields)?;
         sim.energy.flywheel_pj = f(fields)?;
         sim.energy.clock_pj = f(fields)?;
-        sim.energy.leakage_pj = f(fields)?;
+        sim.energy.leakage_frontend_pj = f(fields)?;
+        sim.energy.leakage_backend_pj = f(fields)?;
+        sim.energy.leakage_flywheel_pj = f(fields)?;
         sim.energy.elapsed_ps = u(fields)?;
         sim.gated_frontend_fraction = f(fields)?;
         let flywheel = match fields.next()? {
@@ -307,7 +314,7 @@ impl RunStats {
 
 /// A persistent, append-only map from [`StoreKey`] to [`RunStats`].
 ///
-/// The on-disk format is one header line (`flywheel-store/1`) followed by one
+/// The on-disk format is one header line ([`STORE_SCHEMA`]) followed by one
 /// record per line: `<key-hex> <label> <fields…>`. The label is informational
 /// only (a human-readable cell description); lookups go by key. Records are
 /// only ever appended — a re-run with changed inputs appends new keys and the
@@ -635,7 +642,8 @@ mod tests {
         sim.bpred.total_ctrl = 11;
         sim.caches.l1d = (100, 3);
         sim.energy.frontend_pj = 1.5e7 + 0.1; // not exactly representable in decimal
-        sim.energy.leakage_pj = f64::MIN_POSITIVE; // subnormal-adjacent round-trip
+        sim.energy.leakage_backend_pj = f64::MIN_POSITIVE; // subnormal-adjacent round-trip
+        sim.energy.leakage_flywheel_pj = 0.25;
         sim.energy.elapsed_ps = sim.elapsed_ps;
         RunStats {
             sim,

@@ -9,6 +9,11 @@
 //! * the simulator retires exactly the measured instruction budget,
 //! * per-unit energy components are finite, non-negative and sum to the
 //!   reported total (power consistent with energy over time),
+//! * leakage is attributed machine-aware: every cell's per-category leakage
+//!   components are recomputed from the cell's own machine configuration and
+//!   machine kind (baseline cells carry exactly zero Flywheel-structure
+//!   leakage; Flywheel-family cells leak strictly more than the baseline at
+//!   the same node),
 //! * cycle/time counters are sane per cell and monotone in the budget,
 //! * machine-specific stats stay in range (EC residency/hit rate, no Flywheel
 //!   energy or front-end gating on the baseline).
@@ -65,6 +70,55 @@ fn randomized_grids_satisfy_the_machine_invariants() {
             "round {round} not deterministic"
         );
     }
+}
+
+#[test]
+fn flywheel_leakage_strictly_exceeds_baseline_on_randomized_cells() {
+    // The differential form of the PR 5 bugfix, checked over a randomized grid:
+    // the baseline pays zero Flywheel-structure leakage, and every
+    // Flywheel-family cell at the same (bench, seed, node) leaks strictly more
+    // *power* (leakage energy over elapsed time) than its baseline reference —
+    // the Execution Cache, Register Update and 512-entry register file all
+    // leak, whatever the clock plan does to wall-clock time.
+    let mut rng = SimRng::seed_from_u64(0xf10c_8a6e);
+    let s = random_scenario(&mut rng);
+    let run = s.run();
+    run.check_invariants().unwrap_or_else(|e| panic!("{e}"));
+    let leak_w = |r: &flywheel_bench::scenario::CellResult| {
+        r.sim.energy.leakage_pj() / r.sim.elapsed_ps as f64
+    };
+    let mut compared = 0;
+    for (bc, br) in run
+        .cells
+        .iter()
+        .zip(&run.results)
+        .filter(|(c, _)| c.machine == Machine::Baseline)
+    {
+        assert_eq!(
+            br.sim.energy.leakage_flywheel_pj,
+            0.0,
+            "{}: baseline charged Flywheel-structure leakage",
+            bc.label()
+        );
+        for (fc, fr) in run
+            .cells
+            .iter()
+            .zip(&run.results)
+            .filter(|(c, _)| !c.machine.is_baseline())
+        {
+            if fc.bench == bc.bench && fc.seed == bc.seed && fc.node == bc.node {
+                assert!(
+                    leak_w(fr) > leak_w(br),
+                    "{} leaks {} pJ/ps, not above baseline {} pJ/ps",
+                    fc.label(),
+                    leak_w(fr),
+                    leak_w(br)
+                );
+                compared += 1;
+            }
+        }
+    }
+    assert!(compared > 0, "grid produced no comparable machine pairs");
 }
 
 #[test]

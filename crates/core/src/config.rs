@@ -142,6 +142,45 @@ impl FlywheelConfig {
         self.base.node
     }
 
+    /// The structural power-model parameters this machine implies.
+    ///
+    /// Like [`BaselineConfig::power_config`], this is the single construction
+    /// point for the energy model's geometry: `FlywheelSim` builds its
+    /// `PowerModel` from it and the scenario invariant layer rebuilds the
+    /// identical model to cross-check attributed leakage. `rf_entries` stays at
+    /// the paper's baseline register file — it is the *reference* geometry that
+    /// `flywheel_regfile_factor` (dynamic energy) and the Flywheel register-file
+    /// leakage are scaled against — while `flywheel_rf_entries` follows the pool
+    /// configuration and `ec_bytes` the Execution Cache geometry. A machine
+    /// with the Execution Cache disabled (the Figure 11 "Register Allocation"
+    /// variant) reports `ec_bytes: 0`: it does not instantiate the EC data
+    /// array, so neither its dynamic energy nor its leakage may appear in the
+    /// account — while the Register Update stage, which that variant *does*
+    /// have, keeps leaking.
+    pub fn power_config(&self) -> flywheel_power::PowerConfig {
+        use flywheel_power::PowerConfig;
+        let base = &self.base;
+        PowerConfig {
+            node: base.node,
+            iw_entries: base.iw_entries,
+            iw_width: base.issue_width,
+            fetch_width: base.fetch_width,
+            flywheel_rf_entries: self.pools.total_phys_regs,
+            icache_bytes: base.icache.size_bytes,
+            dcache_bytes: base.dcache.size_bytes,
+            l2_bytes: base.l2.size_bytes,
+            ec_bytes: if self.execution_cache {
+                self.ec.size_bytes
+            } else {
+                0
+            },
+            rob_entries: base.rob_entries,
+            lsq_entries: base.lsq_entries,
+            bpred_entries: base.bpred.pht_entries,
+            ..PowerConfig::paper(base.node)
+        }
+    }
+
     /// Validates internal consistency.
     pub fn validate(&self) -> Result<(), String> {
         self.base.validate()?;
@@ -198,6 +237,28 @@ mod tests {
         let c = FlywheelConfig::register_allocation_only(TechNode::N130);
         assert!(!c.execution_cache);
         c.validate().unwrap();
+    }
+
+    #[test]
+    fn register_allocation_power_geometry_has_no_ec() {
+        use flywheel_power::{MachineKind, PowerModel, Unit, UnitCategory};
+        // The Figure 11 variant has no Execution Cache: it must pay neither EC
+        // dynamic energy nor EC leakage, while still leaking through the
+        // Register Update stage it does have.
+        let ra = FlywheelConfig::register_allocation_only(TechNode::N130);
+        assert_eq!(ra.power_config().ec_bytes, 0);
+        let ra_model = PowerModel::new(ra.power_config());
+        assert_eq!(
+            ra_model.leakage_w_for(Unit::EcDataRead, MachineKind::Flywheel),
+            0.0
+        );
+        assert_eq!(ra_model.access_energy_pj(Unit::EcDataRead), 0.0);
+        assert!(ra_model.leakage_w_for(Unit::RegisterUpdate, MachineKind::Flywheel) > 0.0);
+        let full = PowerModel::new(FlywheelConfig::paper_iso_clock(TechNode::N130).power_config());
+        assert!(
+            ra_model.machine_leakage_w(MachineKind::Flywheel, Some(UnitCategory::FlywheelExtra))
+                < full.machine_leakage_w(MachineKind::Flywheel, Some(UnitCategory::FlywheelExtra))
+        );
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::ec::{ExecutionCache, Trace, TraceBuilder};
 use crate::pools::PoolRenamer;
 use crate::stats::{FlywheelResult, FlywheelStats};
 use flywheel_isa::{DynInst, OpClass, Pc};
-use flywheel_power::{EnergyAccumulator, PowerConfig, PowerModel, Unit};
+use flywheel_power::{EnergyAccumulator, MachineKind, PowerModel, Unit};
 use flywheel_uarch::{
     AccessOutcome, BpredStats, CompletionQueue, EntryState, GsharePredictor, HierarchyStats,
     InflightEntry, InflightTable, IssueScheduler, MemoryHierarchy, PhysRegFile, SimBudget,
@@ -175,21 +175,7 @@ impl<I: Iterator<Item = DynInst>> FlywheelSim<I> {
         cfg.validate()
             .unwrap_or_else(|e| panic!("invalid configuration: {e}"));
         let base = &cfg.base;
-        let power_model = PowerModel::new(PowerConfig {
-            node: base.node,
-            iw_entries: base.iw_entries,
-            iw_width: base.issue_width,
-            fetch_width: base.fetch_width,
-            flywheel_rf_entries: cfg.pools.total_phys_regs,
-            icache_bytes: base.icache.size_bytes,
-            dcache_bytes: base.dcache.size_bytes,
-            l2_bytes: base.l2.size_bytes,
-            ec_bytes: cfg.ec.size_bytes,
-            rob_entries: base.rob_entries,
-            lsq_entries: base.lsq_entries,
-            bpred_entries: base.bpred.pht_entries,
-            ..PowerConfig::paper(base.node)
-        });
+        let power_model = PowerModel::new(cfg.power_config());
         let fe_period_ps = base.clocks.frontend_period_ps;
         let be_period_creation_ps = base.clocks.baseline_period_ps;
         let be_period_exec_ps = base.clocks.backend_period_ps;
@@ -237,7 +223,7 @@ impl<I: Iterator<Item = DynInst>> FlywheelSim<I> {
             next_redistribution_cycle: cfg.pools.redistribution_interval,
             stalled_until_cycle: 0,
             power_model,
-            energy: EnergyAccumulator::new(true),
+            energy: EnergyAccumulator::new(MachineKind::Flywheel),
             retired: 0,
             retire_limit: u64::MAX,
             squashed: 0,
@@ -514,7 +500,7 @@ impl<I: Iterator<Item = DynInst>> FlywheelSim<I> {
     }
 
     fn begin_measurement(&mut self) {
-        self.energy = EnergyAccumulator::new(true);
+        self.energy = EnergyAccumulator::new(MachineKind::Flywheel);
         // Traces recorded during warm-up were built while the branch predictor and
         // the caches were still cold, so their schedules are unrepresentative.
         // Mirroring the paper's fast-forward discipline, measurement starts with warm

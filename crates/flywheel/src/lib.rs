@@ -39,7 +39,9 @@ pub use flywheel_workloads as workloads;
 /// The most commonly used items, for glob import in examples and tests.
 pub mod prelude {
     pub use flywheel_core::{FlywheelConfig, FlywheelResult, FlywheelSim};
-    pub use flywheel_power::{EnergyBreakdown, PowerConfig, PowerModel, Unit};
+    pub use flywheel_power::{
+        EnergyBreakdown, MachineKind, PowerConfig, PowerModel, Unit, UnitCategory,
+    };
     pub use flywheel_timing::{ClockPlan, ModuleFrequencies, TechNode};
     pub use flywheel_uarch::{BaselineConfig, BaselineSim, SimBudget, SimResult};
     pub use flywheel_workloads::{

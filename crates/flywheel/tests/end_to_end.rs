@@ -151,9 +151,19 @@ fn energy_accounting_is_consistent_between_report_fields() {
     )
     .run(budget());
     let e = result.energy;
-    let total = e.frontend_pj + e.backend_pj + e.flywheel_pj + e.clock_pj + e.leakage_pj;
+    let total = e.frontend_pj
+        + e.backend_pj
+        + e.flywheel_pj
+        + e.clock_pj
+        + e.leakage_frontend_pj
+        + e.leakage_backend_pj
+        + e.leakage_flywheel_pj;
     assert!((total - e.total_pj()).abs() < 1e-6);
     assert!(e.leakage_fraction() > 0.0 && e.leakage_fraction() < 1.0);
+    assert_eq!(
+        e.leakage_flywheel_pj, 0.0,
+        "a baseline run must not leak through Flywheel-only structures"
+    );
     assert_eq!(e.elapsed_ps, result.elapsed_ps);
 }
 

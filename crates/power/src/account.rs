@@ -1,43 +1,52 @@
 //! Activity accounting and energy/power reports.
 
-use crate::{PowerModel, Unit, UnitCategory};
+use crate::{MachineKind, PowerModel, Unit, UnitCategory};
 
 /// Records the activity of one simulation run: per-unit access counts and per-domain
-/// clock edges.
+/// clock edges, on behalf of one concrete machine.
 ///
 /// The simulators in `flywheel-uarch` and `flywheel-core` call
 /// [`EnergyAccumulator::record`] as events happen and the clock-tick methods once per
 /// domain edge; at the end, [`EnergyAccumulator::finish`] turns the counts into an
 /// [`EnergyBreakdown`] using a [`PowerModel`].
+///
+/// The accumulator knows its [`MachineKind`], so *it* — not the call sites —
+/// decides which unit categories exist on the die: leakage is charged only for
+/// instantiated categories (the baseline never pays Execution-Cache or
+/// Register-Update leakage), and register-file events use the geometry the
+/// machine actually has (512 entries on the Flywheel family).
 #[derive(Debug, Clone)]
 pub struct EnergyAccumulator {
     counts: Vec<u64>,
     frontend_cycles: u64,
     frontend_gated_cycles: u64,
     backend_cycles: u64,
-    /// Whether register-file accesses should be charged at the larger Flywheel
-    /// register file's cost.
-    flywheel_regfile: bool,
+    /// The machine family this account describes; selects the instantiated unit
+    /// categories and the register-file geometry.
+    machine: MachineKind,
 }
 
 impl Default for EnergyAccumulator {
     fn default() -> Self {
-        EnergyAccumulator::new(false)
+        EnergyAccumulator::new(MachineKind::Baseline)
     }
 }
 
 impl EnergyAccumulator {
-    /// Creates an empty accumulator. `flywheel_regfile` selects whether register-file
-    /// events are charged at the 512-entry Flywheel register file cost instead of the
-    /// baseline cost.
-    pub fn new(flywheel_regfile: bool) -> Self {
+    /// Creates an empty accumulator for a machine of kind `machine`.
+    pub fn new(machine: MachineKind) -> Self {
         EnergyAccumulator {
             counts: vec![0; Unit::all().len()],
             frontend_cycles: 0,
             frontend_gated_cycles: 0,
             backend_cycles: 0,
-            flywheel_regfile,
+            machine,
         }
+    }
+
+    /// The machine family this account describes.
+    pub fn machine(&self) -> MachineKind {
+        self.machine
     }
 
     /// Records `n` accesses to `unit`.
@@ -88,7 +97,19 @@ impl EnergyAccumulator {
     }
 
     /// Merges the counts of another accumulator into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the accumulators describe different machine kinds: merging a
+    /// Flywheel account into a baseline one (or vice versa) would silently
+    /// mis-attribute leakage and register-file geometry, which is exactly the
+    /// class of bug this subsystem exists to make impossible.
     pub fn merge(&mut self, other: &EnergyAccumulator) {
+        assert_eq!(
+            self.machine, other.machine,
+            "cannot merge a {} account into a {} account",
+            other.machine, self.machine
+        );
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }
@@ -99,8 +120,18 @@ impl EnergyAccumulator {
 
     /// Computes the energy breakdown of the run given the power model and the total
     /// elapsed wall-clock time of the simulated execution, in picoseconds.
+    ///
+    /// Dynamic energy follows the recorded counts; leakage is attributed per
+    /// [`UnitCategory`] from the machine kind — only instantiated categories leak,
+    /// and the register file leaks at the geometry the machine actually has.
+    ///
+    /// # Panics
+    ///
+    /// Panics when activity was recorded for a unit the machine does not
+    /// instantiate (e.g. an Execution-Cache access on a baseline account): such a
+    /// count is a machine-blind accounting bug at the call site.
     pub fn finish(&self, model: &PowerModel, elapsed_ps: u64) -> EnergyBreakdown {
-        let rf_factor = if self.flywheel_regfile {
+        let rf_factor = if self.machine.flywheel_regfile() {
             model.flywheel_regfile_factor()
         } else {
             1.0
@@ -110,7 +141,13 @@ impl EnergyAccumulator {
         let mut backend_pj = 0.0;
         let mut flywheel_pj = 0.0;
         for unit in Unit::all() {
-            let mut e = self.counts[unit.index()] as f64 * model.access_energy_pj(*unit);
+            let n = self.counts[unit.index()];
+            assert!(
+                n == 0 || self.machine.instantiates(unit.category()),
+                "{n} accesses recorded to {unit}, which a {} machine does not instantiate",
+                self.machine
+            );
+            let mut e = n as f64 * model.access_energy_pj(*unit);
             if matches!(unit, Unit::RegFileRead | Unit::RegFileWrite) {
                 e *= rf_factor;
             }
@@ -126,20 +163,29 @@ impl EnergyAccumulator {
             + self.backend_cycles as f64 * model.clock_backend_pj();
 
         let elapsed_s = elapsed_ps as f64 * 1.0e-12;
-        let leakage_pj = model.total_leakage_w(None) * elapsed_s * 1.0e12;
+        let leak_pj = |category: UnitCategory| {
+            model.machine_leakage_w(self.machine, Some(category)) * elapsed_s * 1.0e12
+        };
 
         EnergyBreakdown {
             frontend_pj,
             backend_pj,
             flywheel_pj,
             clock_pj,
-            leakage_pj,
+            leakage_frontend_pj: leak_pj(UnitCategory::FrontEnd),
+            leakage_backend_pj: leak_pj(UnitCategory::BackEnd),
+            leakage_flywheel_pj: leak_pj(UnitCategory::FlywheelExtra),
             elapsed_ps,
         }
     }
 }
 
 /// The energy consumed by one simulation run, split by source.
+///
+/// Version 2 of the record: leakage is *attributed* — split into one component
+/// per [`UnitCategory`], so every consumer (stores, scenario emitters, report
+/// tables) can see which structures a machine leaks through. A baseline run has
+/// `leakage_flywheel_pj == 0` by construction.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct EnergyBreakdown {
     /// Dynamic energy of front-end units (fetch, decode, rename, Issue Window), pJ.
@@ -151,16 +197,27 @@ pub struct EnergyBreakdown {
     pub flywheel_pj: f64,
     /// Clock-grid energy, pJ.
     pub clock_pj: f64,
-    /// Leakage energy over the whole run, pJ.
-    pub leakage_pj: f64,
+    /// Leakage of the front-end units over the whole run, pJ.
+    pub leakage_frontend_pj: f64,
+    /// Leakage of the back-end units over the whole run, pJ.
+    pub leakage_backend_pj: f64,
+    /// Leakage of the Flywheel-only structures over the whole run, pJ (zero on
+    /// baseline-family machines, which do not instantiate them).
+    pub leakage_flywheel_pj: f64,
     /// Simulated execution time, ps.
     pub elapsed_ps: u64,
 }
 
 impl EnergyBreakdown {
+    /// Total leakage energy over the whole run, pJ (sum of the per-category
+    /// attribution).
+    pub fn leakage_pj(&self) -> f64 {
+        self.leakage_frontend_pj + self.leakage_backend_pj + self.leakage_flywheel_pj
+    }
+
     /// Total energy in picojoules.
     pub fn total_pj(&self) -> f64 {
-        self.frontend_pj + self.backend_pj + self.flywheel_pj + self.clock_pj + self.leakage_pj
+        self.frontend_pj + self.backend_pj + self.flywheel_pj + self.clock_pj + self.leakage_pj()
     }
 
     /// Total energy in millijoules.
@@ -184,8 +241,34 @@ impl EnergyBreakdown {
         if total == 0.0 {
             0.0
         } else {
-            self.leakage_pj / total
+            self.leakage_pj() / total
         }
+    }
+
+    /// Fraction of the total energy leaked by Flywheel-only structures
+    /// (Execution Cache and Register Update); zero on baseline machines.
+    pub fn flywheel_leakage_fraction(&self) -> f64 {
+        let total = self.total_pj();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.leakage_flywheel_pj / total
+        }
+    }
+
+    /// Energy-delay product of the run, in joule-seconds.
+    ///
+    /// The paper's trade-off — spend energy on extra structures to buy clock
+    /// speed — is exactly what EDP ranks: a machine only wins on EDP when its
+    /// energy overhead is outweighed by its speedup.
+    pub fn energy_delay_product_js(&self) -> f64 {
+        self.total_pj() * 1.0e-12 * (self.elapsed_ps as f64 * 1.0e-12)
+    }
+
+    /// Energy-delay-squared product of the run, in joule-seconds² (weights
+    /// performance twice, the usual high-performance metric).
+    pub fn energy_delay_squared_js2(&self) -> f64 {
+        self.energy_delay_product_js() * (self.elapsed_ps as f64 * 1.0e-12)
     }
 
     /// Fraction of the total energy consumed by front-end dynamic activity.
@@ -216,14 +299,14 @@ mod tests {
         assert_eq!(b.frontend_pj, 0.0);
         assert_eq!(b.backend_pj, 0.0);
         assert_eq!(b.clock_pj, 0.0);
-        assert!(b.leakage_pj > 0.0);
+        assert!(b.leakage_pj() > 0.0);
         assert!((b.leakage_fraction() - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn recording_accumulates_energy_in_the_right_bucket() {
         let m = model();
-        let mut acc = EnergyAccumulator::default();
+        let mut acc = EnergyAccumulator::new(MachineKind::Flywheel);
         acc.record(Unit::ICache, 10);
         acc.record(Unit::DCache, 5);
         acc.record(Unit::EcDataRead, 3);
@@ -231,6 +314,15 @@ mod tests {
         assert!((b.frontend_pj - 10.0 * m.access_energy_pj(Unit::ICache)).abs() < 1e-9);
         assert!((b.backend_pj - 5.0 * m.access_energy_pj(Unit::DCache)).abs() < 1e-9);
         assert!((b.flywheel_pj - 3.0 * m.access_energy_pj(Unit::EcDataRead)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not instantiate")]
+    fn recording_flywheel_units_on_a_baseline_account_is_rejected() {
+        let m = model();
+        let mut acc = EnergyAccumulator::new(MachineKind::Baseline);
+        acc.record(Unit::EcDataRead, 1);
+        let _ = acc.finish(&m, 0);
     }
 
     #[test]
@@ -250,11 +342,55 @@ mod tests {
     #[test]
     fn flywheel_register_file_costs_more_per_access() {
         let m = model();
-        let mut base = EnergyAccumulator::new(false);
-        let mut fly = EnergyAccumulator::new(true);
+        let mut base = EnergyAccumulator::new(MachineKind::Baseline);
+        let mut fly = EnergyAccumulator::new(MachineKind::Flywheel);
         base.record(Unit::RegFileRead, 100);
         fly.record(Unit::RegFileRead, 100);
         assert!(fly.finish(&m, 0).backend_pj > base.finish(&m, 0).backend_pj * 1.2);
+    }
+
+    #[test]
+    fn baseline_breakdown_has_zero_flywheel_leakage() {
+        // The root-cause differential test of this PR: over the same elapsed time
+        // and power model, the baseline account must not be charged a single
+        // picojoule of Execution-Cache / Register-Update leakage…
+        let m = model();
+        let elapsed = 10_000_000;
+        let base = EnergyAccumulator::new(MachineKind::Baseline).finish(&m, elapsed);
+        assert_eq!(base.leakage_flywheel_pj, 0.0);
+        assert_eq!(base.flywheel_leakage_fraction(), 0.0);
+        assert!(base.leakage_frontend_pj > 0.0);
+        assert!(base.leakage_backend_pj > 0.0);
+        // …while the Flywheel machine pays for all three categories plus the
+        // larger register file, so its total leakage is strictly higher.
+        let fly = EnergyAccumulator::new(MachineKind::Flywheel).finish(&m, elapsed);
+        assert!(fly.leakage_flywheel_pj > 0.0);
+        assert_eq!(fly.leakage_frontend_pj, base.leakage_frontend_pj);
+        assert!(
+            fly.leakage_backend_pj > base.leakage_backend_pj,
+            "512-entry RF leaks more"
+        );
+        assert!(
+            fly.leakage_pj() > base.leakage_pj() * 1.05,
+            "flywheel leakage {} should clearly exceed baseline {}",
+            fly.leakage_pj(),
+            base.leakage_pj()
+        );
+    }
+
+    #[test]
+    fn energy_delay_product_trades_energy_against_time() {
+        let m = model();
+        let mut acc = EnergyAccumulator::default();
+        acc.record(Unit::FuIntAlu, 1_000);
+        let fast = acc.finish(&m, 1_000_000);
+        let slow = acc.finish(&m, 3_000_000);
+        // The slow run leaks longer *and* is slower: strictly worse on EDP/ED²P.
+        assert!(slow.energy_delay_product_js() > fast.energy_delay_product_js());
+        assert!(slow.energy_delay_squared_js2() > fast.energy_delay_squared_js2());
+        let b = fast;
+        let expected = b.total_pj() * 1e-12 * b.elapsed_ps as f64 * 1e-12;
+        assert!((b.energy_delay_product_js() - expected).abs() <= 1e-18 * expected.abs());
     }
 
     #[test]
@@ -281,5 +417,13 @@ mod tests {
         assert_eq!(a.count(Unit::Decode), 7);
         assert_eq!(a.backend_cycles(), 2);
         assert_eq!(a.frontend_cycles(), (0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot merge")]
+    fn merge_rejects_mismatched_machine_kinds() {
+        let mut base = EnergyAccumulator::new(MachineKind::Baseline);
+        let fly = EnergyAccumulator::new(MachineKind::Flywheel);
+        base.merge(&fly);
     }
 }

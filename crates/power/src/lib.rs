@@ -12,9 +12,14 @@
 //!   gating), and per-unit leakage power, all parameterized by the structural
 //!   configuration ([`PowerConfig`], defaults from the paper's Table 2) and the
 //!   process technology ([`flywheel_timing::TechNode`], parameters from Table 2).
-//! * [`EnergyAccumulator`] — activity counters filled in by the simulators.
+//! * [`EnergyAccumulator`] — activity counters filled in by the simulators, each
+//!   bound to a [`MachineKind`] so the account knows which unit categories the
+//!   machine physically instantiates.
 //! * [`EnergyBreakdown`] — the resulting energy/power report used by the Figure
-//!   13/14/15 experiments.
+//!   13/14/15 experiments, with leakage *attributed* per [`UnitCategory`]: a
+//!   baseline run carries zero Execution-Cache/Register-Update leakage by
+//!   construction, and the Flywheel run's register-file leakage follows its
+//!   512-entry geometry.
 //!
 //! Absolute joule values are calibrated to be plausible for a c. 2005 aggressive
 //! out-of-order core, but the paper's results are all *normalized* to the baseline
@@ -22,16 +27,17 @@
 //! substitution rationale.
 //!
 //! ```
-//! use flywheel_power::{EnergyAccumulator, PowerConfig, PowerModel, Unit};
+//! use flywheel_power::{EnergyAccumulator, MachineKind, PowerConfig, PowerModel, Unit};
 //! use flywheel_timing::TechNode;
 //!
 //! let model = PowerModel::new(PowerConfig::paper(TechNode::N130));
-//! let mut acc = EnergyAccumulator::default();
+//! let mut acc = EnergyAccumulator::new(MachineKind::Baseline);
 //! acc.record(Unit::ICache, 1_000);
 //! acc.record(Unit::IssueWindowWakeup, 1_000);
 //! acc.tick_backend();
 //! let report = acc.finish(&model, 1_000_000);
 //! assert!(report.total_pj() > 0.0);
+//! assert_eq!(report.leakage_flywheel_pj, 0.0); // no EC on the baseline die
 //! ```
 
 #![forbid(unsafe_code)]
@@ -43,4 +49,4 @@ mod units;
 
 pub use account::{EnergyAccumulator, EnergyBreakdown};
 pub use model::{PowerConfig, PowerModel};
-pub use units::{Unit, UnitCategory};
+pub use units::{MachineKind, Unit, UnitCategory};

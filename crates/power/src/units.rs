@@ -74,6 +74,61 @@ pub enum UnitCategory {
     FlywheelExtra,
 }
 
+/// Which structural family of machine an energy account describes — and therefore
+/// which [`UnitCategory`]s physically exist on the die and leak.
+///
+/// This is the heart of the attributed power model: leakage (and the register-file
+/// geometry) are derived from the machine kind at one place,
+/// [`crate::EnergyAccumulator::finish`], instead of every call site remembering
+/// which structures a machine instantiates. A baseline account can therefore never
+/// be charged Execution-Cache or Register-Update leakage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MachineKind {
+    /// The synchronous baseline of Table 2: front-end and back-end units only,
+    /// with the 192-entry register file.
+    Baseline,
+    /// The Flywheel machine family: all three categories, with the 512-entry
+    /// register-file geometry. The Figure 11 "Register Allocation" variant is
+    /// this kind too — it has the Register Update stage — but its disabled
+    /// Execution Cache enters the power model as `ec_bytes: 0` (see
+    /// `FlywheelConfig::power_config` in `flywheel-core`), so the EC's share of
+    /// the [`UnitCategory::FlywheelExtra`] leakage is zero by geometry.
+    Flywheel,
+}
+
+impl MachineKind {
+    /// Both kinds, in a stable order.
+    pub fn all() -> &'static [MachineKind] {
+        &[MachineKind::Baseline, MachineKind::Flywheel]
+    }
+
+    /// Whether this machine physically instantiates units of `category` (and
+    /// therefore pays their leakage whether or not they switch).
+    pub fn instantiates(&self, category: UnitCategory) -> bool {
+        match self {
+            MachineKind::Baseline => category != UnitCategory::FlywheelExtra,
+            MachineKind::Flywheel => true,
+        }
+    }
+
+    /// Whether the machine uses the large Flywheel register file: its geometry
+    /// scales both the dynamic read/write energy
+    /// ([`crate::PowerModel::flywheel_regfile_factor`]) and the register-file
+    /// leakage ([`crate::PowerModel::leakage_w_for`]).
+    pub fn flywheel_regfile(&self) -> bool {
+        matches!(self, MachineKind::Flywheel)
+    }
+}
+
+impl fmt::Display for MachineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineKind::Baseline => f.write_str("baseline"),
+            MachineKind::Flywheel => f.write_str("flywheel"),
+        }
+    }
+}
+
 impl Unit {
     /// All units, in a stable order.
     pub fn all() -> &'static [Unit] {
@@ -172,5 +227,21 @@ mod tests {
         ] {
             assert!(Unit::all().iter().any(|u| u.category() == cat));
         }
+    }
+
+    #[test]
+    fn machine_kinds_instantiate_the_right_categories() {
+        assert!(MachineKind::Baseline.instantiates(UnitCategory::FrontEnd));
+        assert!(MachineKind::Baseline.instantiates(UnitCategory::BackEnd));
+        assert!(!MachineKind::Baseline.instantiates(UnitCategory::FlywheelExtra));
+        for cat in [
+            UnitCategory::FrontEnd,
+            UnitCategory::BackEnd,
+            UnitCategory::FlywheelExtra,
+        ] {
+            assert!(MachineKind::Flywheel.instantiates(cat));
+        }
+        assert!(MachineKind::Flywheel.flywheel_regfile());
+        assert!(!MachineKind::Baseline.flywheel_regfile());
     }
 }

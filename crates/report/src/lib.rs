@@ -5,10 +5,11 @@
 //! publishes, so the numbers in the docs are provably the numbers the
 //! simulators produce.
 //!
-//! * Every paper figure table (Figures 2, 11, 12, 13, 14, 15 and the
-//!   Execution-Cache residency study) is rendered from stored
-//!   [`RunStats`](flywheel_bench::store::RunStats) records through the exact
-//!   same [`format_table`] path the `experiments` binary prints, so a
+//! * Every paper figure table (Figures 2, 11, 12, 13, 14, 15, the
+//!   Execution-Cache residency study, and the per-node leakage-attribution
+//!   companion tables introduced with the attributed power model) is rendered
+//!   from stored [`RunStats`](flywheel_bench::store::RunStats) records through
+//!   the exact same [`format_table`] path the `experiments` binary prints, so a
 //!   regenerated table is byte-identical to a freshly simulated one.
 //! * [`results_markdown`] assembles the full `RESULTS.md` artifact: figure
 //!   tables plus the simulator-throughput trajectory read from `BENCH.json`.
@@ -264,6 +265,47 @@ pub fn fig15_table(src: &mut Source<'_>, budget: SimBudget) -> Result<String, St
     ))
 }
 
+/// The leakage-attribution companion to Figure 15 at one technology node: how
+/// much of each machine's total energy is leakage, how much of the Flywheel
+/// machine's total leaks through its extra structures (Execution Cache +
+/// Register Update — exactly the components the baseline no longer pays for
+/// since the attributed power model), and the energy-delay-product ratio that
+/// summarizes the trade.
+///
+/// Reads the same cells as Figure 15, so it adds no simulations to
+/// [`populate`].
+pub fn leakage_attribution_table(
+    src: &mut Source<'_>,
+    n: TechNode,
+    budget: SimBudget,
+) -> Result<String, String> {
+    let columns = vec![
+        "base leak %".to_owned(),
+        "fly leak %".to_owned(),
+        "fly extra %".to_owned(),
+        "edp ratio".to_owned(),
+    ];
+    let mut rows = Vec::new();
+    for &bench in Benchmark::paper_suite() {
+        let base = src.baseline(bench, BaselineConfig::paper(n), budget)?;
+        let fly = src.flywheel(bench, FlywheelConfig::paper(n, 100, 50), budget)?;
+        rows.push(Row {
+            bench: bench.name(),
+            values: vec![
+                base.energy.leakage_fraction() * 100.0,
+                fly.sim.energy.leakage_fraction() * 100.0,
+                fly.sim.energy.flywheel_leakage_fraction() * 100.0,
+                fly.sim.edp_ratio_over(&base),
+            ],
+        });
+    }
+    Ok(format_table(
+        &format!("Leakage attribution at {n} (Flywheel at FE100%, BE50%)"),
+        &columns,
+        &rows,
+    ))
+}
+
 /// The Execution-Cache residency study, byte-identical to
 /// `experiments ec_residency`.
 pub fn ec_residency_table(src: &mut Source<'_>, budget: SimBudget) -> Result<String, String> {
@@ -296,6 +338,9 @@ pub fn all_figure_tables(src: &mut Source<'_>, budget: SimBudget) -> Result<Stri
     out.push_str(&clock_sweep_table(src, ClockSweepMetric::Energy, budget)?);
     out.push_str(&clock_sweep_table(src, ClockSweepMetric::Power, budget)?);
     out.push_str(&fig15_table(src, budget)?);
+    for &n in TechNode::power_study_nodes() {
+        out.push_str(&leakage_attribution_table(src, n, budget)?);
+    }
     out.push_str(&ec_residency_table(src, budget)?);
     Ok(out)
 }

@@ -1,6 +1,7 @@
 //! Configuration of the baseline out-of-order machine.
 
 use flywheel_isa::FuKind;
+use flywheel_power::PowerConfig;
 use flywheel_timing::{ClockPlan, TechNode};
 
 /// Geometry of one cache level.
@@ -218,6 +219,31 @@ impl BaselineConfig {
         self.sync_latency_be_cycles = 1;
         self.redirect_sync_fe_cycles = 1;
         self
+    }
+
+    /// The structural power-model parameters this machine implies.
+    ///
+    /// This is the single construction point for the energy model's geometry:
+    /// `BaselineSim` builds its `PowerModel` from it, and the scenario
+    /// invariant layer rebuilds the identical model to cross-check the
+    /// attributed leakage a run reports. Flywheel-only knobs (Execution Cache
+    /// size, 512-entry register file) keep their paper defaults here; a
+    /// baseline-kind energy account never reads them.
+    pub fn power_config(&self) -> PowerConfig {
+        PowerConfig {
+            node: self.node,
+            iw_entries: self.iw_entries,
+            iw_width: self.issue_width,
+            fetch_width: self.fetch_width,
+            rf_entries: self.phys_regs,
+            icache_bytes: self.icache.size_bytes,
+            dcache_bytes: self.dcache.size_bytes,
+            l2_bytes: self.l2.size_bytes,
+            rob_entries: self.rob_entries,
+            lsq_entries: self.lsq_entries,
+            bpred_entries: self.bpred.pht_entries,
+            ..PowerConfig::paper(self.node)
+        }
     }
 
     /// L2 hit latency in picoseconds (constant across clock plans: it is set in

@@ -10,7 +10,7 @@ use crate::inflight::{
 use crate::regs::{PhysRegFile, Renamer};
 use crate::stats::{SimBudget, SimResult};
 use flywheel_isa::{DynInst, OpClass};
-use flywheel_power::{EnergyAccumulator, PowerConfig, PowerModel, Unit};
+use flywheel_power::{EnergyAccumulator, MachineKind, PowerModel, Unit};
 use std::collections::VecDeque;
 
 /// The baseline four-way superscalar, out-of-order machine of the paper (Table 2),
@@ -125,20 +125,7 @@ impl<I: Iterator<Item = DynInst>> BaselineSim<I> {
     pub fn new(cfg: BaselineConfig, trace: I) -> Self {
         cfg.validate()
             .unwrap_or_else(|e| panic!("invalid configuration: {e}"));
-        let power_model = PowerModel::new(PowerConfig {
-            node: cfg.node,
-            iw_entries: cfg.iw_entries,
-            iw_width: cfg.issue_width,
-            fetch_width: cfg.fetch_width,
-            rf_entries: cfg.phys_regs,
-            icache_bytes: cfg.icache.size_bytes,
-            dcache_bytes: cfg.dcache.size_bytes,
-            l2_bytes: cfg.l2.size_bytes,
-            rob_entries: cfg.rob_entries,
-            lsq_entries: cfg.lsq_entries,
-            bpred_entries: cfg.bpred.pht_entries,
-            ..PowerConfig::paper(cfg.node)
-        });
+        let power_model = PowerModel::new(cfg.power_config());
         let fe_period_ps = cfg.clocks.frontend_period_ps;
         // The execution core of the baseline machine (and of the Flywheel machine in
         // trace-creation mode) is synchronous with the Issue Window.
@@ -173,7 +160,7 @@ impl<I: Iterator<Item = DynInst>> BaselineSim<I> {
             fe_cycles: 0,
             be_cycles: 0,
             power_model,
-            energy: EnergyAccumulator::new(false),
+            energy: EnergyAccumulator::new(MachineKind::Baseline),
             retired: 0,
             retire_limit: u64::MAX,
             squashed: 0,
@@ -372,7 +359,7 @@ impl<I: Iterator<Item = DynInst>> BaselineSim<I> {
     }
 
     fn begin_measurement(&mut self) {
-        self.energy = EnergyAccumulator::new(false);
+        self.energy = EnergyAccumulator::new(MachineKind::Baseline);
         self.measure_start = Some(MeasureSnapshot {
             retired: self.retired,
             squashed: self.squashed,
@@ -936,8 +923,12 @@ mod tests {
         assert!(r.energy.frontend_pj > 0.0);
         assert!(r.energy.backend_pj > 0.0);
         assert!(r.energy.clock_pj > 0.0);
-        assert!(r.energy.leakage_pj > 0.0);
+        assert!(r.energy.leakage_pj() > 0.0);
         assert_eq!(r.energy.flywheel_pj, 0.0, "baseline has no Execution Cache");
+        assert_eq!(
+            r.energy.leakage_flywheel_pj, 0.0,
+            "baseline must not be charged Execution-Cache/Register-Update leakage"
+        );
         assert!(r.average_power_w() > 0.1 && r.average_power_w() < 100.0);
     }
 

@@ -111,6 +111,12 @@ impl SimResult {
         self.energy.total_pj() / baseline.energy.total_pj()
     }
 
+    /// Energy-delay product relative to `baseline` (<1 means this run wins the
+    /// combined energy/performance trade-off).
+    pub fn edp_ratio_over(&self, baseline: &SimResult) -> f64 {
+        self.energy.energy_delay_product_js() / baseline.energy.energy_delay_product_js()
+    }
+
     /// Power relative to `baseline`.
     pub fn power_ratio_over(&self, baseline: &SimResult) -> f64 {
         self.average_power_w() / baseline.average_power_w()
@@ -156,6 +162,8 @@ mod tests {
             faster.power_ratio_over(&baseline) > 1.0,
             "same-ish energy in half the time is more power"
         );
+        // EDP combines both: 0.75 energy ratio x 0.5 delay ratio.
+        assert!((faster.edp_ratio_over(&baseline) - 0.375).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Single-command regeneration of every simulation-derived artifact.
+#
+# Run this after any change that legitimately alters simulation results
+# (kernel behaviour, power model, workload generation). It rebuilds the
+# whole invalidation chain in dependency order:
+#
+#   1. golden.txt        — the bit-identity digest. Regenerating it changes
+#                          the code-version salt baked into every store key,
+#                          so every previously stored record stops being
+#                          addressable.
+#   2. results.store     — recreated from scratch (the schema/salt changed,
+#                          so none of the old records could be recalled
+#                          anyway) by the full experiments sweep.
+#   3. RESULTS.md +      — re-rendered byte-identically from the fresh store
+#      EXPERIMENTS.md      by the report binary (--populate fills any figure
+#                          cell the sweep did not cover).
+#   4. report --check    — proves the committed docs now match the store,
+#                          i.e. CI's docs gate will pass.
+#
+# Each `cargo run` rebuilds first, so step 2 compiles against the
+# golden.txt written in step 1 (the salt is compiled in via include_str!).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== [1/4] regenerating golden.txt (bit-identity digest + store salt) =="
+cargo run --release -p flywheel-bench --bin golden > golden.txt
+
+echo "== [2/4] repopulating results.store (full experiments sweep) =="
+rm -f results.store
+cargo run --release -p flywheel-bench --bin experiments -- all --store results.store
+
+echo "== [3/4] re-rendering RESULTS.md and EXPERIMENTS.md from the store =="
+cargo run --release -p flywheel-report --bin report -- --populate
+
+echo "== [4/4] verifying the docs gate =="
+cargo run --release -p flywheel-report --bin report -- --check
+
+echo "regen complete: golden.txt, results.store, RESULTS.md, EXPERIMENTS.md and BENCH.json are consistent"
