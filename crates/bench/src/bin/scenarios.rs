@@ -29,13 +29,26 @@
 //! every cell), `--json PATH`, `--csv PATH`, `--store PATH` (memoize cells in
 //! a persistent content-addressed result store: cells already present are
 //! recalled bit-identically instead of simulated, so warm re-runs simulate
-//! nothing and edited scenarios only simulate the cells they changed).
+//! nothing and edited scenarios only simulate the cells they changed),
+//! `--faults SPEC` (install a deterministic fault-injection plan, e.g.
+//! `seed=7,panic=2,torn=3` — see `flywheel_bench::fault`).
+//!
+//! A panicking or runaway cell no longer aborts the sweep: it is retried a
+//! bounded number of times and, if it keeps failing, reported in a
+//! degraded-mode completion summary (and in the JSON/CSV failed-cell
+//! manifest) while every other cell's results stand.
+//!
+//! `scenarios fsck [--store PATH]` verifies a result store and repairs any
+//! damage (torn appends, flipped bits, previous-schema files): valid records
+//! are kept, damaged lines are quarantined to `<store>.quarantine`, and a
+//! one-line summary is printed. A clean store is left byte-untouched.
 //!
 //! Sweeps fan out across all cores (`FLYWHEEL_JOBS` caps the workers); results
 //! are byte-identical for any worker count.
 
 use flywheel_bench::scenario::{Machine, Scenario};
-use flywheel_bench::{experiment_budget, simulated_mips, worker_count};
+use flywheel_bench::store::ResultStore;
+use flywheel_bench::{experiment_budget, fault, simulated_mips, worker_count};
 use flywheel_timing::TechNode;
 use flywheel_uarch::SimBudget;
 use flywheel_workloads::Benchmark;
@@ -46,9 +59,36 @@ fn usage() -> ! {
         "usage: scenarios <fig2|fig11|fig12|smoke|stress|leakage|custom> \
          [--benches a,b] [--machines m,..] [--nodes 130,..] [--clocks FE:BE,..] \
          [--windows IW:ROB,..] [--ec KB,..] [--mem CYC,..] [--seeds S,..] \
-         [--insts N] [--check] [--json PATH] [--csv PATH] [--store PATH]"
+         [--insts N] [--check] [--json PATH] [--csv PATH] [--store PATH] \
+         [--faults SPEC]\n       scenarios fsck [--store PATH]"
     );
     std::process::exit(1);
+}
+
+/// `scenarios fsck [--store PATH]`: verify/repair a store, print a summary.
+fn fsck(args: &[String]) -> ! {
+    let mut store_path = "results.store".to_owned();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--store" => store_path = it.next().cloned().unwrap_or_else(|| usage()),
+            other if !other.starts_with('-') => store_path = other.to_owned(),
+            _ => usage(),
+        }
+    }
+    match ResultStore::open_recovering(&store_path) {
+        Ok((_, report)) => {
+            println!("fsck {store_path}: {}", report.describe());
+            if report.quarantined_lines > 0 {
+                println!("  damaged lines preserved in {store_path}.quarantine");
+            }
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("fsck {store_path}: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn parse_list<T>(arg: &str, what: &str, parse: impl Fn(&str) -> Option<T>) -> Vec<T> {
@@ -86,6 +126,9 @@ fn parse_node(s: &str) -> Option<TechNode> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(which) = args.first() else { usage() };
+    if which == "fsck" {
+        fsck(&args[1..]);
+    }
 
     // Scan for --insts first: presets embed the budget at construction.
     let mut insts_override: Option<u64> = None;
@@ -126,6 +169,7 @@ fn main() {
     let mut json_path: Option<String> = None;
     let mut csv_path: Option<String> = None;
     let mut store_path: Option<String> = None;
+    let mut faults_spec: Option<String> = None;
     let mut it = args.iter().skip(1);
     while let Some(arg) = it.next() {
         let mut value = || it.next().map(String::as_str).unwrap_or_else(|| usage());
@@ -149,6 +193,7 @@ fn main() {
             "--json" => json_path = Some(value().to_owned()),
             "--csv" => csv_path = Some(value().to_owned()),
             "--store" => store_path = Some(value().to_owned()),
+            "--faults" => faults_spec = Some(value().to_owned()),
             _ => usage(),
         }
     }
@@ -156,6 +201,19 @@ fn main() {
     if let Err(e) = scenario.validate() {
         eprintln!("invalid scenario: {e}");
         std::process::exit(1);
+    }
+
+    if let Some(spec) = &faults_spec {
+        match fault::FaultPlan::parse(spec) {
+            Ok(plan) => {
+                println!("fault injection enabled: {plan:?}");
+                fault::install(plan);
+            }
+            Err(e) => {
+                eprintln!("invalid --faults spec: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 
     let cell_count = scenario.cell_count();
@@ -192,6 +250,23 @@ fn main() {
             "store {path}: {} cells recalled, {} simulated, {} records total",
             summary.hits, summary.simulated, total
         );
+    }
+    if run.is_degraded() {
+        println!(
+            "degraded-mode completion: {} of {} cells failed; sweep continued without them",
+            run.failed.len(),
+            run.attempted()
+        );
+        for f in &run.failed {
+            println!(
+                "  failed cell {} [{}] after {} attempt{}: {}",
+                f.cell.label(),
+                f.cause.kind(),
+                f.attempts,
+                if f.attempts == 1 { "" } else { "s" },
+                f.cause.message()
+            );
+        }
     }
 
     let table = match scenario.name.as_str() {

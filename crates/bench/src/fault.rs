@@ -1,0 +1,344 @@
+//! Deterministic, seeded fault injection for exercising the recovery paths of
+//! the store and the sweep executor.
+//!
+//! Off by default: the hot path pays one relaxed [`AtomicBool`] load per cell
+//! and per store append, nothing more. A plan is installed either
+//! programmatically (tests), via the scenarios binary's `--faults SPEC` flag,
+//! or via the `FLYWHEEL_FAULTS` environment variable (checked once, lazily).
+//!
+//! A [`FaultPlan`] is pure data; which cells it hits is a deterministic
+//! function of `(seed, cell label)` — [`assign_cells`] ranks every label by a
+//! seeded FNV-1a hash and assigns the first `panic` labels to persistent
+//! panics, the next `stall` to watchdog-budget stalls, and the next
+//! `transient` to first-attempt-only panics (which a retrying executor must
+//! recover). Store faults count appends: `torn=N` tears the N-th appended line
+//! mid-record and simulates a crash of the appender (everything after the tear
+//! is lost, as in a real crash), `flip=N` flips one bit in the N-th record's
+//! payload after its checksum was computed, so the damaged record is caught at
+//! the next open.
+//!
+//! Spec grammar (comma-separated `key=value`, all fields optional):
+//!
+//! ```text
+//! seed=7,panic=2,stall=1,transient=1,torn=3,flip=5,timeout-ms=250,max-cycles=1000000
+//! ```
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+/// A declarative description of the faults to inject into one process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed for the deterministic label ranking.
+    pub seed: u64,
+    /// Number of cells that panic on every attempt.
+    pub panic_cells: usize,
+    /// Number of cells that stall until the watchdog's wall budget fires.
+    pub stall_cells: usize,
+    /// Number of cells that panic on the first attempt only (recoverable by
+    /// the executor's bounded retry).
+    pub transient_cells: usize,
+    /// 1-based store-append index whose line is torn mid-record; the appender
+    /// then behaves as crashed (no further lines reach the disk).
+    pub torn_insert: Option<u64>,
+    /// 1-based store-append index whose payload gets one bit flipped after
+    /// the checksum was computed.
+    pub flip_insert: Option<u64>,
+    /// Per-cell wall-clock watchdog budget, in milliseconds.
+    pub timeout_ms: Option<u64>,
+    /// Per-cell back-end cycle cap override for the watchdog.
+    pub max_cycles: Option<u64>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0xf1a9,
+            panic_cells: 0,
+            stall_cells: 0,
+            transient_cells: 0,
+            torn_insert: None,
+            flip_insert: None,
+            timeout_ms: None,
+            max_cycles: None,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Parses the `key=value,key=value` spec grammar (see the module docs).
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for part in spec.split(',').filter(|s| !s.trim().is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec field '{part}' is not key=value"))?;
+            let n: u64 = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("fault spec field '{part}' has a non-numeric value"))?;
+            match key.trim() {
+                "seed" => plan.seed = n,
+                "panic" => plan.panic_cells = n as usize,
+                "stall" => plan.stall_cells = n as usize,
+                "transient" => plan.transient_cells = n as usize,
+                "torn" => plan.torn_insert = Some(n),
+                "flip" => plan.flip_insert = Some(n),
+                "timeout-ms" | "timeout_ms" => plan.timeout_ms = Some(n),
+                "max-cycles" | "max_cycles" => plan.max_cycles = Some(n),
+                other => return Err(format!("unknown fault spec field '{other}'")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+/// The fault class assigned to a cell by [`assign_cells`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellFault {
+    /// Panics on every attempt (unrecoverable; lands in the failed manifest).
+    Panic,
+    /// Stalls until the armed watchdog budget fires (reported as a timeout).
+    Stall,
+    /// Panics on the first attempt only (recovered by retry).
+    Transient,
+}
+
+/// The fault applied to one store append by [`store_insert_fault`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertFault {
+    /// Write only a prefix of the line, then behave as crashed.
+    Torn,
+    /// Flip one bit of the payload after its checksum was computed.
+    BitFlip,
+}
+
+struct State {
+    plan: FaultPlan,
+    panic_set: HashSet<String>,
+    stall_set: HashSet<String>,
+    transient_set: HashSet<String>,
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static STATE: Mutex<Option<State>> = Mutex::new(None);
+static INSERTS: AtomicU64 = AtomicU64::new(0);
+
+fn state_lock() -> std::sync::MutexGuard<'static, Option<State>> {
+    STATE.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Installs `plan` process-wide (replacing any previous plan) and resets the
+/// store-append counter. Cell targets are empty until [`assign_cells`] runs.
+pub fn install(plan: FaultPlan) {
+    let mut guard = state_lock();
+    INSERTS.store(0, Ordering::Relaxed);
+    *guard = Some(State {
+        plan,
+        panic_set: HashSet::new(),
+        stall_set: HashSet::new(),
+        transient_set: HashSet::new(),
+    });
+    ACTIVE.store(true, Ordering::Relaxed);
+}
+
+/// Removes the installed plan; all injection points revert to no-ops.
+pub fn clear() {
+    let mut guard = state_lock();
+    *guard = None;
+    ACTIVE.store(false, Ordering::Relaxed);
+}
+
+/// Whether a plan is installed. One relaxed atomic load — this is the entire
+/// hot-path cost of the harness when fault injection is off.
+#[inline]
+pub fn active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Installs a plan from the `FLYWHEEL_FAULTS` environment variable, once per
+/// process, if the variable is set and no plan was installed programmatically.
+pub fn maybe_install_from_env() {
+    static ONCE: OnceLock<()> = OnceLock::new();
+    ONCE.get_or_init(|| {
+        if active() {
+            return;
+        }
+        if let Ok(spec) = std::env::var("FLYWHEEL_FAULTS") {
+            if !spec.is_empty() {
+                match FaultPlan::parse(&spec) {
+                    Ok(plan) => install(plan),
+                    Err(e) => eprintln!("warning: ignoring FLYWHEEL_FAULTS: {e}"),
+                }
+            }
+        }
+    });
+}
+
+/// A copy of the installed plan, if any.
+pub fn plan() -> Option<FaultPlan> {
+    state_lock().as_ref().map(|s| s.plan.clone())
+}
+
+/// Deterministic per-label rank used to pick fault targets.
+fn rank(seed: u64, label: &str) -> u64 {
+    crate::store::fnv1a64_seeded(seed, label.as_bytes())
+}
+
+/// Assigns fault classes to cells: sorts `labels` by their seeded rank and
+/// takes the `panic`, `stall` and `transient` prefixes in that order. The
+/// assignment is a pure function of `(seed, label set)` — independent of grid
+/// order, worker count and retry scheduling.
+pub fn assign_cells(labels: &[String]) {
+    let mut guard = state_lock();
+    let Some(state) = guard.as_mut() else {
+        return;
+    };
+    let mut ranked: Vec<&String> = labels.iter().collect();
+    ranked.sort_by_key(|l| (rank(state.plan.seed, l), l.as_str()));
+    let mut it = ranked.into_iter();
+    state.panic_set = it.by_ref().take(state.plan.panic_cells).cloned().collect();
+    state.stall_set = it.by_ref().take(state.plan.stall_cells).cloned().collect();
+    state.transient_set = it
+        .by_ref()
+        .take(state.plan.transient_cells)
+        .cloned()
+        .collect();
+}
+
+/// The fault class assigned to `label`, if any. Callers should gate on
+/// [`active`] first to keep the disabled path lock-free.
+pub fn cell_fault(label: &str) -> Option<CellFault> {
+    if !active() {
+        return None;
+    }
+    let guard = state_lock();
+    let state = guard.as_ref()?;
+    if state.panic_set.contains(label) {
+        Some(CellFault::Panic)
+    } else if state.stall_set.contains(label) {
+        Some(CellFault::Stall)
+    } else if state.transient_set.contains(label) {
+        Some(CellFault::Transient)
+    } else {
+        None
+    }
+}
+
+/// Counts one store append and reports the fault to apply to it, if any.
+/// Returns `None` (without locking) when no plan is installed.
+pub fn store_insert_fault() -> Option<InsertFault> {
+    if !active() {
+        return None;
+    }
+    let guard = state_lock();
+    let state = guard.as_ref()?;
+    let index = INSERTS.fetch_add(1, Ordering::Relaxed) + 1;
+    if state.plan.torn_insert == Some(index) {
+        Some(InsertFault::Torn)
+    } else if state.plan.flip_insert == Some(index) {
+        Some(InsertFault::BitFlip)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes the tests that install process-global plans.
+    static TEST_GATE: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn spec_round_trips_every_field() {
+        let plan =
+            FaultPlan::parse("seed=7,panic=2,stall=1,transient=1,torn=3,flip=5,timeout-ms=250")
+                .unwrap();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.panic_cells, 2);
+        assert_eq!(plan.stall_cells, 1);
+        assert_eq!(plan.transient_cells, 1);
+        assert_eq!(plan.torn_insert, Some(3));
+        assert_eq!(plan.flip_insert, Some(5));
+        assert_eq!(plan.timeout_ms, Some(250));
+        assert_eq!(plan.max_cycles, None);
+    }
+
+    #[test]
+    fn spec_rejects_unknown_fields_and_bad_values() {
+        assert!(FaultPlan::parse("bogus=1").is_err());
+        assert!(FaultPlan::parse("panic=two").is_err());
+        assert!(FaultPlan::parse("panic").is_err());
+        assert_eq!(FaultPlan::parse("").unwrap(), FaultPlan::default());
+    }
+
+    #[test]
+    fn assignment_is_deterministic_and_disjoint() {
+        let _gate = TEST_GATE.lock().unwrap_or_else(PoisonError::into_inner);
+        let labels: Vec<String> = (0..10).map(|i| format!("cell-{i}")).collect();
+        install(FaultPlan {
+            panic_cells: 2,
+            stall_cells: 1,
+            transient_cells: 3,
+            ..FaultPlan::default()
+        });
+        assign_cells(&labels);
+        let classes: Vec<Option<CellFault>> = labels.iter().map(|l| cell_fault(l)).collect();
+        let count = |c: CellFault| classes.iter().filter(|x| **x == Some(c)).count();
+        assert_eq!(count(CellFault::Panic), 2);
+        assert_eq!(count(CellFault::Stall), 1);
+        assert_eq!(count(CellFault::Transient), 3);
+
+        // Same seed, shuffled label order: identical assignment.
+        let mut shuffled = labels.clone();
+        shuffled.reverse();
+        install(FaultPlan {
+            panic_cells: 2,
+            stall_cells: 1,
+            transient_cells: 3,
+            ..FaultPlan::default()
+        });
+        assign_cells(&shuffled);
+        let again: Vec<Option<CellFault>> = labels.iter().map(|l| cell_fault(l)).collect();
+        assert_eq!(classes, again);
+
+        // A different seed picks (almost surely) different targets.
+        install(FaultPlan {
+            seed: 999,
+            panic_cells: 2,
+            stall_cells: 1,
+            transient_cells: 3,
+            ..FaultPlan::default()
+        });
+        assign_cells(&labels);
+        let reseeded: Vec<Option<CellFault>> = labels.iter().map(|l| cell_fault(l)).collect();
+        assert_ne!(classes, reseeded);
+        clear();
+        assert!(cell_fault(&labels[0]).is_none());
+    }
+
+    #[test]
+    fn insert_faults_fire_on_the_exact_append_index() {
+        let _gate = TEST_GATE.lock().unwrap_or_else(PoisonError::into_inner);
+        install(FaultPlan {
+            torn_insert: Some(2),
+            flip_insert: Some(4),
+            ..FaultPlan::default()
+        });
+        let seen: Vec<Option<InsertFault>> = (0..5).map(|_| store_insert_fault()).collect();
+        assert_eq!(
+            seen,
+            vec![
+                None,
+                Some(InsertFault::Torn),
+                None,
+                Some(InsertFault::BitFlip),
+                None
+            ]
+        );
+        clear();
+        assert_eq!(store_insert_fault(), None);
+    }
+}

@@ -23,7 +23,19 @@
 //! always produces the same results regardless of worker count
 //! ([`Scenario::run_with_jobs`] with 1 vs N workers is byte-identical; enforced
 //! by the `parallel_identity` integration test).
+//!
+//! Execution is fault-tolerant: every cell runs under `catch_unwind` with an
+//! armed watchdog budget (cycle cap plus optional wall-clock deadline), so a
+//! panicking or runaway cell becomes a [`CellOutcome::Failed`] instead of
+//! tearing down the whole sweep. Failed cells get a bounded number of retries
+//! with deterministic backoff (recovering transient failures), and whatever
+//! still fails lands in the run's failed-cell manifest
+//! ([`ScenarioRun::failed`]), which flows into the CSV/JSON emission and the
+//! report's "Degraded cells" section — a degraded sweep completes and says so,
+//! rather than aborting. The `crate::fault` harness can inject all of these
+//! failures deterministically to prove the recovery paths fire.
 
+use crate::fault;
 use crate::store::{baseline_key, flywheel_key, ResultStore, RunStats, StoreKey, StoreSummary};
 use crate::{
     format_table, parallel_map_jobs, run_baseline_cfg, run_flywheel_cfg, worker_count, Row,
@@ -32,8 +44,11 @@ use crate::{
 use flywheel_core::{FlywheelConfig, FlywheelStats};
 use flywheel_power::{MachineKind, PowerModel, UnitCategory};
 use flywheel_timing::{ClockPlan, TechNode};
+use flywheel_uarch::watchdog::{self, WatchdogConfig, WatchdogTimeout};
 use flywheel_uarch::{BaselineConfig, SimBudget, SimResult};
 use flywheel_workloads::Benchmark;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
 
 /// The machine models a scenario can place in a cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -329,15 +344,27 @@ impl Scenario {
     }
 
     /// Runs the grid on exactly `jobs` workers. Results are byte-identical for
-    /// any worker count.
+    /// any worker count. Cells that fail (panic or watchdog timeout) after the
+    /// bounded retries are reported in the run's failed-cell manifest; the
+    /// sweep itself always completes.
     pub fn run_with_jobs(&self, jobs: usize) -> ScenarioRun {
-        let cells = self.expand();
+        fault::maybe_install_from_env();
+        let grid = self.expand();
         let budget = self.budget;
-        let results = parallel_map_jobs(&cells, jobs, |cell| cell.run(budget));
+        let (slots, failed) = execute_cells(&grid, budget, jobs);
+        let mut cells = Vec::with_capacity(grid.len());
+        let mut results = Vec::with_capacity(grid.len());
+        for (cell, slot) in grid.into_iter().zip(slots) {
+            if let Some(r) = slot {
+                cells.push(cell);
+                results.push(r);
+            }
+        }
         ScenarioRun {
             scenario: self.clone(),
             cells,
             results,
+            failed,
         }
     }
 
@@ -360,19 +387,24 @@ impl Scenario {
         store: &mut ResultStore,
         jobs: usize,
     ) -> (ScenarioRun, StoreSummary) {
-        let cells = self.expand();
+        fault::maybe_install_from_env();
+        let grid = self.expand();
         let budget = self.budget;
-        let keys: Vec<StoreKey> = cells.iter().map(|c| c.key(budget)).collect();
+        let keys: Vec<StoreKey> = grid.iter().map(|c| c.key(budget)).collect();
         // Keep each miss's already-computed key: deriving one renders the full
         // machine config, which is not worth doing twice per cell.
-        let misses: Vec<(ScenarioCell, StoreKey)> = cells
+        let misses: Vec<(ScenarioCell, StoreKey)> = grid
             .iter()
             .zip(&keys)
             .filter(|(_, k)| !store.contains(k))
             .map(|(c, k)| (*c, *k))
             .collect();
-        let miss_results = parallel_map_jobs(&misses, jobs, |(cell, _)| cell.run(budget));
-        for ((cell, key), result) in misses.iter().zip(&miss_results) {
+        let miss_cells: Vec<ScenarioCell> = misses.iter().map(|(c, _)| *c).collect();
+        let (slots, failed) = execute_cells(&miss_cells, budget, jobs);
+        for ((cell, key), slot) in misses.iter().zip(&slots) {
+            let Some(result) = slot else {
+                continue; // failed cells are never inserted into the store
+            };
             let stats = RunStats {
                 sim: result.sim.clone(),
                 flywheel: result.flywheel,
@@ -381,31 +413,161 @@ impl Scenario {
                 eprintln!("warning: could not append to the result store: {e}");
             }
         }
-        let results: Vec<CellResult> = keys
+        let failed_keys: std::collections::HashSet<StoreKey> = misses
             .iter()
-            .map(|k| {
-                let r = store
-                    .get(k)
-                    .expect("every grid key is present after the miss sweep");
-                CellResult {
-                    sim: r.sim.clone(),
-                    flywheel: r.flywheel,
-                }
-            })
+            .zip(&slots)
+            .filter(|(_, slot)| slot.is_none())
+            .map(|((_, k), _)| *k)
             .collect();
+        let mut cells = Vec::with_capacity(grid.len());
+        let mut results = Vec::with_capacity(grid.len());
+        for (cell, k) in grid.iter().zip(&keys) {
+            if failed_keys.contains(k) {
+                continue;
+            }
+            let r = store
+                .get(k)
+                .expect("every non-failed grid key is present after the miss sweep");
+            cells.push(*cell);
+            results.push(CellResult {
+                sim: r.sim.clone(),
+                flywheel: r.flywheel,
+            });
+        }
         let summary = StoreSummary {
-            hits: cells.len() - misses.len(),
-            simulated: misses.len(),
+            hits: grid.len() - misses.len(),
+            simulated: misses.len() - failed.len(),
         };
         (
             ScenarioRun {
                 scenario: self.clone(),
                 cells,
                 results,
+                failed,
             },
             summary,
         )
     }
+}
+
+/// How often a failing cell is attempted in total (one initial run plus
+/// bounded retries — enough to recover any single-shot transient failure
+/// without letting a persistent bug multiply the sweep's cost unboundedly).
+pub const MAX_CELL_ATTEMPTS: u32 = 3;
+
+/// Base backoff between retry rounds; round `n` waits `BACKOFF_MS << (n-1)`.
+/// Deterministic (a fixed schedule, no jitter) so fault-injection runs are
+/// exactly reproducible.
+const RETRY_BACKOFF_MS: u64 = 25;
+
+/// The watchdog budget a cell is armed with: a cycle cap orders of magnitude
+/// above any reachable cycles-per-instruction (the worst memory-bound
+/// configuration in the repo sustains a few hundred cycles per instruction;
+/// the cap allows ten thousand), plus whatever wall-clock deadline or cap
+/// override the installed fault plan requests. A healthy cell can never trip
+/// it, so arming changes no simulated result — it only converts runaways into
+/// typed failures.
+fn cell_watchdog_config(budget: SimBudget) -> WatchdogConfig {
+    let mut cfg = WatchdogConfig::cycles(
+        budget
+            .total()
+            .saturating_mul(10_000)
+            .saturating_add(10_000_000),
+    );
+    if fault::active() {
+        if let Some(plan) = fault::plan() {
+            if let Some(cap) = plan.max_cycles {
+                cfg.max_be_cycles = cap;
+            }
+            if let Some(ms) = plan.timeout_ms {
+                cfg = cfg.with_wall_timeout(Duration::from_millis(ms));
+            }
+        }
+    }
+    cfg
+}
+
+/// Runs one cell attempt in isolation: watchdog armed, panics caught.
+fn run_cell_guarded(cell: &ScenarioCell, budget: SimBudget, attempt: u32) -> CellOutcome {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let _watchdog = watchdog::arm(cell_watchdog_config(budget));
+        if fault::active() {
+            inject_cell_fault(&cell.label(), attempt);
+        }
+        cell.run(budget)
+    }));
+    match outcome {
+        Ok(result) => CellOutcome::Done(result),
+        Err(payload) => CellOutcome::Failed {
+            cause: FailCause::from_panic_payload(payload),
+        },
+    }
+}
+
+/// Applies the installed fault plan to a cell attempt (no-op without a plan).
+fn inject_cell_fault(label: &str, attempt: u32) {
+    match fault::cell_fault(label) {
+        Some(fault::CellFault::Panic) => {
+            panic!("fault injection: forced panic in cell {label} (attempt {attempt})")
+        }
+        Some(fault::CellFault::Transient) if attempt == 0 => {
+            panic!("fault injection: transient panic in cell {label} (attempt {attempt})")
+        }
+        Some(fault::CellFault::Stall) => watchdog::stall_until_deadline(),
+        _ => {}
+    }
+}
+
+/// Runs `cells` with panic isolation and bounded retries. Returns one slot per
+/// input cell (`None` = failed after every attempt, in which case the second
+/// vector carries its manifest entry, in grid order).
+fn execute_cells(
+    cells: &[ScenarioCell],
+    budget: SimBudget,
+    jobs: usize,
+) -> (Vec<Option<CellResult>>, Vec<FailedCell>) {
+    if fault::active() {
+        let labels: Vec<String> = cells.iter().map(|c| c.label()).collect();
+        fault::assign_cells(&labels);
+    }
+    let mut slots: Vec<Option<CellResult>> = vec![None; cells.len()];
+    let mut last_cause: Vec<Option<FailCause>> = vec![None; cells.len()];
+    let mut attempts_used: Vec<u32> = vec![0; cells.len()];
+    let mut pending: Vec<usize> = (0..cells.len()).collect();
+    for attempt in 0..MAX_CELL_ATTEMPTS {
+        if pending.is_empty() {
+            break;
+        }
+        if attempt > 0 {
+            std::thread::sleep(Duration::from_millis(RETRY_BACKOFF_MS << (attempt - 1)));
+        }
+        let batch: Vec<ScenarioCell> = pending.iter().map(|&i| cells[i]).collect();
+        let outcomes =
+            parallel_map_jobs(&batch, jobs, |cell| run_cell_guarded(cell, budget, attempt));
+        let mut still_failing = Vec::new();
+        for (&i, outcome) in pending.iter().zip(outcomes) {
+            attempts_used[i] = attempt + 1;
+            match outcome {
+                CellOutcome::Done(r) => slots[i] = Some(r),
+                CellOutcome::Failed { cause } => {
+                    last_cause[i] = Some(cause);
+                    still_failing.push(i);
+                }
+            }
+        }
+        pending = still_failing;
+    }
+    let failed = (0..cells.len())
+        .filter(|&i| slots[i].is_none())
+        .map(|i| FailedCell {
+            cell: cells[i],
+            cause: last_cause[i]
+                .take()
+                .expect("a cell without a result recorded its failure cause"),
+            attempts: attempts_used[i],
+        })
+        .collect();
+    (slots, failed)
 }
 
 /// One point of an expanded scenario grid: a (benchmark, seed, machine,
@@ -541,6 +703,82 @@ pub struct CellResult {
     pub sim: SimResult,
     /// Flywheel-specific statistics (None for baseline-family machines).
     pub flywheel: Option<FlywheelStats>,
+}
+
+/// Why a cell failed (the `cause` of [`CellOutcome::Failed`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailCause {
+    /// The simulation panicked — a simulator bug or an injected fault.
+    Panic(String),
+    /// The armed watchdog budget fired (cycle cap or wall-clock deadline).
+    Timeout(String),
+}
+
+impl FailCause {
+    /// Short machine-readable kind, used in the CSV `status` column.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FailCause::Panic(_) => "panic",
+            FailCause::Timeout(_) => "timeout",
+        }
+    }
+
+    /// The human-readable failure description.
+    pub fn message(&self) -> &str {
+        match self {
+            FailCause::Panic(m) | FailCause::Timeout(m) => m,
+        }
+    }
+
+    /// Classifies a caught panic payload: a [`WatchdogTimeout`] is a typed
+    /// timeout, anything else (including the kernels' no-progress panics) is a
+    /// plain panic.
+    fn from_panic_payload(payload: Box<dyn std::any::Any + Send>) -> FailCause {
+        match payload.downcast::<WatchdogTimeout>() {
+            Ok(timeout) => FailCause::Timeout(timeout.to_string()),
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| payload.downcast_ref::<&'static str>().copied())
+                    .unwrap_or("non-string panic payload");
+                FailCause::Panic(msg.to_owned())
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for FailCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.kind(), self.message())
+    }
+}
+
+/// The outcome of running one cell under the guarded executor.
+///
+/// Short-lived: produced per attempt and destructured immediately by
+/// `execute_cells`, so the variant size gap never sits in a collection.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellOutcome {
+    /// The cell completed and produced a result.
+    Done(CellResult),
+    /// The cell failed; the sweep continues without it.
+    Failed {
+        /// What took the cell down.
+        cause: FailCause,
+    },
+}
+
+/// One entry of a degraded run's failed-cell manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailedCell {
+    /// The grid point that failed.
+    pub cell: ScenarioCell,
+    /// The final failure cause (after all retries).
+    pub cause: FailCause,
+    /// How many attempts were made (1..=[`MAX_CELL_ATTEMPTS`]).
+    pub attempts: u32,
 }
 
 /// Checks the machine invariants one cell's result must satisfy regardless of
@@ -696,17 +934,34 @@ pub fn check_cell_invariants(
 }
 
 /// The results of one executed scenario grid.
+///
+/// When every cell succeeds (the normal case), `cells` is the full expanded
+/// grid and `failed` is empty — byte-identical to the pre-fault-tolerance
+/// behaviour. When cells fail, the run is *degraded*: `cells`/`results` hold
+/// only the succeeded grid points (still in grid order) and `failed` carries
+/// the manifest of what was lost and why.
 #[derive(Debug, Clone)]
 pub struct ScenarioRun {
     /// The scenario that was run.
     pub scenario: Scenario,
-    /// The expanded grid, in execution order.
+    /// The succeeded grid points, in execution order.
     pub cells: Vec<ScenarioCell>,
-    /// One result per cell, in the same order.
+    /// One result per succeeded cell, in the same order.
     pub results: Vec<CellResult>,
+    /// Cells that failed after every retry, in grid order.
+    pub failed: Vec<FailedCell>,
 }
 
 impl ScenarioRun {
+    /// Whether the run completed degraded (at least one cell failed).
+    pub fn is_degraded(&self) -> bool {
+        !self.failed.is_empty()
+    }
+
+    /// Grid points attempted: succeeded plus failed.
+    pub fn attempted(&self) -> usize {
+        self.cells.len() + self.failed.len()
+    }
     /// Runs [`check_cell_invariants`] over every cell.
     pub fn check_invariants(&self) -> Result<(), String> {
         for (cell, r) in self.cells.iter().zip(&self.results) {
@@ -912,12 +1167,17 @@ impl ScenarioRun {
     }
 
     /// Emits the run as CSV (one row per cell, header included).
+    ///
+    /// The trailing `status` column is `ok` for succeeded cells. A degraded
+    /// run appends one row per failed cell after the succeeded rows: the
+    /// configuration columns are filled, every metric column is empty, and
+    /// `status` is `failed:<kind>` (`failed:panic` / `failed:timeout`).
     pub fn to_csv(&self) -> String {
         let mut s = String::from(
             "scenario,bench,seed,machine,node_nm,fe_pct,be_pct,iw,rob,ec_kb,mem_cycles,\
              instructions,be_cycles,fe_cycles,elapsed_ps,squashed,ipc,total_energy_pj,\
              avg_power_w,leak_frontend_pj,leak_backend_pj,leak_flywheel_pj,leak_fraction,\
-             gated_fraction,ec_residency,ec_hit_rate\n",
+             gated_fraction,ec_residency,ec_hit_rate,status\n",
         );
         let name = self.emitted_name();
         for (cell, r) in self.cells.iter().zip(&self.results) {
@@ -930,7 +1190,7 @@ impl ScenarioRun {
             };
             s.push_str(&format!(
                 "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{:.3},{:.6},\
-                 {:.3},{:.3},{:.3},{:.6},{:.6},{},{}\n",
+                 {:.3},{:.3},{:.3},{:.6},{:.6},{},{},ok\n",
                 name,
                 cell.bench,
                 cell.seed,
@@ -959,6 +1219,24 @@ impl ScenarioRun {
                 hit,
             ));
         }
+        for f in &self.failed {
+            let cell = &f.cell;
+            s.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{},,,,,,,,,,,,,,,,failed:{}\n",
+                name,
+                cell.bench,
+                cell.seed,
+                cell.machine,
+                cell.node.feature_nm(),
+                cell.fe_pct,
+                cell.be_pct,
+                cell.iw_entries,
+                cell.rob_entries,
+                cell.ec_kb,
+                cell.mem_cycles,
+                f.cause.kind(),
+            ));
+        }
         s
     }
 
@@ -967,13 +1245,14 @@ impl ScenarioRun {
     /// escaping is needed).
     pub fn to_json(&self) -> String {
         let b = self.scenario.budget;
-        let mut s = String::from("{\n  \"schema\": \"flywheel-scenarios/1\",\n");
+        let mut s = String::from("{\n  \"schema\": \"flywheel-scenarios/2\",\n");
         s.push_str(&format!("  \"scenario\": \"{}\",\n", self.emitted_name()));
         s.push_str(&format!(
             "  \"budget\": {{\"warmup_instructions\": {}, \"measured_instructions\": {}}},\n",
             b.warmup_instructions, b.measured_instructions
         ));
         s.push_str(&format!("  \"cell_count\": {},\n", self.cells.len()));
+        s.push_str(&format!("  \"failed_count\": {},\n", self.failed.len()));
         s.push_str("  \"cells\": [\n");
         for (i, (cell, r)) in self.cells.iter().zip(&self.results).enumerate() {
             s.push_str(&format!(
@@ -1019,9 +1298,41 @@ impl ScenarioRun {
                 "}\n"
             });
         }
+        s.push_str("  ],\n");
+        s.push_str("  \"failed_cells\": [\n");
+        for (i, f) in self.failed.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"label\": \"{}\", \"cause\": \"{}\", \"attempts\": {}, \"detail\": \"{}\"}}",
+                json_safe(&f.cell.label()),
+                f.cause.kind(),
+                f.attempts,
+                json_safe(f.cause.message()),
+            ));
+            s.push_str(if i + 1 < self.failed.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
         s.push_str("  ]\n}\n");
         s
     }
+}
+
+/// Makes an arbitrary string safe to embed in the hand-assembled JSON without
+/// an escaper: anything that would need escaping (quotes, backslashes,
+/// control characters, non-ASCII) becomes `_`. Cell labels are already plain
+/// ASCII; this guards the free-form panic messages.
+fn json_safe(s: &str) -> String {
+    s.chars()
+        .map(|c| {
+            if c.is_ascii_graphic() && c != '"' && c != '\\' || c == ' ' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -1295,14 +1606,20 @@ mod tests {
         assert_eq!(csv.lines().count(), run.cells.len() + 1, "header + cells");
         let json = run.to_json();
         assert_eq!(json.matches("\"bench\"").count(), run.cells.len());
-        assert!(json.contains("\"schema\": \"flywheel-scenarios/1\""));
+        assert!(json.contains("\"schema\": \"flywheel-scenarios/2\""));
+        // A clean run advertises zero failures and an empty manifest.
+        assert!(json.contains("\"failed_count\": 0"));
+        assert!(json.contains("\"failed_cells\": [\n  ]"));
         // Flywheel cells carry EC fields, baseline cells leave them empty.
         assert!(json.contains("\"ec_residency\""));
         // The leakage-attribution column family is emitted for every cell.
         assert!(json.contains("\"leak_flywheel_pj\""));
-        assert!(csv.lines().next().unwrap().contains("leak_flywheel_pj"));
+        let header = csv.lines().next().unwrap();
+        assert!(header.contains("leak_flywheel_pj"));
+        assert!(header.ends_with(",status"));
         for line in csv.lines().skip(1) {
-            assert_eq!(line.matches(',').count(), 25, "column count in {line}");
+            assert_eq!(line.matches(',').count(), 26, "column count in {line}");
+            assert!(line.ends_with(",ok"), "clean cells report ok: {line}");
         }
         // A hostile scenario name must not break either format.
         let mut evil = s.clone();
@@ -1310,8 +1627,49 @@ mod tests {
         let run = evil.run();
         assert!(run.to_json().contains("\"scenario\": \"a_b_c_d\""));
         for line in run.to_csv().lines().skip(1) {
-            assert_eq!(line.matches(',').count(), 25, "column count in {line}");
+            assert_eq!(line.matches(',').count(), 26, "column count in {line}");
         }
+    }
+
+    #[test]
+    fn degraded_run_emits_failed_rows_and_manifest() {
+        // Hand-build a degraded run (no fault plan needed): one succeeded
+        // cell, one failed.
+        let mut s = Scenario::new("t", tiny_budget());
+        s.benchmarks = vec![Benchmark::Micro];
+        let mut run = s.run_with_jobs(1);
+        assert!(!run.is_degraded());
+        let lost = run.cells.pop().unwrap();
+        let lost_result = run.results.pop().unwrap();
+        run.failed.push(FailedCell {
+            cell: lost,
+            cause: FailCause::Timeout("exceeded \"budget\"".to_owned()),
+            attempts: 3,
+        });
+        assert!(run.is_degraded());
+        assert_eq!(run.attempted(), run.cells.len() + 1);
+
+        let csv = run.to_csv();
+        let last = csv.lines().last().unwrap();
+        assert!(last.ends_with(",failed:timeout"), "got: {last}");
+        assert_eq!(last.matches(',').count(), 26, "column count in {last}");
+        assert_eq!(
+            csv.lines().filter(|l| l.ends_with(",ok")).count(),
+            run.cells.len()
+        );
+
+        let json = run.to_json();
+        assert!(json.contains("\"failed_count\": 1"));
+        assert!(json.contains(&format!(
+            "\"label\": \"{}\", \"cause\": \"timeout\", \"attempts\": 3",
+            lost.label()
+        )));
+        // The free-form panic message is sanitized for the hand-built JSON.
+        assert!(json.contains("\"detail\": \"exceeded _budget_\""));
+
+        // Invariants still check the succeeded cells.
+        run.check_invariants().unwrap();
+        let _ = lost_result;
     }
 
     #[test]

@@ -30,17 +30,27 @@ use flywheel_workloads::Benchmark;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Read as _, Write as _};
+use std::io::{BufWriter, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// On-disk schema version. Bump when the record line format changes; a store
-/// written by a different schema is rejected at [`ResultStore::open`] time.
+/// written by an unknown schema is rejected at [`ResultStore::open`] time
+/// (the immediately preceding version is migrated in place instead).
 ///
 /// v2: `EnergyBreakdown` leakage is attributed — the single `leakage_pj` field
 /// became three per-category components (front-end, back-end, Flywheel-only).
-pub const STORE_SCHEMA: &str = "flywheel-store/2";
+///
+/// v3: per-record framing — every record line carries its payload length and
+/// CRC32 (`<len:08x> <crc:08x> <payload>`), so a torn append or a flipped bit
+/// is detected at open time and quarantined instead of poisoning the store.
+pub const STORE_SCHEMA: &str = "flywheel-store/3";
+
+/// The previous schema, accepted read-only: a v2 store is migrated to v3 (an
+/// atomic full rewrite) the first time it is opened. The v2 record payload is
+/// byte-identical to v3's, so migration only adds the framing prefix.
+const STORE_SCHEMA_V2: &str = "flywheel-store/2";
 
 /// The committed golden digest, compiled in so the code-version salt tracks
 /// simulator behaviour: regenerating `golden.txt` (the required step whenever
@@ -71,6 +81,81 @@ fn fnv1a64(mut hash: u64, bytes: &[u8]) -> u64 {
         hash = hash.wrapping_mul(FNV_PRIME);
     }
     hash
+}
+
+/// FNV-1a with a caller-supplied seed folded into the offset basis; the fault
+/// harness uses it to rank cell labels deterministically per plan seed.
+pub(crate) fn fnv1a64_seeded(seed: u64, bytes: &[u8]) -> u64 {
+    fnv1a64(FNV_OFFSET ^ seed, bytes)
+}
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320), hand-rolled like the
+/// rest of the serialization because the build container has no registry
+/// access. Matches the ubiquitous zlib/`cksum -o3` definition, so a store can
+/// be checked with external tooling too.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xedb8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xffff_ffffu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    c ^ 0xffff_ffff
+}
+
+/// Wraps a record payload in the v3 per-record framing:
+/// `<payload-len:08x> <payload-crc32:08x> <payload>`.
+fn frame_payload(payload: &str) -> String {
+    format!(
+        "{:08x} {:08x} {payload}",
+        payload.len(),
+        crc32(payload.as_bytes())
+    )
+}
+
+/// Validates and strips the v3 framing from one record line (without its
+/// newline), returning the payload. `None` means the line is damaged: too
+/// short, malformed hex, a length mismatch (torn write) or a CRC mismatch
+/// (bit rot / flipped bits).
+fn unframe_line(line: &[u8]) -> Option<&str> {
+    if line.len() < 18 || line[8] != b' ' || line[17] != b' ' {
+        return None;
+    }
+    let len = u32::from_str_radix(std::str::from_utf8(&line[..8]).ok()?, 16).ok()?;
+    let crc = u32::from_str_radix(std::str::from_utf8(&line[9..17]).ok()?, 16).ok()?;
+    let payload = &line[18..];
+    if payload.len() as u32 != len || crc32(payload) != crc {
+        return None;
+    }
+    std::str::from_utf8(payload).ok()
+}
+
+/// Parses a record payload (`<key-hex> <label> <fields…>`) common to v2 lines
+/// and v3 payloads.
+fn parse_payload(payload: &str) -> Option<(StoreKey, &str, RunStats)> {
+    let mut fields = payload.split_whitespace();
+    let key = StoreKey::from_hex(fields.next()?)?;
+    let label = fields.next()?;
+    let stats = RunStats::parse_fields(&mut fields)?;
+    Some((key, label, stats))
 }
 
 /// A 128-bit content address of one simulation's complete input.
@@ -315,10 +400,13 @@ impl RunStats {
 /// A persistent, append-only map from [`StoreKey`] to [`RunStats`].
 ///
 /// The on-disk format is one header line ([`STORE_SCHEMA`]) followed by one
-/// record per line: `<key-hex> <label> <fields…>`. The label is informational
-/// only (a human-readable cell description); lookups go by key. Records are
-/// only ever appended — a re-run with changed inputs appends new keys and the
-/// old records simply stop being addressed.
+/// framed record per line: `<len:08x> <crc:08x> <key-hex> <label> <fields…>`,
+/// where the length and CRC32 cover the payload after them. The label is
+/// informational only (a human-readable cell description); lookups go by key.
+/// Records are only ever appended — a re-run with changed inputs appends new
+/// keys and the old records simply stop being addressed. Damage (torn
+/// appends, flipped bits) is detected by the framing at open time and
+/// recovered, not fatal; see [`ResultStore::open_recovering`].
 ///
 /// ```
 /// use flywheel_bench::store::{ResultStore, RunStats, StoreKey};
@@ -337,13 +425,68 @@ impl RunStats {
 #[derive(Debug)]
 pub struct ResultStore {
     records: HashMap<StoreKey, RunStats>,
+    /// The (sanitized) label each key was last stored under — informational,
+    /// preserved across reopen so merges and fsck can name records.
+    labels: HashMap<StoreKey, String>,
     /// Opened lazily on the first insert, so read-only users (the `report
     /// --check` gate) never create or touch the backing file.
     appender: Option<BufWriter<File>>,
+    /// Set when fault injection simulated an appender crash (torn write); the
+    /// store keeps answering from memory but writes nothing further to disk.
+    appender_dead: bool,
     /// Whether the schema header still has to be written before the first
     /// appended record (the backing file was absent or empty at open).
     needs_header: bool,
     path: Option<PathBuf>,
+}
+
+/// What [`ResultStore::open_recovering`] found and did. A healthy store
+/// reports [`RecoveryReport::is_clean`] and guarantees no file was written.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Addressable records after the open (duplicates collapsed, latest wins).
+    pub records: usize,
+    /// Record lines that passed framing and parsed.
+    pub valid_lines: usize,
+    /// Damaged lines moved to the `.quarantine` file.
+    pub quarantined_lines: usize,
+    /// Total bytes of the quarantined lines.
+    pub quarantined_bytes: usize,
+    /// The store carried the previous schema and was rewritten as v3.
+    pub migrated: bool,
+    /// The backing file was rewritten (migration, quarantine, or torn tail).
+    pub repaired: bool,
+}
+
+impl RecoveryReport {
+    /// Whether the store was healthy: nothing quarantined, nothing rewritten.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined_lines == 0 && !self.repaired
+    }
+
+    /// One-line human-readable summary (used by `fsck` and open warnings).
+    pub fn describe(&self) -> String {
+        if self.is_clean() {
+            return format!("clean ({} records, schema {STORE_SCHEMA})", self.records);
+        }
+        let mut s = format!(
+            "repaired: kept {} records ({} valid lines)",
+            self.records, self.valid_lines
+        );
+        if self.quarantined_lines > 0 {
+            let _ = write!(
+                s,
+                ", quarantined {} damaged line{} ({} bytes)",
+                self.quarantined_lines,
+                if self.quarantined_lines == 1 { "" } else { "s" },
+                self.quarantined_bytes
+            );
+        }
+        if self.migrated {
+            let _ = write!(s, ", migrated from {STORE_SCHEMA_V2}");
+        }
+        s
+    }
 }
 
 impl ResultStore {
@@ -352,73 +495,182 @@ impl ResultStore {
     pub fn in_memory() -> Self {
         ResultStore {
             records: HashMap::new(),
+            labels: HashMap::new(),
             appender: None,
+            appender_dead: false,
             needs_header: false,
             path: None,
         }
     }
 
-    /// Opens the store at `path` and loads every record. A missing file is an
-    /// empty store; nothing is created or written until the first
-    /// [`ResultStore::insert`], so read-only use has no side effects.
-    ///
-    /// Fails on I/O errors, on an unknown schema header, or on a corrupt
-    /// record line — a damaged store should be noticed, not silently
-    /// recomputed around.
+    /// Opens the store at `path`, recovering from damage instead of failing;
+    /// prints a one-line notice to stderr when recovery had to act. See
+    /// [`ResultStore::open_recovering`] for the exact semantics.
     pub fn open(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let (store, report) = Self::open_recovering(&path)?;
+        if !report.is_clean() {
+            eprintln!("store {}: {}", path.as_ref().display(), report.describe());
+        }
+        Ok(store)
+    }
+
+    /// Opens the store at `path` and loads every record, reporting what
+    /// recovery (if any) was performed. A missing file is an empty store;
+    /// nothing is created or written until the first [`ResultStore::insert`],
+    /// so read-only use of a *healthy* store has no side effects.
+    ///
+    /// A damaged store is repaired rather than rejected — the normal failure
+    /// mode of an append-only file is a crash mid-append, and losing every
+    /// warm record to one torn line would defeat the store's purpose:
+    ///
+    /// * Record lines that fail their length/CRC framing (torn tail, flipped
+    ///   bits) are appended verbatim to `<path>.quarantine` for post-mortems,
+    ///   and the store is atomically rewritten (write temp, then rename) with
+    ///   only the valid lines — equivalent to truncating to the last valid
+    ///   record when the damage is a torn tail.
+    /// * A previous-schema (`flywheel-store/2`) store is migrated: same
+    ///   payloads, v3 framing.
+    /// * A file that is a bare torn prefix of a schema header (a crash before
+    ///   the first record of a brand-new store) recovers to an empty store.
+    ///
+    /// Only an unknown schema header or a real I/O error still fails: a
+    /// foreign file should be noticed, not destroyed.
+    pub fn open_recovering(path: impl AsRef<Path>) -> std::io::Result<(Self, RecoveryReport)> {
         let path = path.as_ref().to_path_buf();
-        let corrupt = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+        let mut report = RecoveryReport::default();
         let mut records = HashMap::new();
-        let mut fresh = true;
-        if path.exists() {
-            let mut text = String::new();
-            File::open(&path)?.read_to_string(&mut text)?;
-            let mut lines = text.lines();
-            if let Some(header) = lines.next() {
-                fresh = false;
-                if header != STORE_SCHEMA {
-                    return Err(corrupt(format!(
-                        "store {}: unknown schema '{header}' (expected '{STORE_SCHEMA}')",
-                        path.display()
-                    )));
+        let mut labels = HashMap::new();
+        if !path.exists() {
+            let store = ResultStore {
+                records,
+                labels,
+                appender: None,
+                appender_dead: false,
+                needs_header: true,
+                path: Some(path),
+            };
+            return Ok((store, report));
+        }
+
+        let data = std::fs::read(&path)?;
+        // Valid record payloads in original file order (append-only history,
+        // duplicates included) and damaged raw lines, for the rewrite.
+        let mut kept: Vec<&str> = Vec::new();
+        let mut damaged: Vec<&[u8]> = Vec::new();
+        let mut fresh = data.is_empty();
+        if !data.is_empty() {
+            let mut chunks = data.split_inclusive(|&b| b == b'\n');
+            let header_chunk = chunks.next().expect("non-empty data has a first chunk");
+            let header_complete = header_chunk.ends_with(b"\n");
+            let header_len = header_chunk.len() - usize::from(header_complete);
+            let header = std::str::from_utf8(&header_chunk[..header_len]).ok();
+            let v2 = match header {
+                Some(STORE_SCHEMA) if header_complete => false,
+                Some(STORE_SCHEMA_V2) if header_complete => {
+                    report.migrated = true;
+                    true
                 }
-                for (i, line) in lines.enumerate() {
-                    if line.is_empty() {
-                        continue;
+                // A torn prefix of a header (necessarily the file's only
+                // line: no newline means no further chunks) is a crash while
+                // creating a brand-new store — recover to empty.
+                Some(h)
+                    if !header_complete
+                        && (STORE_SCHEMA.starts_with(h) || STORE_SCHEMA_V2.starts_with(h)) =>
+                {
+                    report.quarantined_lines += 1;
+                    report.quarantined_bytes += header_len;
+                    damaged.push(&header_chunk[..header_len]);
+                    report.repaired = true;
+                    fresh = true;
+                    false
+                }
+                _ => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!(
+                            "store {}: unknown schema '{}' (expected '{STORE_SCHEMA}')",
+                            path.display(),
+                            header.unwrap_or("<non-utf8>")
+                        ),
+                    ));
+                }
+            };
+            for chunk in chunks {
+                let complete = chunk.ends_with(b"\n");
+                let line = &chunk[..chunk.len() - usize::from(complete)];
+                if line.is_empty() {
+                    continue;
+                }
+                // A line without its newline is a torn append even if its
+                // payload happens to check out: the writer emits the record
+                // and its newline in one write.
+                let payload = if !complete {
+                    None
+                } else if v2 {
+                    std::str::from_utf8(line).ok()
+                } else {
+                    unframe_line(line)
+                };
+                match payload.and_then(|p| parse_payload(p).map(|r| (p, r))) {
+                    Some((payload, (key, label, stats))) => {
+                        report.valid_lines += 1;
+                        kept.push(payload);
+                        // Append-only updates: the latest record for a key wins.
+                        records.insert(key, stats);
+                        labels.insert(key, label.to_owned());
                     }
-                    let mut fields = line.split_whitespace();
-                    let key = fields.next().and_then(StoreKey::from_hex).ok_or_else(|| {
-                        corrupt(format!(
-                            "store {}: bad key on line {}",
-                            path.display(),
-                            i + 2
-                        ))
-                    })?;
-                    let _label = fields.next().ok_or_else(|| {
-                        corrupt(format!(
-                            "store {}: missing label on line {}",
-                            path.display(),
-                            i + 2
-                        ))
-                    })?;
-                    let stats = RunStats::parse_fields(&mut fields).ok_or_else(|| {
-                        corrupt(format!(
-                            "store {}: corrupt record on line {}",
-                            path.display(),
-                            i + 2
-                        ))
-                    })?;
-                    // Append-only updates: the latest record for a key wins.
-                    records.insert(key, stats);
+                    None => {
+                        report.quarantined_lines += 1;
+                        report.quarantined_bytes += line.len();
+                        damaged.push(line);
+                    }
                 }
             }
         }
-        Ok(ResultStore {
+
+        report.records = records.len();
+        if report.quarantined_lines > 0 || report.migrated {
+            report.repaired = true;
+            // Preserve the damaged bytes first, then atomically replace the
+            // store, so no interleaving of crashes can lose information. (A
+            // pure migration has nothing to quarantine and creates no file.)
+            if !damaged.is_empty() {
+                let quarantine_path = PathBuf::from(format!("{}.quarantine", path.display()));
+                let mut quarantine = BufWriter::new(
+                    OpenOptions::new()
+                        .create(true)
+                        .append(true)
+                        .open(&quarantine_path)?,
+                );
+                for line in &damaged {
+                    quarantine.write_all(line)?;
+                    quarantine.write_all(b"\n")?;
+                }
+                quarantine.flush()?;
+            }
+            let tmp_path = PathBuf::from(format!("{}.tmp", path.display()));
+            {
+                let mut tmp = BufWriter::new(File::create(&tmp_path)?);
+                writeln!(tmp, "{STORE_SCHEMA}")?;
+                for payload in &kept {
+                    writeln!(tmp, "{}", frame_payload(payload))?;
+                }
+                tmp.flush()?;
+                tmp.get_ref().sync_all()?;
+            }
+            std::fs::rename(&tmp_path, &path)?;
+            fresh = false;
+        }
+
+        let store = ResultStore {
             records,
+            labels,
             appender: None,
+            appender_dead: false,
             needs_header: fresh,
             path: Some(path),
-        })
+        };
+        Ok((store, report))
     }
 
     /// The backing file, if the store is disk-backed.
@@ -452,8 +704,16 @@ impl ResultStore {
     /// for store debugging; whitespace is replaced (and an empty label gets a
     /// `-` placeholder) so the line always parses back as one field.
     pub fn insert(&mut self, key: StoreKey, label: &str, stats: RunStats) -> std::io::Result<()> {
+        let label = if label.is_empty() {
+            "-".to_owned()
+        } else {
+            label
+                .chars()
+                .map(|c| if c.is_whitespace() { '_' } else { c })
+                .collect()
+        };
         if let Some(path) = &self.path {
-            if self.appender.is_none() {
+            if self.appender.is_none() && !self.appender_dead {
                 let mut appender =
                     BufWriter::new(OpenOptions::new().create(true).append(true).open(path)?);
                 if self.needs_header {
@@ -464,23 +724,84 @@ impl ResultStore {
             }
         }
         if let Some(appender) = &mut self.appender {
-            let mut line = key.hex();
-            line.push(' ');
-            if label.is_empty() {
-                line.push('-');
-            } else {
-                line.extend(
-                    label
-                        .chars()
-                        .map(|c| if c.is_whitespace() { '_' } else { c }),
-                );
+            let mut payload = key.hex();
+            payload.push(' ');
+            payload.push_str(&label);
+            stats.serialize_into(&mut payload);
+            let line = frame_payload(&payload);
+            match crate::fault::store_insert_fault() {
+                Some(crate::fault::InsertFault::Torn) => {
+                    // Simulate a crash mid-append: half a line hits the disk
+                    // and nothing ever again (as after a real process death).
+                    appender.write_all(&line.as_bytes()[..line.len() / 2])?;
+                    appender.flush()?;
+                    self.appender = None;
+                    self.appender_dead = true;
+                    eprintln!(
+                        "fault injection: tore the store append for '{label}' and crashed the appender"
+                    );
+                }
+                Some(crate::fault::InsertFault::BitFlip) => {
+                    // Flip one payload bit *after* the CRC was computed, so
+                    // the record reads back damaged. Avoid manufacturing a
+                    // newline, which would split the line in two.
+                    let mut bytes = line.into_bytes();
+                    let idx = 18 + (bytes.len() - 18) / 2;
+                    let flip = if bytes[idx] ^ 1 == b'\n' { 2 } else { 1 };
+                    bytes[idx] ^= flip;
+                    appender.write_all(&bytes)?;
+                    appender.write_all(b"\n")?;
+                    appender.flush()?;
+                    eprintln!("fault injection: flipped a bit in the stored record for '{label}'");
+                }
+                None => {
+                    writeln!(appender, "{line}")?;
+                    appender.flush()?;
+                }
             }
-            stats.serialize_into(&mut line);
-            writeln!(appender, "{line}")?;
-            appender.flush()?;
         }
         self.records.insert(key, stats);
+        self.labels.insert(key, label);
         Ok(())
+    }
+
+    /// The label `key` was last stored under, or `-` when unknown.
+    pub fn label_of(&self, key: &StoreKey) -> &str {
+        self.labels.get(key).map(String::as_str).unwrap_or("-")
+    }
+
+    /// Merges every record of `other` into this store.
+    ///
+    /// All-or-nothing: conflicts are detected before anything is written. Two
+    /// stores conflict when they hold the *same key with different stats* —
+    /// since a key content-addresses the complete simulation input (including
+    /// the code-version salt), a conflict means one side's records are wrong
+    /// (or hand-edited) and silently picking a winner would hide it. Mirrors
+    /// `EnergyAccumulator::merge`'s typed-conflict contract.
+    pub fn merge(&mut self, other: &ResultStore) -> Result<MergeOutcome, MergeError> {
+        let mut keys: Vec<&StoreKey> = other.records.keys().collect();
+        keys.sort();
+        for key in &keys {
+            if let Some(mine) = self.records.get(key) {
+                if mine != &other.records[*key] {
+                    return Err(MergeError::Conflict {
+                        key: **key,
+                        label: other.label_of(key).to_owned(),
+                    });
+                }
+            }
+        }
+        let mut outcome = MergeOutcome::default();
+        for key in keys {
+            if self.records.contains_key(key) {
+                outcome.identical += 1;
+            } else {
+                self.insert(*key, other.label_of(key), other.records[key].clone())
+                    .map_err(MergeError::Io)?;
+                outcome.added += 1;
+            }
+        }
+        Ok(outcome)
     }
 
     /// Recalls a baseline-machine cell by content address.
@@ -545,6 +866,46 @@ pub fn cell_label(family: &str, bench: Benchmark, seed: u64) -> String {
     format!("{family}/{}/s{seed}", bench.name())
 }
 
+/// What a conflict-free [`ResultStore::merge`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MergeOutcome {
+    /// Records the other store had and this one did not.
+    pub added: usize,
+    /// Records both stores held bit-identically.
+    pub identical: usize,
+}
+
+/// Why a [`ResultStore::merge`] was refused or failed.
+#[derive(Debug)]
+pub enum MergeError {
+    /// Both stores hold the same key with different stats. Keys address the
+    /// complete simulation input, so this means at least one side's record
+    /// does not come from the deterministic simulator it claims to.
+    Conflict {
+        /// The conflicting content address.
+        key: StoreKey,
+        /// The incoming store's label for the record.
+        label: String,
+    },
+    /// Appending a merged record to the backing file failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeError::Conflict { key, label } => write!(
+                f,
+                "merge conflict: key {} ('{label}') exists in both stores with different stats",
+                key.hex()
+            ),
+            MergeError::Io(e) => write!(f, "merge failed to append: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
 /// Outcome of running a sweep against a store: how many cells were served
 /// from memo records and how many had to be simulated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -568,20 +929,32 @@ static SIMULATIONS: AtomicU64 = AtomicU64::new(0);
 /// Installs `store` as the process-global store consulted by
 /// [`crate::run_baseline_cfg`]/[`crate::run_flywheel_cfg`] (and therefore by
 /// every harness runner and scenario cell). Resets the hit/miss counters.
+///
+/// All global-store accessors recover from a poisoned lock rather than
+/// panicking: a worker that died mid-cell (now an isolated, reported failure)
+/// must not cascade into every later store access. The store's own state
+/// stays consistent across a poisoning because record/label inserts happen
+/// only after the disk append completed.
 pub fn install_global_store(store: ResultStore) {
     GLOBAL_HITS.store(0, Ordering::Relaxed);
     GLOBAL_MISSES.store(0, Ordering::Relaxed);
-    *GLOBAL_STORE.lock().expect("store lock poisoned") = Some(store);
+    *GLOBAL_STORE.lock().unwrap_or_else(PoisonError::into_inner) = Some(store);
 }
 
 /// Removes and returns the process-global store.
 pub fn take_global_store() -> Option<ResultStore> {
-    GLOBAL_STORE.lock().expect("store lock poisoned").take()
+    GLOBAL_STORE
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .take()
 }
 
 /// Whether a process-global store is installed.
 pub fn global_store_installed() -> bool {
-    GLOBAL_STORE.lock().expect("store lock poisoned").is_some()
+    GLOBAL_STORE
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .is_some()
 }
 
 /// (hits, misses) of the process-global store since it was installed.
@@ -593,7 +966,7 @@ pub fn global_store_counters() -> (u64, u64) {
 }
 
 pub(crate) fn global_get(key: &StoreKey) -> Option<RunStats> {
-    let guard = GLOBAL_STORE.lock().expect("store lock poisoned");
+    let guard = GLOBAL_STORE.lock().unwrap_or_else(PoisonError::into_inner);
     let store = guard.as_ref()?;
     let hit = store.get(key).cloned();
     match &hit {
@@ -604,7 +977,7 @@ pub(crate) fn global_get(key: &StoreKey) -> Option<RunStats> {
 }
 
 pub(crate) fn global_put(key: StoreKey, label: &str, stats: RunStats) {
-    let mut guard = GLOBAL_STORE.lock().expect("store lock poisoned");
+    let mut guard = GLOBAL_STORE.lock().unwrap_or_else(PoisonError::into_inner);
     if let Some(store) = guard.as_mut() {
         if let Err(e) = store.insert(key, label, stats) {
             eprintln!("warning: could not append to the result store: {e}");
@@ -716,5 +1089,86 @@ mod tests {
     fn salt_is_nonzero_and_stable() {
         assert_ne!(code_version_salt(), 0);
         assert_eq!(code_version_salt(), code_version_salt());
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_reference_vector() {
+        // The canonical check value of CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn framing_round_trips_and_rejects_damage() {
+        let payload = "deadbeef a-label 1 2 3";
+        let line = frame_payload(payload);
+        assert_eq!(unframe_line(line.as_bytes()), Some(payload));
+        // Torn tail: any strict prefix fails the length check.
+        for cut in 0..line.len() {
+            assert_eq!(unframe_line(&line.as_bytes()[..cut]), None, "cut at {cut}");
+        }
+        // Single flipped bit anywhere: caught by CRC (or the hex framing).
+        for i in 0..line.len() {
+            let mut bytes = line.clone().into_bytes();
+            bytes[i] ^= 1;
+            assert_eq!(unframe_line(&bytes), None, "flip at byte {i}");
+        }
+    }
+
+    #[test]
+    fn merge_adds_missing_detects_identical_and_refuses_conflicts() {
+        let mut a = ResultStore::in_memory();
+        let mut b = ResultStore::in_memory();
+        let shared = StoreKey::of_input("shared");
+        let only_b = StoreKey::of_input("only-b");
+        a.insert(shared, "shared", stats(10, false)).unwrap();
+        b.insert(shared, "shared", stats(10, false)).unwrap();
+        b.insert(only_b, "extra cell", stats(20, true)).unwrap();
+
+        let outcome = a.merge(&b).unwrap();
+        assert_eq!(
+            outcome,
+            MergeOutcome {
+                added: 1,
+                identical: 1
+            }
+        );
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.get(&only_b), b.get(&only_b));
+        assert_eq!(
+            a.label_of(&only_b),
+            "extra_cell",
+            "labels travel (sanitized)"
+        );
+
+        // Same key, different stats: typed conflict, nothing merged.
+        let mut c = ResultStore::in_memory();
+        c.insert(shared, "shared", stats(11, false)).unwrap();
+        let before = a.len();
+        match a.merge(&c) {
+            Err(MergeError::Conflict { key, label }) => {
+                assert_eq!(key, shared);
+                assert_eq!(label, "shared");
+            }
+            other => panic!("expected a conflict, got {other:?}"),
+        }
+        assert_eq!(a.len(), before, "a failed merge must not mutate the store");
+    }
+
+    #[test]
+    fn merge_is_idempotent() {
+        let mut a = ResultStore::in_memory();
+        let mut b = ResultStore::in_memory();
+        b.insert(StoreKey::of_input("x"), "x", stats(5, true))
+            .unwrap();
+        a.merge(&b).unwrap();
+        let again = a.merge(&b).unwrap();
+        assert_eq!(
+            again,
+            MergeOutcome {
+                added: 0,
+                identical: 1
+            }
+        );
     }
 }

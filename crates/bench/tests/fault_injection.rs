@@ -1,0 +1,195 @@
+//! End-to-end fault-injection drills: every recovery path of the
+//! fault-tolerant executor and the crash-safe store, driven by deterministic
+//! seeded plans.
+//!
+//! The fault plan is process-global state, so every test here serializes on
+//! one gate mutex and clears the plan before releasing it.
+
+use flywheel_bench::fault::{self, FaultPlan};
+use flywheel_bench::scenario::{Machine, Scenario, MAX_CELL_ATTEMPTS};
+use flywheel_bench::store::ResultStore;
+use flywheel_uarch::SimBudget;
+use flywheel_workloads::Benchmark;
+use std::path::PathBuf;
+use std::sync::{Mutex, PoisonError};
+
+/// Serializes the tests in this file: fault plans are process-global.
+static GATE: Mutex<()> = Mutex::new(());
+
+/// Clears the plan even when an assertion panics mid-test, so one failure
+/// does not cascade fault state into the next test.
+struct ClearOnDrop;
+impl Drop for ClearOnDrop {
+    fn drop(&mut self) {
+        fault::clear();
+    }
+}
+
+fn temp_store(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("flywheel-fi-{}-{tag}.store", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    let _ = std::fs::remove_file(format!("{}.quarantine", p.display()));
+    p
+}
+
+/// A small grid (8 cells) that runs in well under a second.
+fn tiny_scenario() -> Scenario {
+    let mut s = Scenario::new("fault-drill", SimBudget::new(300, 1_200));
+    s.benchmarks = vec![Benchmark::Micro, Benchmark::PtrChase];
+    s.machines = vec![Machine::Baseline, Machine::Flywheel];
+    s.mem_cycles = vec![100, 300];
+    s
+}
+
+#[test]
+fn injected_panics_and_torn_append_yield_a_recoverable_degraded_run() {
+    let _gate = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+    let _clear = ClearOnDrop;
+    let path = temp_store("panic-torn");
+    let scenario = tiny_scenario();
+    let cell_count = scenario.cell_count();
+
+    fault::install(FaultPlan {
+        seed: 7,
+        panic_cells: 2,
+        torn_insert: Some(3),
+        ..FaultPlan::default()
+    });
+    let mut store = ResultStore::open(&path).unwrap();
+    let (run, summary) = scenario.run_with_store(&mut store);
+    drop(store);
+
+    // Degraded-mode completion: the sweep finished, the two doomed cells are
+    // in the manifest (after exhausting every attempt), everything else stands.
+    assert!(run.is_degraded());
+    assert_eq!(run.failed.len(), 2);
+    assert_eq!(run.attempted(), cell_count);
+    assert_eq!(run.cells.len(), cell_count - 2);
+    assert_eq!(summary.simulated, cell_count - 2);
+    for f in &run.failed {
+        assert_eq!(f.cause.kind(), "panic");
+        assert_eq!(f.attempts, MAX_CELL_ATTEMPTS);
+        assert!(f.cause.message().contains("fault injection"));
+    }
+
+    // The manifest flows into both emitters.
+    let csv = run.to_csv();
+    assert_eq!(csv.matches(",failed:panic").count(), 2);
+    let json = run.to_json();
+    assert!(json.contains("\"failed_count\": 2,"));
+    assert_eq!(json.matches("\"cause\": \"panic\"").count(), 2);
+
+    // Target selection is a pure function of (seed, label set): the same plan
+    // dooms the same cells on a rerun.
+    let failed_labels: Vec<String> = run.failed.iter().map(|f| f.cell.label()).collect();
+    fault::install(FaultPlan {
+        seed: 7,
+        panic_cells: 2,
+        ..FaultPlan::default()
+    });
+    let rerun = scenario.run();
+    let rerun_labels: Vec<String> = rerun.failed.iter().map(|f| f.cell.label()).collect();
+    assert_eq!(failed_labels, rerun_labels);
+    fault::clear();
+
+    // The torn third append crashed the appender: two records made it to
+    // disk, the third line is torn. Recovery keeps both valid records (zero
+    // valid records lost), quarantines the torn line, and the store is
+    // immediately usable.
+    let (recovered, report) = ResultStore::open_recovering(&path).unwrap();
+    assert_eq!(report.quarantined_lines, 1);
+    assert_eq!(recovered.len(), 2, "every fully-appended record survives");
+
+    // With faults cleared, a rerun over the recovered store completes the
+    // grid: the surviving records are recalled, nothing fails, and the next
+    // open is clean.
+    let mut recovered = recovered;
+    let (healed, second) = scenario.run_with_store(&mut recovered);
+    assert!(!healed.is_degraded());
+    assert_eq!(second.hits, 2);
+    assert_eq!(second.simulated, cell_count - 2);
+    assert_eq!(recovered.len(), cell_count);
+    drop(recovered);
+    let (_, third) = ResultStore::open_recovering(&path).unwrap();
+    assert!(third.is_clean());
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(format!("{}.quarantine", path.display()));
+}
+
+#[test]
+fn transient_faults_are_recovered_by_retry_bit_identically() {
+    let _gate = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+    let _clear = ClearOnDrop;
+    let scenario = tiny_scenario();
+    let reference = scenario.run();
+    assert!(!reference.is_degraded());
+
+    fault::install(FaultPlan {
+        transient_cells: 2,
+        ..FaultPlan::default()
+    });
+    let run = scenario.run();
+    fault::clear();
+
+    // First-attempt-only panics must be absorbed by the bounded retry: the
+    // run completes undegraded and every result is bit-identical to the
+    // fault-free reference (the retry re-simulates from scratch).
+    assert!(!run.is_degraded());
+    assert_eq!(run.results, reference.results);
+    assert_eq!(run.to_csv(), reference.to_csv());
+}
+
+#[test]
+fn stalled_cells_trip_the_wall_clock_watchdog_as_timeouts() {
+    let _gate = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+    let _clear = ClearOnDrop;
+    let scenario = tiny_scenario();
+
+    fault::install(FaultPlan {
+        stall_cells: 1,
+        timeout_ms: Some(50),
+        ..FaultPlan::default()
+    });
+    let run = scenario.run();
+    fault::clear();
+
+    assert_eq!(run.failed.len(), 1);
+    let f = &run.failed[0];
+    assert_eq!(f.cause.kind(), "timeout");
+    assert_eq!(f.attempts, MAX_CELL_ATTEMPTS);
+    assert!(
+        f.cause.message().contains("watchdog"),
+        "timeout must carry the watchdog diagnosis, got: {}",
+        f.cause.message()
+    );
+    assert_eq!(run.cells.len(), scenario.cell_count() - 1);
+}
+
+#[test]
+fn a_cycle_cap_converts_every_runaway_into_a_typed_timeout() {
+    let _gate = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+    let _clear = ClearOnDrop;
+    let mut scenario = tiny_scenario();
+    scenario.benchmarks = vec![Benchmark::Micro];
+    scenario.machines = vec![Machine::Baseline];
+    scenario.mem_cycles = vec![100];
+
+    // A one-cycle cap makes every cell a "runaway": the sweep must still
+    // complete, with the whole grid in the failed manifest as timeouts.
+    fault::install(FaultPlan {
+        max_cycles: Some(1),
+        ..FaultPlan::default()
+    });
+    let run = scenario.run();
+    fault::clear();
+
+    assert_eq!(run.failed.len(), scenario.cell_count());
+    assert!(run.cells.is_empty());
+    for f in &run.failed {
+        assert_eq!(f.cause.kind(), "timeout");
+    }
+    // Degraded emitters still work with zero surviving cells.
+    assert!(run.to_json().contains("\"cause\": \"timeout\""));
+    run.check_invariants().unwrap();
+}

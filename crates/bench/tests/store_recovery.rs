@@ -1,0 +1,225 @@
+//! Crash-safety tests of the result store: the property that truncating the
+//! file at *every* byte offset recovers exactly the records written before
+//! the cut, single-record quarantine on bit flips, v2 -> v3 migration, and
+//! on-disk merge.
+
+use flywheel_bench::store::{ResultStore, RunStats, StoreKey, STORE_SCHEMA};
+use flywheel_uarch::SimBudget;
+use std::path::{Path, PathBuf};
+
+/// A unique throwaway path under the system temp dir (no tempfile crate in
+/// the container; the process id plus a per-test tag keeps runs disjoint).
+fn temp_store(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("flywheel-rec-{}-{tag}.store", std::process::id()));
+    cleanup(&p);
+    p
+}
+
+fn quarantine_of(path: &Path) -> PathBuf {
+    PathBuf::from(format!("{}.quarantine", path.display()))
+}
+
+fn cleanup(path: &Path) {
+    let _ = std::fs::remove_file(path);
+    let _ = std::fs::remove_file(quarantine_of(path));
+}
+
+/// One real simulation result to replicate under synthetic keys (framing and
+/// recovery only care about bytes, not where the stats came from).
+fn sample_stats() -> RunStats {
+    use flywheel_bench::scenario::{Machine, Scenario};
+    use flywheel_workloads::Benchmark;
+    let mut s = Scenario::new("recovery-sample", SimBudget::new(100, 400));
+    s.benchmarks = vec![Benchmark::Micro];
+    s.machines = vec![Machine::Baseline];
+    let cell = s.expand()[0];
+    RunStats::from_baseline(cell.run(s.budget).sim)
+}
+
+/// Writes `n` records under distinct keys and returns the file bytes.
+fn populated_store_bytes(path: &Path, n: u64) -> Vec<u8> {
+    let stats = sample_stats();
+    let mut store = ResultStore::open(path).unwrap();
+    for i in 0..n {
+        store
+            .insert(StoreKey(0xbeef, i), &format!("cell-{i}"), stats.clone())
+            .unwrap();
+    }
+    drop(store);
+    std::fs::read(path).unwrap()
+}
+
+#[test]
+fn truncating_at_every_byte_recovers_exactly_the_records_before_the_cut() {
+    let path = temp_store("truncate");
+    let data = populated_store_bytes(&path, 5);
+
+    // End offset (exclusive, newline included) of every line in the file;
+    // the first is the schema header, the rest are record lines.
+    let line_ends: Vec<usize> = data
+        .iter()
+        .enumerate()
+        .filter(|(_, &b)| b == b'\n')
+        .map(|(i, _)| i + 1)
+        .collect();
+    assert_eq!(line_ends.len(), 6, "header plus five records");
+
+    for cut in 0..=data.len() {
+        cleanup(&path);
+        std::fs::write(&path, &data[..cut]).unwrap();
+        let (store, report) = ResultStore::open_recovering(&path)
+            .unwrap_or_else(|e| panic!("cut at byte {cut} must recover, got: {e}"));
+
+        // A record survives iff its full line (newline included) fits before
+        // the cut; a line missing its newline is a torn append by definition.
+        let expected: usize = line_ends.iter().skip(1).filter(|&&end| end <= cut).count();
+        assert_eq!(store.len(), expected, "records after cut at byte {cut}");
+        assert_eq!(report.records, expected);
+        for i in 0..expected as u64 {
+            assert!(
+                store.contains(&StoreKey(0xbeef, i)),
+                "record {i} must survive cut at byte {cut}"
+            );
+        }
+
+        // A cut on a line boundary (or the empty file) is a healthy store:
+        // recovery must not rewrite anything. Any other cut tears exactly one
+        // line, which must be quarantined and the file repaired.
+        if cut == 0 || data[..cut].ends_with(b"\n") {
+            assert!(report.is_clean(), "cut at byte {cut} is a clean store");
+            assert_eq!(std::fs::read(&path).unwrap(), &data[..cut]);
+        } else {
+            assert!(report.repaired, "cut at byte {cut} must repair");
+            assert_eq!(report.quarantined_lines, 1, "cut at byte {cut}");
+            assert!(quarantine_of(&path).exists());
+            // Repair converges: the rewritten store reopens clean with the
+            // same records.
+            let (again, second) = ResultStore::open_recovering(&path).unwrap();
+            assert!(second.is_clean(), "repair at byte {cut} must converge");
+            assert_eq!(again.len(), expected);
+        }
+    }
+    cleanup(&path);
+}
+
+#[test]
+fn bit_flip_quarantines_only_the_damaged_record() {
+    let path = temp_store("bitflip");
+    let mut data = populated_store_bytes(&path, 4);
+
+    // Flip one low bit in the middle of the third record line (header is
+    // line 0). Store bytes are printable ASCII, so a low-bit flip can never
+    // fabricate a newline, and the line CRC catches any single-bit change.
+    let line_starts: Vec<usize> = std::iter::once(0)
+        .chain(
+            data.iter()
+                .enumerate()
+                .filter(|(_, &b)| b == b'\n')
+                .map(|(i, _)| i + 1),
+        )
+        .collect();
+    let (start, end) = (line_starts[3], line_starts[4]);
+    let mid = start + (end - start) / 2;
+    data[mid] ^= 1;
+    std::fs::write(&path, &data).unwrap();
+
+    let (store, report) = ResultStore::open_recovering(&path).unwrap();
+    assert_eq!(report.quarantined_lines, 1);
+    assert!(report.repaired);
+    assert_eq!(store.len(), 3, "only the flipped record is lost");
+    let stats = sample_stats();
+    for i in [0u64, 1, 3] {
+        assert_eq!(
+            store.get(&StoreKey(0xbeef, i)),
+            Some(&stats),
+            "undamaged record {i} must survive bit-for-bit"
+        );
+    }
+    assert!(!store.contains(&StoreKey(0xbeef, 2)));
+
+    // The damaged line is preserved verbatim (minus framing validity) for
+    // post-mortems, and the repaired store reopens clean.
+    let quarantined = std::fs::read(quarantine_of(&path)).unwrap();
+    assert_eq!(quarantined, &data[start..end]);
+    let (_, second) = ResultStore::open_recovering(&path).unwrap();
+    assert!(second.is_clean());
+    cleanup(&path);
+}
+
+#[test]
+fn v2_stores_migrate_to_v3_on_open() {
+    let path = temp_store("migrate");
+    let data = populated_store_bytes(&path, 3);
+
+    // Rebuild the file in the previous schema: same payloads, no per-line
+    // framing. The v3 line format is `<len:08x> <crc:08x> <payload>`, so the
+    // payload of a record line starts at byte 18.
+    let text = std::str::from_utf8(&data).unwrap();
+    let mut v2 = String::from("flywheel-store/2\n");
+    for line in text.lines().skip(1) {
+        v2.push_str(&line[18..]);
+        v2.push('\n');
+    }
+    std::fs::write(&path, &v2).unwrap();
+
+    let (store, report) = ResultStore::open_recovering(&path).unwrap();
+    assert!(report.migrated);
+    assert!(report.repaired);
+    assert_eq!(
+        report.quarantined_lines, 0,
+        "a healthy v2 store loses nothing"
+    );
+    assert!(
+        !quarantine_of(&path).exists(),
+        "a pure migration has nothing to quarantine"
+    );
+    assert_eq!(store.len(), 3);
+    let stats = sample_stats();
+    for i in 0..3u64 {
+        assert_eq!(store.get(&StoreKey(0xbeef, i)), Some(&stats));
+        assert_eq!(store.label_of(&StoreKey(0xbeef, i)), format!("cell-{i}"));
+    }
+
+    // The migrated file is a byte-identical v3 store: framed lines, current
+    // header, clean on the next open.
+    assert_eq!(std::fs::read(&path).unwrap(), data);
+    let migrated = std::fs::read_to_string(&path).unwrap();
+    assert!(migrated.starts_with(&format!("{STORE_SCHEMA}\n")));
+    let (_, second) = ResultStore::open_recovering(&path).unwrap();
+    assert!(second.is_clean());
+    cleanup(&path);
+}
+
+#[test]
+fn merge_combines_disk_stores_and_survives_reopen() {
+    let a_path = temp_store("merge-a");
+    let b_path = temp_store("merge-b");
+    let stats = sample_stats();
+
+    let mut a = ResultStore::open(&a_path).unwrap();
+    a.insert(StoreKey(1, 1), "a-only", stats.clone()).unwrap();
+    a.insert(StoreKey(1, 2), "shared", stats.clone()).unwrap();
+    let mut b = ResultStore::open(&b_path).unwrap();
+    b.insert(StoreKey(1, 2), "shared", stats.clone()).unwrap();
+    b.insert(StoreKey(1, 3), "b-only", stats.clone()).unwrap();
+
+    let outcome = a.merge(&b).unwrap();
+    assert_eq!(outcome.added, 1);
+    assert_eq!(outcome.identical, 1);
+
+    // The merged records are durable: a fresh open sees the union.
+    drop(a);
+    let merged = ResultStore::open(&a_path).unwrap();
+    assert_eq!(merged.len(), 3);
+    for (k, label) in [
+        (StoreKey(1, 1), "a-only"),
+        (StoreKey(1, 2), "shared"),
+        (StoreKey(1, 3), "b-only"),
+    ] {
+        assert_eq!(merged.get(&k), Some(&stats));
+        assert_eq!(merged.label_of(&k), label);
+    }
+    cleanup(&a_path);
+    cleanup(&b_path);
+}

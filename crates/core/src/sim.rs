@@ -250,6 +250,7 @@ impl<I: Iterator<Item = DynInst>> FlywheelSim<I> {
         let warm_target = budget.warmup_instructions;
         let total_target = budget.total();
         self.retire_limit = warm_target.max(1);
+        let mut watchdog = flywheel_uarch::watchdog::armed();
         while self.retired < total_target && !(self.trace_done && self.inflight.is_empty()) {
             if self.measure_start.is_none() && self.retired >= warm_target {
                 self.begin_measurement();
@@ -275,6 +276,9 @@ impl<I: Iterator<Item = DynInst>> FlywheelSim<I> {
                     self.frontend_q.len(),
                     self.replay.is_some(),
                 );
+            }
+            if let Some(wd) = watchdog.as_mut() {
+                wd.poll(self.be_cycles);
             }
         }
         if self.measure_start.is_none() {

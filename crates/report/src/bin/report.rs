@@ -14,6 +14,9 @@
 //! --results PATH      RESULTS.md artifact (default: RESULTS.md)
 //! --experiments PATH  document carrying the generated figure block
 //!                     (default: EXPERIMENTS.md)
+//! --scenario-json PATH  scenario run JSON (the `scenarios` binary's `--json`
+//!                     output); appends a "Degraded cells" section to
+//!                     RESULTS.md surfacing any failed-cell manifest
 //! --populate          simulate (and store) any record the figures need that
 //!                     the store is missing, instead of failing
 //! --check             verify the committed documents against the store and
@@ -28,14 +31,16 @@
 
 use flywheel_bench::store::ResultStore;
 use flywheel_report::{
-    check_block, diff_texts, experiments_block, patch_block, populate, results_markdown, Source,
+    check_block, degraded_cells_section, diff_texts, experiments_block, patch_block, populate,
+    results_markdown, Source,
 };
 use flywheel_uarch::SimBudget;
 
 fn usage() -> ! {
     eprintln!(
         "usage: report [--store PATH] [--insts N] [--bench-json PATH] \
-         [--results PATH] [--experiments PATH] [--populate] [--check]"
+         [--results PATH] [--experiments PATH] [--scenario-json PATH] \
+         [--populate] [--check]"
     );
     std::process::exit(1);
 }
@@ -50,6 +55,7 @@ fn main() {
     let mut bench_json_path = "BENCH.json".to_owned();
     let mut results_path = "RESULTS.md".to_owned();
     let mut experiments_path = "EXPERIMENTS.md".to_owned();
+    let mut scenario_json_path: Option<String> = None;
     let mut budget = flywheel_bench::experiment_budget();
     let mut do_populate = false;
     let mut do_check = false;
@@ -63,6 +69,7 @@ fn main() {
             "--bench-json" => bench_json_path = value(),
             "--results" => results_path = value(),
             "--experiments" => experiments_path = value(),
+            "--scenario-json" => scenario_json_path = Some(value()),
             "--insts" => {
                 let n: u64 = value().parse().unwrap_or_else(|_| usage());
                 budget = SimBudget::new(n / 10, n);
@@ -95,8 +102,15 @@ fn main() {
     }
 
     let mut src = Source::read_only(&mut store);
-    let results =
+    let mut results =
         results_markdown(&mut src, budget, bench_json.as_deref()).unwrap_or_else(|e| fail(&e));
+    if let Some(path) = &scenario_json_path {
+        let json = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(&format!("could not read {path}: {e}")));
+        let section =
+            degraded_cells_section(&json).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+        results.push_str(&section);
+    }
     let block = experiments_block(&mut src, budget).unwrap_or_else(|e| fail(&e));
 
     if do_check {

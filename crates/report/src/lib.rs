@@ -401,6 +401,65 @@ pub fn trajectory_table(bench_json: &str) -> Result<String, String> {
     Ok(out)
 }
 
+/// Renders the "Degraded cells" section from a scenario JSON document
+/// (`flywheel-scenarios/2`, written by the `scenarios` binary's `--json`
+/// flag): the failed-cell manifest as a Markdown table, or — when the run
+/// completed every cell — a one-line all-clear. A fault-tolerant sweep can
+/// finish without some cells (see `flywheel_bench::scenario`); this section
+/// keeps that degradation visible in the published docs instead of letting a
+/// silently smaller grid masquerade as a complete one.
+pub fn degraded_cells_section(scenario_json: &str) -> Result<String, String> {
+    if !scenario_json.contains("\"schema\": \"flywheel-scenarios/2\"") {
+        return Err(
+            "scenario JSON: unknown or missing schema (need flywheel-scenarios/2)".to_owned(),
+        );
+    }
+    let mut out = String::new();
+    out.push_str("\n## Degraded cells\n\n");
+    let mut rows = String::new();
+    let mut failed = 0;
+    for line in scenario_json.lines() {
+        let line = line.trim();
+        if !line.starts_with("{\"label\":") {
+            continue;
+        }
+        let (Some(label), Some(cause), Some(attempts), Some(detail)) = (
+            json_field(line, "label"),
+            json_field(line, "cause"),
+            json_field(line, "attempts"),
+            json_field(line, "detail"),
+        ) else {
+            return Err(format!(
+                "scenario JSON: malformed failed-cell line '{line}'"
+            ));
+        };
+        rows.push_str(&format!(
+            "| `{label}` | {cause} | {attempts} | {detail} |\n"
+        ));
+        failed += 1;
+    }
+    let cell_count = scenario_json
+        .lines()
+        .filter(|l| l.trim().starts_with("{\"bench\":"))
+        .count();
+    if failed == 0 {
+        out.push_str(&format!(
+            "Complete run: all {cell_count} cells simulated, none failed.\n"
+        ));
+    } else {
+        out.push_str(&format!(
+            "**Degraded run**: {failed} of {} cells failed after bounded retries; \
+             the sweep completed without them. Re-run the scenario (warm cells are\n\
+             recalled from the store) to fill the gaps.\n\n",
+            cell_count + failed,
+        ));
+        out.push_str("| cell | cause | attempts | detail |\n");
+        out.push_str("|------|-------|---------:|--------|\n");
+        out.push_str(&rows);
+    }
+    Ok(out)
+}
+
 /// Assembles the full RESULTS.md artifact from the store (and, optionally,
 /// the `BENCH.json` throughput report).
 pub fn results_markdown(
@@ -539,6 +598,23 @@ mod tests {
         assert!(table.contains("| **total** | 5.180 | 18000000 | 3.47 |"));
         assert!(trajectory_table("{}").is_err());
         assert!(trajectory_table("{\"schema\": \"flywheel-bench/1\"}").is_err());
+    }
+
+    #[test]
+    fn degraded_cells_section_renders_manifest_or_all_clear() {
+        let clean = "{\n  \"schema\": \"flywheel-scenarios/2\",\n  \"failed_count\": 0,\n  \"cells\": [\n    {\"bench\": \"gzip\", \"seed\": 2005}\n  ],\n  \"failed_cells\": [\n  ]\n}\n";
+        let section = degraded_cells_section(clean).unwrap();
+        assert!(section.contains("## Degraded cells"));
+        assert!(section.contains("Complete run: all 1 cells simulated"));
+
+        let degraded = "{\n  \"schema\": \"flywheel-scenarios/2\",\n  \"failed_count\": 1,\n  \"cells\": [\n    {\"bench\": \"gzip\", \"seed\": 2005}\n  ],\n  \"failed_cells\": [\n    {\"label\": \"flywheel/gzip/s7\", \"cause\": \"timeout\", \"attempts\": 3, \"detail\": \"watchdog tripped\"}\n  ]\n}\n";
+        let section = degraded_cells_section(degraded).unwrap();
+        assert!(section.contains("1 of 2 cells failed"));
+        assert!(section.contains("| `flywheel/gzip/s7` | timeout | 3 | watchdog tripped |"));
+
+        assert!(degraded_cells_section("{}").is_err());
+        let v1 = "{\n  \"schema\": \"flywheel-scenarios/1\"\n}\n";
+        assert!(degraded_cells_section(v1).is_err());
     }
 
     #[test]

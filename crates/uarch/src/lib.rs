@@ -35,6 +35,7 @@ mod inflight;
 mod pipeline;
 mod regs;
 mod stats;
+pub mod watchdog;
 
 pub use bpred::{BpredStats, GsharePredictor};
 pub use cache::{AccessOutcome, Cache, HierarchyStats, MemoryHierarchy};

@@ -186,6 +186,7 @@ impl<I: Iterator<Item = DynInst>> BaselineSim<I> {
         // Cap retirement at the warm-up boundary first so that measurement starts at
         // an exact instruction count, then at the total budget.
         self.retire_limit = warm_target.max(1);
+        let mut watchdog = crate::watchdog::armed();
         while self.retired < total_target && !(self.trace_done && self.inflight.is_empty()) {
             if self.measure_start.is_none() && self.retired >= warm_target {
                 self.begin_measurement();
@@ -193,6 +194,9 @@ impl<I: Iterator<Item = DynInst>> BaselineSim<I> {
             }
             self.step();
             self.check_progress();
+            if let Some(wd) = watchdog.as_mut() {
+                wd.poll(self.be_cycles);
+            }
         }
         if self.measure_start.is_none() {
             self.begin_measurement();

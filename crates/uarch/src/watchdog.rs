@@ -1,0 +1,216 @@
+//! Per-run watchdog budget for converting runaway simulations into typed,
+//! catchable failures.
+//!
+//! The sweep executor arms a [`WatchdogConfig`] on the worker thread before
+//! running a cell; both simulator kernels ([`crate::BaselineSim`] and the
+//! Flywheel kernel in `flywheel-core`) snapshot the armed config once at the
+//! top of `run()` and poll it from their step loops. A trip raises a panic
+//! whose payload is a [`WatchdogTimeout`], which the executor's `catch_unwind`
+//! downcasts into a `Failed {cause: Timeout}` cell outcome — distinct from an
+//! ordinary (string-payload) simulator panic.
+//!
+//! Cost when disarmed (every non-sweep caller): one thread-local read per
+//! kernel `run()`, zero work per simulated cycle. Cost when armed: one `u64`
+//! compare per step, with `Instant::now()` consulted only once per
+//! [`Watchdog::WALL_CHECK_INTERVAL`] back-end cycles — cheap enough that
+//! arming never changes simulated behaviour (it can only panic).
+
+use std::cell::Cell;
+use std::time::{Duration, Instant};
+
+/// Budget limits for one simulation run on the current thread.
+#[derive(Debug, Clone, Copy)]
+pub struct WatchdogConfig {
+    /// Trip once the kernel's back-end cycle counter exceeds this value.
+    ///
+    /// Callers derive it from the instruction budget with a generous
+    /// cycles-per-instruction allowance, so a healthy run can never trip.
+    pub max_be_cycles: u64,
+    /// Trip once wall-clock time passes this deadline (checked between
+    /// calendar events, every [`Watchdog::WALL_CHECK_INTERVAL`] cycles).
+    pub wall_deadline: Option<Instant>,
+}
+
+impl WatchdogConfig {
+    /// A config with the given cycle cap and no wall-clock deadline.
+    pub fn cycles(max_be_cycles: u64) -> Self {
+        WatchdogConfig {
+            max_be_cycles,
+            wall_deadline: None,
+        }
+    }
+
+    /// Adds a wall-clock deadline `timeout` from now.
+    pub fn with_wall_timeout(mut self, timeout: Duration) -> Self {
+        self.wall_deadline = Some(Instant::now() + timeout);
+        self
+    }
+}
+
+/// Panic payload raised when an armed watchdog trips.
+///
+/// Raised via [`std::panic::panic_any`] so executors can downcast it and
+/// distinguish a timeout from a genuine simulator bug.
+#[derive(Debug, Clone)]
+pub struct WatchdogTimeout {
+    /// Back-end cycle count at the moment the watchdog fired.
+    pub be_cycles: u64,
+    /// Human-readable description of which limit fired.
+    pub reason: String,
+}
+
+impl std::fmt::Display for WatchdogTimeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "watchdog timeout at be_cycle {}: {}",
+            self.be_cycles, self.reason
+        )
+    }
+}
+
+thread_local! {
+    static ARMED: Cell<Option<WatchdogConfig>> = const { Cell::new(None) };
+}
+
+/// Arms the watchdog for the current thread until the returned guard drops.
+///
+/// Nested arms are allowed; the guard restores the previous config.
+pub fn arm(cfg: WatchdogConfig) -> WatchdogGuard {
+    let prev = ARMED.with(|a| a.replace(Some(cfg)));
+    WatchdogGuard { prev }
+}
+
+/// Disarms the watchdog when dropped, restoring whatever was armed before.
+#[derive(Debug)]
+pub struct WatchdogGuard {
+    prev: Option<WatchdogConfig>,
+}
+
+impl Drop for WatchdogGuard {
+    fn drop(&mut self) {
+        ARMED.with(|a| a.set(self.prev));
+    }
+}
+
+/// Snapshots the currently armed config into a pollable state, or `None` when
+/// the thread has no watchdog armed (the common case outside sweeps).
+pub fn armed() -> Option<Watchdog> {
+    ARMED.with(|a| a.get()).map(|cfg| Watchdog {
+        cfg,
+        next_wall_check: Watchdog::WALL_CHECK_INTERVAL,
+    })
+}
+
+/// Pollable watchdog state held by a kernel for the duration of one `run()`.
+#[derive(Debug)]
+pub struct Watchdog {
+    cfg: WatchdogConfig,
+    next_wall_check: u64,
+}
+
+impl Watchdog {
+    /// How many back-end cycles elapse between wall-clock checks.
+    pub const WALL_CHECK_INTERVAL: u64 = 1 << 16;
+
+    /// Checks the budget at the current back-end cycle count; panics with a
+    /// [`WatchdogTimeout`] payload if a limit has been exceeded.
+    #[inline]
+    pub fn poll(&mut self, be_cycles: u64) {
+        if be_cycles > self.cfg.max_be_cycles {
+            std::panic::panic_any(WatchdogTimeout {
+                be_cycles,
+                reason: format!("exceeded cycle cap of {}", self.cfg.max_be_cycles),
+            });
+        }
+        if be_cycles >= self.next_wall_check {
+            self.next_wall_check = be_cycles.saturating_add(Self::WALL_CHECK_INTERVAL);
+            if let Some(deadline) = self.cfg.wall_deadline {
+                if Instant::now() > deadline {
+                    std::panic::panic_any(WatchdogTimeout {
+                        be_cycles,
+                        reason: "exceeded wall-clock deadline".to_owned(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Blocks until the armed wall-clock deadline passes, then trips the watchdog.
+///
+/// Used by the fault-injection harness to model a stalled cell without
+/// touching the kernels: the stall consumes its whole wall budget and then
+/// fails exactly the way a runaway simulation would. Panics immediately (still
+/// with a [`WatchdogTimeout`] payload) when no deadline is armed, so an
+/// injected stall can never hang a sweep that forgot to set one.
+pub fn stall_until_deadline() -> ! {
+    let deadline = ARMED.with(|a| a.get()).and_then(|cfg| cfg.wall_deadline);
+    if let Some(deadline) = deadline {
+        while Instant::now() <= deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    std::panic::panic_any(WatchdogTimeout {
+        be_cycles: 0,
+        reason: "injected stall consumed the wall-clock budget".to_owned(),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_thread_reports_no_watchdog() {
+        assert!(armed().is_none());
+    }
+
+    #[test]
+    fn guard_restores_previous_config() {
+        {
+            let _outer = arm(WatchdogConfig::cycles(10));
+            {
+                let _inner = arm(WatchdogConfig::cycles(20));
+                assert_eq!(armed().unwrap().cfg.max_be_cycles, 20);
+            }
+            assert_eq!(armed().unwrap().cfg.max_be_cycles, 10);
+        }
+        assert!(armed().is_none());
+    }
+
+    #[test]
+    fn cycle_cap_trips_with_typed_payload() {
+        let _guard = arm(WatchdogConfig::cycles(100));
+        let mut wd = armed().unwrap();
+        wd.poll(100); // at the cap: fine
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| wd.poll(101)))
+            .expect_err("poll past the cap must panic");
+        let timeout = err
+            .downcast::<WatchdogTimeout>()
+            .expect("payload must be a WatchdogTimeout");
+        assert_eq!(timeout.be_cycles, 101);
+    }
+
+    #[test]
+    fn expired_wall_deadline_trips_at_the_next_check() {
+        let _guard = arm(WatchdogConfig {
+            max_be_cycles: u64::MAX,
+            wall_deadline: Some(Instant::now() - Duration::from_millis(1)),
+        });
+        let mut wd = armed().unwrap();
+        wd.poll(1); // below the check interval: not yet consulted
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            wd.poll(Watchdog::WALL_CHECK_INTERVAL)
+        }))
+        .expect_err("poll past an expired deadline must panic");
+        assert!(err.is::<WatchdogTimeout>());
+    }
+
+    #[test]
+    fn injected_stall_trips_even_without_a_deadline() {
+        let err = std::panic::catch_unwind(|| stall_until_deadline())
+            .expect_err("stall must trip the watchdog");
+        assert!(err.is::<WatchdogTimeout>());
+    }
+}
