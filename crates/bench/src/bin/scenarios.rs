@@ -43,16 +43,34 @@
 //! are kept, damaged lines are quarantined to `<store>.quarantine`, and a
 //! one-line summary is printed. A clean store is left byte-untouched.
 //!
-//! Sweeps fan out across all cores (`FLYWHEEL_JOBS` caps the workers); results
-//! are byte-identical for any worker count.
+//! `scenarios merge <A> <B> [--out C]` unions result stores: without `--out`,
+//! B's records are appended into A; with it, A then B are merged into C and
+//! the inputs are untouched. A same-key/different-stats conflict refuses the
+//! merge with a per-key report and a non-zero exit.
+//!
+//! `scenarios sweep <preset|--spec SPEC> --store PATH [--shards N]` runs the
+//! grid as a *supervised multi-process* sweep: N worker processes each sweep
+//! a disjoint shard of cells into `<store>.shard-K`, heartbeating to status
+//! files; the supervisor restarts crashed or stalled workers with capped
+//! exponential backoff (restarted workers re-run only the cells their dead
+//! predecessor never landed), then merges the shards into the main store.
+//! A shard that exhausts its restart budget degrades the sweep to a
+//! failed-cell manifest instead of aborting it. Knobs: `--max-restarts N`,
+//! `--backoff-ms N`, `--stall-timeout-ms N`, `--deadline-ms N`,
+//! `--status-dir D`, `--faults SPEC` (cell faults run inside workers;
+//! `abort=`/`sigkill=`/`hang=` doom whole worker processes).
+//!
+//! Single-process sweeps fan out across all cores (`FLYWHEEL_JOBS` caps the
+//! workers); results are byte-identical for any worker count.
 
 use flywheel_bench::scenario::{Machine, Scenario};
-use flywheel_bench::store::ResultStore;
-use flywheel_bench::{experiment_budget, fault, simulated_mips, worker_count};
+use flywheel_bench::store::{MergeError, ResultStore};
+use flywheel_bench::supervisor::{self, SupervisorConfig};
+use flywheel_bench::{experiment_budget, fault, simulated_mips, spec, worker_count};
 use flywheel_timing::TechNode;
 use flywheel_uarch::SimBudget;
 use flywheel_workloads::Benchmark;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn usage() -> ! {
     eprintln!(
@@ -60,9 +78,192 @@ fn usage() -> ! {
          [--benches a,b] [--machines m,..] [--nodes 130,..] [--clocks FE:BE,..] \
          [--windows IW:ROB,..] [--ec KB,..] [--mem CYC,..] [--seeds S,..] \
          [--insts N] [--check] [--json PATH] [--csv PATH] [--store PATH] \
-         [--faults SPEC]\n       scenarios fsck [--store PATH]"
+         [--faults SPEC]\n       scenarios fsck [--store PATH]\
+         \n       scenarios merge <A> <B> [--out C]\
+         \n       scenarios sweep <preset|--spec SPEC> [--store PATH] [--shards N] \
+         [--insts N] [--max-restarts N] [--backoff-ms N] [--stall-timeout-ms N] \
+         [--deadline-ms N] [--status-dir D] [--faults SPEC]"
     );
     std::process::exit(1);
+}
+
+/// `scenarios merge <A> <B> [--out C]`: union stores, refuse conflicts with a
+/// per-key report and exit 2.
+fn merge_cmd(args: &[String]) -> ! {
+    let mut inputs: Vec<String> = Vec::new();
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            other if !other.starts_with('-') => inputs.push(other.to_owned()),
+            _ => usage(),
+        }
+    }
+    let [a, b] = inputs.as_slice() else { usage() };
+    let open = |path: &str| {
+        ResultStore::open(path).unwrap_or_else(|e| {
+            eprintln!("merge: cannot open {path}: {e}");
+            std::process::exit(1);
+        })
+    };
+    // Without --out, B merges into A in place; with it, A then B merge into
+    // a (possibly fresh) C and the inputs stay untouched.
+    let (mut target, target_path, sources) = match &out {
+        None => (open(a), a.clone(), vec![b.clone()]),
+        Some(c) => (open(c), c.clone(), vec![a.clone(), b.clone()]),
+    };
+    for source in &sources {
+        match target.merge(&open(source)) {
+            Ok(outcome) => println!(
+                "merged {source} into {target_path}: {} added, {} identical",
+                outcome.added, outcome.identical
+            ),
+            Err(MergeError::Conflict { conflicts }) => {
+                eprintln!(
+                    "merge conflict: {} key(s) exist in both {target_path} and {source} \
+                     with different stats; nothing was merged:",
+                    conflicts.len()
+                );
+                for c in &conflicts {
+                    eprintln!("  {} ('{}')", c.key.hex(), c.label);
+                }
+                std::process::exit(2);
+            }
+            Err(e) => {
+                eprintln!("merge failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!("{target_path}: {} records total", target.len());
+    std::process::exit(0);
+}
+
+/// `scenarios sweep ...`: run a grid as a supervised multi-process sharded
+/// sweep (see the module docs).
+fn sweep_cmd(args: &[String]) -> ! {
+    let mut spec_arg: Option<String> = None;
+    let mut preset: Option<String> = None;
+    let mut store_path = "results.store".to_owned();
+    let mut shards: Option<usize> = None;
+    let mut insts: Option<u64> = None;
+    let mut faults_spec: Option<String> = None;
+    let mut status_dir: Option<String> = None;
+    let mut max_restarts: Option<u32> = None;
+    let mut backoff_ms: Option<u64> = None;
+    let mut stall_timeout_ms: Option<u64> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || it.next().cloned().unwrap_or_else(|| usage());
+        let num = |value: String| -> u64 { value.parse().unwrap_or_else(|_| usage()) };
+        match arg.as_str() {
+            "--spec" => spec_arg = Some(value()),
+            "--store" => store_path = value(),
+            "--shards" => shards = Some(num(value()) as usize),
+            "--insts" => insts = Some(num(value())),
+            "--faults" => faults_spec = Some(value()),
+            "--status-dir" => status_dir = Some(value()),
+            "--max-restarts" => max_restarts = Some(num(value()) as u32),
+            "--backoff-ms" => backoff_ms = Some(num(value())),
+            "--stall-timeout-ms" => stall_timeout_ms = Some(num(value())),
+            "--deadline-ms" => deadline_ms = Some(num(value())),
+            other if !other.starts_with('-') && preset.is_none() => preset = Some(other.to_owned()),
+            _ => usage(),
+        }
+    }
+    let spec_text = match (&spec_arg, &preset) {
+        (Some(s), None) => s.clone(),
+        (None, Some(p)) => format!("preset={p}"),
+        _ => usage(),
+    };
+    let mut scenario = spec::scenario_from_spec(&spec_text).unwrap_or_else(|e| {
+        eprintln!("sweep: invalid spec: {e}");
+        std::process::exit(1);
+    });
+    if let Some(n) = insts {
+        scenario.budget = SimBudget::new(n / 10, n);
+    }
+
+    let faults = match &faults_spec {
+        Some(s) => match fault::FaultPlan::parse(s) {
+            Ok(plan) => {
+                println!("fault injection enabled: {plan:?}");
+                Some(plan)
+            }
+            Err(e) => {
+                eprintln!("invalid --faults spec: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => None,
+    };
+
+    let worker_exe = std::env::current_exe().unwrap_or_else(|e| {
+        eprintln!("sweep: cannot determine worker executable: {e}");
+        std::process::exit(1);
+    });
+    let status_dir =
+        std::path::PathBuf::from(status_dir.unwrap_or_else(|| format!("{store_path}.status")));
+    let shard_count = shards.unwrap_or_else(|| worker_count().clamp(1, 8));
+    let mut cfg = SupervisorConfig::new(shard_count, worker_exe, status_dir);
+    cfg.faults = faults;
+    if let Some(n) = max_restarts {
+        cfg.max_restarts = n;
+    }
+    if let Some(n) = backoff_ms {
+        cfg.backoff = Duration::from_millis(n);
+    }
+    if let Some(n) = stall_timeout_ms {
+        cfg.stall_timeout = Duration::from_millis(n);
+    }
+    if let Some(n) = deadline_ms {
+        cfg.shard_deadline = Duration::from_millis(n);
+    }
+
+    println!(
+        "supervised sweep '{}': {} cells across {} shard workers into {store_path}",
+        scenario.name,
+        scenario.cell_count(),
+        cfg.shards,
+    );
+    let start = Instant::now();
+    let outcome =
+        supervisor::run_supervised(&scenario, std::path::Path::new(&store_path), &cfg, |e| {
+            println!("  {}", e.describe())
+        })
+        .unwrap_or_else(|e| {
+            eprintln!("sweep failed: {e}");
+            std::process::exit(1);
+        });
+    println!(
+        "sweep done in {:.2} s: {} cells ({} warm, {} healed from shard stores, {} simulated), \
+         {} restart{}",
+        start.elapsed().as_secs_f64(),
+        outcome.cells,
+        outcome.warm_cells,
+        outcome.hits,
+        outcome.simulated,
+        outcome.restarts,
+        if outcome.restarts == 1 { "" } else { "s" },
+    );
+    if outcome.is_complete() {
+        println!("complete: every cell has a record in {store_path}");
+    } else {
+        println!(
+            "degraded-mode completion: {} of {} cells failed; sweep continued without them",
+            outcome.failed_cells.len(),
+            outcome.cells
+        );
+        for shard in &outcome.failed_shards {
+            println!("  shard {shard}: restart budget exhausted");
+        }
+        for f in &outcome.failed_cells {
+            println!("  failed cell {} [{}]: {}", f.label, f.kind, f.message);
+        }
+    }
+    std::process::exit(0);
 }
 
 /// `scenarios fsck [--store PATH]`: verify/repair a store, print a summary.
@@ -124,10 +325,18 @@ fn parse_node(s: &str) -> Option<TechNode> {
 }
 
 fn main() {
+    // When spawned as a supervised shard worker, run the shard and exit.
+    supervisor::maybe_run_shard_worker();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(which) = args.first() else { usage() };
     if which == "fsck" {
         fsck(&args[1..]);
+    }
+    if which == "merge" {
+        merge_cmd(&args[1..]);
+    }
+    if which == "sweep" {
+        sweep_cmd(&args[1..]);
     }
 
     // Scan for --insts first: presets embed the budget at construction.

@@ -17,10 +17,19 @@
 //! payload after its checksum was computed, so the damaged record is caught at
 //! the next open.
 //!
+//! Process-level faults extend the same plan to supervised multi-process
+//! sweeps: `abort=N`/`sigkill=N`/`hang=N` doom N *shards* (assigned by the
+//! same seeded ranking over shard labels, see [`assign_shard_faults`]) to
+//! abort, SIGKILL themselves, or hang mid-sweep. They are one-shot per shard
+//! incarnation — a restarted worker runs clean — unless `persist-proc=1`
+//! makes the fault survive restarts (modelling a persistently bad shard that
+//! must exhaust the supervisor's restart budget).
+//!
 //! Spec grammar (comma-separated `key=value`, all fields optional):
 //!
 //! ```text
 //! seed=7,panic=2,stall=1,transient=1,torn=3,flip=5,timeout-ms=250,max-cycles=1000000
+//! seed=7,abort=1,sigkill=1,hang=1,persist-proc=0
 //! ```
 
 use std::collections::HashSet;
@@ -49,6 +58,18 @@ pub struct FaultPlan {
     pub timeout_ms: Option<u64>,
     /// Per-cell back-end cycle cap override for the watchdog.
     pub max_cycles: Option<u64>,
+    /// Number of shards whose worker calls [`std::process::abort`] mid-sweep.
+    pub abort_shards: usize,
+    /// Number of shards whose worker SIGKILLs itself mid-sweep (death without
+    /// any unwinding or atexit — the harshest crash an OS can deliver).
+    pub sigkill_shards: usize,
+    /// Number of shards whose worker stops heartbeating and hangs mid-sweep
+    /// (caught by the supervisor's stall detector, not by any exit code).
+    pub hang_shards: usize,
+    /// When true, shard faults survive worker restarts (a persistently bad
+    /// shard that must exhaust the restart budget). When false (default) a
+    /// fault fires once and the restarted incarnation runs clean.
+    pub persist_proc: bool,
 }
 
 impl Default for FaultPlan {
@@ -62,6 +83,10 @@ impl Default for FaultPlan {
             flip_insert: None,
             timeout_ms: None,
             max_cycles: None,
+            abort_shards: 0,
+            sigkill_shards: 0,
+            hang_shards: 0,
+            persist_proc: false,
         }
     }
 }
@@ -87,10 +112,51 @@ impl FaultPlan {
                 "flip" => plan.flip_insert = Some(n),
                 "timeout-ms" | "timeout_ms" => plan.timeout_ms = Some(n),
                 "max-cycles" | "max_cycles" => plan.max_cycles = Some(n),
+                "abort" => plan.abort_shards = n as usize,
+                "sigkill" | "sigkill-self" => plan.sigkill_shards = n as usize,
+                "hang" => plan.hang_shards = n as usize,
+                "persist-proc" | "persist_proc" => plan.persist_proc = n != 0,
                 other => return Err(format!("unknown fault spec field '{other}'")),
             }
         }
         Ok(plan)
+    }
+
+    /// Serializes the plan back into the spec grammar [`FaultPlan::parse`]
+    /// accepts, omitting fields at their defaults.
+    /// `parse(&plan.to_spec()) == plan` for every plan.
+    pub fn to_spec(&self) -> String {
+        let d = FaultPlan::default();
+        let mut parts = Vec::new();
+        if self.seed != d.seed {
+            parts.push(format!("seed={}", self.seed));
+        }
+        for (key, value) in [
+            ("panic", self.panic_cells),
+            ("stall", self.stall_cells),
+            ("transient", self.transient_cells),
+            ("abort", self.abort_shards),
+            ("sigkill", self.sigkill_shards),
+            ("hang", self.hang_shards),
+        ] {
+            if value != 0 {
+                parts.push(format!("{key}={value}"));
+            }
+        }
+        for (key, value) in [
+            ("torn", self.torn_insert),
+            ("flip", self.flip_insert),
+            ("timeout-ms", self.timeout_ms),
+            ("max-cycles", self.max_cycles),
+        ] {
+            if let Some(v) = value {
+                parts.push(format!("{key}={v}"));
+            }
+        }
+        if self.persist_proc {
+            parts.push("persist-proc=1".to_owned());
+        }
+        parts.join(",")
     }
 }
 
@@ -103,6 +169,90 @@ pub enum CellFault {
     Stall,
     /// Panics on the first attempt only (recovered by retry).
     Transient,
+}
+
+/// A process-level fault a supervised shard worker executes mid-sweep.
+///
+/// Unlike [`CellFault`]s (panics caught in-process by the executor), these
+/// kill or wedge the whole worker *process* — only a supervising parent can
+/// recover from them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcFault {
+    /// `std::process::abort()`: immediate death, no unwinding, exit by
+    /// SIGABRT — models an OOM-kill or a `panic = "abort"` crash.
+    Abort,
+    /// The worker sends itself SIGKILL — death the process cannot observe,
+    /// mask or clean up after.
+    SigkillSelf,
+    /// The worker stops making progress (and stops heartbeating) forever;
+    /// only the supervisor's stall detector can reap it.
+    Hang,
+}
+
+impl ProcFault {
+    /// The spec/CLI name of the fault kind.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProcFault::Abort => "abort",
+            ProcFault::SigkillSelf => "sigkill-self",
+            ProcFault::Hang => "hang",
+        }
+    }
+
+    /// Parses a fault kind name as produced by [`ProcFault::name`].
+    pub fn parse(s: &str) -> Option<ProcFault> {
+        match s {
+            "abort" => Some(ProcFault::Abort),
+            "sigkill-self" | "sigkill" => Some(ProcFault::SigkillSelf),
+            "hang" => Some(ProcFault::Hang),
+            _ => None,
+        }
+    }
+
+    /// Executes the fault. Never returns: the process dies ([`ProcFault::Abort`],
+    /// [`ProcFault::SigkillSelf`]) or blocks forever ([`ProcFault::Hang`]).
+    pub fn trigger(&self) -> ! {
+        match self {
+            ProcFault::Abort => std::process::abort(),
+            ProcFault::SigkillSelf => {
+                let pid = std::process::id().to_string();
+                let _ = std::process::Command::new("kill")
+                    .args(["-9", &pid])
+                    .status();
+                // SIGKILL is not maskable, so reaching this line means the
+                // `kill` tool was unavailable; degrade to an abort so the
+                // injected death still happens.
+                std::process::abort();
+            }
+            ProcFault::Hang => loop {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            },
+        }
+    }
+}
+
+/// Assigns process faults to the `shards` shard indices of a supervised
+/// sweep: ranks every shard label (`shard-K`) by the plan's seeded hash and
+/// dooms the first `abort` of them to [`ProcFault::Abort`], the next
+/// `sigkill` to [`ProcFault::SigkillSelf`] and the next `hang` to
+/// [`ProcFault::Hang`] — the exact analogue of [`assign_cells`] one level up.
+/// A pure function of `(plan, shards)`, so the supervisor can re-derive the
+/// same assignment after any restart.
+pub fn assign_shard_faults(plan: &FaultPlan, shards: usize) -> Vec<Option<ProcFault>> {
+    let mut ranked: Vec<usize> = (0..shards).collect();
+    ranked.sort_by_key(|&k| (rank(plan.seed, &format!("shard-{k}")), k));
+    let mut out = vec![None; shards];
+    let mut it = ranked.into_iter();
+    for k in it.by_ref().take(plan.abort_shards) {
+        out[k] = Some(ProcFault::Abort);
+    }
+    for k in it.by_ref().take(plan.sigkill_shards) {
+        out[k] = Some(ProcFault::SigkillSelf);
+    }
+    for k in it.by_ref().take(plan.hang_shards) {
+        out[k] = Some(ProcFault::Hang);
+    }
+    out
 }
 
 /// The fault applied to one store append by [`store_insert_fault`].
@@ -264,6 +414,60 @@ mod tests {
         assert_eq!(plan.flip_insert, Some(5));
         assert_eq!(plan.timeout_ms, Some(250));
         assert_eq!(plan.max_cycles, None);
+    }
+
+    #[test]
+    fn spec_round_trips_through_to_spec() {
+        for spec in [
+            "",
+            "seed=7,panic=2,stall=1,transient=1,torn=3,flip=5,timeout-ms=250",
+            "abort=1,sigkill=2,hang=1,persist-proc=1",
+            "seed=42,panic=1,abort=1,max-cycles=1000000",
+        ] {
+            let plan = FaultPlan::parse(spec).unwrap();
+            assert_eq!(
+                FaultPlan::parse(&plan.to_spec()).unwrap(),
+                plan,
+                "to_spec must round-trip '{spec}' (got '{}')",
+                plan.to_spec()
+            );
+        }
+        assert_eq!(FaultPlan::default().to_spec(), "");
+    }
+
+    #[test]
+    fn shard_fault_assignment_is_deterministic_and_disjoint() {
+        let plan = FaultPlan {
+            abort_shards: 1,
+            sigkill_shards: 1,
+            hang_shards: 1,
+            ..FaultPlan::default()
+        };
+        let a = assign_shard_faults(&plan, 8);
+        let b = assign_shard_faults(&plan, 8);
+        assert_eq!(a, b, "pure function of (plan, shards)");
+        let count = |f: ProcFault| a.iter().filter(|x| **x == Some(f)).count();
+        assert_eq!(count(ProcFault::Abort), 1);
+        assert_eq!(count(ProcFault::SigkillSelf), 1);
+        assert_eq!(count(ProcFault::Hang), 1);
+        assert_eq!(a.iter().filter(|x| x.is_none()).count(), 5);
+
+        let reseeded = assign_shard_faults(
+            &FaultPlan {
+                seed: 999,
+                ..plan.clone()
+            },
+            8,
+        );
+        assert_ne!(a, reseeded, "a different seed picks different shards");
+    }
+
+    #[test]
+    fn proc_fault_names_round_trip() {
+        for f in [ProcFault::Abort, ProcFault::SigkillSelf, ProcFault::Hang] {
+            assert_eq!(ProcFault::parse(f.name()), Some(f));
+        }
+        assert_eq!(ProcFault::parse("bogus"), None);
     }
 
     #[test]

@@ -14,14 +14,16 @@
 
 pub mod fault;
 pub mod scenario;
+pub mod spec;
 pub mod store;
+pub mod supervisor;
 
 use flywheel_core::{FlywheelConfig, FlywheelResult, FlywheelSim};
 use flywheel_timing::TechNode;
 use flywheel_uarch::{BaselineConfig, BaselineSim, SimBudget, SimResult};
 use flywheel_workloads::{Benchmark, RecordedTrace, SyntheticProgram};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 pub use store::simulations_performed;
 
@@ -57,7 +59,7 @@ fn locked_program(c: &mut WorkloadCache, bench: Benchmark, seed: u64) -> Arc<Syn
 /// The shared synthesized program for `(bench, seed)` (cached per process).
 pub fn shared_program(bench: Benchmark, seed: u64) -> Arc<SyntheticProgram> {
     locked_program(
-        &mut cache().lock().expect("workload cache poisoned"),
+        &mut cache().lock().unwrap_or_else(PoisonError::into_inner),
         bench,
         seed,
     )
@@ -72,7 +74,9 @@ pub fn shared_program(bench: Benchmark, seed: u64) -> Arc<SyntheticProgram> {
 /// unbounded generation), so results do not depend on the request order.
 pub fn shared_trace(bench: Benchmark, seed: u64, budget: SimBudget) -> Arc<RecordedTrace> {
     let need = RecordedTrace::capture_len_for(budget.total());
-    let mut c = cache().lock().expect("workload cache poisoned");
+    // The cache holds only fully-constructed immutable Arcs, so a thread that
+    // panicked mid-cell cannot have left it inconsistent — recover the lock.
+    let mut c = cache().lock().unwrap_or_else(PoisonError::into_inner);
     if let Some(t) = c.traces.get(&(bench, seed)) {
         if t.len() >= need {
             return t.clone();
@@ -262,11 +266,14 @@ where
                     let Some(item) = items.get(i) else { break };
                     local.push((i, f(item)));
                 }
-                results.lock().expect("worker panicked").extend(local);
+                results
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .extend(local);
             });
         }
     });
-    let mut indexed = results.into_inner().expect("worker panicked");
+    let mut indexed = results.into_inner().unwrap_or_else(PoisonError::into_inner);
     indexed.sort_by_key(|&(i, _)| i);
     debug_assert_eq!(indexed.len(), items.len());
     indexed.into_iter().map(|(_, r)| r).collect()

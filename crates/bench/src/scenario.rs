@@ -401,6 +401,11 @@ impl Scenario {
             .collect();
         let miss_cells: Vec<ScenarioCell> = misses.iter().map(|(c, _)| *c).collect();
         let (slots, failed) = execute_cells(&miss_cells, budget, jobs);
+        // Keep each computed miss result keyed: a failed disk append (bad
+        // disk, dead appender) degrades to serving the in-memory result for
+        // this run instead of panicking the worker.
+        let mut computed: std::collections::HashMap<StoreKey, CellResult> =
+            std::collections::HashMap::new();
         for ((cell, key), slot) in misses.iter().zip(&slots) {
             let Some(result) = slot else {
                 continue; // failed cells are never inserted into the store
@@ -412,6 +417,7 @@ impl Scenario {
             if let Err(e) = store.insert(*key, &cell.label(), stats) {
                 eprintln!("warning: could not append to the result store: {e}");
             }
+            computed.insert(*key, result.clone());
         }
         let failed_keys: std::collections::HashSet<StoreKey> = misses
             .iter()
@@ -425,14 +431,20 @@ impl Scenario {
             if failed_keys.contains(k) {
                 continue;
             }
-            let r = store
-                .get(k)
-                .expect("every non-failed grid key is present after the miss sweep");
+            let r = match store.get(k) {
+                Some(r) => CellResult {
+                    sim: r.sim.clone(),
+                    flywheel: r.flywheel,
+                },
+                // The store insert failed, so the key never landed; the
+                // result computed by the miss sweep still stands.
+                None => match computed.get(k) {
+                    Some(r) => r.clone(),
+                    None => continue,
+                },
+            };
             cells.push(*cell);
-            results.push(CellResult {
-                sim: r.sim.clone(),
-                flywheel: r.flywheel,
-            });
+            results.push(r);
         }
         let summary = StoreSummary {
             hits: grid.len() - misses.len(),
@@ -518,6 +530,32 @@ fn inject_cell_fault(label: &str, attempt: u32) {
     }
 }
 
+/// Runs one cell to completion with the executor's full panic isolation and
+/// bounded-retry policy, *without* re-running the fault-plan cell assignment
+/// (callers that sweep incrementally — the shard worker — assign once over
+/// their whole label set, then run cells one at a time between heartbeats).
+pub(crate) fn run_cell_with_retries(
+    cell: &ScenarioCell,
+    budget: SimBudget,
+) -> Result<CellResult, FailedCell> {
+    let mut last_cause = None;
+    for attempt in 0..MAX_CELL_ATTEMPTS {
+        if attempt > 0 {
+            std::thread::sleep(Duration::from_millis(RETRY_BACKOFF_MS << (attempt - 1)));
+        }
+        match run_cell_guarded(cell, budget, attempt) {
+            CellOutcome::Done(r) => return Ok(r),
+            CellOutcome::Failed { cause } => last_cause = Some(cause),
+        }
+    }
+    Err(FailedCell {
+        cell: *cell,
+        cause: last_cause
+            .unwrap_or_else(|| FailCause::Panic("cell failed without a recorded cause".to_owned())),
+        attempts: MAX_CELL_ATTEMPTS,
+    })
+}
+
 /// Runs `cells` with panic isolation and bounded retries. Returns one slot per
 /// input cell (`None` = failed after every attempt, in which case the second
 /// vector carries its manifest entry, in grid order).
@@ -561,9 +599,9 @@ fn execute_cells(
         .filter(|&i| slots[i].is_none())
         .map(|i| FailedCell {
             cell: cells[i],
-            cause: last_cause[i]
-                .take()
-                .expect("a cell without a result recorded its failure cause"),
+            cause: last_cause[i].take().unwrap_or_else(|| {
+                FailCause::Panic("cell failed without a recorded cause".to_owned())
+            }),
             attempts: attempts_used[i],
         })
         .collect();

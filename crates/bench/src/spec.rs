@@ -1,0 +1,278 @@
+//! Textual scenario specs: a [`Scenario`] serialized as one line of
+//! `key=value` fields, round-trippable byte-for-byte through
+//! [`scenario_to_spec`]/[`scenario_from_spec`].
+//!
+//! This is the wire format of the supervision layer: the supervisor hands a
+//! worker process its grid as a spec string (one argv token, no files to
+//! clean up), and `flywheel-serve` accepts the same string as a `POST /sweep`
+//! body. Keeping it a pure function of the scenario — stable field order,
+//! defaults written out explicitly — means equal scenarios produce equal
+//! spec strings, which the determinism tests lean on.
+//!
+//! Grammar: semicolon-separated `key=value` fields; list-valued fields use
+//! commas between elements and `:` inside pairs.
+//!
+//! ```text
+//! name=smoke;benches=gzip,ptrchase,ststorm;machines=baseline,flywheel;
+//! nodes=130;clocks=0:50,50:50;baseline-clock=0:0;windows=64:64,128:128;
+//! ec=64,128;mem=100;seeds=12022;warmup=2000;measured=8000
+//! ```
+//!
+//! A spec of the form `preset=NAME` (optionally with `warmup=`/`measured=`
+//! overrides) expands to the named [`Scenario`] preset instead, so callers
+//! can say `preset=smoke` without spelling out the grid.
+
+use crate::scenario::{Machine, Scenario};
+use flywheel_timing::TechNode;
+use flywheel_uarch::SimBudget;
+use flywheel_workloads::Benchmark;
+
+/// Serializes `s` into the spec grammar. Stable field order and explicit
+/// defaults: equal scenarios yield equal strings.
+pub fn scenario_to_spec(s: &Scenario) -> String {
+    let join = |items: Vec<String>| items.join(",");
+    let pairs = |ps: &[(u32, u32)]| join(ps.iter().map(|(a, b)| format!("{a}:{b}")).collect());
+    format!(
+        "name={};benches={};machines={};nodes={};clocks={};baseline-clock={}:{};windows={};ec={};mem={};seeds={};warmup={};measured={}",
+        s.name,
+        join(s.benchmarks.iter().map(|b| b.name().to_owned()).collect()),
+        join(s.machines.iter().map(|m| m.name().to_owned()).collect()),
+        join(s.nodes.iter().map(|n| n.feature_nm().to_string()).collect()),
+        pairs(&s.clocks),
+        s.baseline_clock.0,
+        s.baseline_clock.1,
+        pairs(&s.windows),
+        join(s.ec_kb.iter().map(u64::to_string).collect()),
+        join(s.mem_cycles.iter().map(u32::to_string).collect()),
+        join(s.seeds.iter().map(u64::to_string).collect()),
+        s.budget.warmup_instructions,
+        s.budget.measured_instructions,
+    )
+}
+
+/// Expands a `preset=NAME` spec into the named [`Scenario`] preset.
+fn preset(name: &str, budget: SimBudget) -> Result<Scenario, String> {
+    Ok(match name {
+        "smoke" => {
+            let mut s = Scenario::smoke();
+            s.budget = budget;
+            s
+        }
+        "fig2" => Scenario::fig2(budget),
+        "fig11" => Scenario::fig11(budget),
+        "fig12" => Scenario::fig12(budget),
+        "stress" => Scenario::stress(budget),
+        "leakage" => Scenario::leakage(budget),
+        other => return Err(format!("unknown scenario preset '{other}'")),
+    })
+}
+
+fn parse_pair(field: &str, value: &str) -> Result<(u32, u32), String> {
+    let (a, b) = value
+        .split_once(':')
+        .ok_or_else(|| format!("spec field '{field}': '{value}' is not A:B"))?;
+    let parse = |v: &str| {
+        v.parse::<u32>()
+            .map_err(|_| format!("spec field '{field}': '{v}' is not a number"))
+    };
+    Ok((parse(a)?, parse(b)?))
+}
+
+fn parse_list<T>(
+    field: &str,
+    value: &str,
+    mut one: impl FnMut(&str) -> Result<T, String>,
+) -> Result<Vec<T>, String> {
+    value
+        .split(',')
+        .filter(|v| !v.is_empty())
+        .map(|v| one(v.trim()).map_err(|e| format!("spec field '{field}': {e}")))
+        .collect()
+}
+
+/// Parses the spec grammar back into a [`Scenario`].
+///
+/// `preset=NAME` expands the named preset first; any further fields override
+/// the preset's values. The result is validated ([`Scenario::validate`])
+/// before it is returned, so a syntactically fine but empty-axis spec is
+/// still rejected.
+pub fn scenario_from_spec(spec: &str) -> Result<Scenario, String> {
+    let fields: Vec<(&str, &str)> = spec
+        .split(';')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|part| {
+            part.split_once('=')
+                .ok_or_else(|| format!("spec field '{part}' is not key=value"))
+        })
+        .collect::<Result<_, _>>()?;
+
+    let mut warmup: Option<u64> = None;
+    let mut measured: Option<u64> = None;
+    for &(key, value) in &fields {
+        let n = || {
+            value
+                .parse::<u64>()
+                .map_err(|_| format!("spec field '{key}': '{value}' is not a number"))
+        };
+        match key {
+            "warmup" => warmup = Some(n()?),
+            "measured" => measured = Some(n()?),
+            _ => {}
+        }
+    }
+    let budget = SimBudget::new(warmup.unwrap_or(2_000), measured.unwrap_or(8_000));
+
+    let mut scenario = match fields.iter().find(|(k, _)| *k == "preset") {
+        Some(&(_, name)) => preset(name, budget)?,
+        None => {
+            let mut s = Scenario::new("spec", budget);
+            s.budget = budget;
+            s
+        }
+    };
+    scenario.budget = budget;
+
+    for (key, value) in fields {
+        match key {
+            "preset" | "warmup" | "measured" => {}
+            "name" => scenario.name = value.to_owned(),
+            "benches" | "benchmarks" => {
+                scenario.benchmarks = parse_list(key, value, |v| {
+                    Benchmark::from_name(v).ok_or_else(|| format!("unknown benchmark '{v}'"))
+                })?;
+            }
+            "machines" => {
+                scenario.machines = parse_list(key, value, |v| {
+                    Machine::from_name(v).ok_or_else(|| format!("unknown machine '{v}'"))
+                })?;
+            }
+            "nodes" => {
+                scenario.nodes = parse_list(key, value, |v| {
+                    let nm: u32 = v
+                        .parse()
+                        .map_err(|_| format!("'{v}' is not a feature size"))?;
+                    TechNode::all()
+                        .iter()
+                        .copied()
+                        .find(|n| n.feature_nm() == nm)
+                        .ok_or_else(|| format!("no {nm} nm technology node"))
+                })?;
+            }
+            "clocks" => {
+                scenario.clocks = parse_list(key, value, |v| parse_pair(key, v))?;
+            }
+            "baseline-clock" | "baseline_clock" => {
+                scenario.baseline_clock = parse_pair(key, value)?;
+            }
+            "windows" => {
+                scenario.windows = parse_list(key, value, |v| parse_pair(key, v))?;
+            }
+            "ec" | "ec-kb" | "ec_kb" => {
+                scenario.ec_kb = parse_list(key, value, |v| {
+                    v.parse::<u64>()
+                        .map_err(|_| format!("'{v}' is not a number"))
+                })?;
+            }
+            "mem" | "mem-cycles" | "mem_cycles" => {
+                scenario.mem_cycles = parse_list(key, value, |v| {
+                    v.parse::<u32>()
+                        .map_err(|_| format!("'{v}' is not a number"))
+                })?;
+            }
+            "seeds" => {
+                scenario.seeds = parse_list(key, value, |v| {
+                    v.parse::<u64>()
+                        .map_err(|_| format!("'{v}' is not a number"))
+                })?;
+            }
+            other => return Err(format!("unknown spec field '{other}'")),
+        }
+    }
+    scenario.validate()?;
+    Ok(scenario)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flywheel_workloads::Benchmark;
+
+    fn axes(s: &Scenario) -> impl std::fmt::Debug + PartialEq + '_ {
+        (
+            &s.name,
+            &s.benchmarks,
+            &s.machines,
+            &s.nodes,
+            &s.clocks,
+            s.baseline_clock,
+            &s.windows,
+            &s.ec_kb,
+            &s.mem_cycles,
+            &s.seeds,
+            s.budget,
+        )
+    }
+
+    #[test]
+    fn every_preset_round_trips() {
+        let budget = SimBudget::new(2_000, 8_000);
+        for s in [
+            Scenario::smoke(),
+            Scenario::fig2(budget),
+            Scenario::fig11(budget),
+            Scenario::fig12(budget),
+            Scenario::stress(budget),
+            Scenario::leakage(budget),
+        ] {
+            let spec = scenario_to_spec(&s);
+            let back = scenario_from_spec(&spec).unwrap();
+            assert_eq!(axes(&s), axes(&back), "spec '{spec}' must round-trip");
+            assert_eq!(
+                spec,
+                scenario_to_spec(&back),
+                "serialization must be stable"
+            );
+        }
+    }
+
+    #[test]
+    fn preset_key_expands_with_overrides() {
+        let smoke = Scenario::smoke();
+        let s = scenario_from_spec("preset=smoke").unwrap();
+        assert_eq!(axes(&s), axes(&smoke));
+
+        let s = scenario_from_spec("preset=smoke;benches=micro;seeds=1,2").unwrap();
+        assert_eq!(s.benchmarks, vec![Benchmark::Micro]);
+        assert_eq!(s.seeds, vec![1, 2]);
+        assert_eq!(
+            s.clocks,
+            Scenario::smoke().clocks,
+            "unset axes keep preset values"
+        );
+
+        let s = scenario_from_spec("preset=smoke;warmup=100;measured=500").unwrap();
+        assert_eq!(s.budget, SimBudget::new(100, 500));
+    }
+
+    #[test]
+    fn bad_specs_are_rejected_with_context() {
+        for (spec, needle) in [
+            ("preset=bogus", "unknown scenario preset"),
+            ("name=x;benches=nosuch", "unknown benchmark"),
+            ("machines=nosuch", "unknown machine"),
+            ("nodes=131", "no 131 nm technology node"),
+            ("clocks=50", "not A:B"),
+            ("warmup=abc", "not a number"),
+            ("frobnicate=1", "unknown spec field"),
+            ("novalue", "not key=value"),
+            ("name=x;benches=,", "axis 'benchmarks' is empty"),
+        ] {
+            let err = scenario_from_spec(spec).expect_err(spec);
+            assert!(
+                err.contains(needle),
+                "'{spec}' should fail with '{needle}', got '{err}'"
+            );
+        }
+    }
+}

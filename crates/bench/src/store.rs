@@ -35,6 +35,62 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, PoisonError};
 
+/// Why a store operation failed. Every fallible store entry point returns this
+/// instead of panicking (or leaking a bare [`std::io::Error`]), so a bad disk
+/// surfaces to sweep executors and workers as a recoverable, reportable value —
+/// a worker process can degrade or retry instead of dying.
+#[derive(Debug)]
+pub enum StoreError {
+    /// A filesystem operation on the backing file failed.
+    Io {
+        /// What the store was doing (`open`, `append`, `rewrite`, …).
+        op: &'static str,
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The file carries a schema header this build does not understand — a
+    /// foreign file that should be noticed, never repaired or overwritten.
+    UnknownSchema {
+        /// The offending file.
+        path: PathBuf,
+        /// The header line that was found.
+        found: String,
+    },
+}
+
+impl StoreError {
+    pub(crate) fn io(op: &'static str, path: &Path) -> impl FnOnce(std::io::Error) -> StoreError {
+        let path = path.to_path_buf();
+        move |source| StoreError::Io { op, path, source }
+    }
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io { op, path, source } => {
+                write!(f, "store {} failed on {}: {source}", op, path.display())
+            }
+            StoreError::UnknownSchema { path, found } => write!(
+                f,
+                "store {}: unknown schema '{found}' (expected '{STORE_SCHEMA}')",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            StoreError::UnknownSchema { .. } => None,
+        }
+    }
+}
+
 /// On-disk schema version. Bump when the record line format changes; a store
 /// written by an unknown schema is rejected at [`ResultStore::open`] time
 /// (the immediately preceding version is migrated in place instead).
@@ -506,7 +562,7 @@ impl ResultStore {
     /// Opens the store at `path`, recovering from damage instead of failing;
     /// prints a one-line notice to stderr when recovery had to act. See
     /// [`ResultStore::open_recovering`] for the exact semantics.
-    pub fn open(path: impl AsRef<Path>) -> std::io::Result<Self> {
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
         let (store, report) = Self::open_recovering(&path)?;
         if !report.is_clean() {
             eprintln!("store {}: {}", path.as_ref().display(), report.describe());
@@ -533,9 +589,9 @@ impl ResultStore {
     /// * A file that is a bare torn prefix of a schema header (a crash before
     ///   the first record of a brand-new store) recovers to an empty store.
     ///
-    /// Only an unknown schema header or a real I/O error still fails: a
-    /// foreign file should be noticed, not destroyed.
-    pub fn open_recovering(path: impl AsRef<Path>) -> std::io::Result<(Self, RecoveryReport)> {
+    /// Only an unknown schema header or a real I/O error still fails (as a
+    /// typed [`StoreError`]): a foreign file should be noticed, not destroyed.
+    pub fn open_recovering(path: impl AsRef<Path>) -> Result<(Self, RecoveryReport), StoreError> {
         let path = path.as_ref().to_path_buf();
         let mut report = RecoveryReport::default();
         let mut records = HashMap::new();
@@ -552,15 +608,14 @@ impl ResultStore {
             return Ok((store, report));
         }
 
-        let data = std::fs::read(&path)?;
+        let data = std::fs::read(&path).map_err(StoreError::io("read", &path))?;
         // Valid record payloads in original file order (append-only history,
         // duplicates included) and damaged raw lines, for the rewrite.
         let mut kept: Vec<&str> = Vec::new();
         let mut damaged: Vec<&[u8]> = Vec::new();
         let mut fresh = data.is_empty();
-        if !data.is_empty() {
-            let mut chunks = data.split_inclusive(|&b| b == b'\n');
-            let header_chunk = chunks.next().expect("non-empty data has a first chunk");
+        if let Some(header_chunk) = data.split_inclusive(|&b| b == b'\n').next() {
+            let chunks = data.split_inclusive(|&b| b == b'\n').skip(1);
             let header_complete = header_chunk.ends_with(b"\n");
             let header_len = header_chunk.len() - usize::from(header_complete);
             let header = std::str::from_utf8(&header_chunk[..header_len]).ok();
@@ -585,14 +640,10 @@ impl ResultStore {
                     false
                 }
                 _ => {
-                    return Err(std::io::Error::new(
-                        std::io::ErrorKind::InvalidData,
-                        format!(
-                            "store {}: unknown schema '{}' (expected '{STORE_SCHEMA}')",
-                            path.display(),
-                            header.unwrap_or("<non-utf8>")
-                        ),
-                    ));
+                    return Err(StoreError::UnknownSchema {
+                        path,
+                        found: header.unwrap_or("<non-utf8>").to_owned(),
+                    });
                 }
             };
             for chunk in chunks {
@@ -636,29 +687,32 @@ impl ResultStore {
             // pure migration has nothing to quarantine and creates no file.)
             if !damaged.is_empty() {
                 let quarantine_path = PathBuf::from(format!("{}.quarantine", path.display()));
+                let q_err = |e| StoreError::io("quarantine", &quarantine_path)(e);
                 let mut quarantine = BufWriter::new(
                     OpenOptions::new()
                         .create(true)
                         .append(true)
-                        .open(&quarantine_path)?,
+                        .open(&quarantine_path)
+                        .map_err(q_err)?,
                 );
                 for line in &damaged {
-                    quarantine.write_all(line)?;
-                    quarantine.write_all(b"\n")?;
+                    quarantine.write_all(line).map_err(q_err)?;
+                    quarantine.write_all(b"\n").map_err(q_err)?;
                 }
-                quarantine.flush()?;
+                quarantine.flush().map_err(q_err)?;
             }
             let tmp_path = PathBuf::from(format!("{}.tmp", path.display()));
             {
-                let mut tmp = BufWriter::new(File::create(&tmp_path)?);
-                writeln!(tmp, "{STORE_SCHEMA}")?;
+                let w_err = |e| StoreError::io("rewrite", &tmp_path)(e);
+                let mut tmp = BufWriter::new(File::create(&tmp_path).map_err(w_err)?);
+                writeln!(tmp, "{STORE_SCHEMA}").map_err(w_err)?;
                 for payload in &kept {
-                    writeln!(tmp, "{}", frame_payload(payload))?;
+                    writeln!(tmp, "{}", frame_payload(payload)).map_err(w_err)?;
                 }
-                tmp.flush()?;
-                tmp.get_ref().sync_all()?;
+                tmp.flush().map_err(w_err)?;
+                tmp.get_ref().sync_all().map_err(w_err)?;
             }
-            std::fs::rename(&tmp_path, &path)?;
+            std::fs::rename(&tmp_path, &path).map_err(StoreError::io("rename", &path))?;
             fresh = false;
         }
 
@@ -703,7 +757,12 @@ impl ResultStore {
     /// `label` is a human-readable cell description written next to the key
     /// for store debugging; whitespace is replaced (and an empty label gets a
     /// `-` placeholder) so the line always parses back as one field.
-    pub fn insert(&mut self, key: StoreKey, label: &str, stats: RunStats) -> std::io::Result<()> {
+    pub fn insert(
+        &mut self,
+        key: StoreKey,
+        label: &str,
+        stats: RunStats,
+    ) -> Result<(), StoreError> {
         let label = if label.is_empty() {
             "-".to_owned()
         } else {
@@ -713,17 +772,24 @@ impl ResultStore {
                 .collect()
         };
         if let Some(path) = &self.path {
+            let a_err = StoreError::io("append", path);
             if self.appender.is_none() && !self.appender_dead {
-                let mut appender =
-                    BufWriter::new(OpenOptions::new().create(true).append(true).open(path)?);
+                let mut appender = BufWriter::new(
+                    OpenOptions::new()
+                        .create(true)
+                        .append(true)
+                        .open(path)
+                        .map_err(a_err)?,
+                );
                 if self.needs_header {
-                    writeln!(appender, "{STORE_SCHEMA}")?;
+                    writeln!(appender, "{STORE_SCHEMA}").map_err(StoreError::io("append", path))?;
                     self.needs_header = false;
                 }
                 self.appender = Some(appender);
             }
         }
-        if let Some(appender) = &mut self.appender {
+        if let (Some(appender), Some(path)) = (&mut self.appender, &self.path) {
+            let a_err = |e| StoreError::io("append", path)(e);
             let mut payload = key.hex();
             payload.push(' ');
             payload.push_str(&label);
@@ -733,8 +799,10 @@ impl ResultStore {
                 Some(crate::fault::InsertFault::Torn) => {
                     // Simulate a crash mid-append: half a line hits the disk
                     // and nothing ever again (as after a real process death).
-                    appender.write_all(&line.as_bytes()[..line.len() / 2])?;
-                    appender.flush()?;
+                    appender
+                        .write_all(&line.as_bytes()[..line.len() / 2])
+                        .map_err(a_err)?;
+                    appender.flush().map_err(a_err)?;
                     self.appender = None;
                     self.appender_dead = true;
                     eprintln!(
@@ -749,14 +817,14 @@ impl ResultStore {
                     let idx = 18 + (bytes.len() - 18) / 2;
                     let flip = if bytes[idx] ^ 1 == b'\n' { 2 } else { 1 };
                     bytes[idx] ^= flip;
-                    appender.write_all(&bytes)?;
-                    appender.write_all(b"\n")?;
-                    appender.flush()?;
+                    appender.write_all(&bytes).map_err(a_err)?;
+                    appender.write_all(b"\n").map_err(a_err)?;
+                    appender.flush().map_err(a_err)?;
                     eprintln!("fault injection: flipped a bit in the stored record for '{label}'");
                 }
                 None => {
-                    writeln!(appender, "{line}")?;
-                    appender.flush()?;
+                    writeln!(appender, "{line}").map_err(a_err)?;
+                    appender.flush().map_err(a_err)?;
                 }
             }
         }
@@ -781,15 +849,19 @@ impl ResultStore {
     pub fn merge(&mut self, other: &ResultStore) -> Result<MergeOutcome, MergeError> {
         let mut keys: Vec<&StoreKey> = other.records.keys().collect();
         keys.sort();
+        let mut conflicts = Vec::new();
         for key in &keys {
             if let Some(mine) = self.records.get(key) {
                 if mine != &other.records[*key] {
-                    return Err(MergeError::Conflict {
+                    conflicts.push(MergeConflict {
                         key: **key,
                         label: other.label_of(key).to_owned(),
                     });
                 }
             }
+        }
+        if !conflicts.is_empty() {
+            return Err(MergeError::Conflict { conflicts });
         }
         let mut outcome = MergeOutcome::default();
         for key in keys {
@@ -797,7 +869,7 @@ impl ResultStore {
                 outcome.identical += 1;
             } else {
                 self.insert(*key, other.label_of(key), other.records[key].clone())
-                    .map_err(MergeError::Io)?;
+                    .map_err(MergeError::Store)?;
                 outcome.added += 1;
             }
         }
@@ -824,7 +896,7 @@ impl ResultStore {
         seed: u64,
         budget: SimBudget,
         sim: &SimResult,
-    ) -> std::io::Result<()> {
+    ) -> Result<(), StoreError> {
         self.insert(
             baseline_key(cfg, bench, seed, budget),
             &cell_label("baseline", bench, seed),
@@ -852,7 +924,7 @@ impl ResultStore {
         seed: u64,
         budget: SimBudget,
         r: &FlywheelResult,
-    ) -> std::io::Result<()> {
+    ) -> Result<(), StoreError> {
         self.insert(
             flywheel_key(cfg, bench, seed, budget),
             &cell_label("flywheel", bench, seed),
@@ -875,36 +947,59 @@ pub struct MergeOutcome {
     pub identical: usize,
 }
 
+/// One key both sides of a refused [`ResultStore::merge`] hold with
+/// different stats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeConflict {
+    /// The conflicting content address.
+    pub key: StoreKey,
+    /// The incoming store's label for the record.
+    pub label: String,
+}
+
 /// Why a [`ResultStore::merge`] was refused or failed.
 #[derive(Debug)]
 pub enum MergeError {
-    /// Both stores hold the same key with different stats. Keys address the
-    /// complete simulation input, so this means at least one side's record
-    /// does not come from the deterministic simulator it claims to.
+    /// Both stores hold at least one same key with different stats. Keys
+    /// address the complete simulation input, so this means at least one
+    /// side's record does not come from the deterministic simulator it claims
+    /// to. Carries *every* conflicting key (sorted) so callers can report the
+    /// full damage in one pass.
     Conflict {
-        /// The conflicting content address.
-        key: StoreKey,
-        /// The incoming store's label for the record.
-        label: String,
+        /// All conflicting keys, in sorted key order.
+        conflicts: Vec<MergeConflict>,
     },
     /// Appending a merged record to the backing file failed.
-    Io(std::io::Error),
+    Store(StoreError),
 }
 
 impl std::fmt::Display for MergeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            MergeError::Conflict { key, label } => write!(
-                f,
-                "merge conflict: key {} ('{label}') exists in both stores with different stats",
-                key.hex()
-            ),
-            MergeError::Io(e) => write!(f, "merge failed to append: {e}"),
+            MergeError::Conflict { conflicts } => {
+                write!(
+                    f,
+                    "merge conflict: {} key(s) exist in both stores with different stats",
+                    conflicts.len()
+                )?;
+                for c in conflicts {
+                    write!(f, "\n  {} ('{}')", c.key.hex(), c.label)?;
+                }
+                Ok(())
+            }
+            MergeError::Store(e) => write!(f, "merge failed to append: {e}"),
         }
     }
 }
 
-impl std::error::Error for MergeError {}
+impl std::error::Error for MergeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MergeError::Conflict { .. } => None,
+            MergeError::Store(e) => Some(e),
+        }
+    }
+}
 
 /// Outcome of running a sweep against a store: how many cells were served
 /// from memo records and how many had to be simulated.
@@ -1141,14 +1236,26 @@ mod tests {
             "labels travel (sanitized)"
         );
 
-        // Same key, different stats: typed conflict, nothing merged.
+        // Same key, different stats: typed conflict (reporting every bad
+        // key), nothing merged.
         let mut c = ResultStore::in_memory();
         c.insert(shared, "shared", stats(11, false)).unwrap();
+        c.insert(only_b, "extra cell", stats(21, true)).unwrap();
         let before = a.len();
         match a.merge(&c) {
-            Err(MergeError::Conflict { key, label }) => {
-                assert_eq!(key, shared);
-                assert_eq!(label, "shared");
+            Err(MergeError::Conflict { conflicts }) => {
+                let mut expected = vec![
+                    MergeConflict {
+                        key: shared,
+                        label: "shared".to_owned(),
+                    },
+                    MergeConflict {
+                        key: only_b,
+                        label: "extra_cell".to_owned(),
+                    },
+                ];
+                expected.sort_by_key(|c| c.key);
+                assert_eq!(conflicts, expected, "every conflicting key reported");
             }
             other => panic!("expected a conflict, got {other:?}"),
         }

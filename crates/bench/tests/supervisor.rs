@@ -1,0 +1,347 @@
+//! End-to-end tests of the supervision layer: real worker *processes*
+//! (the `scenarios` binary via `CARGO_BIN_EXE_scenarios`), real fault
+//! injection, and byte-level assertions on the merged stores.
+//!
+//! The determinism contract under test: for a fixed (scenario, config, fault
+//! plan), each shard's event *kind* sequence and the merged store bytes are
+//! pure functions of the inputs — crashes, restarts and healing included.
+
+use flywheel_bench::fault::FaultPlan;
+use flywheel_bench::scenario::Scenario;
+use flywheel_bench::spec::scenario_from_spec;
+use flywheel_bench::store::ResultStore;
+use flywheel_bench::supervisor::{run_supervised, SupervisorConfig, SupervisorEvent};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::Duration;
+
+fn scenarios_exe() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_scenarios"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fw-sup-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A supervisor config tuned for test latency: fast restarts, generous
+/// stall/deadline windows (the cells are milliseconds; only real hangs or
+/// kills should trip them).
+fn cfg(dir: &Path, shards: usize) -> SupervisorConfig {
+    let mut c = SupervisorConfig::new(shards, scenarios_exe(), dir.join("status"));
+    c.backoff = Duration::from_millis(10);
+    c.backoff_cap = Duration::from_millis(100);
+    c.stall_timeout = Duration::from_secs(20);
+    c.shard_deadline = Duration::from_secs(120);
+    c
+}
+
+fn smoke() -> Scenario {
+    scenario_from_spec("preset=smoke;warmup=200;measured=600").unwrap()
+}
+
+/// Store payload lines (header dropped) in file order.
+fn store_lines(path: &Path) -> Vec<String> {
+    std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+        .lines()
+        .skip(1)
+        .map(str::to_owned)
+        .collect()
+}
+
+fn kinds_by_shard(events: &[SupervisorEvent]) -> BTreeMap<usize, Vec<&'static str>> {
+    let mut map: BTreeMap<usize, Vec<&'static str>> = BTreeMap::new();
+    for e in events {
+        map.entry(e.shard()).or_default().push(e.kind());
+    }
+    map
+}
+
+#[test]
+fn faulted_sweep_degrades_then_heals_to_fault_free_bytes() {
+    let dir = temp_dir("heal");
+    let scenario = smoke();
+    let cells = scenario.expand().len();
+
+    // Fault-free reference sweep.
+    let ff = dir.join("fault-free.store");
+    let outcome = run_supervised(&scenario, &ff, &cfg(&dir, 4), |_| {}).unwrap();
+    assert!(outcome.is_complete(), "{:?}", outcome.failed_cells);
+    assert_eq!(outcome.cells, cells);
+    let ff_lines = store_lines(&ff);
+    assert_eq!(ff_lines.len(), cells);
+
+    // Same sweep with one SIGKILLed worker and one persistently doomed cell.
+    let mut faulted_cfg = cfg(&dir, 4);
+    faulted_cfg.status_dir = dir.join("status-faulted");
+    faulted_cfg.faults = Some(FaultPlan::parse("seed=7,panic=1,sigkill=1").unwrap());
+    let faulted = dir.join("faulted.store");
+    let outcome = run_supervised(&scenario, &faulted, &faulted_cfg, |_| {}).unwrap();
+    assert!(outcome.restarts >= 1, "the SIGKILLed worker must restart");
+    assert!(
+        outcome.failed_shards.is_empty(),
+        "no shard may exhaust its budget"
+    );
+    assert_eq!(outcome.failed_cells.len(), 1, "{:?}", outcome.failed_cells);
+    let failed = &outcome.failed_cells[0];
+    assert_eq!(failed.kind, "panic");
+
+    // Degraded-mode byte contract: the faulted store is the fault-free store
+    // minus exactly the manifested failed cell's record.
+    let expected: Vec<String> = ff_lines
+        .iter()
+        .filter(|l| !l.contains(&failed.label))
+        .cloned()
+        .collect();
+    assert_eq!(
+        expected.len(),
+        ff_lines.len() - 1,
+        "failed label must match exactly one record"
+    );
+    assert_eq!(
+        store_lines(&faulted),
+        expected,
+        "faulted != fault-free minus failed cell"
+    );
+
+    // Healing: re-sweeping the same store without faults simulates only the
+    // missing cell and completes.
+    let outcome = run_supervised(
+        &scenario,
+        &faulted,
+        &faulted_cfg_without_faults(&dir),
+        |_| {},
+    )
+    .unwrap();
+    assert!(outcome.is_complete(), "{:?}", outcome.failed_cells);
+    assert_eq!(outcome.warm_cells, cells - 1);
+    let mut healed = store_lines(&faulted);
+    let mut reference = ff_lines.clone();
+    healed.sort();
+    reference.sort();
+    assert_eq!(
+        healed, reference,
+        "healed store must hold the fault-free records"
+    );
+
+    // Fully warm: no workers are spawned at all.
+    let outcome = run_supervised(&scenario, &faulted, &cfg(&dir, 4), |_| {}).unwrap();
+    assert_eq!(outcome.warm_cells, cells);
+    assert!(outcome.events.is_empty(), "{:?}", outcome.events);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+fn faulted_cfg_without_faults(dir: &Path) -> SupervisorConfig {
+    let mut c = cfg(dir, 4);
+    c.status_dir = dir.join("status-heal");
+    c
+}
+
+#[test]
+fn same_seed_and_faults_give_identical_restarts_and_bytes() {
+    let dir = temp_dir("determinism");
+    let scenario = smoke();
+    let run = |tag: &str| {
+        let mut c = cfg(&dir, 4);
+        c.status_dir = dir.join(format!("status-{tag}"));
+        c.faults = Some(FaultPlan::parse("seed=7,panic=1,sigkill=1").unwrap());
+        let store = dir.join(format!("{tag}.store"));
+        let outcome = run_supervised(&scenario, &store, &c, |_| {}).unwrap();
+        (outcome, store)
+    };
+    let (a, store_a) = run("a");
+    let (b, store_b) = run("b");
+
+    assert_eq!(
+        kinds_by_shard(&a.events),
+        kinds_by_shard(&b.events),
+        "per-shard event kind sequences must be deterministic"
+    );
+    let labels = |o: &flywheel_bench::supervisor::SweepOutcome| {
+        o.failed_cells
+            .iter()
+            .map(|f| f.label.clone())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(labels(&a), labels(&b), "the same cells must fail");
+    assert_eq!(
+        std::fs::read(&store_a).unwrap(),
+        std::fs::read(&store_b).unwrap(),
+        "merged stores must be byte-identical across runs"
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn persistent_proc_fault_exhausts_budget_and_degrades() {
+    let dir = temp_dir("persist");
+    let scenario = smoke();
+    let cells = scenario.expand().len();
+    let mut c = cfg(&dir, 4);
+    c.max_restarts = 1;
+    c.faults = Some(FaultPlan::parse("seed=3,abort=1,persist-proc=1").unwrap());
+    let store = dir.join("degraded.store");
+    let outcome = run_supervised(&scenario, &store, &c, |_| {}).unwrap();
+
+    assert_eq!(outcome.failed_shards.len(), 1, "{:?}", outcome.events);
+    let bad = outcome.failed_shards[0];
+    let kinds = kinds_by_shard(&outcome.events);
+    let bad_kinds = &kinds[&bad];
+    assert_eq!(bad_kinds.last(), Some(&"failed"));
+    assert_eq!(
+        bad_kinds.iter().filter(|k| **k == "spawned").count(),
+        2,
+        "max_restarts=1 allows exactly two incarnations: {bad_kinds:?}"
+    );
+    assert!(!outcome.failed_cells.is_empty());
+    for f in &outcome.failed_cells {
+        assert_eq!(f.shard, bad);
+        assert_eq!(f.kind, "shard-failed");
+    }
+
+    // Partial preservation: every record the doomed shard landed before its
+    // abort point (and all other shards' records) survives the merge.
+    let lines = store_lines(&store);
+    assert_eq!(lines.len(), cells - outcome.failed_cells.len());
+    assert!(
+        outcome.failed_cells.len() < cells / 4 + 1,
+        "the abort fires mid-shard, so the shard's first half must have landed"
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn shard_merges_are_order_stable_and_content_associative() {
+    let dir = temp_dir("assoc");
+    let scenario = smoke();
+    let store = dir.join("main.store");
+    let outcome = run_supervised(&scenario, &store, &cfg(&dir, 4), |_| {}).unwrap();
+    assert!(outcome.is_complete());
+    let shards: Vec<ResultStore> = outcome
+        .shard_stores
+        .iter()
+        .map(|p| ResultStore::open(p).unwrap())
+        .collect();
+
+    // Merging the shard stores in shard order is byte-deterministic.
+    let direct = |path: &Path| {
+        let mut m = ResultStore::open(path).unwrap();
+        for s in &shards {
+            m.merge(s).unwrap();
+        }
+    };
+    let m1 = dir.join("m1.store");
+    let m2 = dir.join("m2.store");
+    direct(&m1);
+    direct(&m2);
+    assert_eq!(
+        std::fs::read(&m1).unwrap(),
+        std::fs::read(&m2).unwrap(),
+        "same merge order must give identical bytes"
+    );
+
+    // Pairwise grouping reaches the same record set (content associativity;
+    // byte order may differ because each merge call appends in sorted-key
+    // runs).
+    let x_path = dir.join("x.store");
+    let y_path = dir.join("y.store");
+    let m3 = dir.join("m3.store");
+    let mut x = ResultStore::open(&x_path).unwrap();
+    x.merge(&shards[0]).unwrap();
+    x.merge(&shards[1]).unwrap();
+    let mut y = ResultStore::open(&y_path).unwrap();
+    y.merge(&shards[2]).unwrap();
+    y.merge(&shards[3]).unwrap();
+    drop((x, y));
+    let mut m = ResultStore::open(&m3).unwrap();
+    m.merge(&ResultStore::open(&x_path).unwrap()).unwrap();
+    m.merge(&ResultStore::open(&y_path).unwrap()).unwrap();
+    drop(m);
+
+    let sorted = |p: &Path| {
+        let mut lines = store_lines(p);
+        lines.sort();
+        lines
+    };
+    assert_eq!(sorted(&m3), sorted(&m1), "groupings must agree on content");
+    assert_eq!(
+        sorted(&m1),
+        sorted(&store),
+        "merges must reproduce the main store"
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn merge_cli_reports_conflicts_and_refuses() {
+    let dir = temp_dir("conflict");
+    let spec = "name=conflict;benches=micro;machines=flywheel;nodes=130;clocks=0:0;\
+                baseline-clock=0:0;windows=64:64;ec=128;mem=100;seeds=1;warmup=50;measured=150";
+    let scenario = scenario_from_spec(spec).unwrap();
+    let grid = scenario.expand();
+    assert_eq!(
+        grid.len(),
+        1,
+        "the conflict fixture wants a single-cell grid"
+    );
+    let key = grid[0].key(scenario.budget);
+    let label = grid[0].label();
+
+    let a = dir.join("a.store");
+    let outcome = run_supervised(&scenario, &a, &cfg(&dir, 1), |_| {}).unwrap();
+    assert!(outcome.is_complete());
+
+    // Forge a store holding the same key with different stats. (Tampering
+    // with the file itself cannot produce a conflict — the CRC framing would
+    // quarantine the line — so this goes through the API.)
+    let stats = ResultStore::open(&a).unwrap().get(&key).unwrap().clone();
+    let b = dir.join("b.store");
+    let mut forged = stats.clone();
+    forged.sim.instructions += 1;
+    ResultStore::open(&b)
+        .unwrap()
+        .insert(key, &label, forged)
+        .unwrap();
+
+    let merge = |args: &[&Path]| {
+        let mut cmd = Command::new(scenarios_exe());
+        cmd.arg("merge");
+        for a in args {
+            cmd.arg(a);
+        }
+        cmd.output().unwrap()
+    };
+
+    let out = merge(&[&a, &b]);
+    assert_eq!(out.status.code(), Some(2), "conflicts must exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("merge conflict"), "{stderr}");
+    assert!(stderr.contains(&key.hex()), "{stderr}");
+    assert!(stderr.contains(&label), "{stderr}");
+    // The refused merge must not have touched the target.
+    assert_eq!(
+        ResultStore::open(&a).unwrap().get(&key).unwrap(),
+        &stats,
+        "a refused merge must leave the target untouched"
+    );
+
+    // Clean merges exit 0; --out leaves the inputs alone.
+    let c = dir.join("c.store");
+    let out = {
+        let mut cmd = Command::new(scenarios_exe());
+        cmd.arg("merge").arg(&a).arg(&a).arg("--out").arg(&c);
+        cmd.output().unwrap()
+    };
+    assert_eq!(out.status.code(), Some(0), "{:?}", out);
+    assert_eq!(ResultStore::open(&c).unwrap().len(), 1);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

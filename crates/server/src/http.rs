@@ -1,0 +1,205 @@
+//! A minimal HTTP/1.1 server-side codec over std [`TcpStream`]s.
+//!
+//! This is intentionally not a web framework: `flywheel-serve` talks to a
+//! couple of local clients (curl, CI scripts, the integration tests), every
+//! response is small JSON, and every connection is `Connection: close`. The
+//! codec therefore only handles the subset it needs — a request line,
+//! `Content-Length`-framed bodies, and nothing else (no chunked encoding, no
+//! keep-alive, no continuation headers). Requests that stray outside that
+//! subset fail with a descriptive error the caller turns into a 400.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Largest accepted request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 64 * 1024;
+/// Largest accepted request body (scenario specs are one line; 1 MiB is
+/// orders of magnitude of headroom).
+const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, ...), as sent.
+    pub method: String,
+    /// Request target (`/status`, `/sweep`, ...), as sent.
+    pub path: String,
+    /// Decoded request body; empty when the request had none.
+    pub body: String,
+}
+
+/// Byte offset just past the `\r\n\r\n` separating head from body, if the
+/// buffer contains it yet.
+fn head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+/// Reads and parses one request from `stream`.
+///
+/// Blocks (with a read timeout, so a wedged client cannot wedge the accept
+/// loop) until the head and `Content-Length` bytes of body have arrived.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| format!("setting read timeout: {e}"))?;
+
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let head_len = loop {
+        if let Some(end) = head_end(&buf) {
+            break end;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err("request head too large".to_owned());
+        }
+        let n = stream.read(&mut chunk).map_err(|e| format!("read: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-request".to_owned());
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_len - 4])
+        .map_err(|_| "request head is not UTF-8".to_owned())?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or("empty request line")?
+        .to_owned();
+    let path = parts.next().ok_or("request line has no path")?.to_owned();
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad Content-Length '{}'", value.trim()))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err("request body too large".to_owned());
+    }
+
+    let mut body = buf[head_len..].to_vec();
+    while body.len() < content_length {
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| format!("read body: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-body".to_owned());
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    let body = String::from_utf8(body).map_err(|_| "request body is not UTF-8".to_owned())?;
+
+    Ok(Request { method, path, body })
+}
+
+/// Writes a complete `Connection: close` JSON response.
+pub fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Escapes `s` for embedding inside a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn round_trip(raw: &[u8]) -> Result<Request, String> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+            s.flush().unwrap();
+            // Half-close so the server sees EOF after the payload, then wait
+            // for it to finish parsing before tearing the socket down.
+            s.shutdown(std::net::Shutdown::Write).unwrap();
+            let mut sink = Vec::new();
+            let _ = s.read_to_end(&mut sink);
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let req = read_request(&mut stream);
+        drop(stream);
+        client.join().unwrap();
+        req
+    }
+
+    #[test]
+    fn parses_request_with_body() {
+        let req = round_trip(
+            b"POST /sweep HTTP/1.1\r\nHost: x\r\nContent-Length: 12\r\n\r\npreset=smoke",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/sweep");
+        assert_eq!(req.body, "preset=smoke");
+    }
+
+    #[test]
+    fn parses_bodyless_get() {
+        let req = round_trip(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(req.body, "");
+    }
+
+    #[test]
+    fn rejects_bad_content_length() {
+        let err = round_trip(b"POST /sweep HTTP/1.1\r\nContent-Length: pony\r\n\r\n").unwrap_err();
+        assert!(err.contains("bad Content-Length"), "{err}");
+    }
+
+    #[test]
+    fn rejects_truncated_body() {
+        let err =
+            round_trip(b"POST /sweep HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort").unwrap_err();
+        assert!(err.contains("closed mid-body"), "{err}");
+    }
+
+    #[test]
+    fn json_escaping_covers_specials() {
+        assert_eq!(
+            json_escape("a\"b\\c\nd\te\u{1}"),
+            "a\\\"b\\\\c\\nd\\te\\u0001"
+        );
+        assert_eq!(json_escape("plain"), "plain");
+    }
+}

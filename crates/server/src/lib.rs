@@ -1,0 +1,27 @@
+//! The flywheel sweep *service* layer: a long-running daemon
+//! (`flywheel-serve`) that accepts scenario specs over HTTP, runs them as
+//! supervised multi-process sharded sweeps
+//! ([`flywheel_bench::supervisor::run_supervised`]) into one shared result
+//! store, and reports queue/worker/heartbeat state.
+//!
+//! The crate is split along the obvious seam:
+//!
+//! * [`http`] — a deliberately tiny HTTP/1.1 request/response codec over std
+//!   [`std::net::TcpStream`]s. No framework, no async: the daemon serves a
+//!   handful of local curl/CI clients, so blocking reads with a nonblocking
+//!   accept loop is the whole story.
+//! * [`service`] — the sweep queue. `POST /sweep` bodies become jobs; one
+//!   executor thread drains them serially (each job is itself N worker
+//!   processes, so the parallelism lives a layer down); a fully warm scenario
+//!   is answered straight from the store without touching the queue.
+//!
+//! The library forbids `unsafe` like the rest of the workspace; the one
+//! exception lives in the `flywheel-serve` *binary*, which installs
+//! SIGTERM/SIGINT handlers through a single hand-declared `signal(2)`
+//! binding (no external crates are available in this build environment).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)] // the signal(2) binding lives in the binary, not here
+
+pub mod http;
+pub mod service;

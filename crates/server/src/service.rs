@@ -1,0 +1,493 @@
+//! The sweep queue behind `flywheel-serve`.
+//!
+//! A [`SweepService`] owns one background executor thread and a queue of
+//! accepted scenarios. Jobs run strictly serially — each job already fans out
+//! into [`SupervisorConfig::shards`] worker *processes* via
+//! [`run_supervised`], and they all share one result store, so running two
+//! supervised sweeps at once would only fight over cores and the store file.
+//!
+//! The fast path skips the queue entirely: when the executor is idle and
+//! every cell of a submitted scenario is already in the store, `submit`
+//! answers [`Submitted::Warm`] straight from the store index (microseconds,
+//! no worker spawned). When the executor is busy the same scenario is queued
+//! anyway — [`run_supervised`] short-circuits fully warm grids itself, so the
+//! job still completes in milliseconds once its turn comes; the queue just
+//! serializes access to the store.
+//!
+//! Shutdown is a *drain*: [`SweepService::shutdown`] cancels everything still
+//! queued, lets the in-flight job (and its worker processes) finish, then
+//! joins the executor. Nothing half-swept is ever abandoned — and even if the
+//! daemon is SIGKILLed instead, the per-shard stores are CRC-framed and the
+//! next sweep heals from them.
+
+use crate::http::json_escape;
+use flywheel_bench::scenario::Scenario;
+use flywheel_bench::spec::scenario_from_spec;
+use flywheel_bench::store::ResultStore;
+use flywheel_bench::supervisor::{
+    run_supervised, shard_status_path, SupervisorConfig, WorkerState, WorkerStatus,
+};
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+
+/// Static configuration of a [`SweepService`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The shared result store every job sweeps into.
+    pub store: PathBuf,
+    /// Supervision policy handed to [`run_supervised`] for every job.
+    pub supervisor: SupervisorConfig,
+}
+
+/// Lifecycle of one accepted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting in the queue.
+    Queued,
+    /// The executor is sweeping it right now.
+    Running,
+    /// Finished with a record for every grid cell.
+    Done,
+    /// Finished, but some cells are missing from the store (degraded mode).
+    Degraded,
+    /// The sweep itself errored (bad store, spawn failure, merge conflict).
+    Failed,
+    /// Cancelled by shutdown before it ran.
+    Cancelled,
+}
+
+impl JobState {
+    /// Stable lower-case tag used in the JSON surfaces.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Degraded => "degraded",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// One accepted job, as reported by `GET /status`.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Service-assigned job id (monotone from 1).
+    pub id: u64,
+    /// The scenario's name.
+    pub name: String,
+    /// Grid cells in the scenario.
+    pub cells: usize,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Human-readable outcome summary (empty until the job finishes).
+    pub detail: String,
+}
+
+/// What [`SweepService::submit`] did with a spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Submitted {
+    /// Every cell was already in the store; nothing was queued.
+    Warm {
+        /// Grid cells answered from the store.
+        cells: usize,
+    },
+    /// The scenario was queued as a job.
+    Queued {
+        /// Assigned job id.
+        id: u64,
+        /// Grid cells the job will sweep.
+        cells: usize,
+        /// Jobs ahead of it in the queue when it was accepted.
+        position: usize,
+    },
+}
+
+struct State {
+    next_id: u64,
+    queue: VecDeque<(u64, Scenario)>,
+    jobs: Vec<JobRecord>,
+    current: Option<u64>,
+    draining: bool,
+}
+
+struct Inner {
+    cfg: ServeConfig,
+    state: Mutex<State>,
+    wake: Condvar,
+}
+
+impl Inner {
+    fn lock(&self) -> MutexGuard<'_, State> {
+        // A panicking sweep thread must not brick /status; the state is
+        // plain bookkeeping and stays consistent between lock points.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn set_job(&self, st: &mut State, id: u64, state: JobState, detail: String) {
+        if let Some(job) = st.jobs.iter_mut().find(|j| j.id == id) {
+            job.state = state;
+            job.detail = detail;
+        }
+    }
+}
+
+/// The sweep queue plus its executor thread. See the module docs.
+pub struct SweepService {
+    inner: Arc<Inner>,
+    executor: Option<JoinHandle<()>>,
+}
+
+impl SweepService {
+    /// Starts a service (and its executor thread) over `cfg`.
+    pub fn start(cfg: ServeConfig) -> SweepService {
+        let inner = Arc::new(Inner {
+            cfg,
+            state: Mutex::new(State {
+                next_id: 1,
+                queue: VecDeque::new(),
+                jobs: Vec::new(),
+                current: None,
+                draining: false,
+            }),
+            wake: Condvar::new(),
+        });
+        let worker = Arc::clone(&inner);
+        let executor = std::thread::Builder::new()
+            .name("sweep-executor".to_owned())
+            .spawn(move || executor_loop(&worker))
+            .expect("spawning the sweep executor thread");
+        SweepService {
+            inner,
+            executor: Some(executor),
+        }
+    }
+
+    /// Parses `spec` and either answers it warm from the store or queues it.
+    ///
+    /// Warm short-circuit: only taken while the executor is idle, so the
+    /// store index being read is not concurrently appended to by a merge.
+    pub fn submit(&self, spec: &str) -> Result<Submitted, String> {
+        let scenario = scenario_from_spec(spec)?;
+        let grid = scenario.expand();
+        let cells = grid.len();
+        let budget = scenario.budget;
+
+        let mut st = self.inner.lock();
+        if st.draining {
+            return Err("service is draining; not accepting new sweeps".to_owned());
+        }
+        if st.current.is_none() && st.queue.is_empty() {
+            if let Ok(store) = ResultStore::open(&self.inner.cfg.store) {
+                if grid.iter().all(|c| store.contains(&c.key(budget))) {
+                    return Ok(Submitted::Warm { cells });
+                }
+            }
+        }
+        let id = st.next_id;
+        st.next_id += 1;
+        let position = st.queue.len();
+        st.jobs.push(JobRecord {
+            id,
+            name: scenario.name.clone(),
+            cells,
+            state: JobState::Queued,
+            detail: String::new(),
+        });
+        st.queue.push_back((id, scenario));
+        self.inner.wake.notify_all();
+        Ok(Submitted::Queued {
+            id,
+            cells,
+            position,
+        })
+    }
+
+    /// Snapshot of every accepted job, oldest first.
+    pub fn jobs(&self) -> Vec<JobRecord> {
+        self.inner.lock().jobs.clone()
+    }
+
+    /// Renders the `GET /status` body: queue depth, job table, and — while a
+    /// job is running — the live per-shard worker heartbeats read from the
+    /// supervisor's status files.
+    pub fn status_json(&self) -> String {
+        let st = self.inner.lock();
+        let jobs: Vec<String> = st
+            .jobs
+            .iter()
+            .map(|j| {
+                format!(
+                    "{{\"id\":{},\"name\":\"{}\",\"cells\":{},\"state\":\"{}\",\"detail\":\"{}\"}}",
+                    j.id,
+                    json_escape(&j.name),
+                    j.cells,
+                    j.state.name(),
+                    json_escape(&j.detail)
+                )
+            })
+            .collect();
+        let workers: Vec<String> = if st.current.is_some() {
+            let cfg = &self.inner.cfg.supervisor;
+            (0..cfg.shards)
+                .filter_map(|shard| {
+                    WorkerStatus::read(&shard_status_path(&cfg.status_dir, shard))
+                        .ok()
+                        .flatten()
+                })
+                .map(|w| {
+                    format!(
+                        "{{\"shard\":{},\"pid\":{},\"beat\":{},\"done\":{},\"total\":{},\"hits\":{},\"simulated\":{},\"state\":\"{}\"}}",
+                        w.shard,
+                        w.pid,
+                        w.beat,
+                        w.done,
+                        w.total,
+                        w.hits,
+                        w.simulated,
+                        match w.state {
+                            WorkerState::Running => "running",
+                            WorkerState::Done => "done",
+                        }
+                    )
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        format!(
+            "{{\"schema\":\"flywheel-serve/1\",\"draining\":{},\"queue_depth\":{},\"current\":{},\"jobs\":[{}],\"workers\":[{}]}}",
+            st.draining,
+            st.queue.len(),
+            st.current.map_or("null".to_owned(), |id| id.to_string()),
+            jobs.join(","),
+            workers.join(",")
+        )
+    }
+
+    /// Renders the `GET /healthz` body — cheap liveness, no store access.
+    pub fn healthz_json(&self) -> String {
+        let st = self.inner.lock();
+        format!(
+            "{{\"ok\":true,\"draining\":{},\"queue_depth\":{},\"store\":\"{}\"}}",
+            st.draining,
+            st.queue.len(),
+            json_escape(&self.inner.cfg.store.display().to_string())
+        )
+    }
+
+    /// Drains the service: cancels queued jobs, waits for the in-flight job
+    /// (and its worker processes) to finish, and joins the executor.
+    pub fn shutdown(mut self) {
+        {
+            let mut st = self.inner.lock();
+            st.draining = true;
+            let cancelled: Vec<u64> = st.queue.drain(..).map(|(id, _)| id).collect();
+            for id in cancelled {
+                self.inner.set_job(
+                    &mut st,
+                    id,
+                    JobState::Cancelled,
+                    "cancelled by shutdown".to_owned(),
+                );
+            }
+            self.inner.wake.notify_all();
+        }
+        if let Some(executor) = self.executor.take() {
+            let _ = executor.join();
+        }
+    }
+}
+
+fn executor_loop(inner: &Inner) {
+    loop {
+        let (id, scenario) = {
+            let mut st = inner.lock();
+            loop {
+                if let Some(job) = st.queue.pop_front() {
+                    break job;
+                }
+                if st.draining {
+                    return;
+                }
+                st = inner.wake.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+
+        {
+            let mut st = inner.lock();
+            st.current = Some(id);
+            inner.set_job(&mut st, id, JobState::Running, String::new());
+        }
+
+        let result = run_supervised(
+            &scenario,
+            &inner.cfg.store,
+            &inner.cfg.supervisor,
+            |event| eprintln!("job {id}: {}", event.describe()),
+        );
+
+        let mut st = inner.lock();
+        st.current = None;
+        match result {
+            Ok(outcome) => {
+                let summary = format!(
+                    "{} cells: {} warm, {} healed, {} simulated, {} restarts",
+                    outcome.cells,
+                    outcome.warm_cells,
+                    outcome.hits,
+                    outcome.simulated,
+                    outcome.restarts
+                );
+                if outcome.is_complete() {
+                    inner.set_job(&mut st, id, JobState::Done, summary);
+                } else {
+                    inner.set_job(
+                        &mut st,
+                        id,
+                        JobState::Degraded,
+                        format!(
+                            "{summary}; {} failed cells, failed shards {:?}",
+                            outcome.failed_cells.len(),
+                            outcome.failed_shards
+                        ),
+                    );
+                }
+            }
+            Err(e) => inner.set_job(&mut st, id, JobState::Failed, e.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+    use std::time::{Duration, Instant};
+
+    fn test_service(dir: &Path) -> SweepService {
+        let store = dir.join("results.store");
+        let mut supervisor =
+            SupervisorConfig::new(2, std::env::current_exe().unwrap(), dir.join("status"));
+        // The test binary is not a worker front end; jobs submitted here are
+        // expected to fail fast, which is all these tests need.
+        supervisor.shard_deadline = Duration::from_secs(5);
+        SweepService::start(ServeConfig { store, supervisor })
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fw-serve-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn bad_specs_are_rejected_before_queueing() {
+        let dir = temp_dir("badspec");
+        let service = test_service(&dir);
+        let err = service.submit("preset=bogus").unwrap_err();
+        assert!(err.contains("unknown scenario preset"), "{err}");
+        assert!(service.jobs().is_empty());
+        service.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shutdown_cancels_queued_jobs() {
+        let dir = temp_dir("cancel");
+        let service = test_service(&dir);
+        // Submit two jobs; the second is necessarily queued behind the first.
+        let a = service
+            .submit("preset=smoke;warmup=100;measured=200")
+            .unwrap();
+        assert!(matches!(a, Submitted::Queued { id: 1, .. }), "{a:?}");
+        let b = service
+            .submit("preset=smoke;warmup=100;measured=300")
+            .unwrap();
+        assert!(matches!(b, Submitted::Queued { .. }), "{b:?}");
+        let inner = Arc::clone(&service.inner);
+        service.shutdown();
+        // After the drain nothing may still be queued or running; every job
+        // ended terminal (the in-flight one may have run to a failure with
+        // this test binary as a bogus worker exe, the rest were cancelled).
+        let st = inner.lock();
+        assert!(st.queue.is_empty());
+        assert_eq!(st.current, None);
+        assert_eq!(st.jobs.len(), 2);
+        for job in &st.jobs {
+            assert!(
+                !matches!(job.state, JobState::Queued | JobState::Running),
+                "job left non-terminal: {job:?}"
+            );
+        }
+        drop(st);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn status_json_is_well_formed() {
+        let dir = temp_dir("status");
+        let service = test_service(&dir);
+        let status = service.status_json();
+        assert!(
+            status.starts_with("{\"schema\":\"flywheel-serve/1\""),
+            "{status}"
+        );
+        assert!(status.contains("\"queue_depth\":0"), "{status}");
+        assert!(status.contains("\"current\":null"), "{status}");
+        let health = service.healthz_json();
+        assert!(health.starts_with("{\"ok\":true"), "{health}");
+        service.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn draining_service_rejects_new_work() {
+        let dir = temp_dir("drain");
+        let service = test_service(&dir);
+        // Reach in via shutdown on a clone-less handle: mark draining first
+        // by submitting nothing, shutting down, then checking the error path
+        // requires a second handle — instead drive the state directly.
+        service.inner.lock().draining = true;
+        let err = service.submit("preset=smoke").unwrap_err();
+        assert!(err.contains("draining"), "{err}");
+        service.inner.lock().draining = false;
+        service.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn executor_runs_and_finishes_queued_jobs() {
+        let dir = temp_dir("exec");
+        let service = test_service(&dir);
+        // current_exe (the test binary) ignores __shard-worker argv and
+        // exits nonzero/never writes state=done, so the job must end in a
+        // non-queued, non-running terminal state rather than hang.
+        service
+            .submit("name=t;benches=micro;machines=flywheel;nodes=130;clocks=0:0;baseline-clock=0:0;windows=64:64;ec=128;mem=100;seeds=1;warmup=50;measured=100")
+            .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            let jobs = service.jobs();
+            let job = jobs.first().expect("job recorded");
+            match job.state {
+                JobState::Queued | JobState::Running => {
+                    assert!(Instant::now() < deadline, "job stuck in {:?}", job.state);
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                terminal => {
+                    assert!(
+                        matches!(terminal, JobState::Degraded | JobState::Failed),
+                        "bogus worker exe cannot complete cleanly, got {terminal:?}"
+                    );
+                    break;
+                }
+            }
+        }
+        service.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
