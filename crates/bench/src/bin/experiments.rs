@@ -42,6 +42,10 @@ struct Report {
     wall_s: f64,
     simulated_instructions: u64,
     mips: f64,
+    /// True when every cell was answered from the result store — the entry
+    /// then measures recall speed, not simulator throughput, and is excluded
+    /// from the `total` trajectory line so it cannot deflate it.
+    recalled: bool,
 }
 
 /// Runs `f` under a timer, charging it the instructions of the simulations it
@@ -57,26 +61,35 @@ fn timed(name: &'static str, reports: &mut Vec<Report>, budget: SimBudget, f: im
     let simulated_instructions =
         (flywheel_bench::simulations_performed() - sims_before) * budget.total();
     let mips = simulated_mips(simulated_instructions, wall);
+    let recalled = simulated_instructions == 0;
     println!(
-        "[{name}] {:.2} s wall, {simulated_instructions} simulated instructions, {mips:.2} MIPS",
-        wall.as_secs_f64()
+        "[{name}] {:.2} s wall, {simulated_instructions} simulated instructions, {mips:.2} MIPS{}",
+        wall.as_secs_f64(),
+        if recalled { " (recalled)" } else { "" }
     );
     reports.push(Report {
         name,
         wall_s: wall.as_secs_f64(),
         simulated_instructions,
         mips,
+        recalled,
     });
 }
 
 fn main() {
     let mut store_path: Option<String> = None;
+    let mut telemetry_path: Option<String> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--store" {
             store_path = Some(args.next().unwrap_or_else(|| {
                 eprintln!("--store needs a path");
+                std::process::exit(1);
+            }));
+        } else if arg == "--telemetry" {
+            telemetry_path = Some(args.next().unwrap_or_else(|| {
+                eprintln!("--telemetry needs a path");
                 std::process::exit(1);
             }));
         } else {
@@ -103,6 +116,18 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+
+    if let Some(path) = &telemetry_path {
+        let interval = flywheel_uarch::telemetry::DEFAULT_SAMPLE_INTERVAL;
+        if let Err(e) = flywheel_bench::telemetry::install_global_telemetry(
+            std::path::Path::new(path),
+            interval,
+        ) {
+            eprintln!("could not install telemetry sink at {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("telemetry armed: event log {path} (sample interval {interval} cycles)");
     }
 
     let mut reports: Vec<Report> = Vec::new();
@@ -157,13 +182,24 @@ fn main() {
         // A fully warm sweep performed no simulator work: keep the committed
         // BENCH.json (the cold-run trajectory the docs embed) instead of
         // clobbering it with all-zero recall timings.
-        if reports.iter().all(|r| r.simulated_instructions == 0) {
+        if reports.iter().all(|r| r.recalled) {
             println!("BENCH.json left untouched (every cell was recalled from the store)");
         } else {
             match write_bench_json(&reports) {
                 Ok(path) => println!("wrote {path}"),
                 Err(e) => eprintln!("could not write BENCH.json: {e}"),
             }
+        }
+    }
+
+    if telemetry_path.is_some() {
+        if let Some(summary) = flywheel_bench::telemetry::finish_global_telemetry() {
+            println!(
+                "telemetry: {} events logged to {}, {} dropped",
+                summary.events,
+                summary.path.display(),
+                summary.dropped
+            );
         }
     }
 
@@ -193,11 +229,19 @@ fn print_throughput_summary(reports: &[Report]) {
     let mut insts = 0u64;
     for rep in reports {
         println!(
-            "{:<14} {:>9.2} {:>16} {:>9.2}",
-            rep.name, rep.wall_s, rep.simulated_instructions, rep.mips
+            "{:<14} {:>9.2} {:>16} {:>9.2}{}",
+            rep.name,
+            rep.wall_s,
+            rep.simulated_instructions,
+            rep.mips,
+            if rep.recalled { "  (recalled)" } else { "" }
         );
-        wall += rep.wall_s;
-        insts += rep.simulated_instructions;
+        // A fully recalled experiment did no simulator work; folding its wall
+        // time into the total would deflate the trajectory's MIPS.
+        if !rep.recalled {
+            wall += rep.wall_s;
+            insts += rep.simulated_instructions;
+        }
     }
     println!(
         "{:<14} {:>9.2} {:>16} {:>9.2}",
@@ -223,16 +267,20 @@ fn write_bench_json(reports: &[Report]) -> std::io::Result<&'static str> {
     for (i, r) in reports.iter().enumerate() {
         s.push_str(&format!(
             "    {{\"name\": \"{}\", \"wall_seconds\": {:.3}, \"simulated_instructions\": {}, \
-             \"simulated_mips\": {:.2}}}{}\n",
+             \"simulated_mips\": {:.2}, \"recalled\": {}}}{}\n",
             r.name,
             r.wall_s,
             r.simulated_instructions,
             r.mips,
+            r.recalled,
             if i + 1 < reports.len() { "," } else { "" }
         ));
     }
-    let total_wall: f64 = reports.iter().map(|r| r.wall_s).sum();
-    let total_insts: u64 = reports.iter().map(|r| r.simulated_instructions).sum();
+    // Recalled entries measured store-recall speed, not simulation; the total
+    // trajectory line charges only real simulator work.
+    let simulated = || reports.iter().filter(|r| !r.recalled);
+    let total_wall: f64 = simulated().map(|r| r.wall_s).sum();
+    let total_insts: u64 = simulated().map(|r| r.simulated_instructions).sum();
     s.push_str("  ],\n");
     s.push_str(&format!(
         "  \"total\": {{\"wall_seconds\": {:.3}, \"simulated_instructions\": {}, \

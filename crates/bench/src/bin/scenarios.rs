@@ -31,7 +31,10 @@
 //! recalled bit-identically instead of simulated, so warm re-runs simulate
 //! nothing and edited scenarios only simulate the cells they changed),
 //! `--faults SPEC` (install a deterministic fault-injection plan, e.g.
-//! `seed=7,panic=2,torn=3` — see `flywheel_bench::fault`).
+//! `seed=7,panic=2,torn=3` — see `flywheel_bench::fault`), `--telemetry PATH`
+//! (arm the in-kernel telemetry queue and drain it into a CRC-framed,
+//! content-addressed event log at PATH; off by default, and a disarmed run is
+//! byte-identical to one built without the flag).
 //!
 //! A panicking or runaway cell no longer aborts the sweep: it is retried a
 //! bounded number of times and, if it keeps failing, reported in a
@@ -42,6 +45,10 @@
 //! damage (torn appends, flipped bits, previous-schema files): valid records
 //! are kept, damaged lines are quarantined to `<store>.quarantine`, and a
 //! one-line summary is printed. A clean store is left byte-untouched.
+//!
+//! `scenarios fsck-events <path>` verifies a telemetry event log: the schema
+//! header and every CRC32 frame are checked and a one-line summary (event,
+//! dropped and damaged-line counts) is printed; damage exits non-zero.
 //!
 //! `scenarios merge <A> <B> [--out C]` unions result stores: without `--out`,
 //! B's records are appended into A; with it, A then B are merged into C and
@@ -78,11 +85,12 @@ fn usage() -> ! {
          [--benches a,b] [--machines m,..] [--nodes 130,..] [--clocks FE:BE,..] \
          [--windows IW:ROB,..] [--ec KB,..] [--mem CYC,..] [--seeds S,..] \
          [--insts N] [--check] [--json PATH] [--csv PATH] [--store PATH] \
-         [--faults SPEC]\n       scenarios fsck [--store PATH]\
+         [--faults SPEC] [--telemetry PATH]\n       scenarios fsck [--store PATH]\
+         \n       scenarios fsck-events <path>\
          \n       scenarios merge <A> <B> [--out C]\
          \n       scenarios sweep <preset|--spec SPEC> [--store PATH] [--shards N] \
          [--insts N] [--max-restarts N] [--backoff-ms N] [--stall-timeout-ms N] \
-         [--deadline-ms N] [--status-dir D] [--faults SPEC]"
+         [--deadline-ms N] [--status-dir D] [--faults SPEC] [--telemetry PATH]"
     );
     std::process::exit(1);
 }
@@ -149,6 +157,7 @@ fn sweep_cmd(args: &[String]) -> ! {
     let mut shards: Option<usize> = None;
     let mut insts: Option<u64> = None;
     let mut faults_spec: Option<String> = None;
+    let mut telemetry_path: Option<String> = None;
     let mut status_dir: Option<String> = None;
     let mut max_restarts: Option<u32> = None;
     let mut backoff_ms: Option<u64> = None;
@@ -164,6 +173,7 @@ fn sweep_cmd(args: &[String]) -> ! {
             "--shards" => shards = Some(num(value()) as usize),
             "--insts" => insts = Some(num(value())),
             "--faults" => faults_spec = Some(value()),
+            "--telemetry" => telemetry_path = Some(value()),
             "--status-dir" => status_dir = Some(value()),
             "--max-restarts" => max_restarts = Some(num(value()) as u32),
             "--backoff-ms" => backoff_ms = Some(num(value())),
@@ -209,6 +219,7 @@ fn sweep_cmd(args: &[String]) -> ! {
     let shard_count = shards.unwrap_or_else(|| worker_count().clamp(1, 8));
     let mut cfg = SupervisorConfig::new(shard_count, worker_exe, status_dir);
     cfg.faults = faults;
+    cfg.telemetry = telemetry_path.as_ref().map(std::path::PathBuf::from);
     if let Some(n) = max_restarts {
         cfg.max_restarts = n;
     }
@@ -248,6 +259,12 @@ fn sweep_cmd(args: &[String]) -> ! {
         outcome.restarts,
         if outcome.restarts == 1 { "" } else { "s" },
     );
+    if let Some(path) = &telemetry_path {
+        match flywheel_bench::telemetry::TelemetryLog::read(std::path::Path::new(path)) {
+            Ok(log) => println!("telemetry {path}: {}", log.describe()),
+            Err(e) => println!("telemetry {path}: {e}"),
+        }
+    }
     if outcome.is_complete() {
         println!("complete: every cell has a record in {store_path}");
     } else {
@@ -264,6 +281,31 @@ fn sweep_cmd(args: &[String]) -> ! {
         }
     }
     std::process::exit(0);
+}
+
+/// `scenarios fsck-events <path>`: verify a telemetry event log's schema
+/// header and CRC framing, print a one-line summary, exit non-zero on damage.
+fn fsck_events(args: &[String]) -> ! {
+    let mut path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--log" => path = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            other if !other.starts_with('-') => path = Some(other.to_owned()),
+            _ => usage(),
+        }
+    }
+    let Some(path) = path else { usage() };
+    match flywheel_bench::telemetry::TelemetryLog::read(std::path::Path::new(&path)) {
+        Ok(log) => {
+            println!("fsck-events {path}: {}", log.describe());
+            std::process::exit(if log.is_clean() { 0 } else { 2 });
+        }
+        Err(e) => {
+            eprintln!("fsck-events {path}: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 /// `scenarios fsck [--store PATH]`: verify/repair a store, print a summary.
@@ -332,6 +374,9 @@ fn main() {
     if which == "fsck" {
         fsck(&args[1..]);
     }
+    if which == "fsck-events" {
+        fsck_events(&args[1..]);
+    }
     if which == "merge" {
         merge_cmd(&args[1..]);
     }
@@ -379,6 +424,7 @@ fn main() {
     let mut csv_path: Option<String> = None;
     let mut store_path: Option<String> = None;
     let mut faults_spec: Option<String> = None;
+    let mut telemetry_path: Option<String> = None;
     let mut it = args.iter().skip(1);
     while let Some(arg) = it.next() {
         let mut value = || it.next().map(String::as_str).unwrap_or_else(|| usage());
@@ -403,6 +449,7 @@ fn main() {
             "--csv" => csv_path = Some(value().to_owned()),
             "--store" => store_path = Some(value().to_owned()),
             "--faults" => faults_spec = Some(value().to_owned()),
+            "--telemetry" => telemetry_path = Some(value().to_owned()),
             _ => usage(),
         }
     }
@@ -423,6 +470,18 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+
+    if let Some(path) = &telemetry_path {
+        let interval = flywheel_uarch::telemetry::DEFAULT_SAMPLE_INTERVAL;
+        if let Err(e) = flywheel_bench::telemetry::install_global_telemetry(
+            std::path::Path::new(path),
+            interval,
+        ) {
+            eprintln!("could not install telemetry sink at {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("telemetry armed: event log {path} (sample interval {interval} cycles)");
     }
 
     let cell_count = scenario.cell_count();
@@ -508,6 +567,19 @@ fn main() {
             std::process::exit(1);
         });
         println!("wrote {path}");
+    }
+
+    // The emitters above query live per-cell counts, so the sink is torn down
+    // only after every artifact is on disk.
+    if telemetry_path.is_some() {
+        if let Some(summary) = flywheel_bench::telemetry::finish_global_telemetry() {
+            println!(
+                "telemetry: {} events logged to {}, {} dropped",
+                summary.events,
+                summary.path.display(),
+                summary.dropped
+            );
+        }
     }
 
     if check {

@@ -17,6 +17,7 @@ pub mod scenario;
 pub mod spec;
 pub mod store;
 pub mod supervisor;
+pub mod telemetry;
 
 use flywheel_core::{FlywheelConfig, FlywheelResult, FlywheelSim};
 use flywheel_timing::TechNode;
@@ -114,6 +115,15 @@ fn simulate_baseline(
 ) -> SimResult {
     store::count_simulation();
     let trace = shared_trace(bench, seed, budget);
+    // When a telemetry sink is installed, arm the thread-local recorder for
+    // this cell, tagged with the same content address the store files the
+    // cell under. Disarmed cost: one atomic load.
+    let _telemetry = telemetry::arm_cell(|| {
+        (
+            store::baseline_key(&cfg, bench, seed, budget),
+            store::cell_label("baseline", bench, seed),
+        )
+    });
     BaselineSim::new(cfg, trace.cursor()).run(budget)
 }
 
@@ -126,6 +136,12 @@ fn simulate_flywheel(
 ) -> FlywheelResult {
     store::count_simulation();
     let trace = shared_trace(bench, seed, budget);
+    let _telemetry = telemetry::arm_cell(|| {
+        (
+            store::flywheel_key(&cfg, bench, seed, budget),
+            store::cell_label("flywheel", bench, seed),
+        )
+    });
     FlywheelSim::new(cfg, trace.cursor()).run(budget)
 }
 

@@ -1204,6 +1204,16 @@ impl ScenarioRun {
             .collect()
     }
 
+    /// Telemetry events recorded for `cell` by the process-global sink (0
+    /// when telemetry is off — the column then stays all-zero, keeping
+    /// telemetry-off emissions byte-identical across runs).
+    fn telemetry_events_for(&self, cell: &ScenarioCell) -> u64 {
+        if !crate::telemetry::telemetry_installed() {
+            return 0;
+        }
+        crate::telemetry::telemetry_count_matching(&cell.key(self.scenario.budget).hex())
+    }
+
     /// Emits the run as CSV (one row per cell, header included).
     ///
     /// The trailing `status` column is `ok` for succeeded cells. A degraded
@@ -1215,7 +1225,7 @@ impl ScenarioRun {
             "scenario,bench,seed,machine,node_nm,fe_pct,be_pct,iw,rob,ec_kb,mem_cycles,\
              instructions,be_cycles,fe_cycles,elapsed_ps,squashed,ipc,total_energy_pj,\
              avg_power_w,leak_frontend_pj,leak_backend_pj,leak_flywheel_pj,leak_fraction,\
-             gated_fraction,ec_residency,ec_hit_rate,status\n",
+             gated_fraction,ec_residency,ec_hit_rate,telemetry_events,status\n",
         );
         let name = self.emitted_name();
         for (cell, r) in self.cells.iter().zip(&self.results) {
@@ -1228,7 +1238,7 @@ impl ScenarioRun {
             };
             s.push_str(&format!(
                 "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{:.3},{:.6},\
-                 {:.3},{:.3},{:.3},{:.6},{:.6},{},{},ok\n",
+                 {:.3},{:.3},{:.3},{:.6},{:.6},{},{},{},ok\n",
                 name,
                 cell.bench,
                 cell.seed,
@@ -1255,12 +1265,13 @@ impl ScenarioRun {
                 r.sim.gated_frontend_fraction,
                 res,
                 hit,
+                self.telemetry_events_for(cell),
             ));
         }
         for f in &self.failed {
             let cell = &f.cell;
             s.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},,,,,,,,,,,,,,,,failed:{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},,,,,,,,,,,,,,,,,failed:{}\n",
                 name,
                 cell.bench,
                 cell.seed,
@@ -1330,6 +1341,10 @@ impl ScenarioRun {
                     f.ec_hit_rate()
                 ));
             }
+            s.push_str(&format!(
+                ", \"telemetry_events\": {}",
+                self.telemetry_events_for(cell)
+            ));
             s.push_str(if i + 1 < self.cells.len() {
                 "},\n"
             } else {
@@ -1654,18 +1669,21 @@ mod tests {
         assert!(json.contains("\"leak_flywheel_pj\""));
         let header = csv.lines().next().unwrap();
         assert!(header.contains("leak_flywheel_pj"));
-        assert!(header.ends_with(",status"));
+        assert!(header.ends_with(",telemetry_events,status"));
         for line in csv.lines().skip(1) {
-            assert_eq!(line.matches(',').count(), 26, "column count in {line}");
+            assert_eq!(line.matches(',').count(), 27, "column count in {line}");
             assert!(line.ends_with(",ok"), "clean cells report ok: {line}");
+            // Telemetry off: the event-count column stays zero.
+            assert!(line.ends_with(",0,ok"), "telemetry-off count in {line}");
         }
+        assert!(json.contains("\"telemetry_events\": 0"));
         // A hostile scenario name must not break either format.
         let mut evil = s.clone();
         evil.name = "a\"b,c\nd".to_owned();
         let run = evil.run();
         assert!(run.to_json().contains("\"scenario\": \"a_b_c_d\""));
         for line in run.to_csv().lines().skip(1) {
-            assert_eq!(line.matches(',').count(), 26, "column count in {line}");
+            assert_eq!(line.matches(',').count(), 27, "column count in {line}");
         }
     }
 
@@ -1690,7 +1708,7 @@ mod tests {
         let csv = run.to_csv();
         let last = csv.lines().last().unwrap();
         assert!(last.ends_with(",failed:timeout"), "got: {last}");
-        assert_eq!(last.matches(',').count(), 26, "column count in {last}");
+        assert_eq!(last.matches(',').count(), 27, "column count in {last}");
         assert_eq!(
             csv.lines().filter(|l| l.ends_with(",ok")).count(),
             run.cells.len()

@@ -27,12 +27,81 @@ use flywheel_timing::TechNode;
 use flywheel_uarch::SimBudget;
 use flywheel_workloads::Benchmark;
 
+/// Why a [`Scenario`] could not be serialized into the spec grammar.
+///
+/// The grammar has no escaping: `;` separates fields, `=` separates key from
+/// value, and the spec travels as one argv token / HTTP-body line. A
+/// free-form value carrying one of those bytes would serialize into a string
+/// that parses as a *different* scenario (or a parse error) — so
+/// serialization refuses it instead of corrupting it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// The value contains a character the grammar reserves: `;`, `=`, or a
+    /// newline.
+    ReservedChar {
+        /// The scenario field holding the hostile value.
+        field: &'static str,
+        /// The reserved character found.
+        ch: char,
+        /// The offending value.
+        value: String,
+    },
+    /// The value starts or ends with whitespace, which the parser trims —
+    /// it would not survive a round-trip byte-for-byte.
+    UntrimmedValue {
+        /// The scenario field holding the value.
+        field: &'static str,
+        /// The offending value.
+        value: String,
+    },
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::ReservedChar { field, ch, value } => write!(
+                f,
+                "scenario field '{field}' contains reserved character {ch:?} \
+                 and cannot be serialized: {value:?}"
+            ),
+            SpecError::UntrimmedValue { field, value } => write!(
+                f,
+                "scenario field '{field}' has leading or trailing whitespace \
+                 and would not round-trip: {value:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Rejects free-form values the grammar cannot carry (see [`SpecError`]).
+fn check_free_form(field: &'static str, value: &str) -> Result<(), SpecError> {
+    if let Some(ch) = value.chars().find(|c| matches!(c, ';' | '=' | '\n' | '\r')) {
+        return Err(SpecError::ReservedChar {
+            field,
+            ch,
+            value: value.to_owned(),
+        });
+    }
+    if value.trim() != value {
+        return Err(SpecError::UntrimmedValue {
+            field,
+            value: value.to_owned(),
+        });
+    }
+    Ok(())
+}
+
 /// Serializes `s` into the spec grammar. Stable field order and explicit
-/// defaults: equal scenarios yield equal strings.
-pub fn scenario_to_spec(s: &Scenario) -> String {
+/// defaults: equal scenarios yield equal strings. Free-form fields (only the
+/// name today) are checked against the grammar's reserved characters rather
+/// than corrupted into it.
+pub fn scenario_to_spec(s: &Scenario) -> Result<String, SpecError> {
+    check_free_form("name", &s.name)?;
     let join = |items: Vec<String>| items.join(",");
     let pairs = |ps: &[(u32, u32)]| join(ps.iter().map(|(a, b)| format!("{a}:{b}")).collect());
-    format!(
+    Ok(format!(
         "name={};benches={};machines={};nodes={};clocks={};baseline-clock={}:{};windows={};ec={};mem={};seeds={};warmup={};measured={}",
         s.name,
         join(s.benchmarks.iter().map(|b| b.name().to_owned()).collect()),
@@ -47,7 +116,7 @@ pub fn scenario_to_spec(s: &Scenario) -> String {
         join(s.seeds.iter().map(u64::to_string).collect()),
         s.budget.warmup_instructions,
         s.budget.measured_instructions,
-    )
+    ))
 }
 
 /// Expands a `preset=NAME` spec into the named [`Scenario`] preset.
@@ -225,12 +294,12 @@ mod tests {
             Scenario::stress(budget),
             Scenario::leakage(budget),
         ] {
-            let spec = scenario_to_spec(&s);
+            let spec = scenario_to_spec(&s).unwrap();
             let back = scenario_from_spec(&spec).unwrap();
             assert_eq!(axes(&s), axes(&back), "spec '{spec}' must round-trip");
             assert_eq!(
                 spec,
-                scenario_to_spec(&back),
+                scenario_to_spec(&back).unwrap(),
                 "serialization must be stable"
             );
         }
@@ -253,6 +322,84 @@ mod tests {
 
         let s = scenario_from_spec("preset=smoke;warmup=100;measured=500").unwrap();
         assert_eq!(s.budget, SimBudget::new(100, 500));
+    }
+
+    /// Deterministic xorshift64 — the tests need many inputs, not true
+    /// randomness, and the container has no property-testing crates.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+
+        fn pick<T: Copy>(&mut self, items: &[T]) -> T {
+            items[(self.next() % items.len() as u64) as usize]
+        }
+    }
+
+    #[test]
+    fn random_valid_names_round_trip() {
+        const SAFE: &[char] = &[
+            'a', 'b', 'z', 'A', 'Z', '0', '9', '-', '_', '.', '/', '+', '#', '!', '(', ')', ':',
+            ',', '@',
+        ];
+        let mut rng = Rng(2005);
+        for _ in 0..300 {
+            let len = 1 + (rng.next() % 24) as usize;
+            let name: String = (0..len).map(|_| rng.pick(SAFE)).collect();
+            let mut s = Scenario::smoke();
+            s.name = name.clone();
+            let spec = scenario_to_spec(&s).unwrap_or_else(|e| panic!("{name:?}: {e}"));
+            let back = scenario_from_spec(&spec).unwrap_or_else(|e| panic!("{spec:?}: {e}"));
+            assert_eq!(back.name, name, "name must survive the round-trip");
+            assert_eq!(axes(&s), axes(&back), "spec '{spec}' must round-trip");
+        }
+    }
+
+    #[test]
+    fn hostile_names_are_rejected_not_corrupted() {
+        const HOSTILE: &[char] = &[';', '=', '\n', '\r'];
+        let mut rng = Rng(1971);
+        for _ in 0..300 {
+            let len = 1 + (rng.next() % 12) as usize;
+            let mut name: Vec<char> = (0..len).map(|_| rng.pick(&['a', 'b', 'c', '7'])).collect();
+            let ch = rng.pick(HOSTILE);
+            let at = (rng.next() % (len as u64 + 1)) as usize;
+            name.insert(at, ch);
+            let name: String = name.into_iter().collect();
+            let mut s = Scenario::smoke();
+            s.name = name.clone();
+            match scenario_to_spec(&s) {
+                Err(SpecError::ReservedChar {
+                    field,
+                    ch: found,
+                    value,
+                }) => {
+                    assert_eq!(field, "name");
+                    assert_eq!(found, ch);
+                    assert_eq!(value, name);
+                }
+                other => panic!("{name:?} must be a ReservedChar error, got {other:?}"),
+            }
+        }
+        // Edge whitespace is trimmed by the parser: reject, don't corrupt.
+        for name in [" x", "x ", "\tx", "x\t", " "] {
+            let mut s = Scenario::smoke();
+            s.name = name.to_owned();
+            assert!(
+                matches!(
+                    scenario_to_spec(&s),
+                    Err(SpecError::UntrimmedValue { field: "name", .. })
+                ),
+                "{name:?} must be an UntrimmedValue error"
+            );
+        }
     }
 
     #[test]

@@ -179,7 +179,10 @@ fn crc32(bytes: &[u8]) -> u32 {
 
 /// Wraps a record payload in the v3 per-record framing:
 /// `<payload-len:08x> <payload-crc32:08x> <payload>`.
-fn frame_payload(payload: &str) -> String {
+///
+/// Shared with the telemetry event log ([`crate::telemetry`]), which frames
+/// its lines identically so one fsck routine understands both files.
+pub(crate) fn frame_payload(payload: &str) -> String {
     format!(
         "{:08x} {:08x} {payload}",
         payload.len(),
@@ -191,7 +194,7 @@ fn frame_payload(payload: &str) -> String {
 /// newline), returning the payload. `None` means the line is damaged: too
 /// short, malformed hex, a length mismatch (torn write) or a CRC mismatch
 /// (bit rot / flipped bits).
-fn unframe_line(line: &[u8]) -> Option<&str> {
+pub(crate) fn unframe_line(line: &[u8]) -> Option<&str> {
     if line.len() < 18 || line[8] != b' ' || line[17] != b' ' {
         return None;
     }

@@ -64,9 +64,104 @@ pub fn shard_status_path(status_dir: &Path, shard: usize) -> PathBuf {
     status_dir.join(format!("shard-{shard}.status"))
 }
 
+/// The telemetry event log a worker of shard `k` drains into (merged into the
+/// main log after the sweep): `<base>.shard-K`.
+pub fn shard_telemetry_path(base: &Path, shard: usize) -> PathBuf {
+    PathBuf::from(format!("{}.shard-{shard}", base.display()))
+}
+
 // ---------------------------------------------------------------------------
 // Worker status files
 // ---------------------------------------------------------------------------
+
+/// Why a worker status file could not be parsed.
+///
+/// Status files are the supervisor's only window into worker health, and they
+/// are written by a process the supervisor may have just killed — so the
+/// parser is strict: a field that repeats (last-wins would silently mask a
+/// torn or doubled write) or a number that does not fit its field's type is a
+/// rejection of the whole file, never a silent truncation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatusParseError {
+    /// The file exists but could not be read.
+    Io {
+        /// Path of the status file.
+        path: PathBuf,
+        /// The underlying OS error.
+        message: String,
+    },
+    /// The first line is not the expected schema header.
+    BadSchema {
+        /// Path of the status file.
+        path: PathBuf,
+    },
+    /// A line fit neither the `key=value` nor the manifest grammar.
+    Malformed {
+        /// Path of the status file.
+        path: PathBuf,
+        /// The offending line.
+        line: String,
+    },
+    /// A `key=value` line carried a key the schema does not define.
+    UnknownField {
+        /// Path of the status file.
+        path: PathBuf,
+        /// The unknown key.
+        field: String,
+    },
+    /// A field appeared more than once.
+    DuplicateKey {
+        /// Path of the status file.
+        path: PathBuf,
+        /// The repeated key.
+        key: String,
+    },
+    /// A numeric field failed to parse as an unsigned integer.
+    BadNumber {
+        /// Path of the status file.
+        path: PathBuf,
+        /// The offending line.
+        line: String,
+    },
+    /// A numeric field parsed but exceeds the range of its target type
+    /// (e.g. a `pid` wider than `u32`).
+    OutOfRange {
+        /// Path of the status file.
+        path: PathBuf,
+        /// The offending line.
+        line: String,
+    },
+}
+
+impl std::fmt::Display for StatusParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StatusParseError::Io { path, message } => {
+                write!(f, "reading {}: {message}", path.display())
+            }
+            StatusParseError::BadSchema { path } => {
+                write!(f, "{}: not a {STATUS_SCHEMA} file", path.display())
+            }
+            StatusParseError::Malformed { path, line } => {
+                write!(f, "{}: bad status line '{line}'", path.display())
+            }
+            StatusParseError::UnknownField { path, field } => {
+                write!(f, "{}: unknown status field '{field}'", path.display())
+            }
+            StatusParseError::DuplicateKey { path, key } => {
+                write!(f, "{}: duplicate status field '{key}'", path.display())
+            }
+            StatusParseError::BadNumber { path, line } => {
+                write!(f, "{}: bad number in '{line}'", path.display())
+            }
+            StatusParseError::OutOfRange { path, line } => {
+                write!(f, "{}: number out of range in '{line}'", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatusParseError {}
 
 /// Whether a worker believes it is mid-sweep or finished.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -177,29 +272,47 @@ impl WorkerStatus {
 
     /// Reads a status file; `Ok(None)` when it does not exist yet (a worker
     /// that has not completed its first write).
-    pub fn read(path: &Path) -> Result<Option<WorkerStatus>, String> {
+    ///
+    /// Duplicate fields and numbers that overflow their field's type are
+    /// rejected as [`StatusParseError`]s — a torn, doubled or forged file
+    /// must never be mistaken for a healthy heartbeat.
+    pub fn read(path: &Path) -> Result<Option<WorkerStatus>, StatusParseError> {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
-            Err(e) => return Err(format!("reading {}: {e}", path.display())),
+            Err(e) => {
+                return Err(StatusParseError::Io {
+                    path: path.to_path_buf(),
+                    message: e.to_string(),
+                })
+            }
         };
         let mut lines = text.lines();
         if lines.next() != Some(STATUS_SCHEMA) {
-            return Err(format!("{}: not a {STATUS_SCHEMA} file", path.display()));
+            return Err(StatusParseError::BadSchema {
+                path: path.to_path_buf(),
+            });
         }
         let mut status = WorkerStatus::new(0, 0, 0);
         status.pid = 0;
+        let mut seen: Vec<String> = Vec::new();
         for line in lines {
             if let Some(rest) = line.strip_prefix("failed ") {
                 let mut it = rest.splitn(4, ' ');
                 let (attempts, kind, label) = match (it.next(), it.next(), it.next()) {
                     (Some(a), Some(k), Some(l)) => (a, k, l),
-                    _ => return Err(format!("{}: bad manifest line '{line}'", path.display())),
+                    _ => {
+                        return Err(StatusParseError::Malformed {
+                            path: path.to_path_buf(),
+                            line: line.to_owned(),
+                        })
+                    }
                 };
                 status.failed.push(WorkerFailedCell {
-                    attempts: attempts
-                        .parse()
-                        .map_err(|_| format!("{}: bad attempts in '{line}'", path.display()))?,
+                    attempts: attempts.parse().map_err(|_| StatusParseError::BadNumber {
+                        path: path.to_path_buf(),
+                        line: line.to_owned(),
+                    })?,
                     kind: kind.to_owned(),
                     label: label.to_owned(),
                     message: it.next().unwrap_or("").to_owned(),
@@ -207,36 +320,56 @@ impl WorkerStatus {
                 continue;
             }
             let Some((key, value)) = line.split_once('=') else {
-                return Err(format!("{}: bad status line '{line}'", path.display()));
+                return Err(StatusParseError::Malformed {
+                    path: path.to_path_buf(),
+                    line: line.to_owned(),
+                });
             };
+            if seen.iter().any(|k| k == key) {
+                return Err(StatusParseError::DuplicateKey {
+                    path: path.to_path_buf(),
+                    key: key.to_owned(),
+                });
+            }
+            seen.push(key.to_owned());
             let num = || {
                 value
                     .parse::<u64>()
-                    .map_err(|_| format!("{}: bad number in '{line}'", path.display()))
+                    .map_err(|_| StatusParseError::BadNumber {
+                        path: path.to_path_buf(),
+                        line: line.to_owned(),
+                    })
+            };
+            let oor = || StatusParseError::OutOfRange {
+                path: path.to_path_buf(),
+                line: line.to_owned(),
             };
             match key {
-                "pid" => status.pid = num()? as u32,
-                "shard" => status.shard = num()? as usize,
-                "shards" => status.shards = num()? as usize,
+                "pid" => status.pid = u32::try_from(num()?).map_err(|_| oor())?,
+                "shard" => status.shard = usize::try_from(num()?).map_err(|_| oor())?,
+                "shards" => status.shards = usize::try_from(num()?).map_err(|_| oor())?,
                 "beat" => status.beat = num()?,
-                "done" => status.done = num()? as usize,
-                "total" => status.total = num()? as usize,
-                "hits" => status.hits = num()? as usize,
-                "simulated" => status.simulated = num()? as usize,
+                "done" => status.done = usize::try_from(num()?).map_err(|_| oor())?,
+                "total" => status.total = usize::try_from(num()?).map_err(|_| oor())?,
+                "hits" => status.hits = usize::try_from(num()?).map_err(|_| oor())?,
+                "simulated" => status.simulated = usize::try_from(num()?).map_err(|_| oor())?,
                 "state" => {
                     status.state = match value {
                         "running" => WorkerState::Running,
                         "done" => WorkerState::Done,
-                        other => {
-                            return Err(format!("{}: unknown state '{other}'", path.display()))
+                        _ => {
+                            return Err(StatusParseError::Malformed {
+                                path: path.to_path_buf(),
+                                line: line.to_owned(),
+                            })
                         }
                     }
                 }
                 other => {
-                    return Err(format!(
-                        "{}: unknown status field '{other}'",
-                        path.display()
-                    ))
+                    return Err(StatusParseError::UnknownField {
+                        path: path.to_path_buf(),
+                        field: other.to_owned(),
+                    })
                 }
             }
         }
@@ -288,6 +421,7 @@ fn shard_worker_main(args: &[String]) -> Result<(), String> {
         .map_err(|_| "bad --shards")?;
     let store_path = PathBuf::from(flag(args, "--store").ok_or("missing --store")?);
     let status_path = PathBuf::from(flag(args, "--status").ok_or("missing --status")?);
+    let telemetry_path = flag(args, "--telemetry").map(PathBuf::from);
     let proc_fault: Option<(ProcFault, usize)> = match flag(args, "--proc-fault") {
         None => None,
         Some(v) => {
@@ -321,6 +455,16 @@ fn shard_worker_main(args: &[String]) -> Result<(), String> {
         .filter(|(i, _)| i % shards == shard)
         .map(|(_, c)| *c)
         .collect();
+
+    // A restarted incarnation truncates its predecessor's shard log: the
+    // events of already-landed cells are gone, but the log stays CRC-clean
+    // and self-consistent (telemetry is observability, not results).
+    if let Some(path) = &telemetry_path {
+        crate::telemetry::install_global_telemetry(
+            path,
+            flywheel_uarch::telemetry::DEFAULT_SAMPLE_INTERVAL,
+        )?;
+    }
 
     let (mut store, _report) =
         ResultStore::open_recovering(&store_path).map_err(|e| e.to_string())?;
@@ -372,6 +516,9 @@ fn shard_worker_main(args: &[String]) -> Result<(), String> {
     }
     status.state = WorkerState::Done;
     bump(&mut status)?;
+    if telemetry_path.is_some() {
+        crate::telemetry::finish_global_telemetry();
+    }
     Ok(())
 }
 
@@ -405,6 +552,11 @@ pub struct SupervisorConfig {
     /// Fault plan forwarded to workers (cell/store faults via the
     /// `FLYWHEEL_FAULTS` environment, process faults via `--proc-fault`).
     pub faults: Option<FaultPlan>,
+    /// When set, workers arm kernel telemetry and drain it into per-shard
+    /// event logs (`<base>.shard-K`), merged into the log at this base path
+    /// after the sweep. `None` (the default) leaves telemetry disarmed and
+    /// the sweep byte-identical to a build without it.
+    pub telemetry: Option<PathBuf>,
 }
 
 impl SupervisorConfig {
@@ -421,6 +573,7 @@ impl SupervisorConfig {
             worker_exe,
             status_dir,
             faults: None,
+            telemetry: None,
         }
     }
 }
@@ -608,6 +761,8 @@ pub enum SweepError {
         /// The underlying OS error.
         source: std::io::Error,
     },
+    /// Merging the per-shard telemetry event logs failed.
+    Telemetry(String),
 }
 
 impl std::fmt::Display for SweepError {
@@ -619,6 +774,7 @@ impl std::fmt::Display for SweepError {
             SweepError::Spawn { shard, source } => {
                 write!(f, "could not spawn worker for shard {shard}: {source}")
             }
+            SweepError::Telemetry(e) => write!(f, "sweep telemetry error: {e}"),
         }
     }
 }
@@ -665,7 +821,7 @@ pub fn run_supervised(
 ) -> Result<SweepOutcome, SweepError> {
     scenario.validate().map_err(SweepError::Scenario)?;
     let shards = cfg.shards.max(1);
-    let spec = scenario_to_spec(scenario);
+    let spec = scenario_to_spec(scenario).map_err(|e| SweepError::Scenario(e.to_string()))?;
     let budget = scenario.budget;
     let grid = scenario.expand();
 
@@ -745,6 +901,10 @@ pub fn run_supervised(
                 .arg(&shard_stores[shard])
                 .arg("--status")
                 .arg(shard_status_path(&cfg.status_dir, shard));
+            if let Some(base) = &cfg.telemetry {
+                cmd.arg("--telemetry")
+                    .arg(shard_telemetry_path(base, shard));
+            }
             // Inject the process fault on the first incarnation only, unless
             // the plan says it persists across restarts.
             if let Some(f) = shard_faults[shard] {
@@ -896,6 +1056,14 @@ pub fn run_supervised(
         main_store.merge(&other)?;
     }
 
+    // Fold the per-shard telemetry logs into the main event log, in shard
+    // order (missing shard logs — warm shards, dead-before-install workers —
+    // are skipped).
+    if let Some(base) = &cfg.telemetry {
+        let shard_logs: Vec<PathBuf> = (0..shards).map(|k| shard_telemetry_path(base, k)).collect();
+        crate::telemetry::merge_telemetry_logs(base, &shard_logs).map_err(SweepError::Telemetry)?;
+    }
+
     // Gather worker progress + failure manifests from the final status files
     // (skipped on the fully-warm path, where any status files on disk are
     // stale leftovers of an earlier sweep).
@@ -992,6 +1160,79 @@ mod tests {
         let back = WorkerStatus::read(&path).unwrap().unwrap();
         assert_eq!(back, s);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn write_status(tag: &str, body: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fw-status-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shard-0.status");
+        std::fs::write(&path, format!("{STATUS_SCHEMA}\n{body}")).unwrap();
+        path
+    }
+
+    #[test]
+    fn duplicate_status_keys_are_rejected() {
+        // Last-wins would let a doubled write smuggle in a stale heartbeat.
+        let path = write_status("dup", "pid=1\nshard=0\nshards=1\nbeat=5\nbeat=900\n");
+        let err = WorkerStatus::read(&path).unwrap_err();
+        assert_eq!(
+            err,
+            StatusParseError::DuplicateKey {
+                path: path.clone(),
+                key: "beat".to_owned()
+            },
+            "{err}"
+        );
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn out_of_range_status_numbers_are_rejected() {
+        // 2^32 does not fit a u32 pid; `as u32` would silently wrap it to 0.
+        let path = write_status("oor", "pid=4294967296\n");
+        let err = WorkerStatus::read(&path).unwrap_err();
+        assert!(
+            matches!(err, StatusParseError::OutOfRange { .. }),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("out of range"), "{err}");
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn unparseable_status_numbers_are_rejected() {
+        let path = write_status("nan", "beat=soon\n");
+        let err = WorkerStatus::read(&path).unwrap_err();
+        assert!(matches!(err, StatusParseError::BadNumber { .. }), "{err:?}");
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn unknown_status_fields_are_rejected() {
+        let path = write_status("unk", "pid=1\nmood=great\n");
+        let err = WorkerStatus::read(&path).unwrap_err();
+        assert_eq!(
+            err,
+            StatusParseError::UnknownField {
+                path: path.clone(),
+                field: "mood".to_owned()
+            }
+        );
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn repeated_manifest_lines_are_allowed() {
+        // `failed` lines are a list, not a key: several must coexist while
+        // the scalar fields stay single-shot.
+        let path = write_status(
+            "manifest",
+            "pid=1\nfailed 3 panic cell/a boom\nfailed 2 timeout cell/b wedged\n",
+        );
+        let status = WorkerStatus::read(&path).unwrap().unwrap();
+        assert_eq!(status.failed.len(), 2);
+        assert_eq!(status.failed[1].kind, "timeout");
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
     }
 
     #[test]

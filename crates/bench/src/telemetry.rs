@@ -1,0 +1,457 @@
+//! The disk half of `flywheel-telemetry`: a background drain thread that
+//! flushes the in-memory [`TelemetryQueue`]
+//! into an append-only, CRC32-framed, content-addressed event log living
+//! beside `results.store`.
+//!
+//! The split mirrors the store/query separation used elsewhere in the repo:
+//! `flywheel-uarch` owns the queue and the kernel-side recorder (so both
+//! kernels can append without new dependencies), this module owns
+//! persistence, and `flywheel-report` owns querying/rendering.
+//!
+//! ## Event-log format (`flywheel-telemetry/1`)
+//!
+//! One plain header line, then one framed line per event, reusing the exact
+//! `flywheel-store/3` per-record framing (`<len:08x> <crc:08x> <payload>`,
+//! see [`crate::store`]), so the same fsck logic detects torn appends and bit
+//! rot in both files. Two payload forms:
+//!
+//! ```text
+//! <store-key-hex:32> <cell-label> <event wire form>   # one telemetry event
+//! dropped <n>                                         # drop accounting
+//! ```
+//!
+//! The leading store key is the *same* content address the result store files
+//! the cell's record under, which is what makes the log content-addressed:
+//! events join against `results.store` records by key, and a stale log
+//! (written by a different code version) simply stops matching.
+//!
+//! Overflow never blocks a simulating thread; it is accounted in the queue's
+//! dropped counter and written out as an explicit `dropped <n>` line when the
+//! sink is finished, so a truncated view of a run is always visible as such.
+
+use crate::store::{self, StoreKey};
+use flywheel_uarch::telemetry::{
+    self, TelemetryEvent, TelemetryGuard, TelemetryQueue, TelemetrySession,
+};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+/// On-disk schema of the telemetry event log.
+pub const TELEMETRY_SCHEMA: &str = "flywheel-telemetry/1";
+
+/// Default bound of the in-memory event queue.
+pub const DEFAULT_QUEUE_CAPACITY: usize = TelemetryQueue::DEFAULT_CAPACITY;
+
+/// The conventional event-log path for a store at `store_path`:
+/// `<store>.events`, beside the store itself.
+pub fn event_log_path(store_path: &Path) -> PathBuf {
+    PathBuf::from(format!("{}.events", store_path.display()))
+}
+
+/// One parsed event-log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetryRecord {
+    /// The cell's content address (same key as its `results.store` record).
+    pub key: StoreKey,
+    /// The cell's human-readable label (whitespace-free).
+    pub label: String,
+    /// The event itself.
+    pub event: TelemetryEvent,
+}
+
+impl TelemetryRecord {
+    fn render(&self) -> String {
+        format!("{} {} {}", self.key.hex(), self.label, self.event.render())
+    }
+
+    fn parse(payload: &str) -> Option<TelemetryRecord> {
+        let mut parts = payload.splitn(3, ' ');
+        let key = StoreKey::from_hex(parts.next()?)?;
+        let label = parts.next()?.to_owned();
+        let event = TelemetryEvent::parse(parts.next()?)?;
+        Some(TelemetryRecord { key, label, event })
+    }
+}
+
+/// Everything a telemetry event log contained.
+#[derive(Debug, Default)]
+pub struct TelemetryLog {
+    /// Every event record, in file (≈ drain) order.
+    pub records: Vec<TelemetryRecord>,
+    /// Sum of the log's `dropped <n>` accounting lines.
+    pub dropped: u64,
+    /// Lines that failed the framing or payload grammar.
+    pub damaged_lines: usize,
+}
+
+impl TelemetryLog {
+    /// Reads and validates the event log at `path`.
+    ///
+    /// Damaged lines are counted, not fatal (matching the store's recovery
+    /// posture); an unknown header is.
+    pub fn read(path: &Path) -> Result<TelemetryLog, String> {
+        let bytes = std::fs::read(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let mut log = TelemetryLog::default();
+        let mut lines = bytes.split(|&b| b == b'\n');
+        let header = lines.next().unwrap_or_default();
+        if header != TELEMETRY_SCHEMA.as_bytes() {
+            return Err(format!(
+                "{}: not a {TELEMETRY_SCHEMA} event log",
+                path.display()
+            ));
+        }
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let Some(payload) = store::unframe_line(line) else {
+                log.damaged_lines += 1;
+                continue;
+            };
+            if let Some(n) = payload.strip_prefix("dropped ") {
+                match n.parse::<u64>() {
+                    Ok(n) => log.dropped += n,
+                    Err(_) => log.damaged_lines += 1,
+                }
+                continue;
+            }
+            match TelemetryRecord::parse(payload) {
+                Some(r) => log.records.push(r),
+                None => log.damaged_lines += 1,
+            }
+        }
+        Ok(log)
+    }
+
+    /// Whether every line passed the framing and payload grammar.
+    pub fn is_clean(&self) -> bool {
+        self.damaged_lines == 0
+    }
+
+    /// `fsck`-style one-line verdict over the log's framing and grammar.
+    pub fn describe(&self) -> String {
+        if self.damaged_lines == 0 {
+            format!(
+                "clean ({} events, {} dropped, schema {TELEMETRY_SCHEMA})",
+                self.records.len(),
+                self.dropped
+            )
+        } else {
+            format!(
+                "damaged: {} bad line{} ({} events readable, {} dropped)",
+                self.damaged_lines,
+                if self.damaged_lines == 1 { "" } else { "s" },
+                self.records.len(),
+                self.dropped
+            )
+        }
+    }
+}
+
+/// The process-global telemetry sink: queue + drain thread + log path.
+struct GlobalSink {
+    queue: Arc<TelemetryQueue>,
+    sample_interval: u64,
+    path: PathBuf,
+    stop: Arc<AtomicBool>,
+    drain: Option<std::thread::JoinHandle<u64>>,
+}
+
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+fn global_sink() -> &'static Mutex<Option<GlobalSink>> {
+    static SINK: Mutex<Option<GlobalSink>> = Mutex::new(None);
+    &SINK
+}
+
+/// What a finished telemetry sink flushed to disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetrySummary {
+    /// Events written to the log.
+    pub events: u64,
+    /// Events dropped by the bounded queue (also recorded in the log).
+    pub dropped: u64,
+    /// The log path.
+    pub path: PathBuf,
+}
+
+/// Installs the process-global telemetry sink: creates the event log at
+/// `path` (truncating any previous run's log) and starts the drain thread.
+/// Simulations run after this — on any thread — are recorded.
+///
+/// Errors if a sink is already installed or the log cannot be created.
+pub fn install_global_telemetry(path: &Path, sample_interval: u64) -> Result<(), String> {
+    let mut slot = global_sink().lock().unwrap_or_else(PoisonError::into_inner);
+    if slot.is_some() {
+        return Err("telemetry sink already installed".to_owned());
+    }
+    let mut file = std::fs::File::create(path)
+        .map_err(|e| format!("creating event log {}: {e}", path.display()))?;
+    file.write_all(format!("{TELEMETRY_SCHEMA}\n").as_bytes())
+        .and_then(|()| file.flush())
+        .map_err(|e| format!("writing event log {}: {e}", path.display()))?;
+
+    let queue = Arc::new(TelemetryQueue::new(DEFAULT_QUEUE_CAPACITY));
+    let stop = Arc::new(AtomicBool::new(false));
+    let drain = {
+        let queue = Arc::clone(&queue);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || drain_loop(&queue, &stop, file))
+    };
+    *slot = Some(GlobalSink {
+        queue,
+        sample_interval: sample_interval.max(1),
+        path: path.to_path_buf(),
+        stop,
+        drain: Some(drain),
+    });
+    INSTALLED.store(true, Ordering::Release);
+    Ok(())
+}
+
+/// The drain thread: periodically empties the queue into the log file; on
+/// shutdown takes a final drain and writes the drop-accounting line. Returns
+/// the number of events written.
+fn drain_loop(queue: &TelemetryQueue, stop: &AtomicBool, mut file: std::fs::File) -> u64 {
+    let mut written = 0u64;
+    loop {
+        let stopping = stop.load(Ordering::Acquire);
+        for (tag, event) in queue.drain() {
+            // The tag is "<key-hex> <label>"; the payload appends the event.
+            let payload = format!("{tag} {}", event.render());
+            let _ = writeln!(file, "{}", store::frame_payload(&payload));
+            written += 1;
+        }
+        let _ = file.flush();
+        if stopping {
+            let dropped = queue.dropped();
+            if dropped > 0 {
+                let _ = writeln!(
+                    file,
+                    "{}",
+                    store::frame_payload(&format!("dropped {dropped}"))
+                );
+            }
+            let _ = file.flush();
+            return written;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Whether a global telemetry sink is installed (one relaxed atomic load —
+/// the disarmed fast path of the simulation choke points).
+pub fn telemetry_installed() -> bool {
+    INSTALLED.load(Ordering::Acquire)
+}
+
+/// Stops the drain thread, flushes everything (including the `dropped` line)
+/// and uninstalls the sink. `None` when no sink was installed.
+pub fn finish_global_telemetry() -> Option<TelemetrySummary> {
+    let sink = {
+        let mut slot = global_sink().lock().unwrap_or_else(PoisonError::into_inner);
+        INSTALLED.store(false, Ordering::Release);
+        slot.take()
+    }?;
+    sink.stop.store(true, Ordering::Release);
+    let events = sink
+        .drain
+        .map(|h| h.join().unwrap_or_default())
+        .unwrap_or_default();
+    Some(TelemetrySummary {
+        events,
+        dropped: sink.queue.dropped(),
+        path: sink.path,
+    })
+}
+
+/// Events accepted so far for tags starting with `prefix` (normally a cell's
+/// store-key hex). Zero when no sink is installed.
+pub fn telemetry_count_matching(prefix: &str) -> u64 {
+    let slot = global_sink().lock().unwrap_or_else(PoisonError::into_inner);
+    slot.as_ref()
+        .map(|s| s.queue.count_matching(prefix))
+        .unwrap_or(0)
+}
+
+/// Arms the current thread's telemetry for one cell when a global sink is
+/// installed; `tag_parts` (the cell's store key and label) is only computed
+/// on the armed path. Called by the simulation choke points in the crate
+/// root.
+pub(crate) fn arm_cell(tag_parts: impl FnOnce() -> (StoreKey, String)) -> Option<TelemetryGuard> {
+    if !telemetry_installed() {
+        return None;
+    }
+    let (queue, sample_interval) = {
+        let slot = global_sink().lock().unwrap_or_else(PoisonError::into_inner);
+        let sink = slot.as_ref()?;
+        (Arc::clone(&sink.queue), sink.sample_interval)
+    };
+    let (key, label) = tag_parts();
+    let tag: Arc<str> = Arc::from(format!("{} {label}", key.hex()));
+    Some(telemetry::arm(TelemetrySession {
+        queue,
+        tag,
+        sample_interval,
+    }))
+}
+
+/// Folds per-shard event logs (written by supervised sweep workers) into the
+/// main log at `main_path`, preserving each record's framing byte-for-byte.
+/// Missing shard logs are skipped; the main log is created (with a header)
+/// if absent. Returns how many event lines were appended.
+pub fn merge_telemetry_logs(main_path: &Path, shard_paths: &[PathBuf]) -> Result<u64, String> {
+    let mut appended = 0u64;
+    let mut out: Option<std::fs::File> = None;
+    for shard in shard_paths {
+        let log = match TelemetryLog::read(shard) {
+            Ok(l) => l,
+            Err(_) if !shard.exists() => continue,
+            Err(e) => return Err(e),
+        };
+        if log.records.is_empty() && log.dropped == 0 {
+            continue;
+        }
+        let out = match &mut out {
+            Some(f) => f,
+            None => {
+                let exists = main_path.exists();
+                let mut f = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(main_path)
+                    .map_err(|e| format!("opening {}: {e}", main_path.display()))?;
+                if !exists {
+                    f.write_all(format!("{TELEMETRY_SCHEMA}\n").as_bytes())
+                        .map_err(|e| format!("writing {}: {e}", main_path.display()))?;
+                }
+                out.insert(f)
+            }
+        };
+        for r in &log.records {
+            writeln!(out, "{}", store::frame_payload(&r.render()))
+                .map_err(|e| format!("writing {}: {e}", main_path.display()))?;
+            appended += 1;
+        }
+        if log.dropped > 0 {
+            writeln!(
+                out,
+                "{}",
+                store::frame_payload(&format!("dropped {}", log.dropped))
+            )
+            .map_err(|e| format!("writing {}: {e}", main_path.display()))?;
+        }
+    }
+    if let Some(f) = &mut out {
+        f.flush().map_err(|e| e.to_string())?;
+    }
+    Ok(appended)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("fw-tel-{}-{name}", std::process::id()))
+    }
+
+    fn sample_record(label: &str, be_cycle: u64) -> TelemetryRecord {
+        TelemetryRecord {
+            key: StoreKey::of_input(label),
+            label: label.to_owned(),
+            event: TelemetryEvent::EcEnter { be_cycle },
+        }
+    }
+
+    #[test]
+    fn records_round_trip_through_payload_form() {
+        let r = TelemetryRecord {
+            key: StoreKey::of_input("cell"),
+            label: "flywheel/gzip/s2005".to_owned(),
+            event: TelemetryEvent::Occupancy {
+                be_cycle: 2048,
+                iw: 12,
+                rob: 97,
+                frontend_q: 4,
+                lsq: 31,
+            },
+        };
+        assert_eq!(TelemetryRecord::parse(&r.render()), Some(r.clone()));
+        assert_eq!(TelemetryRecord::parse("bogus"), None);
+        assert_eq!(
+            TelemetryRecord::parse(&format!("{} label", r.key.hex())),
+            None
+        );
+    }
+
+    #[test]
+    fn log_reader_detects_damage_and_sums_drops() {
+        let path = tmp("reader.events");
+        let mut text = format!("{TELEMETRY_SCHEMA}\n");
+        text.push_str(&store::frame_payload(&sample_record("a", 10).render()));
+        text.push('\n');
+        text.push_str(&store::frame_payload("dropped 3"));
+        text.push('\n');
+        text.push_str(&store::frame_payload("dropped 4"));
+        text.push('\n');
+        text.push_str("00000005 deadbeef torn!");
+        text.push('\n');
+        std::fs::write(&path, text).unwrap();
+        let log = TelemetryLog::read(&path).unwrap();
+        assert_eq!(log.records.len(), 1);
+        assert_eq!(log.dropped, 7);
+        assert_eq!(log.damaged_lines, 1);
+        assert!(log.describe().starts_with("damaged: 1 bad line"));
+        std::fs::remove_file(&path).unwrap();
+
+        let bogus = tmp("bogus.events");
+        std::fs::write(&bogus, "not-a-log\n").unwrap();
+        assert!(TelemetryLog::read(&bogus).is_err());
+        std::fs::remove_file(&bogus).unwrap();
+    }
+
+    #[test]
+    fn shard_logs_merge_into_main_log() {
+        let main = tmp("merged.events");
+        let _ = std::fs::remove_file(&main);
+        let shards: Vec<PathBuf> = (0..3).map(|k| tmp(&format!("shard{k}.events"))).collect();
+        // Shard 0: one record. Shard 1: missing. Shard 2: record + drops.
+        for (k, path) in shards.iter().enumerate() {
+            if k == 1 {
+                continue;
+            }
+            let mut text = format!("{TELEMETRY_SCHEMA}\n");
+            text.push_str(&store::frame_payload(
+                &sample_record(&format!("cell{k}"), k as u64).render(),
+            ));
+            text.push('\n');
+            if k == 2 {
+                text.push_str(&store::frame_payload("dropped 2"));
+                text.push('\n');
+            }
+            std::fs::write(path, text).unwrap();
+        }
+        let appended = merge_telemetry_logs(&main, &shards).unwrap();
+        assert_eq!(appended, 2);
+        let log = TelemetryLog::read(&main).unwrap();
+        assert_eq!(log.records.len(), 2);
+        assert_eq!(log.dropped, 2);
+        assert_eq!(log.damaged_lines, 0);
+        assert!(log.describe().starts_with("clean (2 events"));
+        for p in shards.iter().chain([&main]) {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn event_log_paths_sit_beside_the_store() {
+        assert_eq!(
+            event_log_path(Path::new("/tmp/results.store")),
+            PathBuf::from("/tmp/results.store.events")
+        );
+    }
+}

@@ -251,6 +251,9 @@ impl<I: Iterator<Item = DynInst>> FlywheelSim<I> {
         let total_target = budget.total();
         self.retire_limit = warm_target.max(1);
         let mut watchdog = flywheel_uarch::watchdog::armed();
+        let mut telemetry = flywheel_uarch::telemetry::armed();
+        let mut tel_executing = self.mode == Mode::Execution;
+        let mut tel_pool_stalls = self.pools.stats().pool_stalls;
         while self.retired < total_target && !(self.trace_done && self.inflight.is_empty()) {
             if self.measure_start.is_none() && self.retired >= warm_target {
                 self.begin_measurement();
@@ -280,6 +283,28 @@ impl<I: Iterator<Item = DynInst>> FlywheelSim<I> {
             if let Some(wd) = watchdog.as_mut() {
                 wd.poll(self.be_cycles);
             }
+            if let Some(t) = telemetry.as_mut() {
+                let executing = self.mode == Mode::Execution;
+                if executing != tel_executing {
+                    tel_executing = executing;
+                    t.mode_edge(executing, self.be_cycles, self.fe_cycles);
+                }
+                let stalls = self.pools.stats().pool_stalls;
+                if stalls != tel_pool_stalls {
+                    t.pool_stalls(self.be_cycles, stalls - tel_pool_stalls);
+                    tel_pool_stalls = stalls;
+                }
+                t.sample_occupancy(
+                    self.be_cycles,
+                    self.iw_len,
+                    self.rob.len(),
+                    self.frontend_q.len(),
+                    self.lsq.len(),
+                );
+            }
+        }
+        if let Some(t) = telemetry.as_mut() {
+            t.finish(self.be_cycles, self.fe_cycles);
         }
         if self.measure_start.is_none() {
             self.begin_measurement();

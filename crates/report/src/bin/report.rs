@@ -17,6 +17,10 @@
 //! --scenario-json PATH  scenario run JSON (the `scenarios` binary's `--json`
 //!                     output); appends a "Degraded cells" section to
 //!                     RESULTS.md surfacing any failed-cell manifest
+//! --telemetry-log PATH  flywheel-telemetry/1 event log (written under
+//!                     `--telemetry`); appends a "Kernel telemetry" section
+//!                     with per-cell EC-residency timelines and occupancy
+//!                     sparklines
 //! --populate          simulate (and store) any record the figures need that
 //!                     the store is missing, instead of failing
 //! --check             verify the committed documents against the store and
@@ -30,9 +34,10 @@
 //! simulator behaviour.
 
 use flywheel_bench::store::ResultStore;
+use flywheel_bench::telemetry::TelemetryLog;
 use flywheel_report::{
     check_block, degraded_cells_section, diff_texts, experiments_block, patch_block, populate,
-    results_markdown, Source,
+    results_markdown, telemetry_section, Source,
 };
 use flywheel_uarch::SimBudget;
 
@@ -40,7 +45,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: report [--store PATH] [--insts N] [--bench-json PATH] \
          [--results PATH] [--experiments PATH] [--scenario-json PATH] \
-         [--populate] [--check]"
+         [--telemetry-log PATH] [--populate] [--check]"
     );
     std::process::exit(1);
 }
@@ -56,6 +61,7 @@ fn main() {
     let mut results_path = "RESULTS.md".to_owned();
     let mut experiments_path = "EXPERIMENTS.md".to_owned();
     let mut scenario_json_path: Option<String> = None;
+    let mut telemetry_log_path: Option<String> = None;
     let mut budget = flywheel_bench::experiment_budget();
     let mut do_populate = false;
     let mut do_check = false;
@@ -70,6 +76,7 @@ fn main() {
             "--results" => results_path = value(),
             "--experiments" => experiments_path = value(),
             "--scenario-json" => scenario_json_path = Some(value()),
+            "--telemetry-log" => telemetry_log_path = Some(value()),
             "--insts" => {
                 let n: u64 = value().parse().unwrap_or_else(|_| usage());
                 budget = SimBudget::new(n / 10, n);
@@ -110,6 +117,11 @@ fn main() {
         let section =
             degraded_cells_section(&json).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
         results.push_str(&section);
+    }
+    if let Some(path) = &telemetry_log_path {
+        let log = TelemetryLog::read(std::path::Path::new(path)).unwrap_or_else(|e| fail(&e));
+        println!("telemetry log {path}: {}", log.describe());
+        results.push_str(&telemetry_section(&log));
     }
     let block = experiments_block(&mut src, budget).unwrap_or_else(|e| fail(&e));
 

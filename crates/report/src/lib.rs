@@ -26,11 +26,13 @@
 #![warn(missing_docs)]
 
 use flywheel_bench::store::{ResultStore, StoreSummary};
+use flywheel_bench::telemetry::TelemetryLog;
 use flywheel_bench::{
     format_table, run_baseline_cfg, run_flywheel_cfg, Row, CLOCK_SWEEP, EXPERIMENT_SEED,
 };
 use flywheel_core::{FlywheelConfig, FlywheelResult};
 use flywheel_timing::TechNode;
+use flywheel_uarch::telemetry::{ClockDomain, TelemetryEvent};
 use flywheel_uarch::{BaselineConfig, SimBudget, SimResult};
 use flywheel_workloads::Benchmark;
 
@@ -392,7 +394,16 @@ pub fn trajectory_table(bench_json: &str) -> Result<String, String> {
         ) else {
             return Err(format!("BENCH.json: malformed line '{line}'"));
         };
-        out.push_str(&format!("| {name} | {wall} | {insts} | {mips} |\n"));
+        // Entries answered entirely from the result store measured recall
+        // speed, not simulation, and are excluded from the total line.
+        let recalled = if json_field(line, "recalled") == Some("true") {
+            " (recalled)"
+        } else {
+            ""
+        };
+        out.push_str(&format!(
+            "| {name}{recalled} | {wall} | {insts} | {mips} |\n"
+        ));
         rows += 1;
     }
     if rows == 0 {
@@ -458,6 +469,223 @@ pub fn degraded_cells_section(scenario_json: &str) -> Result<String, String> {
         out.push_str(&rows);
     }
     Ok(out)
+}
+
+/// Per-cell accumulation behind [`telemetry_section`].
+struct CellTelemetry {
+    label: String,
+    key_hex: String,
+    events: u64,
+    /// ROB occupancy per sample, in drain order (the sparkline's raw data).
+    rob_samples: Vec<u32>,
+    /// Closed (and one possibly-open) Execution-Cache intervals, back-end
+    /// cycles: `(enter, Some(exit))` or `(enter, None)` when the run ended
+    /// while still resident.
+    ec_intervals: Vec<(u64, Option<u64>)>,
+    open_enter: Option<u64>,
+    gated_fe_cycles: u64,
+    pool_stalls: u64,
+    last_be_cycle: u64,
+}
+
+impl CellTelemetry {
+    fn new(label: &str, key_hex: &str) -> CellTelemetry {
+        CellTelemetry {
+            label: label.to_owned(),
+            key_hex: key_hex.to_owned(),
+            events: 0,
+            rob_samples: Vec::new(),
+            ec_intervals: Vec::new(),
+            open_enter: None,
+            gated_fe_cycles: 0,
+            pool_stalls: 0,
+            last_be_cycle: 0,
+        }
+    }
+
+    fn feed(&mut self, event: &TelemetryEvent) {
+        self.events += 1;
+        match *event {
+            TelemetryEvent::Occupancy { be_cycle, rob, .. } => {
+                self.rob_samples.push(rob);
+                self.last_be_cycle = self.last_be_cycle.max(be_cycle);
+            }
+            TelemetryEvent::EcEnter { be_cycle } => {
+                self.open_enter = Some(be_cycle);
+                self.last_be_cycle = self.last_be_cycle.max(be_cycle);
+            }
+            TelemetryEvent::EcExit { be_cycle } => {
+                if let Some(enter) = self.open_enter.take() {
+                    self.ec_intervals.push((enter, Some(be_cycle)));
+                }
+                self.last_be_cycle = self.last_be_cycle.max(be_cycle);
+            }
+            TelemetryEvent::PoolStall { be_cycle, stalls } => {
+                self.pool_stalls += stalls;
+                self.last_be_cycle = self.last_be_cycle.max(be_cycle);
+            }
+            TelemetryEvent::GatedInterval {
+                domain: ClockDomain::FrontEnd,
+                cycles,
+                ..
+            } => self.gated_fe_cycles += cycles,
+            TelemetryEvent::GatedInterval { .. } => {}
+        }
+    }
+
+    /// Converts a dangling `EcEnter` (run ended while resident) into an
+    /// open-ended interval; called once after the whole log has been fed.
+    fn finish(&mut self) {
+        if let Some(enter) = self.open_enter.take() {
+            self.ec_intervals.push((enter, None));
+        }
+    }
+
+    /// Back-end cycles spent inside the Execution Cache; an interval still
+    /// open at end of log is counted up to the last cycle any event stamped.
+    fn ec_resident_cycles(&self) -> u64 {
+        self.ec_intervals
+            .iter()
+            .map(|&(enter, exit)| exit.unwrap_or(self.last_be_cycle).saturating_sub(enter))
+            .sum()
+    }
+
+    fn ec_visits(&self) -> usize {
+        self.ec_intervals.len()
+    }
+
+    fn ec_timeline(&self) -> String {
+        const MAX_SHOWN: usize = 8;
+        if self.ec_intervals.is_empty() {
+            return "never entered".to_owned();
+        }
+        let mut out = String::new();
+        for &(enter, exit) in self.ec_intervals.iter().take(MAX_SHOWN) {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            match exit {
+                Some(e) => out.push_str(&format!("[{enter}, {e})")),
+                None => out.push_str(&format!("[{enter}, end)")),
+            }
+        }
+        if self.ec_intervals.len() > MAX_SHOWN {
+            out.push_str(&format!(" +{} more", self.ec_intervals.len() - MAX_SHOWN));
+        }
+        out
+    }
+}
+
+/// Compresses `values` into a `width`-character Unicode bar sparkline
+/// (linear scale against the series maximum).
+fn sparkline(values: &[u32], width: usize) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let max = u64::from(values.iter().copied().max().unwrap_or(0).max(1));
+    let buckets = width.min(values.len()).max(1);
+    let mut out = String::new();
+    for b in 0..buckets {
+        let lo = b * values.len() / buckets;
+        let hi = (((b + 1) * values.len()) / buckets).max(lo + 1);
+        let mean = values[lo..hi].iter().map(|&v| u64::from(v)).sum::<u64>() / (hi - lo) as u64;
+        out.push(BARS[(mean * 7 / max) as usize]);
+    }
+    out
+}
+
+/// Renders the "Kernel telemetry" RESULTS.md section from a parsed
+/// `flywheel-telemetry/1` event log: a per-cell summary table (event counts,
+/// ROB occupancy, Execution-Cache residency, gating, pool stalls) followed by
+/// per-cell EC-residency timelines and ROB-occupancy sparklines. Cells appear
+/// in first-event order, which is drain (≈ execution) order.
+pub fn telemetry_section(log: &TelemetryLog) -> String {
+    let mut out = String::new();
+    out.push_str("\n## Kernel telemetry\n\n");
+    out.push_str(&format!(
+        "From the `flywheel-telemetry/1` event log (`--telemetry`; see\n\
+         ARCHITECTURE.md). Log verdict: {}.\n",
+        log.describe()
+    ));
+    if log.dropped > 0 {
+        out.push_str(&format!(
+            "\n**Note**: the bounded event queue dropped {} event{}; the timelines\n\
+             below are a truncated (but honestly accounted) view of the run.\n",
+            log.dropped,
+            if log.dropped == 1 { "" } else { "s" },
+        ));
+    }
+    if log.records.is_empty() {
+        out.push_str(
+            "\nThe log contains no events — telemetry was armed but every cell was\n\
+             recalled from the result store (recalled cells simulate nothing).\n",
+        );
+        return out;
+    }
+
+    // Group by (key, label) in first-event order.
+    let mut cells: Vec<CellTelemetry> = Vec::new();
+    for r in &log.records {
+        let key_hex = r.key.hex();
+        let cell = match cells
+            .iter_mut()
+            .find(|c| c.label == r.label && c.key_hex == key_hex)
+        {
+            Some(c) => c,
+            None => {
+                cells.push(CellTelemetry::new(&r.label, &key_hex));
+                cells.last_mut().expect("just pushed")
+            }
+        };
+        cell.feed(&r.event);
+    }
+    for c in &mut cells {
+        c.finish();
+    }
+
+    out.push_str(
+        "\n| cell | events | occ samples | ROB mean/max | EC visits | EC-resident be-cycles | gated fe-cycles | pool stalls |\n\
+         |------|-------:|------------:|-------------:|----------:|----------------------:|----------------:|------------:|\n",
+    );
+    for c in &cells {
+        let (rob_mean, rob_max) = if c.rob_samples.is_empty() {
+            (0, 0)
+        } else {
+            let sum: u64 = c.rob_samples.iter().map(|&v| u64::from(v)).sum();
+            (
+                sum / c.rob_samples.len() as u64,
+                u64::from(*c.rob_samples.iter().max().unwrap_or(&0)),
+            )
+        };
+        out.push_str(&format!(
+            "| `{}` | {} | {} | {rob_mean}/{rob_max} | {} | {} | {} | {} |\n",
+            c.label,
+            c.events,
+            c.rob_samples.len(),
+            c.ec_visits(),
+            c.ec_resident_cycles(),
+            c.gated_fe_cycles,
+            c.pool_stalls,
+        ));
+    }
+
+    out.push_str(
+        "\nPer-cell timelines (Execution-Cache residency as `[enter, exit)` back-end\n\
+         cycle intervals; ROB occupancy as a time-ordered sparkline):\n\n",
+    );
+    for c in &cells {
+        out.push_str(&format!("- `{}` (key `{}…`)\n", c.label, &c.key_hex[..8]));
+        out.push_str(&format!("  - EC residency: {}\n", c.ec_timeline()));
+        if !c.rob_samples.is_empty() {
+            out.push_str(&format!(
+                "  - ROB occupancy: `{}` ({} samples)\n",
+                sparkline(&c.rob_samples, 32),
+                c.rob_samples.len(),
+            ));
+        }
+    }
+    out
 }
 
 /// Assembles the full RESULTS.md artifact from the store (and, optionally,
@@ -615,6 +843,110 @@ mod tests {
         assert!(degraded_cells_section("{}").is_err());
         let v1 = "{\n  \"schema\": \"flywheel-scenarios/1\"\n}\n";
         assert!(degraded_cells_section(v1).is_err());
+    }
+
+    #[test]
+    fn telemetry_section_renders_timelines_and_accounting() {
+        use flywheel_bench::store::StoreKey;
+        use flywheel_bench::telemetry::TelemetryRecord;
+
+        let key = StoreKey::of_input("cell-a");
+        let rec = |event| TelemetryRecord {
+            key,
+            label: "flywheel/gzip/s2005".to_owned(),
+            event,
+        };
+        let mut records = vec![
+            rec(TelemetryEvent::EcEnter { be_cycle: 100 }),
+            rec(TelemetryEvent::Occupancy {
+                be_cycle: 128,
+                iw: 4,
+                rob: 10,
+                frontend_q: 2,
+                lsq: 3,
+            }),
+            rec(TelemetryEvent::EcExit { be_cycle: 300 }),
+            rec(TelemetryEvent::GatedInterval {
+                domain: ClockDomain::FrontEnd,
+                start_cycle: 40,
+                cycles: 80,
+            }),
+            rec(TelemetryEvent::PoolStall {
+                be_cycle: 310,
+                stalls: 17,
+            }),
+            rec(TelemetryEvent::Occupancy {
+                be_cycle: 400,
+                iw: 4,
+                rob: 30,
+                frontend_q: 2,
+                lsq: 3,
+            }),
+            // A second visit left open at end of run.
+            rec(TelemetryEvent::EcEnter { be_cycle: 500 }),
+        ];
+        // A second cell interleaved into the same log.
+        records.push(TelemetryRecord {
+            key: StoreKey::of_input("cell-b"),
+            label: "baseline/gzip/s2005".to_owned(),
+            event: TelemetryEvent::Occupancy {
+                be_cycle: 64,
+                iw: 1,
+                rob: 5,
+                frontend_q: 1,
+                lsq: 0,
+            },
+        });
+        let log = TelemetryLog {
+            records,
+            dropped: 2,
+            damaged_lines: 0,
+        };
+        let section = telemetry_section(&log);
+        assert!(section.contains("## Kernel telemetry"), "{section}");
+        assert!(section.contains("clean (8 events, 2 dropped"), "{section}");
+        assert!(section.contains("dropped 2 events"), "{section}");
+        // Cell A: 7 events, 2 occ samples, ROB mean 20 max 30, 2 EC visits,
+        // resident (300-100) + (500-500 → last cycle 500) = 200, gated 80,
+        // 17 aggregated pool stalls.
+        assert!(
+            section.contains("| `flywheel/gzip/s2005` | 7 | 2 | 20/30 | 2 | 200 | 80 | 17 |"),
+            "{section}"
+        );
+        assert!(
+            section.contains("- EC residency: [100, 300) [500, end)"),
+            "{section}"
+        );
+        assert!(section.contains("(2 samples)"), "{section}");
+        // Cell B renders its own row, in first-event order after cell A.
+        assert!(
+            section.contains("| `baseline/gzip/s2005` | 1 | 1 | 5/5 | 0 | 0 | 0 | 0 |"),
+            "{section}"
+        );
+        assert!(
+            section.contains("- EC residency: never entered"),
+            "{section}"
+        );
+    }
+
+    #[test]
+    fn telemetry_section_handles_an_empty_log() {
+        let log = TelemetryLog::default();
+        let section = telemetry_section(&log);
+        assert!(section.contains("clean (0 events, 0 dropped"), "{section}");
+        assert!(section.contains("contains no events"), "{section}");
+        assert!(!section.contains("| cell |"), "{section}");
+    }
+
+    #[test]
+    fn sparklines_compress_and_scale() {
+        assert_eq!(sparkline(&[], 8), "");
+        assert_eq!(sparkline(&[0, 0], 8), "▁▁");
+        let s = sparkline(&[0, 1, 2, 3, 4, 5, 6, 7], 8);
+        assert_eq!(s, "▁▂▃▄▅▆▇█");
+        // More samples than width: bucketed down to `width` characters.
+        let many: Vec<u32> = (0..100).collect();
+        assert_eq!(sparkline(&many, 16).chars().count(), 16);
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //!   `key=value;...` grammar of `flywheel_bench::spec`). Fully warm scenarios
 //!   answer straight from the store (`200`, `"warm":true`); anything else is
 //!   queued as a job (`202`) and run as a supervised multi-process sharded
-//!   sweep.
+//!   sweep. The body may also carry `telemetry=on|off` to toggle per-job
+//!   kernel telemetry when the daemon was started with `--telemetry`.
 //! * `GET /status` — queue depth, job table and, while a sweep is running,
 //!   the live per-shard worker heartbeats.
 //! * `GET /healthz` — cheap liveness probe.
@@ -22,7 +23,7 @@
 
 use flywheel_bench::fault::FaultPlan;
 use flywheel_bench::supervisor::{self, SupervisorConfig};
-use flywheel_server::http::{json_escape, read_request, respond};
+use flywheel_server::http::{json_escape, read_request, respond, RequestError};
 use flywheel_server::service::{ServeConfig, Submitted, SweepService};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -60,6 +61,9 @@ fn usage() -> ! {
            --stall-timeout-ms MS   heartbeat stall kill threshold (default 10000)\n\
            --deadline-ms MS        per-incarnation wall budget (default 120000)\n\
            --faults SPEC           fault-injection plan forwarded to workers\n\
+           --telemetry PATH        arm kernel telemetry per sweep; workers drain into\n\
+                                   per-shard event logs merged at PATH (jobs can opt\n\
+                                   out with telemetry=off in the POST /sweep body)\n\
          \n\
          endpoints: POST /sweep, GET /status, GET /healthz, POST /shutdown"
     );
@@ -79,6 +83,7 @@ fn main() {
     let mut stall_timeout_ms: Option<u64> = None;
     let mut deadline_ms: Option<u64> = None;
     let mut faults: Option<FaultPlan> = None;
+    let mut telemetry: Option<PathBuf> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -114,6 +119,7 @@ fn main() {
                     usage();
                 }))
             }
+            "--telemetry" => telemetry = Some(PathBuf::from(value("--telemetry"))),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("flywheel-serve: unknown option '{other}'");
@@ -142,6 +148,7 @@ fn main() {
         cfg.shard_deadline = Duration::from_millis(ms);
     }
     cfg.faults = faults;
+    cfg.telemetry = telemetry;
 
     unsafe {
         signal(SIGTERM, request_shutdown);
@@ -194,8 +201,14 @@ fn handle(stream: &mut TcpStream, service: &SweepService) {
     let request = match read_request(stream) {
         Ok(r) => r,
         Err(e) => {
-            let body = format!("{{\"error\":\"{}\"}}", json_escape(&e));
-            let _ = respond(stream, 400, "Bad Request", &body);
+            // A stalled client is not a malformed one: timeouts answer 408,
+            // only actually-bad requests answer 400.
+            let (status, reason) = match &e {
+                RequestError::Timeout => (408, "Request Timeout"),
+                RequestError::Bad(_) => (400, "Bad Request"),
+            };
+            let body = format!("{{\"error\":\"{}\"}}", json_escape(&e.to_string()));
+            let _ = respond(stream, status, reason, &body);
             return;
         }
     };

@@ -29,20 +29,68 @@ pub struct Request {
     pub body: String,
 }
 
+/// Why a request could not be read off the wire.
+///
+/// The distinction matters to the caller's status line: a *slow or stalled*
+/// client is told `408 Request Timeout` (it sent nothing wrong — yet), while
+/// a *malformed* request earns `400 Bad Request`. Folding both into one
+/// generic error, as this codec once did, mislabels flaky networks as client
+/// bugs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestError {
+    /// The read timeout elapsed before a full request arrived.
+    Timeout,
+    /// The request was malformed, over limits, or the connection broke.
+    Bad(String),
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::Timeout => write!(f, "timed out waiting for the request"),
+            RequestError::Bad(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+/// Maps one socket-read failure: timeouts surface as [`RequestError::Timeout`]
+/// (`WouldBlock` on Linux, `TimedOut` on other platforms), everything else as
+/// a malformed-request error.
+fn read_error(what: &str, e: std::io::Error) -> RequestError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => RequestError::Timeout,
+        _ => RequestError::Bad(format!("{what}: {e}")),
+    }
+}
+
 /// Byte offset just past the `\r\n\r\n` separating head from body, if the
 /// buffer contains it yet.
 fn head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
 }
 
+/// Reads and parses one request from `stream` with the production 5 s read
+/// timeout. See [`read_request_with_timeout`].
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, RequestError> {
+    read_request_with_timeout(stream, Duration::from_secs(5))
+}
+
 /// Reads and parses one request from `stream`.
 ///
-/// Blocks (with a read timeout, so a wedged client cannot wedge the accept
-/// loop) until the head and `Content-Length` bytes of body have arrived.
-pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+/// Blocks (with the given read timeout, so a wedged client cannot wedge the
+/// accept loop) until the head and `Content-Length` bytes of body have
+/// arrived. A client that stalls past the timeout gets
+/// [`RequestError::Timeout`], distinct from every malformed-request error.
+pub fn read_request_with_timeout(
+    stream: &mut TcpStream,
+    timeout: Duration,
+) -> Result<Request, RequestError> {
+    let bad = |e: &str| RequestError::Bad(e.to_owned());
     stream
-        .set_read_timeout(Some(Duration::from_secs(5)))
-        .map_err(|e| format!("setting read timeout: {e}"))?;
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| RequestError::Bad(format!("setting read timeout: {e}")))?;
 
     let mut buf: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
@@ -51,54 +99,56 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
             break end;
         }
         if buf.len() > MAX_HEAD_BYTES {
-            return Err("request head too large".to_owned());
+            return Err(bad("request head too large"));
         }
-        let n = stream.read(&mut chunk).map_err(|e| format!("read: {e}"))?;
+        let n = stream.read(&mut chunk).map_err(|e| read_error("read", e))?;
         if n == 0 {
-            return Err("connection closed mid-request".to_owned());
+            return Err(bad("connection closed mid-request"));
         }
         buf.extend_from_slice(&chunk[..n]);
     };
 
-    let head = std::str::from_utf8(&buf[..head_len - 4])
-        .map_err(|_| "request head is not UTF-8".to_owned())?;
+    let head =
+        std::str::from_utf8(&buf[..head_len - 4]).map_err(|_| bad("request head is not UTF-8"))?;
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or("");
     let mut parts = request_line.split_whitespace();
     let method = parts
         .next()
         .filter(|m| !m.is_empty())
-        .ok_or("empty request line")?
+        .ok_or_else(|| bad("empty request line"))?
         .to_owned();
-    let path = parts.next().ok_or("request line has no path")?.to_owned();
+    let path = parts
+        .next()
+        .ok_or_else(|| bad("request line has no path"))?
+        .to_owned();
 
     let mut content_length = 0usize;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
             if name.trim().eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| format!("bad Content-Length '{}'", value.trim()))?;
+                content_length = value.trim().parse().map_err(|_| {
+                    RequestError::Bad(format!("bad Content-Length '{}'", value.trim()))
+                })?;
             }
         }
     }
     if content_length > MAX_BODY_BYTES {
-        return Err("request body too large".to_owned());
+        return Err(bad("request body too large"));
     }
 
     let mut body = buf[head_len..].to_vec();
     while body.len() < content_length {
         let n = stream
             .read(&mut chunk)
-            .map_err(|e| format!("read body: {e}"))?;
+            .map_err(|e| read_error("read body", e))?;
         if n == 0 {
-            return Err("connection closed mid-body".to_owned());
+            return Err(bad("connection closed mid-body"));
         }
         body.extend_from_slice(&chunk[..n]);
     }
     body.truncate(content_length);
-    let body = String::from_utf8(body).map_err(|_| "request body is not UTF-8".to_owned())?;
+    let body = String::from_utf8(body).map_err(|_| bad("request body is not UTF-8"))?;
 
     Ok(Request { method, path, body })
 }
@@ -141,7 +191,7 @@ mod tests {
     use super::*;
     use std::net::TcpListener;
 
-    fn round_trip(raw: &[u8]) -> Result<Request, String> {
+    fn round_trip(raw: &[u8]) -> Result<Request, RequestError> {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let raw = raw.to_vec();
@@ -184,14 +234,64 @@ mod tests {
     #[test]
     fn rejects_bad_content_length() {
         let err = round_trip(b"POST /sweep HTTP/1.1\r\nContent-Length: pony\r\n\r\n").unwrap_err();
-        assert!(err.contains("bad Content-Length"), "{err}");
+        assert!(
+            matches!(&err, RequestError::Bad(e) if e.contains("bad Content-Length")),
+            "{err}"
+        );
     }
 
     #[test]
     fn rejects_truncated_body() {
         let err =
             round_trip(b"POST /sweep HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort").unwrap_err();
-        assert!(err.contains("closed mid-body"), "{err}");
+        assert!(
+            matches!(&err, RequestError::Bad(e) if e.contains("closed mid-body")),
+            "{err}"
+        );
+    }
+
+    /// Drives `read_request_with_timeout` against a client that sends `sent`
+    /// and then stalls with the socket held open (no close, no more bytes).
+    fn stalled_client(sent: &'static [u8], timeout: Duration) -> Result<Request, RequestError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(sent).unwrap();
+            s.flush().unwrap();
+            // Stall: keep the connection open and silent until the server
+            // gives up and closes it (read_to_end returns at that point).
+            let mut sink = Vec::new();
+            let _ = s.read_to_end(&mut sink);
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let req = read_request_with_timeout(&mut stream, timeout);
+        drop(stream);
+        client.join().unwrap();
+        req
+    }
+
+    #[test]
+    fn stalled_head_is_a_timeout_not_a_bad_request() {
+        // A client that dribbles half a request head and goes quiet has not
+        // sent anything malformed; it must get Timeout (→ 408), never the
+        // generic Bad (→ 400) this used to collapse into.
+        let err = stalled_client(
+            b"POST /sweep HTTP/1.1\r\nContent-Le",
+            Duration::from_millis(80),
+        )
+        .unwrap_err();
+        assert_eq!(err, RequestError::Timeout, "{err}");
+    }
+
+    #[test]
+    fn stalled_body_is_a_timeout_not_a_bad_request() {
+        let err = stalled_client(
+            b"POST /sweep HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort",
+            Duration::from_millis(80),
+        )
+        .unwrap_err();
+        assert_eq!(err, RequestError::Timeout, "{err}");
     }
 
     #[test]

@@ -81,6 +81,8 @@ pub struct JobRecord {
     pub name: String,
     /// Grid cells in the scenario.
     pub cells: usize,
+    /// Whether this job's workers arm kernel telemetry.
+    pub telemetry: bool,
     /// Current lifecycle state.
     pub state: JobState,
     /// Human-readable outcome summary (empty until the job finishes).
@@ -108,7 +110,7 @@ pub enum Submitted {
 
 struct State {
     next_id: u64,
-    queue: VecDeque<(u64, Scenario)>,
+    queue: VecDeque<(u64, Scenario, bool)>,
     jobs: Vec<JobRecord>,
     current: Option<u64>,
     draining: bool,
@@ -168,10 +170,25 @@ impl SweepService {
 
     /// Parses `spec` and either answers it warm from the store or queues it.
     ///
+    /// The body may carry one service-level field on top of the scenario
+    /// grammar: `telemetry=on|off` toggles kernel telemetry for this job
+    /// (default: on iff the daemon was started with `--telemetry`; `on`
+    /// without that flag is rejected, since there is no log to drain into).
+    ///
     /// Warm short-circuit: only taken while the executor is idle, so the
     /// store index being read is not concurrently appended to by a merge.
     pub fn submit(&self, spec: &str) -> Result<Submitted, String> {
-        let scenario = scenario_from_spec(spec)?;
+        let (spec, toggle) = split_telemetry_toggle(spec)?;
+        let telemetry = match toggle {
+            Some(true) if self.inner.cfg.supervisor.telemetry.is_none() => {
+                return Err(
+                    "telemetry=on, but the daemon was started without --telemetry".to_owned(),
+                )
+            }
+            Some(on) => on,
+            None => self.inner.cfg.supervisor.telemetry.is_some(),
+        };
+        let scenario = scenario_from_spec(&spec)?;
         let grid = scenario.expand();
         let cells = grid.len();
         let budget = scenario.budget;
@@ -194,10 +211,11 @@ impl SweepService {
             id,
             name: scenario.name.clone(),
             cells,
+            telemetry,
             state: JobState::Queued,
             detail: String::new(),
         });
-        st.queue.push_back((id, scenario));
+        st.queue.push_back((id, scenario, telemetry));
         self.inner.wake.notify_all();
         Ok(Submitted::Queued {
             id,
@@ -221,10 +239,11 @@ impl SweepService {
             .iter()
             .map(|j| {
                 format!(
-                    "{{\"id\":{},\"name\":\"{}\",\"cells\":{},\"state\":\"{}\",\"detail\":\"{}\"}}",
+                    "{{\"id\":{},\"name\":\"{}\",\"cells\":{},\"telemetry\":{},\"state\":\"{}\",\"detail\":\"{}\"}}",
                     j.id,
                     json_escape(&j.name),
                     j.cells,
+                    j.telemetry,
                     j.state.name(),
                     json_escape(&j.detail)
                 )
@@ -285,7 +304,7 @@ impl SweepService {
         {
             let mut st = self.inner.lock();
             st.draining = true;
-            let cancelled: Vec<u64> = st.queue.drain(..).map(|(id, _)| id).collect();
+            let cancelled: Vec<u64> = st.queue.drain(..).map(|(id, _, _)| id).collect();
             for id in cancelled {
                 self.inner.set_job(
                     &mut st,
@@ -302,9 +321,30 @@ impl SweepService {
     }
 }
 
+/// Splits a `POST /sweep` body into the scenario spec proper and the
+/// service-level `telemetry=on|off` toggle (which is not a scenario field —
+/// `scenario_from_spec` would reject it as unknown).
+fn split_telemetry_toggle(body: &str) -> Result<(String, Option<bool>), String> {
+    let mut toggle = None;
+    let mut rest: Vec<&str> = Vec::new();
+    for part in body.split(';') {
+        match part.trim().split_once('=') {
+            Some(("telemetry", value)) => {
+                toggle = Some(match value.trim() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("telemetry must be 'on' or 'off', got '{other}'")),
+                })
+            }
+            _ => rest.push(part),
+        }
+    }
+    Ok((rest.join(";"), toggle))
+}
+
 fn executor_loop(inner: &Inner) {
     loop {
-        let (id, scenario) = {
+        let (id, scenario, telemetry) = {
             let mut st = inner.lock();
             loop {
                 if let Some(job) = st.queue.pop_front() {
@@ -323,12 +363,15 @@ fn executor_loop(inner: &Inner) {
             inner.set_job(&mut st, id, JobState::Running, String::new());
         }
 
-        let result = run_supervised(
-            &scenario,
-            &inner.cfg.store,
-            &inner.cfg.supervisor,
-            |event| eprintln!("job {id}: {}", event.describe()),
-        );
+        // The per-job toggle only ever narrows the daemon config: a job with
+        // telemetry off runs under the same supervision policy, minus the log.
+        let mut supervisor_cfg = inner.cfg.supervisor.clone();
+        if !telemetry {
+            supervisor_cfg.telemetry = None;
+        }
+        let result = run_supervised(&scenario, &inner.cfg.store, &supervisor_cfg, |event| {
+            eprintln!("job {id}: {}", event.describe())
+        });
 
         let mut st = inner.lock();
         st.current = None;
@@ -391,6 +434,38 @@ mod tests {
         let err = service.submit("preset=bogus").unwrap_err();
         assert!(err.contains("unknown scenario preset"), "{err}");
         assert!(service.jobs().is_empty());
+        service.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn telemetry_toggle_is_split_from_the_spec() {
+        assert_eq!(
+            split_telemetry_toggle("preset=smoke;telemetry=on").unwrap(),
+            ("preset=smoke".to_owned(), Some(true))
+        );
+        assert_eq!(
+            split_telemetry_toggle("telemetry=off;preset=smoke").unwrap(),
+            ("preset=smoke".to_owned(), Some(false))
+        );
+        assert_eq!(
+            split_telemetry_toggle("preset=smoke").unwrap(),
+            ("preset=smoke".to_owned(), None)
+        );
+        let err = split_telemetry_toggle("preset=smoke;telemetry=maybe").unwrap_err();
+        assert!(err.contains("'on' or 'off'"), "{err}");
+    }
+
+    #[test]
+    fn telemetry_on_without_a_daemon_log_is_rejected() {
+        let dir = temp_dir("tel-on");
+        let service = test_service(&dir);
+        let err = service.submit("preset=smoke;telemetry=on").unwrap_err();
+        assert!(err.contains("without --telemetry"), "{err}");
+        // telemetry=off is always acceptable; it queues normally.
+        let sub = service.submit("preset=smoke;telemetry=off").unwrap();
+        assert!(matches!(sub, Submitted::Queued { .. }), "{sub:?}");
+        assert!(!service.jobs()[0].telemetry);
         service.shutdown();
         std::fs::remove_dir_all(&dir).unwrap();
     }

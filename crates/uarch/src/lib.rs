@@ -35,6 +35,7 @@ mod inflight;
 mod pipeline;
 mod regs;
 mod stats;
+pub mod telemetry;
 pub mod watchdog;
 
 pub use bpred::{BpredStats, GsharePredictor};

@@ -187,6 +187,7 @@ impl<I: Iterator<Item = DynInst>> BaselineSim<I> {
         // an exact instruction count, then at the total budget.
         self.retire_limit = warm_target.max(1);
         let mut watchdog = crate::watchdog::armed();
+        let mut telemetry = crate::telemetry::armed();
         while self.retired < total_target && !(self.trace_done && self.inflight.is_empty()) {
             if self.measure_start.is_none() && self.retired >= warm_target {
                 self.begin_measurement();
@@ -196,6 +197,15 @@ impl<I: Iterator<Item = DynInst>> BaselineSim<I> {
             self.check_progress();
             if let Some(wd) = watchdog.as_mut() {
                 wd.poll(self.be_cycles);
+            }
+            if let Some(t) = telemetry.as_mut() {
+                t.sample_occupancy(
+                    self.be_cycles,
+                    self.iw_len,
+                    self.rob.len(),
+                    self.frontend_q.len(),
+                    self.lsq.len(),
+                );
             }
         }
         if self.measure_start.is_none() {
