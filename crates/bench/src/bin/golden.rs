@@ -4,7 +4,8 @@
 //! Usage: `cargo run --release -p flywheel-bench --bin golden [> golden.txt]`
 //!
 //! Every line is the full Debug of one `SimResult`/`FlywheelResult` over the
-//! seven original benchmarks plus the four stress workloads (99 runs total).
+//! seven original benchmarks, the four stress workloads and the two promoted
+//! adversarial extremes (117 runs total).
 //! Capturing
 //! this output before and after a kernel refactor and diffing the two files
 //! proves bit-identical simulation behaviour (the hot-path rework of the
@@ -41,6 +42,12 @@ fn main() {
         Benchmark::BranchStorm,
         Benchmark::CodeBloat,
         Benchmark::StoreStorm,
+        // The promoted adversarial extremes (discovered by `scenarios search`,
+        // frozen in `flywheel_workloads::stress`): their digests pin the
+        // discovered worst/best Flywheel-vs-baseline points so a regression
+        // that moves either extreme is caught bit-exactly.
+        Benchmark::EcWorst,
+        Benchmark::FlyBest,
     ];
     for bench in benches {
         let trace = shared_trace(bench, 42, budget);

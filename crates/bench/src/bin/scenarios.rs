@@ -67,13 +67,25 @@
 //! `--status-dir D`, `--faults SPEC` (cell faults run inside workers;
 //! `abort=`/`sigkill=`/`hang=` doom whole worker processes).
 //!
+//! `scenarios search [--objective max|min|both] [--seed S] [--generations G]
+//! [--population P] [--children C] [--insts N] [--top K] [--store PATH]` runs
+//! the deterministic adversarial workload search (see
+//! `flywheel_bench::search`): an evolutionary loop over the stress-family
+//! generator knobs that maximizes (`max`) or minimizes (`min`) the
+//! Flywheel-vs-baseline speedup, printing the ranked frontier(s) and a
+//! `frontier hash:` digest over the combined rendering. The hash is
+//! byte-stable for a fixed seed, warm or cold — CI re-runs the search and
+//! compares digests. With `--store`, evaluation legs are memoized in the
+//! content-addressed result store, so repeated or widened searches only pay
+//! for candidates they have not seen.
+//!
 //! Single-process sweeps fan out across all cores (`FLYWHEEL_JOBS` caps the
 //! workers); results are byte-identical for any worker count.
 
 use flywheel_bench::scenario::{Machine, Scenario};
 use flywheel_bench::store::{MergeError, ResultStore};
 use flywheel_bench::supervisor::{self, SupervisorConfig};
-use flywheel_bench::{experiment_budget, fault, simulated_mips, spec, worker_count};
+use flywheel_bench::{experiment_budget, fault, search, simulated_mips, spec, worker_count};
 use flywheel_timing::TechNode;
 use flywheel_uarch::SimBudget;
 use flywheel_workloads::Benchmark;
@@ -90,7 +102,10 @@ fn usage() -> ! {
          \n       scenarios merge <A> <B> [--out C]\
          \n       scenarios sweep <preset|--spec SPEC> [--store PATH] [--shards N] \
          [--insts N] [--max-restarts N] [--backoff-ms N] [--stall-timeout-ms N] \
-         [--deadline-ms N] [--status-dir D] [--faults SPEC] [--telemetry PATH]"
+         [--deadline-ms N] [--status-dir D] [--faults SPEC] [--telemetry PATH]\
+         \n       scenarios search [--objective max|min|both] [--seed S] \
+         [--generations G] [--population P] [--children C] [--insts N] \
+         [--top K] [--store PATH]"
     );
     std::process::exit(1);
 }
@@ -334,6 +349,89 @@ fn fsck(args: &[String]) -> ! {
     }
 }
 
+/// `scenarios search ...`: run the deterministic adversarial workload search
+/// and print the ranked frontier(s) plus a byte-stable digest.
+fn search_cmd(args: &[String]) -> ! {
+    let mut objectives = vec![
+        search::Objective::MaximizeGap,
+        search::Objective::MinimizeGap,
+    ];
+    let mut cfg = search::SearchConfig::default();
+    let mut store_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || it.next().cloned().unwrap_or_else(|| usage());
+        let parse_u64 = |s: String| s.parse::<u64>().unwrap_or_else(|_| usage());
+        match arg.as_str() {
+            "--objective" => {
+                objectives = match value().as_str() {
+                    "both" => {
+                        vec![
+                            search::Objective::MaximizeGap,
+                            search::Objective::MinimizeGap,
+                        ]
+                    }
+                    name => vec![search::Objective::from_name(name).unwrap_or_else(|| usage())],
+                }
+            }
+            "--seed" => cfg.seed = parse_u64(value()),
+            "--generations" => cfg.generations = parse_u64(value()) as u32,
+            "--population" => cfg.population = parse_u64(value()).max(1) as usize,
+            "--children" => cfg.children_per_parent = parse_u64(value()).max(1) as usize,
+            "--insts" => {
+                let n = parse_u64(value());
+                cfg.budget = SimBudget::new(n / 10, n);
+            }
+            "--top" => cfg.top = parse_u64(value()).max(1) as usize,
+            "--store" => store_path = Some(value()),
+            _ => usage(),
+        }
+    }
+
+    let mut store = match &store_path {
+        Some(path) => ResultStore::open(path).unwrap_or_else(|e| {
+            eprintln!("could not open result store {path}: {e}");
+            std::process::exit(1);
+        }),
+        None => ResultStore::in_memory(),
+    };
+
+    let start = Instant::now();
+    let mut rendered = String::new();
+    let mut outcomes = Vec::new();
+    for objective in &objectives {
+        let outcome = search::run_search(*objective, &cfg, &mut store);
+        rendered.push_str(&search::render_frontier(&outcome));
+        outcomes.push(outcome);
+    }
+    let simulated: usize = outcomes.iter().map(|o| o.simulated).sum();
+    let recalled: usize = outcomes.iter().map(|o| o.recalled).sum();
+    print!("{rendered}");
+    println!("frontier hash: {}", search::frontier_hash(&rendered));
+    // Promotion hints: the full parameter vector of each frontier head, for
+    // freezing a discovered extreme into a named benchmark constructor.
+    for outcome in &outcomes {
+        if let Some(best) = outcome.frontier.first() {
+            println!(
+                "top {}-gap profile: {:?}",
+                outcome.objective.name(),
+                best.profile
+            );
+        }
+    }
+    println!(
+        "search seed {}: {} legs simulated, {} recalled in {:.2} s",
+        cfg.seed,
+        simulated,
+        recalled,
+        start.elapsed().as_secs_f64()
+    );
+    if let Some(path) = &store_path {
+        println!("store {path}: {} records total", store.len());
+    }
+    std::process::exit(0);
+}
+
 fn parse_list<T>(arg: &str, what: &str, parse: impl Fn(&str) -> Option<T>) -> Vec<T> {
     let items: Vec<T> = arg
         .split(',')
@@ -382,6 +480,9 @@ fn main() {
     }
     if which == "sweep" {
         sweep_cmd(&args[1..]);
+    }
+    if which == "search" {
+        search_cmd(&args[1..]);
     }
 
     // Scan for --insts first: presets embed the budget at construction.

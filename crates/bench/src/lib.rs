@@ -14,7 +14,9 @@
 
 pub mod fault;
 pub mod scenario;
+pub mod search;
 pub mod spec;
+pub mod stats;
 pub mod store;
 pub mod supervisor;
 pub mod telemetry;

@@ -36,6 +36,7 @@
 //! failures deterministically to prove the recovery paths fire.
 
 use crate::fault;
+use crate::stats::Aggregate;
 use crate::store::{baseline_key, flywheel_key, ResultStore, RunStats, StoreKey, StoreSummary};
 use crate::{
     format_table, parallel_map_jobs, run_baseline_cfg, run_flywheel_cfg, worker_count, Row,
@@ -229,11 +230,14 @@ impl Scenario {
         s
     }
 
-    /// The stress preset: the full stress family across clocks, window sizes
-    /// and memory latencies on both machines.
+    /// The stress preset: the full stress family plus the promoted
+    /// adversarial extremes (`ecworst`, `flybest`) across clocks, window
+    /// sizes and memory latencies on both machines.
     pub fn stress(budget: SimBudget) -> Self {
         let mut s = Scenario::new("stress", budget);
         s.benchmarks = Benchmark::stress_suite().to_vec();
+        s.benchmarks
+            .extend_from_slice(Benchmark::adversarial_suite());
         s.clocks = vec![(0, 0), (50, 50), (100, 50)];
         s.windows = vec![(64, 64), (128, 128)];
         s.mem_cycles = vec![100, 300];
@@ -270,6 +274,24 @@ impl Scenario {
         ] {
             if empty {
                 return Err(format!("scenario '{}': axis '{axis}' is empty", self.name));
+            }
+        }
+        // The seed axis must be strictly increasing: duplicates would silently
+        // double-weight one program in every aggregate, and an unsorted list
+        // would make the emitted aggregates depend on axis spelling rather
+        // than content.
+        for pair in self.seeds.windows(2) {
+            if pair[1] == pair[0] {
+                return Err(format!(
+                    "scenario '{}': duplicate seed {} in the seed axis",
+                    self.name, pair[0]
+                ));
+            }
+            if pair[1] < pair[0] {
+                return Err(format!(
+                    "scenario '{}': seed axis is not sorted ({} before {})",
+                    self.name, pair[0], pair[1]
+                ));
             }
         }
         for cell in self.expand() {
@@ -819,6 +841,52 @@ pub struct FailedCell {
     pub attempts: u32,
 }
 
+/// Per-metric statistics of one configuration point aggregated over the
+/// scenario's seed axis (see [`ScenarioRun::seed_aggregates`]).
+///
+/// `n` counts only the seeds that actually succeeded at this point; when a
+/// seed's cell failed, `n < expected_n` and the point is *reduced* — the
+/// failure is never silently averaged away, it shrinks the sample and is
+/// flagged as such in every emitter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeedAggregate {
+    /// The configuration point, represented by its cell at the scenario's
+    /// first seed (the `seed` field is the collapsed axis, not a sample).
+    pub cell: ScenarioCell,
+    /// Seeds that succeeded at this point.
+    pub n: usize,
+    /// Seeds the scenario's axis asked for.
+    pub expected_n: usize,
+    /// Instructions-per-cycle across seeds.
+    pub ipc: Aggregate,
+    /// Elapsed wall-clock picoseconds across seeds.
+    pub elapsed_ps: Aggregate,
+    /// Total energy (pJ) across seeds.
+    pub energy_pj: Aggregate,
+    /// Average power (W) across seeds.
+    pub power_w: Aggregate,
+    /// Execution Cache residency across seeds (Flywheel-family cells only).
+    pub ec_residency: Option<Aggregate>,
+}
+
+impl SeedAggregate {
+    /// Whether at least one requested seed is missing from this point's
+    /// sample (its cell failed and landed in the manifest instead).
+    pub fn is_reduced(&self) -> bool {
+        self.n < self.expected_n
+    }
+
+    /// The CSV/JSON status marker: `n=<got>/<want>`, prefixed with
+    /// `reduced:` when seeds are missing.
+    pub fn status(&self) -> String {
+        if self.is_reduced() {
+            format!("aggregate:reduced:n={}/{}", self.n, self.expected_n)
+        } else {
+            format!("aggregate:n={}/{}", self.n, self.expected_n)
+        }
+    }
+}
+
 /// Checks the machine invariants one cell's result must satisfy regardless of
 /// configuration. Returns a description of the first violation.
 pub fn check_cell_invariants(
@@ -1000,10 +1068,137 @@ impl ScenarioRun {
     pub fn attempted(&self) -> usize {
         self.cells.len() + self.failed.len()
     }
-    /// Runs [`check_cell_invariants`] over every cell.
+    /// Runs [`check_cell_invariants`] over every cell, then
+    /// [`check_aggregate_invariants`](Self::check_aggregate_invariants) over
+    /// the seed-axis aggregates — per-seed invariants stay enforced on every
+    /// sample that enters an aggregate.
     pub fn check_invariants(&self) -> Result<(), String> {
         for (cell, r) in self.cells.iter().zip(&self.results) {
             check_cell_invariants(cell, self.scenario.budget, r)?;
+        }
+        self.check_aggregate_invariants()
+    }
+
+    /// Groups the succeeded cells by configuration point (every axis except
+    /// the seed) and folds each point's per-seed metrics into a
+    /// [`SeedAggregate`], in grid order.
+    ///
+    /// Deterministic for any worker or shard count: per-cell results are
+    /// bit-identical however they were computed, and both the point order
+    /// (first occurrence in the grid) and the per-point fold order (the seed
+    /// axis order) are properties of the scenario, not of the execution.
+    /// A point whose every seed failed does not appear at all — the
+    /// failed-cell manifest is its record.
+    pub fn seed_aggregates(&self) -> Vec<SeedAggregate> {
+        let first_seed = self
+            .scenario
+            .seeds
+            .first()
+            .copied()
+            .unwrap_or(EXPERIMENT_SEED);
+        let expected_n = self.scenario.seeds.len();
+        let mut aggs: Vec<SeedAggregate> = Vec::new();
+        for (cell, r) in self.cells.iter().zip(&self.results) {
+            let mut point = *cell;
+            point.seed = first_seed;
+            let agg = match aggs.iter_mut().find(|a| a.cell == point) {
+                Some(a) => a,
+                None => {
+                    aggs.push(SeedAggregate {
+                        cell: point,
+                        n: 0,
+                        expected_n,
+                        ipc: Aggregate::new(),
+                        elapsed_ps: Aggregate::new(),
+                        energy_pj: Aggregate::new(),
+                        power_w: Aggregate::new(),
+                        ec_residency: None,
+                    });
+                    aggs.last_mut().expect("just pushed")
+                }
+            };
+            agg.n += 1;
+            agg.ipc.add(r.sim.ipc());
+            agg.elapsed_ps.add(r.sim.elapsed_ps as f64);
+            agg.energy_pj.add(r.sim.energy.total_pj());
+            agg.power_w.add(r.sim.average_power_w());
+            if let Some(f) = &r.flywheel {
+                agg.ec_residency
+                    .get_or_insert_with(Aggregate::new)
+                    .add(f.ec_residency);
+            }
+        }
+        aggs
+    }
+
+    /// Checks the seed-axis aggregates: sample counts must reconcile exactly
+    /// with the grid and the failed-cell manifest (a missing seed is only
+    /// ever explained by a manifest entry — never silently dropped), means
+    /// must lie inside the observed sample range, and every confidence
+    /// interval must be finite, non-negative, and zero exactly when the
+    /// sample carries no spread information.
+    pub fn check_aggregate_invariants(&self) -> Result<(), String> {
+        let first_seed = self
+            .scenario
+            .seeds
+            .first()
+            .copied()
+            .unwrap_or(EXPERIMENT_SEED);
+        for a in self.seed_aggregates() {
+            let fail = |msg: String| Err(format!("aggregate {}: {msg}", a.cell.label()));
+            if a.n == 0 || a.n > a.expected_n {
+                return fail(format!("{} samples of {} expected", a.n, a.expected_n));
+            }
+            let failed_here = self
+                .failed
+                .iter()
+                .filter(|f| {
+                    let mut p = f.cell;
+                    p.seed = first_seed;
+                    p == a.cell
+                })
+                .count();
+            if a.expected_n - a.n != failed_here {
+                return fail(format!(
+                    "{} of {} seeds missing but {} failed cells recorded at this point",
+                    a.expected_n - a.n,
+                    a.expected_n,
+                    failed_here
+                ));
+            }
+            for (name, m) in [
+                ("ipc", &a.ipc),
+                ("elapsed_ps", &a.elapsed_ps),
+                ("energy_pj", &a.energy_pj),
+                ("power_w", &a.power_w),
+            ] {
+                if m.n() != a.n as u64 {
+                    return fail(format!("metric {name} folded {} of {} samples", m.n(), a.n));
+                }
+                let (mean, hw) = (m.mean(), m.ci95_halfwidth());
+                if !mean.is_finite() || !hw.is_finite() || hw < 0.0 {
+                    return fail(format!("metric {name}: mean {mean}, ci95 {hw}"));
+                }
+                let slack = 1e-9 * m.max().abs().max(1.0);
+                if mean < m.min() - slack || mean > m.max() + slack {
+                    return fail(format!(
+                        "metric {name}: mean {mean} outside sample range [{}, {}]",
+                        m.min(),
+                        m.max()
+                    ));
+                }
+                let spreadless = a.n < 2 || m.sample_stddev() == 0.0;
+                if spreadless != (hw == 0.0) {
+                    return fail(format!(
+                        "metric {name}: ci95 {hw} inconsistent with stddev {} at n = {}",
+                        m.sample_stddev(),
+                        a.n
+                    ));
+                }
+            }
+            if a.cell.machine.is_baseline() != a.ec_residency.is_none() {
+                return fail("EC residency aggregate on the wrong machine family".into());
+            }
         }
         Ok(())
     }
@@ -1220,12 +1415,21 @@ impl ScenarioRun {
     /// run appends one row per failed cell after the succeeded rows: the
     /// configuration columns are filled, every metric column is empty, and
     /// `status` is `failed:<kind>` (`failed:panic` / `failed:timeout`).
+    ///
+    /// A multi-seed run additionally appends one row per configuration point
+    /// (see [`ScenarioRun::seed_aggregates`]) after the failed rows: `seed`
+    /// is the literal `agg`, the metric columns carry the per-seed means, the
+    /// `*_ci95` columns carry the 95% confidence half-widths, and `status` is
+    /// the aggregate's `n=<got>/<want>` marker (prefixed `reduced:` when a
+    /// failed seed shrank the sample). Single-seed runs leave the `*_ci95`
+    /// columns empty and append no aggregate rows.
     pub fn to_csv(&self) -> String {
         let mut s = String::from(
             "scenario,bench,seed,machine,node_nm,fe_pct,be_pct,iw,rob,ec_kb,mem_cycles,\
              instructions,be_cycles,fe_cycles,elapsed_ps,squashed,ipc,total_energy_pj,\
              avg_power_w,leak_frontend_pj,leak_backend_pj,leak_flywheel_pj,leak_fraction,\
-             gated_fraction,ec_residency,ec_hit_rate,telemetry_events,status\n",
+             gated_fraction,ec_residency,ec_hit_rate,telemetry_events,\
+             ipc_ci95,elapsed_ps_ci95,energy_pj_ci95,power_w_ci95,status\n",
         );
         let name = self.emitted_name();
         for (cell, r) in self.cells.iter().zip(&self.results) {
@@ -1238,7 +1442,7 @@ impl ScenarioRun {
             };
             s.push_str(&format!(
                 "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{:.3},{:.6},\
-                 {:.3},{:.3},{:.3},{:.6},{:.6},{},{},{},ok\n",
+                 {:.3},{:.3},{:.3},{:.6},{:.6},{},{},{},,,,,ok\n",
                 name,
                 cell.bench,
                 cell.seed,
@@ -1271,7 +1475,7 @@ impl ScenarioRun {
         for f in &self.failed {
             let cell = &f.cell;
             s.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},,,,,,,,,,,,,,,,,failed:{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},,,,,,,,,,,,,,,,,,,,,failed:{}\n",
                 name,
                 cell.bench,
                 cell.seed,
@@ -1286,6 +1490,39 @@ impl ScenarioRun {
                 f.cause.kind(),
             ));
         }
+        if self.scenario.seeds.len() > 1 {
+            for a in self.seed_aggregates() {
+                let cell = &a.cell;
+                let res = match &a.ec_residency {
+                    Some(m) => format!("{:.6}", m.mean()),
+                    None => String::new(),
+                };
+                s.push_str(&format!(
+                    "{},{},agg,{},{},{},{},{},{},{},{},,,,{:.3},,{:.6},{:.3},{:.6},\
+                     ,,,,,{},,,{:.6},{:.3},{:.3},{:.6},{}\n",
+                    name,
+                    cell.bench,
+                    cell.machine,
+                    cell.node.feature_nm(),
+                    cell.fe_pct,
+                    cell.be_pct,
+                    cell.iw_entries,
+                    cell.rob_entries,
+                    cell.ec_kb,
+                    cell.mem_cycles,
+                    a.elapsed_ps.mean(),
+                    a.ipc.mean(),
+                    a.energy_pj.mean(),
+                    a.power_w.mean(),
+                    res,
+                    a.ipc.ci95_halfwidth(),
+                    a.elapsed_ps.ci95_halfwidth(),
+                    a.energy_pj.ci95_halfwidth(),
+                    a.power_w.ci95_halfwidth(),
+                    a.status(),
+                ));
+            }
+        }
         s
     }
 
@@ -1294,7 +1531,7 @@ impl ScenarioRun {
     /// escaping is needed).
     pub fn to_json(&self) -> String {
         let b = self.scenario.budget;
-        let mut s = String::from("{\n  \"schema\": \"flywheel-scenarios/2\",\n");
+        let mut s = String::from("{\n  \"schema\": \"flywheel-scenarios/3\",\n");
         s.push_str(&format!("  \"scenario\": \"{}\",\n", self.emitted_name()));
         s.push_str(&format!(
             "  \"budget\": {{\"warmup_instructions\": {}, \"measured_instructions\": {}}},\n",
@@ -1302,6 +1539,15 @@ impl ScenarioRun {
         ));
         s.push_str(&format!("  \"cell_count\": {},\n", self.cells.len()));
         s.push_str(&format!("  \"failed_count\": {},\n", self.failed.len()));
+        s.push_str(&format!(
+            "  \"seeds\": [{}],\n",
+            self.scenario
+                .seeds
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
         s.push_str("  \"cells\": [\n");
         for (i, (cell, r)) in self.cells.iter().zip(&self.results).enumerate() {
             s.push_str(&format!(
@@ -1366,6 +1612,55 @@ impl ScenarioRun {
             } else {
                 "\n"
             });
+        }
+        s.push_str("  ],\n");
+        // Seed-axis aggregates (empty for single-seed runs, where a mean of
+        // one sample would only restate the cell rows).
+        s.push_str("  \"seed_aggregates\": [\n");
+        let aggs = if self.scenario.seeds.len() > 1 {
+            self.seed_aggregates()
+        } else {
+            Vec::new()
+        };
+        for (i, a) in aggs.iter().enumerate() {
+            let cell = &a.cell;
+            s.push_str(&format!(
+                "    {{\"bench\": \"{}\", \"machine\": \"{}\", \"node_nm\": {}, \
+                 \"fe_pct\": {}, \"be_pct\": {}, \"iw\": {}, \"rob\": {}, \"ec_kb\": {}, \
+                 \"mem_cycles\": {}, \"n\": {}, \"expected_n\": {}, \"reduced\": {}, \
+                 \"ipc_mean\": {:.6}, \"ipc_ci95\": {:.6}, \
+                 \"elapsed_ps_mean\": {:.3}, \"elapsed_ps_ci95\": {:.3}, \
+                 \"energy_pj_mean\": {:.3}, \"energy_pj_ci95\": {:.3}, \
+                 \"power_w_mean\": {:.6}, \"power_w_ci95\": {:.6}",
+                cell.bench,
+                cell.machine,
+                cell.node.feature_nm(),
+                cell.fe_pct,
+                cell.be_pct,
+                cell.iw_entries,
+                cell.rob_entries,
+                cell.ec_kb,
+                cell.mem_cycles,
+                a.n,
+                a.expected_n,
+                a.is_reduced(),
+                a.ipc.mean(),
+                a.ipc.ci95_halfwidth(),
+                a.elapsed_ps.mean(),
+                a.elapsed_ps.ci95_halfwidth(),
+                a.energy_pj.mean(),
+                a.energy_pj.ci95_halfwidth(),
+                a.power_w.mean(),
+                a.power_w.ci95_halfwidth(),
+            ));
+            if let Some(m) = &a.ec_residency {
+                s.push_str(&format!(
+                    ", \"ec_residency_mean\": {:.6}, \"ec_residency_ci95\": {:.6}",
+                    m.mean(),
+                    m.ci95_halfwidth()
+                ));
+            }
+            s.push_str(if i + 1 < aggs.len() { "},\n" } else { "}\n" });
         }
         s.push_str("  ]\n}\n");
         s
@@ -1659,22 +1954,28 @@ mod tests {
         assert_eq!(csv.lines().count(), run.cells.len() + 1, "header + cells");
         let json = run.to_json();
         assert_eq!(json.matches("\"bench\"").count(), run.cells.len());
-        assert!(json.contains("\"schema\": \"flywheel-scenarios/2\""));
+        assert!(json.contains("\"schema\": \"flywheel-scenarios/3\""));
         // A clean run advertises zero failures and an empty manifest.
         assert!(json.contains("\"failed_count\": 0"));
         assert!(json.contains("\"failed_cells\": [\n  ]"));
+        // A single-seed run emits its seed axis but no aggregates.
+        assert!(json.contains("\"seeds\": [2005]"));
+        assert!(json.contains("\"seed_aggregates\": [\n  ]"));
         // Flywheel cells carry EC fields, baseline cells leave them empty.
         assert!(json.contains("\"ec_residency\""));
         // The leakage-attribution column family is emitted for every cell.
         assert!(json.contains("\"leak_flywheel_pj\""));
         let header = csv.lines().next().unwrap();
         assert!(header.contains("leak_flywheel_pj"));
-        assert!(header.ends_with(",telemetry_events,status"));
+        assert!(header.ends_with(
+            ",telemetry_events,ipc_ci95,elapsed_ps_ci95,energy_pj_ci95,power_w_ci95,status"
+        ));
         for line in csv.lines().skip(1) {
-            assert_eq!(line.matches(',').count(), 27, "column count in {line}");
+            assert_eq!(line.matches(',').count(), 31, "column count in {line}");
             assert!(line.ends_with(",ok"), "clean cells report ok: {line}");
-            // Telemetry off: the event-count column stays zero.
-            assert!(line.ends_with(",0,ok"), "telemetry-off count in {line}");
+            // Telemetry off: the event-count column stays zero, and a
+            // single-seed run leaves the CI columns empty.
+            assert!(line.ends_with(",0,,,,,ok"), "telemetry-off count in {line}");
         }
         assert!(json.contains("\"telemetry_events\": 0"));
         // A hostile scenario name must not break either format.
@@ -1683,7 +1984,7 @@ mod tests {
         let run = evil.run();
         assert!(run.to_json().contains("\"scenario\": \"a_b_c_d\""));
         for line in run.to_csv().lines().skip(1) {
-            assert_eq!(line.matches(',').count(), 27, "column count in {line}");
+            assert_eq!(line.matches(',').count(), 31, "column count in {line}");
         }
     }
 
@@ -1708,7 +2009,7 @@ mod tests {
         let csv = run.to_csv();
         let last = csv.lines().last().unwrap();
         assert!(last.ends_with(",failed:timeout"), "got: {last}");
-        assert_eq!(last.matches(',').count(), 27, "column count in {last}");
+        assert_eq!(last.matches(',').count(), 31, "column count in {last}");
         assert_eq!(
             csv.lines().filter(|l| l.ends_with(",ok")).count(),
             run.cells.len()
@@ -1726,6 +2027,119 @@ mod tests {
         // Invariants still check the succeeded cells.
         run.check_invariants().unwrap();
         let _ = lost_result;
+    }
+
+    #[test]
+    fn seed_axis_must_be_sorted_and_unique() {
+        let mut s = Scenario::new("t", tiny_budget());
+        s.benchmarks = vec![Benchmark::Micro];
+        s.seeds = vec![1, 2, 2];
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("duplicate seed 2"), "got: {err}");
+        s.seeds = vec![2, 1];
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("not sorted"), "got: {err}");
+        s.seeds = vec![1, 2, 3];
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn multi_seed_runs_aggregate_per_configuration_point() {
+        let mut s = Scenario::new("multiseed", tiny_budget());
+        s.benchmarks = vec![Benchmark::Micro];
+        s.seeds = vec![1, 2, 3];
+        let run = s.run_with_jobs(1);
+        run.check_invariants().unwrap();
+        let aggs = run.seed_aggregates();
+        assert_eq!(aggs.len(), 2, "one point per machine");
+        for a in &aggs {
+            assert_eq!((a.n, a.expected_n), (3, 3));
+            assert!(!a.is_reduced());
+            assert_eq!(a.ipc.n(), 3);
+            assert!(a.ipc.ci95_halfwidth() >= 0.0);
+        }
+        // The aggregate is exactly the fold of the per-seed cell results.
+        let mut by_hand = Aggregate::new();
+        for (cell, r) in run.cells.iter().zip(&run.results) {
+            if cell.machine == Machine::Baseline {
+                by_hand.add(r.sim.ipc());
+            }
+        }
+        let base = aggs
+            .iter()
+            .find(|a| a.cell.machine == Machine::Baseline)
+            .unwrap();
+        assert_eq!(base.ipc, by_hand);
+        assert!(base.ec_residency.is_none());
+        let fly = aggs
+            .iter()
+            .find(|a| a.cell.machine == Machine::Flywheel)
+            .unwrap();
+        assert_eq!(fly.ec_residency.as_ref().unwrap().n(), 3);
+
+        // CSV: one aggregate row per point, CI columns filled, n marker set.
+        let csv = run.to_csv();
+        let agg_rows: Vec<&str> = csv.lines().filter(|l| l.contains(",agg,")).collect();
+        assert_eq!(agg_rows.len(), 2);
+        for line in &agg_rows {
+            assert_eq!(line.matches(',').count(), 31, "column count in {line}");
+            assert!(line.ends_with(",aggregate:n=3/3"), "got: {line}");
+        }
+        // JSON: the seed axis and one aggregate object per point.
+        let json = run.to_json();
+        assert!(json.contains("\"seeds\": [1, 2, 3]"));
+        assert_eq!(json.matches("\"expected_n\": 3").count(), 2);
+        assert_eq!(json.matches("\"reduced\": false").count(), 2);
+        assert!(json.contains("\"ipc_mean\""));
+        assert!(json.contains("\"ec_residency_ci95\""));
+    }
+
+    #[test]
+    fn reduced_aggregates_exclude_failed_seeds_never_average_them() {
+        let mut s = Scenario::new("reduced", tiny_budget());
+        s.benchmarks = vec![Benchmark::Micro];
+        s.seeds = vec![1, 2, 3];
+        let mut run = s.run_with_jobs(1);
+        // Fail one baseline seed by hand: the cell moves to the manifest.
+        let idx = run
+            .cells
+            .iter()
+            .position(|c| c.machine == Machine::Baseline && c.seed == 3)
+            .unwrap();
+        let lost = run.cells.remove(idx);
+        run.results.remove(idx);
+        run.failed.push(FailedCell {
+            cell: lost,
+            cause: FailCause::Panic("injected".to_owned()),
+            attempts: 3,
+        });
+        run.check_invariants().unwrap();
+
+        let aggs = run.seed_aggregates();
+        let base = aggs
+            .iter()
+            .find(|a| a.cell.machine == Machine::Baseline)
+            .unwrap();
+        assert_eq!((base.n, base.expected_n), (2, 3));
+        assert!(base.is_reduced());
+        // The mean is over the two surviving seeds only.
+        let mut survivors = Aggregate::new();
+        for (cell, r) in run.cells.iter().zip(&run.results) {
+            if cell.machine == Machine::Baseline {
+                survivors.add(r.sim.ipc());
+            }
+        }
+        assert_eq!(base.ipc, survivors);
+        // Both emitters flag the reduced sample explicitly.
+        assert!(run.to_csv().contains(",aggregate:reduced:n=2/3"));
+        let json = run.to_json();
+        assert!(json.contains("\"n\": 2, \"expected_n\": 3, \"reduced\": true"));
+
+        // A seed that disappears *without* a manifest entry is a silent drop:
+        // the aggregate invariants must reject it.
+        run.failed.clear();
+        let err = run.check_invariants().unwrap_err();
+        assert!(err.contains("failed cells recorded"), "got: {err}");
     }
 
     #[test]

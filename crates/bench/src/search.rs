@@ -1,0 +1,542 @@
+//! Adversarial workload search: a deterministic evolutionary loop over the
+//! stress-family workload generators that maximizes or minimizes the
+//! Flywheel-vs-baseline performance gap.
+//!
+//! The paper's workloads are fixed points in the space of workload behaviours;
+//! the interesting question for a microarchitecture reproduction is *where in
+//! that space the mechanism stops paying off*. The search treats the
+//! [`BenchmarkProfile`] knobs the stress family already exposes — branch
+//! behaviour mix, memory locality fractions and strides, store density, code
+//! footprint, dependency distance, register span — as a parameter vector,
+//! starts from the four calibrated stress profiles, and hill-climbs with a
+//! seeded xorshift mutator: each generation keeps the best `population`
+//! candidates, spawns `children_per_parent` mutants of each, evaluates them,
+//! and re-ranks. Two objectives are supported: [`Objective::MaximizeGap`]
+//! (workloads Flywheel loves — `flybest`) and [`Objective::MinimizeGap`]
+//! (workloads where the Execution Cache machinery does worst — `ecworst`).
+//!
+//! Everything is deterministic for a fixed search seed: mutation draws come
+//! from a per-candidate xorshift stream, candidates are ranked with a total
+//! order (score, then canonical parameter string), and evaluation itself is a
+//! pair of deterministic simulations. The rendered frontier therefore hashes
+//! to the same value on every run — CI holds the search to that.
+//!
+//! Evaluations are warm-store cached: each candidate's two legs (baseline and
+//! Flywheel at the paper's 0.13 µm iso-clock configuration) are content
+//! addressed by the code-version salt, the full machine configuration, the
+//! canonical profile parameters, the synthesis seed and the budget, exactly
+//! like scenario cells. Re-running a search — or widening one — recalls every
+//! leg it has already paid for.
+
+use crate::store::{code_version_salt, ResultStore, RunStats, StoreKey};
+use crate::{parallel_map_jobs, worker_count};
+use flywheel_core::{FlywheelConfig, FlywheelSim};
+use flywheel_timing::TechNode;
+use flywheel_uarch::{BaselineConfig, BaselineSim, SimBudget, SimResult};
+use flywheel_workloads::{Benchmark, BenchmarkProfile, ProgramSynthesizer, RecordedTrace};
+
+/// What the search optimizes the Flywheel-vs-baseline speedup toward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// Find workloads where Flywheel gains the most over the baseline.
+    MaximizeGap,
+    /// Find workloads where Flywheel gains the least (or loses).
+    MinimizeGap,
+}
+
+impl Objective {
+    /// CLI name (`max` / `min`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Objective::MaximizeGap => "max",
+            Objective::MinimizeGap => "min",
+        }
+    }
+
+    /// Parses a CLI objective name.
+    pub fn from_name(name: &str) -> Option<Objective> {
+        match name {
+            "max" => Some(Objective::MaximizeGap),
+            "min" => Some(Objective::MinimizeGap),
+            _ => None,
+        }
+    }
+
+    /// Whether `a` is strictly better than `b` under this objective.
+    fn better(&self, a: f64, b: f64) -> bool {
+        match self {
+            Objective::MaximizeGap => a > b,
+            Objective::MinimizeGap => a < b,
+        }
+    }
+}
+
+/// Parameters of one search run.
+#[derive(Debug, Clone)]
+pub struct SearchConfig {
+    /// Seed of the mutation stream (and of workload synthesis).
+    pub seed: u64,
+    /// Evolution rounds after the initial evaluation of the starts.
+    pub generations: u32,
+    /// Candidates surviving each generation.
+    pub population: usize,
+    /// Mutants spawned per survivor per generation.
+    pub children_per_parent: usize,
+    /// Instruction budget of each evaluation leg.
+    pub budget: SimBudget,
+    /// Technology node of the evaluation machines.
+    pub node: TechNode,
+    /// Frontier length reported (and hashed).
+    pub top: usize,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            seed: crate::EXPERIMENT_SEED,
+            generations: 4,
+            population: 6,
+            children_per_parent: 2,
+            budget: SimBudget::new(800, 4_000),
+            node: TechNode::N130,
+            top: 8,
+        }
+    }
+}
+
+/// One evaluated point of the search space.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The workload parameter vector.
+    pub profile: BenchmarkProfile,
+    /// Flywheel speedup over the baseline at the evaluation configuration.
+    pub speedup: f64,
+}
+
+/// The ranked result of one search run.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// The optimized objective.
+    pub objective: Objective,
+    /// Best candidates first (under the objective), at most `top` entries.
+    pub frontier: Vec<Candidate>,
+    /// Candidate legs simulated (store misses).
+    pub simulated: usize,
+    /// Candidate legs recalled from the store.
+    pub recalled: usize,
+}
+
+/// xorshift64 — deterministic, dependency-free mutation stream.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        // Avoid the all-zero fixed point without disturbing other seeds.
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// Uniform draw in [0, 1).
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform draw from 0..n.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// The canonical parameter string of a profile: its `Debug` rendering with
+/// the free-form name pinned, so two candidates with identical knobs share
+/// one content address regardless of how they were labelled.
+pub fn canonical_params(profile: &BenchmarkProfile) -> String {
+    let mut p = profile.clone();
+    p.name = "search".to_owned();
+    format!("{p:?}")
+}
+
+/// Moves `delta` of probability mass from `from` to `to`, clamped so both
+/// fractions stay non-negative (the pair's sum — and therefore the whole
+/// distribution's — is preserved).
+fn shift_mass(from: &mut f64, to: &mut f64, delta: f64) {
+    let d = delta.min(*from);
+    *from -= d;
+    *to += d;
+}
+
+/// Applies one random mutation operator to `profile`. Every operator
+/// preserves [`BenchmarkProfile::validate`] by construction: probability
+/// shifts conserve mass, scalar knobs are clamped to their legal ranges.
+fn mutate(profile: &BenchmarkProfile, rng: &mut Rng) -> BenchmarkProfile {
+    let mut p = profile.clone();
+    let d = 0.02 + rng.unit() * 0.13; // probability-mass step
+    match rng.below(15) {
+        0 => shift_mass(&mut p.branches.biased, &mut p.branches.random, d),
+        1 => shift_mass(&mut p.branches.random, &mut p.branches.biased, d),
+        2 => shift_mass(&mut p.branches.patterned, &mut p.branches.random, d),
+        3 => p.branches.bias = (p.branches.bias + (rng.unit() - 0.5) * 0.2).clamp(0.55, 0.99),
+        4 => shift_mass(&mut p.memory.streaming, &mut p.memory.scattered, d),
+        5 => shift_mass(&mut p.memory.scattered, &mut p.memory.hot_set, d),
+        6 => {
+            const STRIDES: [u64; 6] = [4, 8, 16, 32, 64, 128];
+            p.memory.stream_stride = STRIDES[rng.below(STRIDES.len() as u64) as usize];
+        }
+        7 => {
+            p.memory.hot_set_bytes = if rng.below(2) == 0 {
+                (p.memory.hot_set_bytes / 2).max(4 * 1024)
+            } else {
+                (p.memory.hot_set_bytes * 2).min(512 * 1024)
+            };
+        }
+        8 => {
+            // Store density: mass between stores and the implicit ALU
+            // remainder. Clamped so the mix stays a sub-distribution.
+            let delta = (rng.unit() - 0.5) * 0.12;
+            p.mix.store = (p.mix.store + delta).clamp(0.02, 0.38);
+            let used = p.mix.load + p.mix.store + p.mix.int_muldiv + p.mix.fp_add + p.mix.fp_muldiv;
+            if used > 1.0 {
+                p.mix.store -= used - 1.0;
+            }
+        }
+        9 => {
+            let delta = (rng.unit() - 0.5) * 0.12;
+            p.mix.load = (p.mix.load + delta).clamp(0.05, 0.42);
+            let used = p.mix.load + p.mix.store + p.mix.int_muldiv + p.mix.fp_add + p.mix.fp_muldiv;
+            if used > 1.0 {
+                p.mix.load -= used - 1.0;
+            }
+        }
+        10 => {
+            // Code footprint (I-cache / Execution Cache pressure).
+            p.functions = if rng.below(2) == 0 {
+                (p.functions / 2).max(2)
+            } else {
+                (p.functions * 2).min(1024)
+            };
+        }
+        11 => {
+            let step = 1 + rng.below(3) as u32;
+            p.avg_block_len = if rng.below(2) == 0 {
+                p.avg_block_len.saturating_sub(step).max(2)
+            } else {
+                (p.avg_block_len + step).min(18)
+            };
+        }
+        12 => {
+            let f = 0.75 + rng.unit() * 0.6;
+            p.dependency_distance = (p.dependency_distance * f).clamp(1.0, 8.0);
+        }
+        13 => {
+            let step = 1 + rng.below(4) as u32;
+            p.dest_register_span = if rng.below(2) == 0 {
+                p.dest_register_span.saturating_sub(step).max(2)
+            } else {
+                (p.dest_register_span + step).min(22)
+            };
+        }
+        _ => {
+            let f = 0.6 + rng.unit() * 0.9;
+            p.loops.mean_trip_count = (p.loops.mean_trip_count * f).clamp(2.0, 96.0);
+        }
+    }
+    p
+}
+
+/// The content address of one evaluation leg.
+fn leg_key(family: &str, cfg_debug: &str, canon: &str, seed: u64, budget: SimBudget) -> StoreKey {
+    StoreKey::of_input(&format!(
+        "salt={:016x}\nmachine=search-{family}\nconfig={cfg_debug}\nprofile={canon}\nseed={seed}\n\
+         warmup={}\nmeasured={}\n",
+        code_version_salt(),
+        budget.warmup_instructions,
+        budget.measured_instructions,
+    ))
+}
+
+/// Simulates both legs of one candidate (no store involved).
+fn simulate_pair(profile: &BenchmarkProfile, cfg: &SearchConfig) -> (SimResult, SimResult) {
+    let program = ProgramSynthesizer::new(profile.clone()).synthesize(cfg.seed);
+    let trace = RecordedTrace::record(
+        &program,
+        cfg.seed,
+        RecordedTrace::capture_len_for(cfg.budget.total()),
+    );
+    let base = BaselineSim::new(BaselineConfig::paper(cfg.node), trace.cursor()).run(cfg.budget);
+    let fly = FlywheelSim::new(FlywheelConfig::paper(cfg.node, 0, 0), trace.cursor())
+        .run(cfg.budget)
+        .sim;
+    (base, fly)
+}
+
+/// Evaluates `profiles` against the warm store: cached legs are recalled,
+/// missing candidates are simulated in parallel and their legs appended to
+/// the store. Returns one speedup per profile, plus (simulated, recalled)
+/// leg counts.
+fn evaluate_all(
+    profiles: &[BenchmarkProfile],
+    cfg: &SearchConfig,
+    store: &mut ResultStore,
+) -> (Vec<f64>, usize, usize) {
+    let base_cfg_debug = format!("{:?}", BaselineConfig::paper(cfg.node));
+    let fly_cfg_debug = format!("{:?}", FlywheelConfig::paper(cfg.node, 0, 0));
+    let keys: Vec<(StoreKey, StoreKey)> = profiles
+        .iter()
+        .map(|p| {
+            let canon = canonical_params(p);
+            (
+                leg_key("baseline", &base_cfg_debug, &canon, cfg.seed, cfg.budget),
+                leg_key("flywheel", &fly_cfg_debug, &canon, cfg.seed, cfg.budget),
+            )
+        })
+        .collect();
+    let miss_idx: Vec<usize> = (0..profiles.len())
+        .filter(|&i| !store.contains(&keys[i].0) || !store.contains(&keys[i].1))
+        .collect();
+    let miss_profiles: Vec<BenchmarkProfile> =
+        miss_idx.iter().map(|&i| profiles[i].clone()).collect();
+    let pairs = parallel_map_jobs(&miss_profiles, worker_count(), |p| simulate_pair(p, cfg));
+    let simulated = 2 * pairs.len();
+    let recalled = 2 * profiles.len() - simulated;
+    for (&i, (base, fly)) in miss_idx.iter().zip(&pairs) {
+        let (bk, fk) = keys[i];
+        let label = format!("search/{}", profiles[i].name);
+        if !store.contains(&bk) {
+            if let Err(e) = store.insert(bk, &label, RunStats::from_baseline(base.clone())) {
+                eprintln!("warning: could not append to the result store: {e}");
+            }
+        }
+        if !store.contains(&fk) {
+            let stats = RunStats {
+                sim: fly.clone(),
+                flywheel: None,
+            };
+            if let Err(e) = store.insert(fk, &label, stats) {
+                eprintln!("warning: could not append to the result store: {e}");
+            }
+        }
+    }
+    let speedups = keys
+        .iter()
+        .map(|(bk, fk)| {
+            let base = &store.get(bk).expect("leg simulated or recalled").sim;
+            let fly = &store.get(fk).expect("leg simulated or recalled").sim;
+            fly.speedup_over(base)
+        })
+        .collect();
+    (speedups, simulated, recalled)
+}
+
+/// Ranks candidates best-first under `objective` with a total, deterministic
+/// order: score first, canonical parameter string as the tie-break.
+fn rank(candidates: &mut Vec<Candidate>, objective: Objective) {
+    candidates.sort_by(|a, b| {
+        if objective.better(a.speedup, b.speedup) {
+            std::cmp::Ordering::Less
+        } else if objective.better(b.speedup, a.speedup) {
+            std::cmp::Ordering::Greater
+        } else {
+            canonical_params(&a.profile).cmp(&canonical_params(&b.profile))
+        }
+    });
+    candidates.dedup_by_key(|c| canonical_params(&c.profile));
+}
+
+/// Runs the evolutionary search for `objective` against `store`.
+///
+/// Deterministic for a fixed [`SearchConfig`]: the same seed produces the
+/// same frontier byte-for-byte, warm or cold.
+pub fn run_search(
+    objective: Objective,
+    cfg: &SearchConfig,
+    store: &mut ResultStore,
+) -> SearchOutcome {
+    // Per-objective mutation stream, so max- and min-searches explore
+    // independently even at the same seed.
+    let mut rng = Rng::new(cfg.seed.wrapping_mul(2).wrapping_add(match objective {
+        Objective::MaximizeGap => 1,
+        Objective::MinimizeGap => 2,
+    }));
+    let mut simulated = 0;
+    let mut recalled = 0;
+
+    let start_profiles: Vec<BenchmarkProfile> = Benchmark::stress_suite()
+        .iter()
+        .map(|b| b.profile())
+        .collect();
+    let (scores, sim0, rec0) = evaluate_all(&start_profiles, cfg, store);
+    simulated += sim0;
+    recalled += rec0;
+    let mut population: Vec<Candidate> = start_profiles
+        .into_iter()
+        .zip(scores)
+        .map(|(profile, speedup)| Candidate { profile, speedup })
+        .collect();
+    rank(&mut population, objective);
+    population.truncate(cfg.population);
+
+    for _generation in 0..cfg.generations {
+        let mut children = Vec::new();
+        for parent in &population {
+            for _ in 0..cfg.children_per_parent {
+                let child = mutate(&parent.profile, &mut rng);
+                debug_assert!(child.validate().is_ok());
+                children.push(child);
+            }
+        }
+        let (scores, sim_n, rec_n) = evaluate_all(&children, cfg, store);
+        simulated += sim_n;
+        recalled += rec_n;
+        population.extend(
+            children
+                .into_iter()
+                .zip(scores)
+                .map(|(profile, speedup)| Candidate { profile, speedup }),
+        );
+        rank(&mut population, objective);
+        population.truncate(cfg.population);
+    }
+
+    population.truncate(cfg.top);
+    SearchOutcome {
+        objective,
+        frontier: population,
+        simulated,
+        recalled,
+    }
+}
+
+/// One frontier line: the candidate's score and its full parameter vector in
+/// a compact fixed format (every knob the mutator can move is shown, so two
+/// distinct candidates always render distinct lines).
+fn frontier_line(rank: usize, c: &Candidate) -> String {
+    let p = &c.profile;
+    format!(
+        "{rank:>2}. speedup={:.6} br[{:.3}/{:.3}/{:.3} bias={:.3}] \
+         mem[{:.3}/{:.3}/{:.3} stride={} hot={}K scat={}K] \
+         mix[ld={:.3} st={:.3}] code[fn={} blk={} dep={:.3} span={} call={:.3}] \
+         loop[trip={:.2}]",
+        c.speedup,
+        p.branches.biased,
+        p.branches.patterned,
+        p.branches.random,
+        p.branches.bias,
+        p.memory.streaming,
+        p.memory.hot_set,
+        p.memory.scattered,
+        p.memory.stream_stride,
+        p.memory.hot_set_bytes / 1024,
+        p.memory.scattered_bytes / 1024,
+        p.mix.load,
+        p.mix.store,
+        p.functions,
+        p.avg_block_len,
+        p.dependency_distance,
+        p.dest_register_span,
+        p.call_probability,
+        p.loops.mean_trip_count,
+    )
+}
+
+/// Renders the ranked frontier of one search outcome.
+pub fn render_frontier(outcome: &SearchOutcome) -> String {
+    let mut s = format!(
+        "== adversarial search: {}-gap frontier ==\n",
+        outcome.objective.name()
+    );
+    for (i, c) in outcome.frontier.iter().enumerate() {
+        s.push_str(&frontier_line(i + 1, c));
+        s.push('\n');
+    }
+    s
+}
+
+/// The deterministic digest CI pins the search to: the FNV content hash of
+/// the rendered frontier(s).
+pub fn frontier_hash(rendered: &str) -> String {
+    StoreKey::of_input(rendered).hex()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> SearchConfig {
+        SearchConfig {
+            seed: 7,
+            generations: 1,
+            population: 3,
+            children_per_parent: 1,
+            budget: SimBudget::new(200, 1_000),
+            top: 4,
+            ..SearchConfig::default()
+        }
+    }
+
+    #[test]
+    fn mutations_always_validate() {
+        let mut rng = Rng::new(0xdead_beef);
+        for b in Benchmark::stress_suite() {
+            let mut p = b.profile();
+            for step in 0..400 {
+                p = mutate(&p, &mut rng);
+                p.validate()
+                    .unwrap_or_else(|e| panic!("step {step} from {}: {e}", b.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn search_is_deterministic_and_warm_cached() {
+        let cfg = tiny_cfg();
+        let mut store = ResultStore::in_memory();
+        let cold = run_search(Objective::MinimizeGap, &cfg, &mut store);
+        assert!(!cold.frontier.is_empty());
+        assert!(cold.simulated > 0);
+        let cold_text = render_frontier(&cold);
+
+        // Same store, same seed: everything recalls, frontier identical.
+        let warm = run_search(Objective::MinimizeGap, &cfg, &mut store);
+        assert_eq!(warm.simulated, 0, "warm search must not simulate");
+        assert!(warm.recalled > 0);
+        assert_eq!(render_frontier(&warm), cold_text);
+        assert_eq!(
+            frontier_hash(&render_frontier(&warm)),
+            frontier_hash(&cold_text)
+        );
+
+        // Fresh store, same seed: byte-identical frontier from cold.
+        let mut store2 = ResultStore::in_memory();
+        let again = run_search(Objective::MinimizeGap, &cfg, &mut store2);
+        assert_eq!(render_frontier(&again), cold_text);
+    }
+
+    #[test]
+    fn objectives_rank_in_opposite_directions() {
+        let cfg = tiny_cfg();
+        let mut store = ResultStore::in_memory();
+        let max = run_search(Objective::MaximizeGap, &cfg, &mut store);
+        let min = run_search(Objective::MinimizeGap, &cfg, &mut store);
+        let best_max = max.frontier.first().unwrap().speedup;
+        let best_min = min.frontier.first().unwrap().speedup;
+        assert!(
+            best_max >= best_min,
+            "max-gap frontier head {best_max} below min-gap head {best_min}"
+        );
+        // Frontiers are internally sorted under their objectives.
+        for w in max.frontier.windows(2) {
+            assert!(w[0].speedup >= w[1].speedup);
+        }
+        for w in min.frontier.windows(2) {
+            assert!(w[0].speedup <= w[1].speedup);
+        }
+    }
+}

@@ -54,6 +54,22 @@ pub enum SpecError {
         /// The offending value.
         value: String,
     },
+    /// The seed axis repeats a seed. A duplicate would silently
+    /// double-weight one program in every multi-seed aggregate, so the spec
+    /// layer refuses to carry it.
+    DuplicateSeed {
+        /// The repeated seed.
+        seed: u64,
+    },
+    /// The seed axis is not sorted ascending. The axis is a set; an
+    /// order-dependent spelling would make equal scenarios serialize to
+    /// different specs (and different content, under a careless reader).
+    UnsortedSeeds {
+        /// The seed appearing out of order.
+        prev: u64,
+        /// The smaller seed that follows it.
+        next: u64,
+    },
 }
 
 impl std::fmt::Display for SpecError {
@@ -68,6 +84,16 @@ impl std::fmt::Display for SpecError {
                 f,
                 "scenario field '{field}' has leading or trailing whitespace \
                  and would not round-trip: {value:?}"
+            ),
+            SpecError::DuplicateSeed { seed } => write!(
+                f,
+                "scenario field 'seeds' repeats seed {seed}; each seed may \
+                 appear only once"
+            ),
+            SpecError::UnsortedSeeds { prev, next } => write!(
+                f,
+                "scenario field 'seeds' is not sorted ascending ({prev} \
+                 before {next})"
             ),
         }
     }
@@ -93,12 +119,30 @@ fn check_free_form(field: &'static str, value: &str) -> Result<(), SpecError> {
     Ok(())
 }
 
+/// Rejects seed axes the spec (and the scenario layer) refuses to carry:
+/// duplicates and unsorted lists (see the [`SpecError`] variants).
+pub fn check_seed_axis(seeds: &[u64]) -> Result<(), SpecError> {
+    for pair in seeds.windows(2) {
+        if pair[1] == pair[0] {
+            return Err(SpecError::DuplicateSeed { seed: pair[0] });
+        }
+        if pair[1] < pair[0] {
+            return Err(SpecError::UnsortedSeeds {
+                prev: pair[0],
+                next: pair[1],
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Serializes `s` into the spec grammar. Stable field order and explicit
 /// defaults: equal scenarios yield equal strings. Free-form fields (only the
 /// name today) are checked against the grammar's reserved characters rather
 /// than corrupted into it.
 pub fn scenario_to_spec(s: &Scenario) -> Result<String, SpecError> {
     check_free_form("name", &s.name)?;
+    check_seed_axis(&s.seeds)?;
     let join = |items: Vec<String>| items.join(",");
     let pairs = |ps: &[(u32, u32)]| join(ps.iter().map(|(a, b)| format!("{a}:{b}")).collect());
     Ok(format!(
@@ -254,6 +298,9 @@ pub fn scenario_from_spec(spec: &str) -> Result<Scenario, String> {
                     v.parse::<u64>()
                         .map_err(|_| format!("'{v}' is not a number"))
                 })?;
+                // Reject hostile seed lists at the parse site with the typed
+                // error's wording (Scenario::validate backstops this too).
+                check_seed_axis(&scenario.seeds).map_err(|e| e.to_string())?;
             }
             other => return Err(format!("unknown spec field '{other}'")),
         }
@@ -400,6 +447,72 @@ mod tests {
                 "{name:?} must be an UntrimmedValue error"
             );
         }
+    }
+
+    #[test]
+    fn random_sorted_seed_axes_round_trip() {
+        let mut rng = Rng(0x5eed_11f7);
+        for _ in 0..300 {
+            // Build a strictly increasing seed list of 1..=8 entries.
+            let len = 1 + (rng.next() % 8) as usize;
+            let mut seeds = Vec::with_capacity(len);
+            let mut next = rng.next() % 1_000;
+            for _ in 0..len {
+                seeds.push(next);
+                next += 1 + rng.next() % 500;
+            }
+            let mut s = Scenario::smoke();
+            s.seeds = seeds.clone();
+            let spec = scenario_to_spec(&s).unwrap_or_else(|e| panic!("{seeds:?}: {e}"));
+            let back = scenario_from_spec(&spec).unwrap_or_else(|e| panic!("{spec:?}: {e}"));
+            assert_eq!(back.seeds, seeds, "seed axis must survive the round-trip");
+        }
+    }
+
+    #[test]
+    fn hostile_seed_axes_are_rejected_with_typed_errors() {
+        let mut rng = Rng(0xbad_5eed5);
+        for _ in 0..300 {
+            let len = 2 + (rng.next() % 6) as usize;
+            let mut seeds: Vec<u64> = Vec::with_capacity(len);
+            let mut next = rng.next() % 1_000;
+            for _ in 0..len {
+                seeds.push(next);
+                next += 1 + rng.next() % 500;
+            }
+            let mut s = Scenario::smoke();
+            if rng.next().is_multiple_of(2) {
+                // Duplicate one seed in place.
+                let at = (rng.next() % (len as u64 - 1)) as usize;
+                let dup = seeds[at];
+                seeds.insert(at, dup);
+                s.seeds = seeds;
+                match scenario_to_spec(&s) {
+                    Err(SpecError::DuplicateSeed { seed }) => assert_eq!(seed, dup),
+                    other => panic!("duplicate {dup} must be typed, got {other:?}"),
+                }
+            } else {
+                // Swap an adjacent pair out of order.
+                let at = (rng.next() % (len as u64 - 1)) as usize;
+                seeds.swap(at, at + 1);
+                let (prev, next_s) = (seeds[at], seeds[at + 1]);
+                s.seeds = seeds;
+                match scenario_to_spec(&s) {
+                    Err(SpecError::UnsortedSeeds { prev: p, next: n }) => {
+                        // The first out-of-order adjacent pair is reported;
+                        // for a single swap that is the swapped pair.
+                        assert!(p > n, "reported pair must be inverted");
+                        let _ = (prev, next_s);
+                    }
+                    other => panic!("unsorted list must be typed, got {other:?}"),
+                }
+            }
+        }
+        // The parser rejects the same lists with the same wording.
+        let err = scenario_from_spec("preset=smoke;seeds=5,5").unwrap_err();
+        assert!(err.contains("repeats seed 5"), "got: {err}");
+        let err = scenario_from_spec("preset=smoke;seeds=9,4").unwrap_err();
+        assert!(err.contains("not sorted ascending"), "got: {err}");
     }
 
     #[test]

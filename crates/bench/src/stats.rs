@@ -1,0 +1,290 @@
+//! Small-sample statistics for multi-seed scenario sweeps.
+//!
+//! Hand-rolled (no registry dependencies): a Welford-style streaming
+//! [`Aggregate`] carrying count / mean / M2 / min / max, plus the two-sided
+//! 95% Student-t critical values needed to turn a sample standard deviation
+//! into a confidence-interval half-width. Seeds in a scenario sweep are a
+//! handful, not thousands, so the normal approximation would systematically
+//! understate the interval; the t table is the honest choice at n = 3..30.
+//!
+//! Aggregation is deterministic: samples are always folded in grid order
+//! (the scenario's seed axis order), so the same run produces bit-identical
+//! aggregates regardless of how many worker threads or shard processes
+//! produced the per-seed cells.
+
+/// Streaming mean / variance accumulator (Welford's algorithm) with
+/// min/max tracking and a parallel-merge rule (Chan et al.).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aggregate {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Aggregate {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Aggregate {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Accumulates every sample of `samples`, in order.
+    pub fn of<I: IntoIterator<Item = f64>>(samples: I) -> Self {
+        let mut agg = Self::new();
+        for x in samples {
+            agg.add(x);
+        }
+        agg
+    }
+
+    /// Folds one sample into the accumulator.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Combines two partial aggregates into the aggregate of the
+    /// concatenated sample sets.
+    pub fn merge(&self, other: &Self) -> Self {
+        if self.n == 0 {
+            return *other;
+        }
+        if other.n == 0 {
+            return *self;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        Self {
+            n,
+            mean,
+            m2,
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// Number of samples folded in so far.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Smallest sample seen; 0.0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample seen; 0.0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Unbiased sample variance (divides by n-1); 0.0 below two samples.
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            // Guard against tiny negative M2 from cancellation.
+            (self.m2 / (self.n - 1) as f64).max(0.0)
+        }
+    }
+
+    /// Unbiased sample standard deviation; 0.0 below two samples.
+    pub fn sample_stddev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Half-width of the two-sided 95% confidence interval on the mean,
+    /// `t_{0.975, n-1} * s / sqrt(n)`. Zero below two samples (a single
+    /// observation carries no spread information) and exactly zero for a
+    /// constant series.
+    pub fn ci95_halfwidth(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        t95(self.n - 1) * self.sample_stddev() / (self.n as f64).sqrt()
+    }
+}
+
+/// Two-sided 95% Student-t critical value for `df` degrees of freedom.
+///
+/// Exact table entries for df 1..=30, then the conventional step values at
+/// 40 / 60 / 120 and the asymptotic normal quantile 1.960 beyond. `df = 0`
+/// is treated as df 1 (the caller already reports zero width for n < 2).
+pub fn t95(df: u64) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
+    ];
+    match df {
+        0 => TABLE[0],
+        1..=30 => TABLE[df as usize - 1],
+        31..=40 => 2.021,
+        41..=60 => 2.000,
+        61..=120 => 1.980,
+        _ => 1.960,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// xorshift64 — the repo's stock dependency-free PRNG for property tests.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+
+        fn unit(&mut self) -> f64 {
+            (self.next() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    fn close(a: f64, b: f64) -> bool {
+        let scale = a.abs().max(b.abs()).max(1.0);
+        (a - b).abs() <= 1e-9 * scale
+    }
+
+    #[test]
+    fn empty_and_singleton_are_degenerate() {
+        let empty = Aggregate::new();
+        assert_eq!(empty.n(), 0);
+        assert_eq!(empty.mean(), 0.0);
+        assert_eq!(empty.sample_stddev(), 0.0);
+        assert_eq!(empty.ci95_halfwidth(), 0.0);
+
+        let one = Aggregate::of([3.25]);
+        assert_eq!(one.n(), 1);
+        assert_eq!(one.mean(), 3.25);
+        assert_eq!(one.min(), 3.25);
+        assert_eq!(one.max(), 3.25);
+        assert_eq!(one.sample_stddev(), 0.0);
+        assert_eq!(one.ci95_halfwidth(), 0.0);
+    }
+
+    #[test]
+    fn constant_series_has_zero_width_ci() {
+        let mut rng = Rng(0x5eed_cafe);
+        for _ in 0..100 {
+            let value = rng.unit() * 1e6 - 5e5;
+            let n = 2 + (rng.next() % 40) as usize;
+            let agg = Aggregate::of(std::iter::repeat_n(value, n));
+            assert_eq!(agg.n(), n as u64);
+            assert!(close(agg.mean(), value), "mean {} vs {}", agg.mean(), value);
+            assert_eq!(agg.sample_stddev(), 0.0);
+            assert_eq!(agg.ci95_halfwidth(), 0.0);
+            assert_eq!(agg.min(), value);
+            assert_eq!(agg.max(), value);
+        }
+    }
+
+    #[test]
+    fn welford_matches_two_pass_reference_on_random_series() {
+        let mut rng = Rng(0x900d_5eed);
+        for _ in 0..200 {
+            let n = 2 + (rng.next() % 60) as usize;
+            let scale = 10f64.powi((rng.next() % 7) as i32 - 3);
+            let samples: Vec<f64> = (0..n).map(|_| (rng.unit() - 0.5) * scale).collect();
+
+            let agg = Aggregate::of(samples.iter().copied());
+
+            // Two-pass closed-form reference.
+            let mean = samples.iter().sum::<f64>() / n as f64;
+            let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+
+            assert!(close(agg.mean(), mean));
+            assert!(close(agg.sample_variance(), var));
+            let expect_hw = t95(n as u64 - 1) * var.sqrt() / (n as f64).sqrt();
+            assert!(close(agg.ci95_halfwidth(), expect_hw));
+            assert_eq!(
+                agg.min(),
+                samples.iter().copied().fold(f64::INFINITY, f64::min)
+            );
+            assert_eq!(
+                agg.max(),
+                samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            );
+        }
+    }
+
+    #[test]
+    fn merge_of_partials_equals_whole() {
+        let mut rng = Rng(0xfeed_f00d);
+        for _ in 0..200 {
+            let n = 2 + (rng.next() % 50) as usize;
+            let samples: Vec<f64> = (0..n).map(|_| (rng.unit() - 0.3) * 42.0).collect();
+            let split = (rng.next() as usize) % (n + 1);
+
+            let whole = Aggregate::of(samples.iter().copied());
+            let left = Aggregate::of(samples[..split].iter().copied());
+            let right = Aggregate::of(samples[split..].iter().copied());
+            let merged = left.merge(&right);
+
+            assert_eq!(merged.n(), whole.n());
+            assert!(close(merged.mean(), whole.mean()));
+            assert!(close(merged.sample_variance(), whole.sample_variance()));
+            assert_eq!(merged.min(), whole.min());
+            assert_eq!(merged.max(), whole.max());
+        }
+    }
+
+    #[test]
+    fn t_table_is_sane() {
+        assert_eq!(t95(1), 12.706);
+        assert_eq!(t95(4), 2.776);
+        assert_eq!(t95(29), 2.045);
+        assert_eq!(t95(1_000_000), 1.960);
+        // Monotonically non-increasing toward the normal quantile.
+        let mut prev = t95(1);
+        for df in 2..200 {
+            let t = t95(df);
+            assert!(t <= prev, "t95({df}) = {t} rose above {prev}");
+            assert!(t >= 1.960);
+            prev = t;
+        }
+    }
+}

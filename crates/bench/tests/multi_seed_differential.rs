@@ -1,0 +1,125 @@
+//! Differential tests for the multi-seed statistics layer: the aggregated
+//! JSON/CSV artifacts of a multi-seed scenario must be byte-identical for
+//! any worker count and for single-process vs supervised sharded execution
+//! (the `scenarios` binary via `CARGO_BIN_EXE_scenarios`).
+//!
+//! This is the execution-strategy half of the seed-aggregation contract: the
+//! statistics in `seed_aggregates()` are a fold over bit-identical per-cell
+//! results in grid order, so *how* the cells were computed — one thread,
+//! eight threads, three worker processes — must be unobservable in the
+//! emitted artifacts.
+
+use flywheel_bench::scenario::{Machine, Scenario};
+use flywheel_bench::spec::scenario_to_spec;
+use flywheel_bench::store::ResultStore;
+use flywheel_uarch::SimBudget;
+use flywheel_workloads::Benchmark;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn scenarios_exe() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_scenarios"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fw-msd-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A 24-cell grid with a 3-entry seed axis (8 configuration points × 3
+/// seeds) that runs in well under a second.
+fn multi_seed_scenario() -> Scenario {
+    let mut s = Scenario::new("multiseed-diff", SimBudget::new(300, 1_200));
+    s.benchmarks = vec![Benchmark::Micro, Benchmark::PtrChase];
+    s.machines = vec![Machine::Baseline, Machine::Flywheel];
+    s.mem_cycles = vec![100, 300];
+    s.seeds = vec![11, 12, 13];
+    s
+}
+
+#[test]
+fn seed_aggregates_are_identical_for_any_worker_count() {
+    let scenario = multi_seed_scenario();
+    let lone = scenario.run_with_jobs(1);
+    let wide = scenario.run_with_jobs(4);
+    lone.check_invariants().unwrap();
+
+    // One aggregate per configuration point, each over the full seed axis.
+    let aggs = lone.seed_aggregates();
+    assert_eq!(aggs.len(), 8, "2 benches × 2 machines × 2 mem latencies");
+    for a in &aggs {
+        assert_eq!((a.n, a.expected_n), (3, 3));
+        assert!(!a.is_reduced());
+    }
+
+    // The emitted artifacts — per-seed rows, aggregate rows with CI columns,
+    // the seed axis itself — must not betray the worker count.
+    assert_eq!(lone.to_json(), wide.to_json());
+    assert_eq!(lone.to_csv(), wide.to_csv());
+    assert_eq!(lone.to_csv().matches(",aggregate:n=3/3").count(), 8);
+}
+
+#[test]
+fn sharded_sweep_and_single_process_agree_byte_for_byte() {
+    let dir = temp_dir("shards");
+    let scenario = multi_seed_scenario();
+    let spec = scenario_to_spec(&scenario).unwrap();
+    let cells = scenario.cell_count();
+
+    // Single-process store-backed reference run.
+    let single_path = dir.join("single.store");
+    let mut single = ResultStore::open(&single_path).unwrap();
+    let (reference, summary) = scenario.run_with_store(&mut single);
+    assert_eq!(summary.simulated, cells);
+    assert!(!reference.is_degraded());
+    drop(single);
+
+    // The same grid as a supervised 3-shard multi-process sweep.
+    let sharded_path = dir.join("sharded.store");
+    let out = Command::new(scenarios_exe())
+        .arg("sweep")
+        .arg("--spec")
+        .arg(&spec)
+        .arg("--store")
+        .arg(&sharded_path)
+        .arg("--shards")
+        .arg("3")
+        .current_dir(&dir)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "sweep failed:\n{}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Replaying against the sweep's merged store must recall every cell warm
+    // (zero re-simulation) and emit artifacts byte-identical to the
+    // single-process run, seed aggregates included.
+    let mut sharded = ResultStore::open(&sharded_path).unwrap();
+    let (replay, warm) = scenario.run_with_store_jobs(&mut sharded, 1);
+    assert_eq!(warm.hits, cells, "the sweep must have landed every cell");
+    assert_eq!(warm.simulated, 0);
+    assert_eq!(replay.to_json(), reference.to_json());
+    assert_eq!(replay.to_csv(), reference.to_csv());
+
+    // And the two stores hold the same record content (byte order differs:
+    // shard merges append in sorted-key runs).
+    let sorted_lines = |p: &Path| {
+        let mut lines: Vec<String> = std::fs::read_to_string(p)
+            .unwrap()
+            .lines()
+            .skip(1)
+            .map(str::to_owned)
+            .collect();
+        lines.sort();
+        lines
+    };
+    assert_eq!(sorted_lines(&single_path).len(), cells);
+    assert_eq!(sorted_lines(&single_path), sorted_lines(&sharded_path));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

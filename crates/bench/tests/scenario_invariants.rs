@@ -1,6 +1,6 @@
 //! Differential invariant layer over randomized scenario grids.
 //!
-//! The golden digest proves bit-identity of the 99 runs the figures happen to
+//! The golden digest proves bit-identity of the 117 runs the figures happen to
 //! exercise; this layer guards the *rest* of the config/workload space the
 //! scenario engine opened up. A seeded RNG draws machine-config axes, the grid
 //! runs on both machines over SPEC-like and stress workloads, and every cell is

@@ -1,0 +1,89 @@
+//! Regression drill: a fault-injected seed must land in the degraded-cells
+//! manifest and be *excluded* from its point's seed aggregate with an
+//! explicit reduced-n marker — never silently averaged into the statistics.
+//!
+//! Fault plans are process-global, so this drill lives in its own test
+//! binary instead of alongside `fault_injection.rs`.
+
+use flywheel_bench::fault::{self, FaultPlan};
+use flywheel_bench::scenario::{Machine, Scenario, MAX_CELL_ATTEMPTS};
+use flywheel_bench::stats::Aggregate;
+use flywheel_uarch::SimBudget;
+use flywheel_workloads::Benchmark;
+
+/// Clears the plan even when an assertion panics mid-test.
+struct ClearOnDrop;
+impl Drop for ClearOnDrop {
+    fn drop(&mut self) {
+        fault::clear();
+    }
+}
+
+#[test]
+fn a_failed_seed_reduces_the_aggregate_instead_of_polluting_it() {
+    let _clear = ClearOnDrop;
+    let mut s = Scenario::new("reduced-drill", SimBudget::new(300, 1_200));
+    s.benchmarks = vec![Benchmark::Micro];
+    s.machines = vec![Machine::Baseline, Machine::Flywheel];
+    s.seeds = vec![21, 22, 23];
+
+    fault::install(FaultPlan {
+        seed: 5,
+        panic_cells: 1,
+        ..FaultPlan::default()
+    });
+    let run = s.run();
+    fault::clear();
+
+    // Exactly one seed cell failed, after exhausting its retries, and the
+    // run still satisfies the aggregate invariants (a seed missing *without*
+    // a manifest entry would be rejected there).
+    assert_eq!(run.failed.len(), 1, "{:?}", run.failed);
+    let failed = &run.failed[0];
+    assert_eq!(failed.cause.kind(), "panic");
+    assert_eq!(failed.attempts, MAX_CELL_ATTEMPTS);
+    run.check_invariants().unwrap();
+
+    // The failed seed's point is reduced; the sibling machine's point keeps
+    // its full sample.
+    let aggs = run.seed_aggregates();
+    assert_eq!(aggs.len(), 2, "one point per machine");
+    let hit = aggs
+        .iter()
+        .find(|a| a.cell.machine == failed.cell.machine)
+        .unwrap();
+    let clean = aggs
+        .iter()
+        .find(|a| a.cell.machine != failed.cell.machine)
+        .unwrap();
+    assert!(hit.is_reduced());
+    assert_eq!((hit.n, hit.expected_n), (2, 3));
+    assert!(!clean.is_reduced());
+    assert_eq!((clean.n, clean.expected_n), (3, 3));
+
+    // The reduced point is the survivors-only fold: the failed seed is not
+    // in `run.cells` at all, so no placeholder value can be averaged in.
+    let mut survivors = Aggregate::new();
+    for (cell, r) in run.cells.iter().zip(&run.results) {
+        if cell.machine == failed.cell.machine {
+            assert_ne!(
+                cell.seed, failed.cell.seed,
+                "a failed cell must not appear among the survivors"
+            );
+            survivors.add(r.sim.ipc());
+        }
+    }
+    assert_eq!(survivors.n(), 2);
+    assert_eq!(hit.ipc, survivors);
+
+    // Both emitters carry the explicit markers: the manifest row for the
+    // failed cell and the reduced-n marker on its aggregate row.
+    let csv = run.to_csv();
+    assert_eq!(csv.matches(",failed:panic").count(), 1);
+    assert!(csv.contains(",aggregate:reduced:n=2/3"), "{csv}");
+    assert!(csv.contains(",aggregate:n=3/3"), "{csv}");
+    let json = run.to_json();
+    assert!(json.contains("\"failed_count\": 1,"));
+    assert!(json.contains("\"n\": 2, \"expected_n\": 3, \"reduced\": true"));
+    assert!(json.contains("\"n\": 3, \"expected_n\": 3, \"reduced\": false"));
+}

@@ -48,6 +48,14 @@ pub enum Benchmark {
     /// Stress: store-forward-heavy workload hammering a tiny hot set (see
     /// [`crate::stress::store_storm`]).
     StoreStorm,
+    /// Promoted adversarial extreme: the minimize-gap frontier head of the
+    /// deterministic workload search, frozen as [`crate::stress::ec_worst`] —
+    /// the worst Flywheel-vs-baseline point the search found.
+    EcWorst,
+    /// Promoted adversarial extreme: the maximize-gap frontier head of the
+    /// same search, frozen as [`crate::stress::fly_best`] — the largest
+    /// Flywheel-vs-baseline gap the search found.
+    FlyBest,
 }
 
 impl Benchmark {
@@ -79,12 +87,21 @@ impl Benchmark {
         ]
     }
 
-    /// Every benchmark the repo knows: the paper suite, the stress suite and
-    /// the `micro` test workload.
+    /// The two adversarial benchmarks promoted from the deterministic
+    /// workload search frontier (see [`crate::stress::ec_worst`] and
+    /// [`crate::stress::fly_best`]): discovered extremes of the
+    /// Flywheel-vs-baseline gap, frozen as first-class workloads.
+    pub fn adversarial_suite() -> &'static [Benchmark] {
+        &[Benchmark::EcWorst, Benchmark::FlyBest]
+    }
+
+    /// Every benchmark the repo knows: the paper suite, the stress suite, the
+    /// promoted adversarial extremes and the `micro` test workload.
     pub fn all() -> Vec<Benchmark> {
         let mut v = Benchmark::paper_suite().to_vec();
         v.push(Benchmark::Micro);
         v.extend_from_slice(Benchmark::stress_suite());
+        v.extend_from_slice(Benchmark::adversarial_suite());
         v
     }
 
@@ -112,6 +129,8 @@ impl Benchmark {
             Benchmark::BranchStorm => "brstorm",
             Benchmark::CodeBloat => "codebloat",
             Benchmark::StoreStorm => "ststorm",
+            Benchmark::EcWorst => "ecworst",
+            Benchmark::FlyBest => "flybest",
         }
     }
 
@@ -496,6 +515,8 @@ impl Benchmark {
             Benchmark::BranchStorm => crate::stress::branch_storm(),
             Benchmark::CodeBloat => crate::stress::code_bloat(),
             Benchmark::StoreStorm => crate::stress::store_storm(),
+            Benchmark::EcWorst => crate::stress::ec_worst(),
+            Benchmark::FlyBest => crate::stress::fly_best(),
         }
     }
 
@@ -555,6 +576,21 @@ mod tests {
         }
         assert_eq!(Benchmark::from_name("no-such-bench"), None);
         assert!(!Benchmark::stress_suite().iter().any(|b| b.is_fp()));
+    }
+
+    #[test]
+    fn promoted_adversarial_extremes_are_first_class() {
+        assert_eq!(Benchmark::adversarial_suite().len(), 2);
+        for b in Benchmark::adversarial_suite() {
+            b.profile().validate().unwrap_or_else(|e| panic!("{e}"));
+            assert!(!b.is_fp(), "{b} should be integer");
+        }
+        assert_eq!(Benchmark::from_name("ecworst"), Some(Benchmark::EcWorst));
+        assert_eq!(Benchmark::from_name("flybest"), Some(Benchmark::FlyBest));
+        // The promoted extremes ride along with — but do not dilute — the
+        // hand-built stress family.
+        assert!(!Benchmark::stress_suite().contains(&Benchmark::EcWorst));
+        assert!(!Benchmark::stress_suite().contains(&Benchmark::FlyBest));
     }
 
     #[test]
