@@ -5,7 +5,9 @@
 //!
 //! Every line is the full Debug of one `SimResult`/`FlywheelResult` over the
 //! seven original benchmarks, the four stress workloads and the two promoted
-//! adversarial extremes (117 runs total).
+//! adversarial extremes (169 runs total: 117 for the five original machines,
+//! then 52 for the multi-domain and DVFS families appended by PR 10 —
+//! extending the digest appends lines, it never rewrites the existing ones).
 //! Capturing
 //! this output before and after a kernel refactor and diffing the two files
 //! proves bit-identical simulation behaviour (the hot-path rework of the
@@ -20,9 +22,9 @@
 //! trace per run.
 
 use flywheel_bench::shared_trace;
-use flywheel_core::{FlywheelConfig, FlywheelSim};
+use flywheel_core::{DvfsConfig, FlywheelConfig, FlywheelSim};
 use flywheel_timing::TechNode;
-use flywheel_uarch::{BaselineConfig, BaselineSim, SimBudget};
+use flywheel_uarch::{BaselineConfig, BaselineSim, MultiDomainConfig, SimBudget};
 use flywheel_workloads::Benchmark;
 
 fn main() {
@@ -83,6 +85,31 @@ fn main() {
         for (name, cfg) in flywheel_cfgs {
             let r = FlywheelSim::new(cfg, trace.cursor()).run(budget);
             println!("flywheel/{bench}/{name}: {r:?}");
+        }
+    }
+    // The machine families added by the executor-registry PR. Appended as a
+    // second pass over the benchmarks so the 117 pre-existing lines above
+    // keep their byte positions: extending the digest must never move them.
+    for bench in benches {
+        let trace = shared_trace(bench, 42, budget);
+        let multidomain_cfgs: Vec<(&str, MultiDomainConfig)> = vec![
+            ("paper_n130", MultiDomainConfig::paper(TechNode::N130)),
+            (
+                "fe50",
+                MultiDomainConfig::paper_with_frontend(TechNode::N130, 50),
+            ),
+        ];
+        for (name, cfg) in multidomain_cfgs {
+            let r = BaselineSim::new_multi_domain(cfg, trace.cursor()).run(budget);
+            println!("multidomain/{bench}/{name}: {r:?}");
+        }
+        let dvfs_cfgs: Vec<(&str, DvfsConfig)> = vec![
+            ("iso_clock", DvfsConfig::paper(TechNode::N130, 0, 0)),
+            ("fe50_be50", DvfsConfig::paper(TechNode::N130, 50, 50)),
+        ];
+        for (name, cfg) in dvfs_cfgs {
+            let r = FlywheelSim::new_dvfs(cfg, trace.cursor()).run(budget);
+            println!("dvfs/{bench}/{name}: {r:?}");
         }
     }
 }

@@ -11,7 +11,14 @@
 //! Presets: `fig2`, `fig11`, `fig12` (tables byte-identical to the
 //! `experiments` binary at the same budget), `smoke` (the CI grid), `stress`
 //! (the stress-workload family over three config axes), `leakage` (technology
-//! node x machine x Execution Cache capacity, the attributed-leakage sweep).
+//! node x machine x Execution Cache capacity, the attributed-leakage sweep),
+//! `multidomain` (the baseline against the LSQ-in-its-own-clock-domain
+//! machine) and `dvfs` (the Flywheel against its governed-clock variant).
+//!
+//! `scenarios list-machines [--names]` prints the registered machine
+//! families: name, power-model kind, which axes each family sweeps, its
+//! preset tags and a one-line summary. `--names` emits bare names, one per
+//! line, for shell iteration (the CI pluggability gate loops over it).
 //!
 //! Axes (comma-separated lists; `custom` starts from the paper's single-point
 //! defaults):
@@ -93,11 +100,12 @@ use std::time::{Duration, Instant};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: scenarios <fig2|fig11|fig12|smoke|stress|leakage|custom> \
+        "usage: scenarios <fig2|fig11|fig12|smoke|stress|leakage|multidomain|dvfs|custom> \
          [--benches a,b] [--machines m,..] [--nodes 130,..] [--clocks FE:BE,..] \
          [--windows IW:ROB,..] [--ec KB,..] [--mem CYC,..] [--seeds S,..] \
          [--insts N] [--check] [--json PATH] [--csv PATH] [--store PATH] \
-         [--faults SPEC] [--telemetry PATH]\n       scenarios fsck [--store PATH]\
+         [--faults SPEC] [--telemetry PATH]\
+         \n       scenarios list-machines [--names]\n       scenarios fsck [--store PATH]\
          \n       scenarios fsck-events <path>\
          \n       scenarios merge <A> <B> [--out C]\
          \n       scenarios sweep <preset|--spec SPEC> [--store PATH] [--shards N] \
@@ -108,6 +116,45 @@ fn usage() -> ! {
          [--top K] [--store PATH]"
     );
     std::process::exit(1);
+}
+
+/// `scenarios list-machines [--names]`: print the registered machine
+/// families. The default rendering is a human-readable table; `--names`
+/// emits bare family names one per line so shell loops (notably the CI
+/// pluggability gate) can iterate the registry without parsing.
+fn list_machines(args: &[String]) -> ! {
+    let mut names_only = false;
+    for arg in args {
+        match arg.as_str() {
+            "--names" => names_only = true,
+            _ => usage(),
+        }
+    }
+    if names_only {
+        for m in Machine::all() {
+            println!("{}", m.name());
+        }
+        std::process::exit(0);
+    }
+    println!("{} registered machine families:", Machine::all().len());
+    for m in Machine::all() {
+        let f = m.family();
+        let axes = match (f.uses_clock_axis, f.uses_ec_axis) {
+            (true, true) => "clock+ec axes",
+            (true, false) => "clock axis",
+            (false, true) => "ec axis",
+            (false, false) => "no swept axes",
+        };
+        println!(
+            "  {:<22} kind={:<8?} {:<14} presets={:<28} {}",
+            f.name,
+            f.kind,
+            axes,
+            f.presets.join(","),
+            f.summary,
+        );
+    }
+    std::process::exit(0);
 }
 
 /// `scenarios merge <A> <B> [--out C]`: union stores, refuse conflicts with a
@@ -469,6 +516,9 @@ fn main() {
     supervisor::maybe_run_shard_worker();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(which) = args.first() else { usage() };
+    if which == "list-machines" {
+        list_machines(&args[1..]);
+    }
     if which == "fsck" {
         fsck(&args[1..]);
     }
@@ -516,6 +566,8 @@ fn main() {
         }
         "stress" => Scenario::stress(budget),
         "leakage" => Scenario::leakage(budget),
+        "multidomain" => Scenario::multidomain(budget),
+        "dvfs" => Scenario::dvfs(budget),
         "custom" => Scenario::new("custom", budget),
         _ => usage(),
     };

@@ -12,6 +12,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod executor;
 pub mod fault;
 pub mod scenario;
 pub mod search;

@@ -35,93 +35,21 @@
 //! rather than aborting. The `crate::fault` harness can inject all of these
 //! failures deterministically to prove the recovery paths fire.
 
+use crate::executor::{machines_for_preset, CellAxes, Executor};
 use crate::fault;
 use crate::stats::Aggregate;
-use crate::store::{baseline_key, flywheel_key, ResultStore, RunStats, StoreKey, StoreSummary};
-use crate::{
-    format_table, parallel_map_jobs, run_baseline_cfg, run_flywheel_cfg, worker_count, Row,
-    EXPERIMENT_SEED,
-};
-use flywheel_core::{FlywheelConfig, FlywheelStats};
-use flywheel_power::{MachineKind, PowerModel, UnitCategory};
-use flywheel_timing::{ClockPlan, TechNode};
+use crate::store::{ResultStore, RunStats, StoreKey, StoreSummary};
+use crate::{format_table, parallel_map_jobs, worker_count, Row, EXPERIMENT_SEED};
+use flywheel_core::FlywheelStats;
+use flywheel_power::{PowerModel, UnitCategory};
+use flywheel_timing::TechNode;
 use flywheel_uarch::watchdog::{self, WatchdogConfig, WatchdogTimeout};
-use flywheel_uarch::{BaselineConfig, SimBudget, SimResult};
+use flywheel_uarch::{SimBudget, SimResult};
 use flywheel_workloads::Benchmark;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
 
-/// The machine models a scenario can place in a cell.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Machine {
-    /// The paper's synchronous baseline (Table 2).
-    Baseline,
-    /// Baseline with one extra front-end stage (Figure 2, light bars).
-    BaselineExtraFe,
-    /// Baseline with Wake-up/Select pipelined over two cycles (Figure 2, dark
-    /// bars).
-    BaselinePipedWakeup,
-    /// The "Register Allocation" machine of Figure 11: Dual-Clock Issue Window
-    /// and pool renaming without the Execution Cache.
-    RegAlloc,
-    /// The full Flywheel machine.
-    Flywheel,
-}
-
-impl Machine {
-    /// All machines, in a stable order.
-    pub fn all() -> &'static [Machine] {
-        &[
-            Machine::Baseline,
-            Machine::BaselineExtraFe,
-            Machine::BaselinePipedWakeup,
-            Machine::RegAlloc,
-            Machine::Flywheel,
-        ]
-    }
-
-    /// The machine's name as used by the `scenarios` CLI and the emitters.
-    pub fn name(&self) -> &'static str {
-        match self {
-            Machine::Baseline => "baseline",
-            Machine::BaselineExtraFe => "baseline-extra-fe",
-            Machine::BaselinePipedWakeup => "baseline-piped-wakeup",
-            Machine::RegAlloc => "regalloc",
-            Machine::Flywheel => "flywheel",
-        }
-    }
-
-    /// Parses a machine from its [`Machine::name`].
-    pub fn from_name(name: &str) -> Option<Machine> {
-        Machine::all().iter().copied().find(|m| m.name() == name)
-    }
-
-    /// Whether this is a baseline-family machine (simulated by `BaselineSim`).
-    pub fn is_baseline(&self) -> bool {
-        matches!(
-            self,
-            Machine::Baseline | Machine::BaselineExtraFe | Machine::BaselinePipedWakeup
-        )
-    }
-
-    /// Whether the machine sweeps the scenario's clock axis. Baseline-family
-    /// machines run at the scenario's single `baseline_clock` instead, so a
-    /// clock sweep does not multiply the reference runs.
-    pub fn uses_clock_axis(&self) -> bool {
-        !self.is_baseline()
-    }
-
-    /// Whether the machine's behaviour depends on the Execution Cache axis.
-    pub fn uses_ec_axis(&self) -> bool {
-        matches!(self, Machine::Flywheel)
-    }
-}
-
-impl std::fmt::Display for Machine {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.name())
-    }
-}
+pub use crate::executor::Machine;
 
 /// A declarative sweep description: the cartesian product of its axes is the
 /// grid the engine runs.
@@ -180,7 +108,7 @@ impl Scenario {
         Scenario {
             name: name.to_owned(),
             benchmarks: Benchmark::paper_suite().to_vec(),
-            machines: vec![Machine::Baseline, Machine::Flywheel],
+            machines: machines_for_preset("default"),
             nodes: vec![TechNode::N130],
             clocks: vec![(0, 0)],
             baseline_clock: (0, 0),
@@ -195,11 +123,7 @@ impl Scenario {
     /// The Figure 2 preset: pipeline-loop stretching on the baseline machine.
     pub fn fig2(budget: SimBudget) -> Self {
         let mut s = Scenario::new("fig2", budget);
-        s.machines = vec![
-            Machine::Baseline,
-            Machine::BaselineExtraFe,
-            Machine::BaselinePipedWakeup,
-        ];
+        s.machines = machines_for_preset("fig2");
         s
     }
 
@@ -207,7 +131,7 @@ impl Scenario {
     /// baseline clock.
     pub fn fig11(budget: SimBudget) -> Self {
         let mut s = Scenario::new("fig11", budget);
-        s.machines = vec![Machine::Baseline, Machine::RegAlloc, Machine::Flywheel];
+        s.machines = machines_for_preset("fig11");
         s
     }
 
@@ -252,10 +176,32 @@ impl Scenario {
     /// baseline-vs-Flywheel leakage gap across nodes and EC geometries.
     pub fn leakage(budget: SimBudget) -> Self {
         let mut s = Scenario::new("leakage", budget);
-        s.machines = vec![Machine::Baseline, Machine::Flywheel];
+        s.machines = machines_for_preset("default");
         s.nodes = TechNode::power_study_nodes().to_vec();
         s.clocks = vec![(100, 50)];
         s.ec_kb = vec![64, 128, 256];
+        s
+    }
+
+    /// The multi-domain preset: the baseline against the machine whose
+    /// LSQ/D-cache pipeline runs in its own, faster clock domain (Table 1
+    /// gives the D-cache headroom over the Issue Window at every node), at
+    /// the synchronous point and the paper's FE+50/BE+50 point.
+    pub fn multidomain(budget: SimBudget) -> Self {
+        let mut s = Scenario::new("multidomain", budget);
+        s.machines = machines_for_preset("multidomain");
+        s.clocks = vec![(0, 0), (50, 50)];
+        s
+    }
+
+    /// The DVFS preset: baseline, fixed-clock Flywheel, and the governed
+    /// Flywheel whose back-end clock is retuned at fixed intervals from the
+    /// observed Execution Cache residency — from the synchronous starting
+    /// point and from the paper's FE+50/BE+50 point.
+    pub fn dvfs(budget: SimBudget) -> Self {
+        let mut s = Scenario::new("dvfs", budget);
+        s.machines = machines_for_preset("dvfs");
+        s.clocks = vec![(0, 0), (50, 50)];
         s
     }
 
@@ -674,83 +620,51 @@ impl ScenarioCell {
         )
     }
 
-    /// The baseline-machine configuration of this cell.
-    ///
-    /// With every axis at its paper default this is exactly
-    /// [`BaselineConfig::paper`] (plus the Figure 2 variant knob selected by
-    /// the machine), which is what makes the figure presets byte-identical to
-    /// the `experiments` binary.
-    pub fn baseline_config(&self) -> BaselineConfig {
-        let mut c = BaselineConfig::paper(self.node);
-        match self.machine {
-            Machine::BaselineExtraFe => c = c.with_extra_frontend_stage(),
-            Machine::BaselinePipedWakeup => c = c.with_pipelined_wakeup(),
-            _ => {}
+    /// The machine-independent coordinates of this cell (what a machine
+    /// family's builder resolves into a concrete configuration).
+    pub fn axes(&self) -> CellAxes {
+        CellAxes {
+            bench: self.bench,
+            seed: self.seed,
+            node: self.node,
+            fe_pct: self.fe_pct,
+            be_pct: self.be_pct,
+            iw_entries: self.iw_entries,
+            rob_entries: self.rob_entries,
+            ec_kb: self.ec_kb,
+            mem_cycles: self.mem_cycles,
         }
-        if self.fe_pct > 0 || self.be_pct > 0 {
-            // A clocked-up baseline needs the Dual-Clock Issue Window's
-            // synchronization latencies, as in
-            // `BaselineConfig::with_dual_clock_frontend`.
-            c.clocks = ClockPlan::with_speedups(self.node, self.fe_pct, self.be_pct);
-            c.sync_latency_be_cycles = 1;
-            c.redirect_sync_fe_cycles = 1;
-        }
-        c.iw_entries = self.iw_entries;
-        c.rob_entries = self.rob_entries;
-        c.mem_cycles = self.mem_cycles;
-        c
     }
 
-    /// The Flywheel-machine configuration of this cell (Execution Cache
-    /// disabled for [`Machine::RegAlloc`]).
-    pub fn flywheel_config(&self) -> FlywheelConfig {
-        let mut c = FlywheelConfig::paper(self.node, self.fe_pct, self.be_pct);
-        if self.machine == Machine::RegAlloc {
-            c.execution_cache = false;
-        }
-        c.base.iw_entries = self.iw_entries;
-        c.base.rob_entries = self.rob_entries;
-        c.base.mem_cycles = self.mem_cycles;
-        c.ec.size_bytes = self.ec_kb * 1024;
-        c
+    /// The executor for this cell: the cell's machine family resolved at the
+    /// cell's axes, owning the full machine configuration. With every axis at
+    /// its paper default the resolved configuration is exactly the paper
+    /// machine (plus the family's structural knob), which is what makes the
+    /// figure presets byte-identical to the `experiments` binary.
+    pub fn executor(&self) -> Box<dyn Executor> {
+        self.machine.family().builder.build(&self.axes())
     }
 
     /// Validates the cell's machine configuration.
     pub fn validate(&self) -> Result<(), String> {
-        if self.machine.is_baseline() {
-            self.baseline_config().validate()
-        } else {
-            self.flywheel_config().validate()
-        }
+        self.executor().validate()
     }
 
-    /// The content address of this cell at `budget`: a hash of the full
-    /// machine configuration, workload, seed, budget, and the code-version
-    /// salt (see [`crate::store`]).
+    /// The content address of this cell at `budget`: a hash of the machine
+    /// family, its full configuration, workload, seed, budget, and the
+    /// code-version salt (see [`crate::store`]).
     pub fn key(&self, budget: SimBudget) -> StoreKey {
-        if self.machine.is_baseline() {
-            baseline_key(&self.baseline_config(), self.bench, self.seed, budget)
-        } else {
-            flywheel_key(&self.flywheel_config(), self.bench, self.seed, budget)
-        }
+        self.executor().key(budget)
     }
 
     /// Runs the cell against the shared recorded trace of its
     /// `(benchmark, seed)` pair (recalling it from the process-global result
     /// store instead, when one is installed).
     pub fn run(&self, budget: SimBudget) -> CellResult {
-        if self.machine.is_baseline() {
-            let sim = run_baseline_cfg(self.bench, self.seed, self.baseline_config(), budget);
-            CellResult {
-                sim,
-                flywheel: None,
-            }
-        } else {
-            let r = run_flywheel_cfg(self.bench, self.seed, self.flywheel_config(), budget);
-            CellResult {
-                sim: r.sim,
-                flywheel: Some(r.flywheel),
-            }
+        let r = self.executor().run(budget);
+        CellResult {
+            sim: r.sim,
+            flywheel: r.flywheel,
         }
     }
 }
@@ -909,12 +823,11 @@ pub fn check_cell_invariants(
             sim.be_cycles, sim.fe_cycles, sim.elapsed_ps
         ));
     }
-    // Retirement bandwidth bounds the cycle count from below.
-    let commit_width = if cell.machine.is_baseline() {
-        cell.baseline_config().commit_width
-    } else {
-        cell.flywheel_config().base.commit_width
-    };
+    // Retirement bandwidth bounds the cycle count from below. The executor
+    // owns the resolved machine configuration, so the checker never matches
+    // on machine variants — any registered family is checkable as-is.
+    let exec = cell.executor();
+    let commit_width = exec.commit_width();
     if sim.instructions > sim.be_cycles * commit_width as u64 {
         return fail(format!(
             "{} instructions exceed the commit bandwidth of {} cycles x {}",
@@ -949,11 +862,7 @@ pub fn check_cell_invariants(
     // invariant that makes machine-blind leakage accounting (the class of bug
     // fixed in PR 5: a baseline charged for Execution-Cache leakage it does not
     // instantiate) impossible to reintroduce silently in either kernel.
-    let (power_cfg, kind) = if cell.machine.is_baseline() {
-        (cell.baseline_config().power_config(), MachineKind::Baseline)
-    } else {
-        (cell.flywheel_config().power_config(), MachineKind::Flywheel)
-    };
+    let (power_cfg, kind) = exec.power_binding();
     let model = PowerModel::new(power_cfg);
     let elapsed_s = sim.elapsed_ps as f64 * 1.0e-12;
     for (cat, name, got) in [
@@ -1015,8 +924,13 @@ pub fn check_cell_invariants(
                     return fail(format!("{name} {v} outside [0, 1]"));
                 }
             }
-            if cell.machine == Machine::RegAlloc && f.ec_lookups != 0 {
-                return fail("register-allocation machine touched the EC".into());
+            // A Flywheel-kind family that does not consume the EC axis (the
+            // register-allocation machine) must never touch the EC.
+            if !cell.machine.uses_ec_axis() && f.ec_lookups != 0 {
+                return fail(format!(
+                    "machine '{}' has no Execution Cache but performed {} EC lookups",
+                    cell.machine, f.ec_lookups
+                ));
             }
         }
         (None, true) => {
@@ -1687,6 +1601,8 @@ fn json_safe(s: &str) -> String {
 mod tests {
     use super::*;
     use crate::{run_baseline, run_baseline_with, run_flywheel};
+    use flywheel_core::FlywheelConfig;
+    use flywheel_uarch::BaselineConfig;
 
     fn tiny_budget() -> SimBudget {
         SimBudget::new(500, 2_000)
@@ -1714,6 +1630,49 @@ mod tests {
         Scenario::smoke().validate().unwrap();
         Scenario::stress(b).validate().unwrap();
         Scenario::leakage(b).validate().unwrap();
+        Scenario::multidomain(b).validate().unwrap();
+        Scenario::dvfs(b).validate().unwrap();
+    }
+
+    #[test]
+    fn new_family_presets_have_the_expected_grids() {
+        let b = tiny_budget();
+        // multidomain: baseline once, multi-domain machine per clock point.
+        let s = Scenario::multidomain(b);
+        assert_eq!(
+            s.machines,
+            vec![Machine::Baseline, Machine::MultiDomain],
+            "preset machines come from the registry tags"
+        );
+        assert_eq!(s.cell_count(), s.benchmarks.len() * 3);
+        // dvfs: baseline once, Flywheel and governed Flywheel per clock point.
+        let s = Scenario::dvfs(b);
+        assert_eq!(
+            s.machines,
+            vec![Machine::Baseline, Machine::Flywheel, Machine::Dvfs]
+        );
+        assert_eq!(s.cell_count(), s.benchmarks.len() * 5);
+    }
+
+    #[test]
+    fn new_families_flow_through_the_whole_engine_unchanged() {
+        // One multi-domain and one DVFS cell run through expansion, the
+        // guarded executor, the invariant layer and both emitters without any
+        // machine-specific handling in those layers.
+        for mut s in [
+            Scenario::multidomain(tiny_budget()),
+            Scenario::dvfs(tiny_budget()),
+        ] {
+            s.benchmarks = vec![Benchmark::PtrChase];
+            let run = s.run();
+            assert_eq!(run.cells.len(), s.cell_count(), "no failed cells");
+            run.check_invariants().unwrap_or_else(|e| panic!("{e}"));
+            let csv = run.to_csv();
+            assert_eq!(csv.lines().count(), run.cells.len() + 1);
+            assert!(csv.contains(&format!(",{},", s.machines.last().unwrap())));
+            let json = run.to_json();
+            assert!(json.contains(&format!("\"machine\": \"{}\"", s.machines[1])));
+        }
     }
 
     #[test]
@@ -1746,6 +1705,9 @@ mod tests {
 
     #[test]
     fn paper_default_cells_reproduce_the_paper_configs() {
+        // The executor's config_debug() is the exact Debug rendering that
+        // enters the store key, so comparing it against the paper constructors
+        // pins both the resolved configuration and the key derivation.
         let s = Scenario::new("t", tiny_budget());
         let cells = s.expand();
         let base = cells
@@ -1753,16 +1715,16 @@ mod tests {
             .find(|c| c.machine == Machine::Baseline)
             .unwrap();
         assert_eq!(
-            base.baseline_config(),
-            BaselineConfig::paper(TechNode::N130)
+            base.executor().config_debug(),
+            format!("{:?}", BaselineConfig::paper(TechNode::N130))
         );
         let fly = cells
             .iter()
             .find(|c| c.machine == Machine::Flywheel)
             .unwrap();
         assert_eq!(
-            fly.flywheel_config(),
-            FlywheelConfig::paper_iso_clock(TechNode::N130)
+            fly.executor().config_debug(),
+            format!("{:?}", FlywheelConfig::paper_iso_clock(TechNode::N130))
         );
         let fig11 = Scenario::fig11(tiny_budget());
         let ra = fig11
@@ -1771,8 +1733,11 @@ mod tests {
             .find(|c| c.machine == Machine::RegAlloc)
             .unwrap();
         assert_eq!(
-            ra.flywheel_config(),
-            FlywheelConfig::register_allocation_only(TechNode::N130)
+            ra.executor().config_debug(),
+            format!(
+                "{:?}",
+                FlywheelConfig::register_allocation_only(TechNode::N130)
+            )
         );
     }
 

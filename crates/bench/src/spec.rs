@@ -176,6 +176,8 @@ fn preset(name: &str, budget: SimBudget) -> Result<Scenario, String> {
         "fig12" => Scenario::fig12(budget),
         "stress" => Scenario::stress(budget),
         "leakage" => Scenario::leakage(budget),
+        "multidomain" => Scenario::multidomain(budget),
+        "dvfs" => Scenario::dvfs(budget),
         other => return Err(format!("unknown scenario preset '{other}'")),
     })
 }
@@ -340,6 +342,8 @@ mod tests {
             Scenario::fig12(budget),
             Scenario::stress(budget),
             Scenario::leakage(budget),
+            Scenario::multidomain(budget),
+            Scenario::dvfs(budget),
         ] {
             let spec = scenario_to_spec(&s).unwrap();
             let back = scenario_from_spec(&spec).unwrap();
@@ -513,6 +517,28 @@ mod tests {
         assert!(err.contains("repeats seed 5"), "got: {err}");
         let err = scenario_from_spec("preset=smoke;seeds=9,4").unwrap_err();
         assert!(err.contains("not sorted ascending"), "got: {err}");
+    }
+
+    #[test]
+    fn every_registered_family_name_round_trips_through_a_spec() {
+        // The machines axis is registry-driven: a family registered in
+        // `crate::executor` is spellable in a spec with zero parser edits,
+        // and an unregistered name stays a typed error (see
+        // `bad_specs_are_rejected_with_context`). Pin both the full list and
+        // each name individually, so a registry rename breaks here first.
+        let names: Vec<&str> = Machine::all().iter().map(|m| m.name()).collect();
+        assert!(names.contains(&"multidomain") && names.contains(&"dvfs"));
+        let mut s = Scenario::smoke();
+        s.machines = Machine::all().to_vec();
+        let spec = scenario_to_spec(&s).expect("all families must serialize");
+        assert!(spec.contains(&format!("machines={}", names.join(","))));
+        let back = scenario_from_spec(&spec).expect("all families must parse back");
+        assert_eq!(back.machines, s.machines, "machines axis must round-trip");
+        for name in names {
+            let one = scenario_from_spec(&format!("name=x;machines={name}"))
+                .unwrap_or_else(|e| panic!("machines={name}: {e}"));
+            assert_eq!(one.machines, vec![Machine::from_name(name).unwrap()]);
+        }
     }
 
     #[test]

@@ -264,13 +264,7 @@ pub fn baseline_input(
     seed: u64,
     budget: SimBudget,
 ) -> String {
-    format!(
-        "salt={:016x}\nmachine=baseline\nconfig={cfg:?}\nbench={}\nseed={seed}\nwarmup={}\nmeasured={}\n",
-        code_version_salt(),
-        bench.name(),
-        budget.warmup_instructions,
-        budget.measured_instructions,
-    )
+    family_input("baseline", &format!("{cfg:?}"), bench, seed, budget)
 }
 
 /// The canonical input string hashed into a Flywheel-machine cell key.
@@ -280,13 +274,41 @@ pub fn flywheel_input(
     seed: u64,
     budget: SimBudget,
 ) -> String {
+    family_input("flywheel", &format!("{cfg:?}"), bench, seed, budget)
+}
+
+/// The canonical input string hashed into a cell key for any machine family.
+///
+/// `family` is the registered [family name](crate::executor::MachineFamily) and
+/// `config_debug` the `Debug` rendering of that family's configuration. For
+/// the pre-existing families this formats byte-for-byte what
+/// [`baseline_input`]/[`flywheel_input`] always produced, so generalizing the
+/// key derivation moved no stored key.
+pub fn family_input(
+    family: &str,
+    config_debug: &str,
+    bench: Benchmark,
+    seed: u64,
+    budget: SimBudget,
+) -> String {
     format!(
-        "salt={:016x}\nmachine=flywheel\nconfig={cfg:?}\nbench={}\nseed={seed}\nwarmup={}\nmeasured={}\n",
+        "salt={:016x}\nmachine={family}\nconfig={config_debug}\nbench={}\nseed={seed}\nwarmup={}\nmeasured={}\n",
         code_version_salt(),
         bench.name(),
         budget.warmup_instructions,
         budget.measured_instructions,
     )
+}
+
+/// The content address of a cell for any machine family (see [`family_input`]).
+pub fn family_key(
+    family: &str,
+    config_debug: &str,
+    bench: Benchmark,
+    seed: u64,
+    budget: SimBudget,
+) -> StoreKey {
+    StoreKey::of_input(&family_input(family, config_debug, bench, seed, budget))
 }
 
 /// The content address of a baseline-machine cell.
@@ -1187,6 +1209,36 @@ mod tests {
     fn salt_is_nonzero_and_stable() {
         assert_ne!(code_version_salt(), 0);
         assert_eq!(code_version_salt(), code_version_salt());
+    }
+
+    #[test]
+    fn family_inputs_pin_the_legacy_key_derivation() {
+        // The generic family derivation must format byte-for-byte what the
+        // baseline/flywheel-specific derivations produced before the machine
+        // registry existed; otherwise every stored key silently moves.
+        use flywheel_timing::TechNode;
+        let budget = SimBudget::new(5_000, 40_000);
+        let bench = flywheel_workloads::Benchmark::Micro;
+        let base = BaselineConfig::paper(TechNode::N130);
+        assert_eq!(
+            baseline_input(&base, bench, 42, budget),
+            family_input("baseline", &format!("{base:?}"), bench, 42, budget),
+        );
+        let fly = flywheel_core::FlywheelConfig::paper(TechNode::N130, 50, 50);
+        assert_eq!(
+            flywheel_input(&fly, bench, 42, budget),
+            family_input("flywheel", &format!("{fly:?}"), bench, 42, budget),
+        );
+        assert_eq!(
+            flywheel_key(&fly, bench, 42, budget),
+            family_key("flywheel", &format!("{fly:?}"), bench, 42, budget),
+        );
+        // Distinct families with identical configs must not collide.
+        let dbg = format!("{base:?}");
+        assert_ne!(
+            family_key("baseline", &dbg, bench, 42, budget),
+            family_key("multidomain", &dbg, bench, 42, budget),
+        );
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! The machine-family registry must reproduce the pinned golden digest.
+//!
+//! `golden.txt` is produced by the `golden` binary, which constructs the five
+//! pre-existing machine configurations *by hand* (named `BaselineConfig` /
+//! `FlywheelConfig` constructors) and prints the full Debug of every result.
+//! This test rebuilds the same configuration points *through the executor
+//! registry* — family name + grid axes, the way scenario sweeps resolve cells
+//! — replays them, and demands the rendered lines match the committed golden
+//! file byte for byte. Any drift between the registry's resolution of a grid
+//! point and the hand-built paper configurations is caught here, not in a
+//! store key miss three layers up.
+
+use flywheel_bench::executor::{CellAxes, Machine};
+use flywheel_bench::shared_trace;
+use flywheel_timing::TechNode;
+use flywheel_uarch::SimBudget;
+use flywheel_workloads::Benchmark;
+
+const GOLDEN: &str = include_str!("../../../golden.txt");
+
+/// The golden digest's budget (see `crates/bench/src/bin/golden.rs`).
+fn golden_budget() -> SimBudget {
+    SimBudget::new(5_000, 40_000)
+}
+
+fn axes(bench: Benchmark, fe: u32, be: u32) -> CellAxes {
+    CellAxes {
+        bench,
+        seed: 42,
+        node: TechNode::N130,
+        fe_pct: fe,
+        be_pct: be,
+        iw_entries: 128,
+        rob_entries: 128,
+        ec_kb: 128,
+        mem_cycles: 100,
+    }
+}
+
+/// Renders one registry-resolved cell in the golden binary's line format.
+fn render(machine: Machine, bench: Benchmark, golden_name: &str, fe: u32, be: u32) -> String {
+    let exec = machine.family().builder.build(&axes(bench, fe, be));
+    exec.validate()
+        .unwrap_or_else(|e| panic!("{}/{golden_name}: invalid config: {e}", machine.name()));
+    let trace = shared_trace(bench, 42, golden_budget());
+    let stats = exec.replay(trace.cursor(), golden_budget());
+    match stats.to_flywheel_result() {
+        Some(r) => format!("flywheel/{bench}/{golden_name}: {r:?}"),
+        None => format!("baseline/{bench}/{golden_name}: {:?}", stats.sim),
+    }
+}
+
+#[test]
+fn registry_executors_reproduce_the_golden_digest_byte_identically() {
+    // One golden configuration point per pre-existing machine family, plus
+    // the extra clock points the digest pins. `paper_default` and
+    // `paper_n130` are the same machine at the same grid point — the golden
+    // file pins that equivalence with two lines, so both appear here.
+    let points: &[(Machine, &str, u32, u32)] = &[
+        (Machine::Baseline, "paper_default", 0, 0),
+        (Machine::Baseline, "paper_n130", 0, 0),
+        (Machine::BaselineExtraFe, "extra_fe_stage", 0, 0),
+        (Machine::BaselinePipedWakeup, "pipelined_wakeup", 0, 0),
+        (Machine::Baseline, "dual_clock_fe50", 50, 0),
+        (Machine::Flywheel, "iso_clock", 0, 0),
+        (Machine::Flywheel, "fe50_be50", 50, 50),
+        (Machine::Flywheel, "fe100_be50", 100, 50),
+        (Machine::RegAlloc, "reg_alloc_only", 0, 0),
+    ];
+    // Two benches keep the test fast while still covering a SPEC-like profile
+    // and an adversarial stress profile.
+    for bench in [Benchmark::Micro, Benchmark::PtrChase] {
+        for &(machine, golden_name, fe, be) in points {
+            let line = render(machine, bench, golden_name, fe, be);
+            let prefix = line.split_once(": ").expect("rendered line has ': '").0;
+            let expected = GOLDEN
+                .lines()
+                .find(|l| l.starts_with(prefix) && l.as_bytes()[prefix.len()] == b':')
+                .unwrap_or_else(|| panic!("golden.txt has no line for '{prefix}'"));
+            assert_eq!(
+                line,
+                expected,
+                "registry-built {} diverged from the hand-built golden configuration",
+                machine.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_golden_machine_line_is_covered_by_a_registered_family() {
+    // The inverse direction: every machine/config label appearing in
+    // golden.txt must be resolvable to a registered family, so the digest
+    // can never silently pin a machine the registry no longer offers.
+    let known_families: Vec<&str> = Machine::all().iter().map(|m| m.name()).collect();
+    for line in GOLDEN.lines().filter(|l| !l.is_empty()) {
+        let kind = line.split('/').next().unwrap();
+        let family_exists = match kind {
+            // The golden digest's `baseline/` and `flywheel/` prefixes are
+            // power-model kinds covering several families; per-family
+            // prefixes (e.g. `multidomain/`) name the family directly.
+            "baseline" | "flywheel" => true,
+            name => known_families.contains(&name),
+        };
+        assert!(
+            family_exists,
+            "golden line with unregistered family: {line}"
+        );
+    }
+}

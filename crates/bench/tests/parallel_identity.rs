@@ -9,7 +9,7 @@
 
 use flywheel_bench::scenario::{Machine, Scenario};
 use flywheel_bench::shared_trace;
-use flywheel_uarch::{BaselineSim, SimBudget};
+use flywheel_uarch::SimBudget;
 use flywheel_workloads::Benchmark;
 
 fn grid() -> Scenario {
@@ -61,15 +61,12 @@ fn trace_cursor_restart_replays_identically_mid_grid() {
         let consumed = (i * 97) % 1_500;
         assert_eq!(cursor.by_ref().take(consumed).count(), consumed);
         cursor.restart();
-        let replayed = if cell.machine.is_baseline() {
-            BaselineSim::new(cell.baseline_config(), cursor).run(budget)
-        } else {
-            flywheel_core::FlywheelSim::new(cell.flywheel_config(), cursor)
-                .run(budget)
-                .sim
-        };
+        // The executor replays the cell's machine directly on the restarted
+        // cursor, bypassing every store and cache — any registered family,
+        // with no machine dispatch here.
+        let replayed = cell.executor().replay(cursor, budget);
         assert_eq!(
-            replayed,
+            replayed.sim,
             run.results[i].sim,
             "cell {} diverged after cursor restart",
             cell.label()

@@ -1,6 +1,6 @@
 //! Configuration of the Flywheel machine.
 
-use flywheel_timing::{ClockPlan, TechNode};
+use flywheel_timing::{ClockPlan, ModuleFrequencies, TechNode};
 use flywheel_uarch::BaselineConfig;
 
 /// Execution Cache geometry and timing (paper §3.3, Table 2).
@@ -206,6 +206,138 @@ impl Default for FlywheelConfig {
     }
 }
 
+/// Governor policy of the DVFS-managed Flywheel machine.
+///
+/// At fixed intervals of execution-core cycles the governor looks at the
+/// trace-execution (Execution Cache) residency observed over the elapsed
+/// interval and steps the trace-execution back-end speed-up up or down: high
+/// residency means the fast back-end clock is actually being used, so the
+/// machine leans into it; low residency means the machine is mostly in trace
+/// creation (where the core runs at the baseline clock anyway), so the
+/// trace-execution clock is stepped back toward the baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DvfsPolicy {
+    /// Interval, in execution-core cycles, between governor evaluations.
+    pub interval_be_cycles: u64,
+    /// Interval residency above which the back-end speed-up is raised one step.
+    pub hi_residency: f64,
+    /// Interval residency below which the back-end speed-up is lowered one step.
+    pub lo_residency: f64,
+    /// Speed-up step per adjustment, in percent over the baseline clock.
+    pub step_pct: u32,
+    /// Lower bound of the governed back-end speed-up, in percent.
+    pub min_backend_pct: u32,
+    /// Upper bound of the governed back-end speed-up, in percent.
+    pub max_backend_pct: u32,
+}
+
+impl DvfsPolicy {
+    /// The default governor for `node`: evaluate every 10 000 core cycles, step
+    /// by 10 %, and never exceed the trace-execution speed-up the Table 1
+    /// module frequencies make achievable at `node` (including the 10 %
+    /// modelling margin [`ClockPlan::validate_against`] allows).
+    pub fn paper(node: TechNode) -> Self {
+        let headroom = ModuleFrequencies::for_node(node).max_backend_speedup() * 1.10;
+        let mut cap = (((headroom - 1.0) * 100.0).floor().max(0.0)) as u32;
+        // Integer-period rounding can push the realized speed-up a hair over
+        // the analytic bound; back the cap off until the plan validates.
+        while cap > 0
+            && !ClockPlan::with_speedups(node, 0, cap)
+                .validate_against(node)
+                .is_empty()
+        {
+            cap -= 1;
+        }
+        DvfsPolicy {
+            interval_be_cycles: 10_000,
+            hi_residency: 0.75,
+            lo_residency: 0.40,
+            step_pct: 10,
+            min_backend_pct: 0,
+            max_backend_pct: cap,
+        }
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.interval_be_cycles == 0 {
+            return Err("governor interval must be non-zero".into());
+        }
+        if self.step_pct == 0 {
+            return Err("governor step must be non-zero".into());
+        }
+        if !(0.0..=1.0).contains(&self.lo_residency)
+            || !(0.0..=1.0).contains(&self.hi_residency)
+            || self.lo_residency >= self.hi_residency
+        {
+            return Err("residency thresholds must satisfy 0 <= lo < hi <= 1".into());
+        }
+        if self.min_backend_pct > self.max_backend_pct {
+            return Err("governor bounds must satisfy min <= max".into());
+        }
+        Ok(())
+    }
+}
+
+/// Complete configuration of the DVFS-governed Flywheel machine: a Flywheel
+/// machine whose trace-execution back-end clock is retuned at fixed intervals
+/// from observed Execution-Cache residency instead of being fixed for the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DvfsConfig {
+    /// The underlying Flywheel machine; its `backend_speedup_pct` is the
+    /// governor's starting point.
+    pub fly: FlywheelConfig,
+    /// The governor policy.
+    pub policy: DvfsPolicy,
+}
+
+impl DvfsConfig {
+    /// The paper-geometry DVFS machine at `node` with the given front-end
+    /// speed-up and starting back-end speed-up.
+    ///
+    /// The governor never *raises* the clock beyond the Table 1 headroom of
+    /// `node`, but an explicitly requested faster starting point is honoured
+    /// (the static machines sweep such points too), widening the governed
+    /// range to include it.
+    pub fn paper(node: TechNode, frontend_speedup_pct: u32, backend_speedup_pct: u32) -> Self {
+        let mut policy = DvfsPolicy::paper(node);
+        policy.max_backend_pct = policy.max_backend_pct.max(backend_speedup_pct);
+        DvfsConfig {
+            fly: FlywheelConfig::paper(node, frontend_speedup_pct, backend_speedup_pct),
+            policy,
+        }
+    }
+
+    /// The technology node of this configuration.
+    pub fn node(&self) -> TechNode {
+        self.fly.node()
+    }
+
+    /// The structural power-model parameters this machine implies (identical to
+    /// the underlying Flywheel machine: the governor moves no geometry).
+    pub fn power_config(&self) -> flywheel_power::PowerConfig {
+        self.fly.power_config()
+    }
+
+    /// Validates internal consistency, including that the governor's starting
+    /// point lies within the governed range and the range is plausible.
+    pub fn validate(&self) -> Result<(), String> {
+        self.fly.validate()?;
+        self.policy.validate()?;
+        if !(self.policy.min_backend_pct..=self.policy.max_backend_pct)
+            .contains(&self.fly.backend_speedup_pct)
+        {
+            return Err("starting back-end speed-up must lie within the governor bounds".into());
+        }
+        // No node's Table 1 supports a back-end beyond twice the baseline
+        // clock; cap the governed range there as a sanity bound.
+        if self.policy.max_backend_pct > 100 {
+            return Err("governor bound exceeds plausible back-end speed-ups (max 100%)".into());
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,5 +415,46 @@ mod tests {
     #[test]
     fn ec_capacity_in_instructions() {
         assert_eq!(EcConfig::paper().capacity_insts(), 16 * 1024);
+    }
+
+    #[test]
+    fn dvfs_paper_config_is_valid_at_every_node() {
+        for node in TechNode::all() {
+            let c = DvfsConfig::paper(*node, 50, 50);
+            c.validate().unwrap_or_else(|e| panic!("{node:?}: {e}"));
+            assert_eq!(c.power_config(), c.fly.power_config());
+            // The governor's own headroom cap (before an explicit start widens
+            // it) must be achievable under the Table 1 module frequencies.
+            let p = DvfsPolicy::paper(*node);
+            let plan = ClockPlan::with_speedups(*node, 0, p.max_backend_pct);
+            assert!(plan.validate_against(*node).is_empty(), "{node:?}");
+        }
+        // At 0.13um the paper's BE50 point is honoured as a starting point and
+        // widens the governed range to include it.
+        let c = DvfsConfig::paper(TechNode::N130, 0, 50);
+        assert_eq!(c.fly.backend_speedup_pct, 50);
+        assert!(c.policy.max_backend_pct >= 50);
+        // An iso-clock start keeps the analytic cap.
+        let iso = DvfsConfig::paper(TechNode::N130, 0, 0);
+        assert_eq!(
+            iso.policy.max_backend_pct,
+            DvfsPolicy::paper(TechNode::N130).max_backend_pct
+        );
+    }
+
+    #[test]
+    fn dvfs_policy_rejects_nonsense() {
+        let mut p = DvfsPolicy::paper(TechNode::N130);
+        p.interval_be_cycles = 0;
+        assert!(p.validate().is_err());
+        let mut p2 = DvfsPolicy::paper(TechNode::N130);
+        p2.lo_residency = 0.9;
+        assert!(p2.validate().is_err());
+        let mut c = DvfsConfig::paper(TechNode::N130, 0, 0);
+        c.policy.max_backend_pct = 1000;
+        assert!(c.validate().is_err());
+        let mut c2 = DvfsConfig::paper(TechNode::N130, 0, 0);
+        c2.fly.backend_speedup_pct = c2.policy.max_backend_pct + 1;
+        assert!(c2.validate().is_err());
     }
 }

@@ -55,7 +55,7 @@ mod pools;
 mod sim;
 mod stats;
 
-pub use config::{EcConfig, FlywheelConfig, PoolConfig};
+pub use config::{DvfsConfig, DvfsPolicy, EcConfig, FlywheelConfig, PoolConfig};
 pub use ec::{EcStats, ExecutionCache, RecordedInst, Trace, TraceBuilder};
 pub use pools::{PoolRenamer, PoolStats};
 pub use sim::FlywheelSim;

@@ -1,6 +1,6 @@
 //! The Flywheel pipeline: trace-creation and trace-execution modes.
 
-use crate::config::FlywheelConfig;
+use crate::config::{DvfsConfig, DvfsPolicy, FlywheelConfig};
 use crate::ec::{ExecutionCache, Trace, TraceBuilder};
 use crate::pools::PoolRenamer;
 use crate::stats::{FlywheelResult, FlywheelStats};
@@ -22,6 +22,21 @@ enum Mode {
     /// The front end is clock gated; instructions are replayed from the Execution
     /// Cache and fed directly to the execution core at the fast back-end clock.
     Execution,
+}
+
+/// State of the DVFS governor (the DVFS-managed Flywheel machine).
+#[derive(Debug, Clone)]
+struct DvfsState {
+    policy: DvfsPolicy,
+    /// Back-end cycle at (or after) which the governor evaluates next.
+    next_eval_cycle: u64,
+    /// Per-mode time snapshots at the previous evaluation.
+    last_exec_mode_ps: u64,
+    last_creation_mode_ps: u64,
+    /// Currently governed trace-execution back-end speed-up, in percent.
+    current_pct: u32,
+    /// Number of clock retunes performed.
+    retunes: u64,
 }
 
 /// State of an in-progress trace replay.
@@ -131,6 +146,11 @@ pub struct FlywheelSim<I: Iterator<Item = DynInst>> {
     next_redistribution_cycle: u64,
     stalled_until_cycle: u64,
 
+    /// Optional DVFS governor retuning `be_period_exec_ps` at fixed intervals
+    /// from observed trace-execution residency. `None` keeps the clock plan
+    /// fixed for the run — bit-identical to the plain Flywheel machine.
+    dvfs: Option<DvfsState>,
+
     // Energy.
     power_model: PowerModel,
     energy: EnergyAccumulator,
@@ -222,6 +242,7 @@ impl<I: Iterator<Item = DynInst>> FlywheelSim<I> {
             creation_mode_ps: 0,
             next_redistribution_cycle: cfg.pools.redistribution_interval,
             stalled_until_cycle: 0,
+            dvfs: None,
             power_model,
             energy: EnergyAccumulator::new(MachineKind::Flywheel),
             retired: 0,
@@ -240,9 +261,41 @@ impl<I: Iterator<Item = DynInst>> FlywheelSim<I> {
         }
     }
 
+    /// Creates a DVFS-governed Flywheel machine for `cfg` consuming
+    /// instructions from `trace`: identical to [`FlywheelSim::new`] on
+    /// `cfg.fly`, plus a governor that retunes the trace-execution back-end
+    /// clock every `cfg.policy.interval_be_cycles` core cycles from the
+    /// Execution-Cache residency observed over the elapsed interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`DvfsConfig::validate`].
+    pub fn new_dvfs(cfg: DvfsConfig, trace: I) -> Self {
+        cfg.validate()
+            .unwrap_or_else(|e| panic!("invalid configuration: {e}"));
+        let policy = cfg.policy;
+        let current_pct = cfg.fly.backend_speedup_pct;
+        let mut sim = FlywheelSim::new(cfg.fly, trace);
+        sim.dvfs = Some(DvfsState {
+            policy,
+            next_eval_cycle: policy.interval_be_cycles,
+            last_exec_mode_ps: 0,
+            last_creation_mode_ps: 0,
+            current_pct,
+            retunes: 0,
+        });
+        sim
+    }
+
     /// The configuration of this machine.
     pub fn config(&self) -> &FlywheelConfig {
         &self.cfg
+    }
+
+    /// Number of clock retunes the DVFS governor has performed (0 without a
+    /// governor).
+    pub fn dvfs_retunes(&self) -> u64 {
+        self.dvfs.as_ref().map_or(0, |d| d.retunes)
     }
 
     /// Runs the simulation for the given budget.
@@ -391,6 +444,12 @@ impl<I: Iterator<Item = DynInst>> FlywheelSim<I> {
             if c > self.be_cycles {
                 t = t.min(self.be_cycle_time_ps(c));
             }
+        }
+        // The DVFS governor may change the back-end period at its next
+        // evaluation: never bulk-advance past it (this keeps the back-end
+        // period constant across every bounded idle stretch).
+        if let Some(d) = &self.dvfs {
+            t = t.min(self.be_cycle_time_ps(d.next_eval_cycle));
         }
         match self.mode {
             Mode::Creation => {
@@ -787,6 +846,7 @@ impl<I: Iterator<Item = DynInst>> FlywheelSim<I> {
     // ------------------------------------------------------------------ back end
 
     fn tick_backend(&mut self) {
+        self.maybe_retune_clock();
         let now = self.be_time_ps;
         let period = self.be_period();
         self.be_cycles += 1;
@@ -823,6 +883,52 @@ impl<I: Iterator<Item = DynInst>> FlywheelSim<I> {
             }
         }
         self.maybe_redistribute();
+    }
+
+    /// DVFS governor evaluation, run at the top of every back-end tick (before
+    /// the edge advances time, so a retuned period applies from this cycle on).
+    ///
+    /// The fast-forward bound in [`Self::next_event_ps`] never bulk-advances
+    /// the back-end past `next_eval_cycle`, so the period stays constant across
+    /// every bounded idle stretch — the invariant `be_cycle_time_ps` relies on.
+    fn maybe_retune_clock(&mut self) {
+        let Some(d) = &mut self.dvfs else { return };
+        if self.be_cycles < d.next_eval_cycle {
+            return;
+        }
+        d.next_eval_cycle = self.be_cycles + d.policy.interval_be_cycles;
+        let exec = self.exec_mode_ps - d.last_exec_mode_ps;
+        let creation = self.creation_mode_ps - d.last_creation_mode_ps;
+        d.last_exec_mode_ps = self.exec_mode_ps;
+        d.last_creation_mode_ps = self.creation_mode_ps;
+        if exec + creation == 0 {
+            return;
+        }
+        let residency = exec as f64 / (exec + creation) as f64;
+        let p = d.policy;
+        let new_pct = if residency >= p.hi_residency {
+            d.current_pct
+                .saturating_add(p.step_pct)
+                .min(p.max_backend_pct)
+        } else if residency <= p.lo_residency {
+            d.current_pct
+                .saturating_sub(p.step_pct)
+                .max(p.min_backend_pct)
+        } else {
+            d.current_pct
+        };
+        if new_pct != d.current_pct {
+            d.current_pct = new_pct;
+            d.retunes += 1;
+            // Same period derivation as `ClockPlan::with_speedups`, so a
+            // governed plan settling on the starting speed-up reproduces the
+            // static plan's period exactly.
+            self.be_period_exec_ps =
+                flywheel_timing::ClockPlan::with_speedups(self.cfg.base.node, 0, new_pct)
+                    .backend_period_ps;
+            // A clock change is machine activity: never fast-forward over it.
+            self.tick_activity = true;
+        }
     }
 
     fn maybe_redistribute(&mut self) {
@@ -1624,5 +1730,47 @@ mod tests {
             r.flywheel.trace_divergences > 0,
             "parser's irregular branches must cause replay divergences"
         );
+    }
+
+    #[test]
+    fn dvfs_governor_retunes_and_beats_the_iso_clock_start() {
+        // Starting at BE0 on a high-residency benchmark, the governor must
+        // ratchet the trace-execution clock up and finish the measured run
+        // faster than the static iso-clock machine, without touching committed
+        // work.
+        let budget = SimBudget::new(5_000, 40_000);
+        let program = Benchmark::FlyBest.synthesize(42);
+        let mut gov = FlywheelSim::new_dvfs(
+            crate::DvfsConfig::paper(TechNode::N130, 0, 0),
+            TraceGenerator::new(&program, 42),
+        );
+        let governed = gov.run(budget);
+        assert!(gov.dvfs_retunes() > 0, "governor never retuned");
+        let iso = run_flywheel(
+            Benchmark::FlyBest,
+            FlywheelConfig::paper_iso_clock(TechNode::N130),
+            budget,
+        );
+        assert_eq!(governed.sim.instructions, iso.sim.instructions);
+        assert!(
+            governed.sim.elapsed_ps < iso.sim.elapsed_ps,
+            "governed {} vs iso {}",
+            governed.sim.elapsed_ps,
+            iso.sim.elapsed_ps
+        );
+    }
+
+    #[test]
+    fn dvfs_runs_are_deterministic() {
+        let budget = SimBudget::new(2_000, 10_000);
+        let run = || {
+            let program = Benchmark::Gzip.synthesize(42);
+            FlywheelSim::new_dvfs(
+                crate::DvfsConfig::paper(TechNode::N130, 50, 50),
+                TraceGenerator::new(&program, 42),
+            )
+            .run(budget)
+        };
+        assert_eq!(run(), run());
     }
 }

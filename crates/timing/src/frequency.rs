@@ -170,6 +170,70 @@ impl ClockPlan {
     }
 }
 
+/// Clock plan for a load/store queue split into its own clock domain.
+///
+/// Table 1 gives the D-cache (and thus the memory pipeline feeding it) a higher
+/// sustainable frequency than the Issue Window at every node. The multi-domain
+/// machine exploits that headroom by clocking the LSQ + D-cache access pipeline
+/// at the D-cache frequency while the rest of the execution core stays on the
+/// back-end clock, paying a synchronizer crossing in each direction per load.
+///
+/// This is deliberately a separate type from [`ClockPlan`]: the two-domain plan
+/// feeds content-addressed store keys through its `Debug` rendering, so it must
+/// never grow fields. A third domain composes alongside it instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LsqDomainPlan {
+    /// Period of the LSQ/D-cache domain clock, in ps.
+    pub period_ps: u64,
+    /// Synchronizer latency, in LSQ-domain producer/consumer cycles, charged on
+    /// each crossing between the execution core and the LSQ domain.
+    pub sync_cycles: u32,
+}
+
+impl LsqDomainPlan {
+    /// The paper-geometry LSQ domain for `node`: the D-cache's Table 1 frequency
+    /// with a one-cycle synchronizer on each crossing.
+    pub fn paper(node: TechNode) -> Self {
+        let freqs = ModuleFrequencies::for_node(node);
+        let period_ps = ((1.0e6 / freqs.dcache_mhz).round() as u64).max(1);
+        LsqDomainPlan {
+            period_ps,
+            sync_cycles: 1,
+        }
+    }
+
+    /// A plan expressed directly in a period (useful for tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the period is zero.
+    pub fn from_period(period_ps: u64, sync_cycles: u32) -> Self {
+        assert!(period_ps > 0);
+        LsqDomainPlan {
+            period_ps,
+            sync_cycles,
+        }
+    }
+
+    /// Speed-up of the LSQ domain over the back-end period `be_period_ps`.
+    pub fn speedup_over(&self, be_period_ps: u64) -> f64 {
+        be_period_ps as f64 / self.period_ps as f64
+    }
+
+    /// Checks the plan against the achievable D-cache frequency at `node` and
+    /// returns the violated domain names, if any (mirrors
+    /// [`ClockPlan::validate_against`], including its 10% modelling margin).
+    pub fn validate_against(&self, node: TechNode) -> Vec<&'static str> {
+        let freqs = ModuleFrequencies::for_node(node);
+        let plan_mhz = 1.0e6 / self.period_ps as f64;
+        if plan_mhz > freqs.dcache_mhz * 1.10 {
+            vec!["lsq"]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,5 +324,41 @@ mod tests {
     #[should_panic]
     fn zero_period_panics() {
         let _ = ClockPlan::from_periods(0, 1, 1);
+    }
+
+    #[test]
+    fn lsq_domain_plan_runs_at_the_dcache_frequency() {
+        for node in TechNode::all() {
+            let plan = LsqDomainPlan::paper(*node);
+            let f = ModuleFrequencies::for_node(*node);
+            let plan_mhz = 1.0e6 / plan.period_ps as f64;
+            assert!(
+                (plan_mhz - f.dcache_mhz).abs() / f.dcache_mhz < 0.01,
+                "{node:?}: {plan_mhz} vs {}",
+                f.dcache_mhz
+            );
+            assert_eq!(plan.sync_cycles, 1);
+            assert!(plan.validate_against(*node).is_empty());
+        }
+        // From 0.18um on, Table 1 gives the D-cache headroom over the Issue
+        // Window clock (at 0.25um the wire-dominated IW still keeps up).
+        for node in [TechNode::N180, TechNode::N130, TechNode::N90, TechNode::N60] {
+            let plan = LsqDomainPlan::paper(node);
+            let be = ClockPlan::synchronous(node).backend_period_ps;
+            assert!(plan.speedup_over(be) > 1.0, "{node:?}");
+        }
+    }
+
+    #[test]
+    fn lsq_domain_validation_flags_overclocked_plans() {
+        let paper = LsqDomainPlan::paper(TechNode::N130);
+        let hot = LsqDomainPlan::from_period(paper.period_ps / 2, 1);
+        assert_eq!(hot.validate_against(TechNode::N130), vec!["lsq"]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_lsq_period_panics() {
+        let _ = LsqDomainPlan::from_period(0, 1);
     }
 }

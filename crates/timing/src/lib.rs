@@ -44,6 +44,6 @@ mod node;
 pub mod paper;
 mod structures;
 
-pub use frequency::{ClockPlan, ModuleFrequencies};
+pub use frequency::{ClockPlan, LsqDomainPlan, ModuleFrequencies};
 pub use node::TechNode;
 pub use structures::{CacheGeometry, IssueWindowGeometry, RegFileGeometry, StructureLatency};

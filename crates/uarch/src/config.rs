@@ -2,7 +2,7 @@
 
 use flywheel_isa::FuKind;
 use flywheel_power::PowerConfig;
-use flywheel_timing::{ClockPlan, TechNode};
+use flywheel_timing::{ClockPlan, LsqDomainPlan, TechNode};
 
 /// Geometry of one cache level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -281,6 +281,59 @@ impl Default for BaselineConfig {
     }
 }
 
+/// Configuration of the multi-domain machine: the baseline out-of-order core
+/// with the LSQ + D-cache access pipeline split into its own, faster clock
+/// domain (Table 1 gives the D-cache headroom over the Issue Window at every
+/// node). Loads pay a synchronizer crossing in each direction but the cache
+/// access itself completes in the faster domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiDomainConfig {
+    /// The underlying baseline machine (including its FE/BE clock plan).
+    pub base: BaselineConfig,
+    /// The LSQ/D-cache clock domain.
+    pub lsq: LsqDomainPlan,
+}
+
+impl MultiDomainConfig {
+    /// The paper-geometry multi-domain machine at `node`: the Table 2 baseline
+    /// with the LSQ domain at the D-cache's Table 1 frequency.
+    pub fn paper(node: TechNode) -> Self {
+        MultiDomainConfig {
+            base: BaselineConfig::paper(node),
+            lsq: LsqDomainPlan::paper(node),
+        }
+    }
+
+    /// Like [`MultiDomainConfig::paper`], with the dual-clock front-end speed-up
+    /// applied on top (the clock axis of the scenario engine).
+    pub fn paper_with_frontend(node: TechNode, frontend_pct: u32) -> Self {
+        let mut cfg = MultiDomainConfig::paper(node);
+        if frontend_pct > 0 {
+            cfg.base = cfg.base.with_dual_clock_frontend(frontend_pct);
+        }
+        cfg
+    }
+
+    /// The structural power-model parameters this machine implies (identical to
+    /// the underlying baseline: splitting a clock domain moves no geometry).
+    pub fn power_config(&self) -> PowerConfig {
+        self.base.power_config()
+    }
+
+    /// Validates internal consistency, including that the LSQ domain does not
+    /// exceed the D-cache's achievable frequency at the configured node.
+    pub fn validate(&self) -> Result<(), String> {
+        self.base.validate()?;
+        let violations = self.lsq.validate_against(self.base.node);
+        if !violations.is_empty() {
+            return Err(format!(
+                "LSQ domain exceeds achievable module frequencies: {violations:?}"
+            ));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -346,5 +399,26 @@ mod tests {
         let mut c2 = BaselineConfig::paper_default();
         c2.front_end_stages = 0;
         assert!(c2.validate().is_err());
+    }
+
+    #[test]
+    fn multi_domain_paper_config_is_valid_and_faster_than_the_core() {
+        let c = MultiDomainConfig::paper(TechNode::N130);
+        c.validate().unwrap();
+        assert!(c.lsq.period_ps < c.base.clocks.backend_period_ps);
+        assert_eq!(c.power_config(), c.base.power_config());
+        let fe = MultiDomainConfig::paper_with_frontend(TechNode::N130, 50);
+        fe.validate().unwrap();
+        assert!(fe.base.clocks.frontend_speedup() > 1.45);
+        assert_eq!(fe.base.sync_latency_be_cycles, 1);
+        let iso = MultiDomainConfig::paper_with_frontend(TechNode::N130, 0);
+        assert_eq!(iso, MultiDomainConfig::paper(TechNode::N130));
+    }
+
+    #[test]
+    fn multi_domain_rejects_overclocked_lsq_plans() {
+        let mut c = MultiDomainConfig::paper(TechNode::N130);
+        c.lsq.period_ps /= 2;
+        assert!(c.validate().is_err());
     }
 }

@@ -40,7 +40,7 @@ pub mod watchdog;
 
 pub use bpred::{BpredStats, GsharePredictor};
 pub use cache::{AccessOutcome, Cache, HierarchyStats, MemoryHierarchy};
-pub use config::{BaselineConfig, BpredConfig, CacheConfig, FuConfig};
+pub use config::{BaselineConfig, BpredConfig, CacheConfig, FuConfig, MultiDomainConfig};
 pub use fu::FunctionalUnits;
 pub use inflight::{
     CompletionQueue, EntryState, InflightEntry, InflightTable, IssueScheduler, StoreIndex,
